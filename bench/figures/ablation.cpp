@@ -1,0 +1,168 @@
+// Ablation bench for the design choices DESIGN.md calls out:
+//   1. switch-avoiding tie-break (on/off) — effect on switches and utility;
+//   2. committing zero-marginal tuples (pure TabularGreedy) vs skipping;
+//   3. color-panel size S — estimation quality vs cost for C = 4;
+//   4. utility shape (linear vs sqrt vs log) — the concave extension.
+//   5. scheduler family: locally greedy (Alg. 2, C=1) vs global lazy greedy
+//      vs greedy + local-search improvement;
+//   6. anisotropic receiving (uniform vs cosine vs cosine^2 gain);
+//   7. directional vs omnidirectional at fixed radiated power (Section 7.3.2's
+//      remark: growing A_s should shrink alpha; beamforming gain ~ 1/A_s).
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/evaluate.hpp"
+#include "core/global_greedy.hpp"
+#include "core/local_search.hpp"
+#include "core/offline.hpp"
+#include "geom/angle.hpp"
+#include "sim/scenario.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace haste;
+
+struct AblationRow {
+  std::string label;
+  double utility = 0.0;
+  double switches = 0.0;
+  double seconds = 0.0;
+};
+
+AblationRow run_config(const std::string& label, const sim::ScenarioConfig& scenario,
+                       const core::OfflineConfig& config, int trials,
+                       std::uint64_t seed) {
+  util::RunningStats utility;
+  util::RunningStats switches;
+  const auto start = std::chrono::steady_clock::now();
+  for (int t = 0; t < trials; ++t) {
+    util::Rng rng(util::Rng::stream_seed(seed, static_cast<std::uint64_t>(t)));
+    const model::Network net = sim::generate_scenario(scenario, rng);
+    const core::OfflineResult result = core::schedule_offline(net, config);
+    const core::EvaluationResult eval = core::evaluate_schedule(net, result.schedule);
+    utility.add(eval.weighted_utility / net.utility_upper_bound());
+    switches.add(eval.switches);
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  return {label, utility.mean(), switches.mean(),
+          std::chrono::duration<double>(stop - start).count() /
+              static_cast<double>(trials)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchContext context = bench::BenchContext::from_args(argc, argv, 5);
+  bench::print_banner("Ablation", "scheduler design choices (centralized offline)",
+                      context);
+
+  const sim::ScenarioConfig scenario = sim::ScenarioConfig::paper_default();
+  std::vector<AblationRow> rows;
+
+  {
+    core::OfflineConfig config;
+    config.colors = 1;
+    rows.push_back(run_config("C=1 baseline", scenario, config, context.trials,
+                              context.seed));
+    config.switch_avoiding_tiebreak = false;
+    rows.push_back(run_config("C=1, no switch-avoid tiebreak", scenario, config,
+                              context.trials, context.seed));
+    config.switch_avoiding_tiebreak = true;
+    config.commit_zero_marginal = true;
+    rows.push_back(run_config("C=1, commit zero-marginal tuples", scenario, config,
+                              context.trials, context.seed));
+  }
+  for (int samples : {4, 16, 64}) {
+    core::OfflineConfig config;
+    config.colors = 4;
+    config.samples = samples;
+    rows.push_back(run_config("C=4, panel S=" + std::to_string(samples), scenario,
+                              config, context.trials, context.seed));
+  }
+  for (const char* shape : {"linear", "sqrt", "log"}) {
+    sim::ScenarioConfig shaped = scenario;
+    shaped.utility_shape = shape;
+    core::OfflineConfig config;
+    config.colors = 1;
+    rows.push_back(run_config(std::string("C=1, utility shape ") + shape, shaped,
+                              config, context.trials, context.seed));
+  }
+
+  // Scheduler family: global lazy greedy and local-search refinement.
+  {
+    util::RunningStats global_utility;
+    util::RunningStats global_switches;
+    util::RunningStats improved_utility;
+    util::RunningStats improved_switches;
+    const auto start = std::chrono::steady_clock::now();
+    for (int t = 0; t < context.trials; ++t) {
+      util::Rng rng(util::Rng::stream_seed(context.seed, static_cast<std::uint64_t>(t)));
+      const model::Network net = sim::generate_scenario(scenario, rng);
+      const core::GlobalGreedyResult global = core::schedule_global_greedy(net);
+      const core::EvaluationResult global_eval =
+          core::evaluate_schedule(net, global.schedule);
+      global_utility.add(global_eval.weighted_utility / net.utility_upper_bound());
+      global_switches.add(global_eval.switches);
+      const auto partitions = core::build_partitions(net);
+      const core::LocalSearchResult improved =
+          core::improve_schedule(net, partitions, global.schedule);
+      const core::EvaluationResult improved_eval =
+          core::evaluate_schedule(net, improved.schedule);
+      improved_utility.add(improved_eval.weighted_utility / net.utility_upper_bound());
+      improved_switches.add(improved_eval.switches);
+    }
+    const double per_trial = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count() /
+                             (2.0 * context.trials);
+    rows.push_back({"global lazy greedy", global_utility.mean(), global_switches.mean(),
+                    per_trial});
+    rows.push_back({"global greedy + local search", improved_utility.mean(),
+                    improved_switches.mean(), per_trial});
+  }
+
+  // Anisotropic receiving: harvested power shrinks off boresight, so utility
+  // drops relative to the uniform base model.
+  for (const char* profile : {"cosine", "cosine2"}) {
+    sim::ScenarioConfig shaped = scenario;
+    shaped.power.gain_profile = model::parse_gain_profile(profile);
+    core::OfflineConfig config;
+    config.colors = 1;
+    rows.push_back(run_config(std::string("C=1, receiving gain ") + profile, shaped,
+                              config, context.trials, context.seed));
+  }
+
+  // Directional vs omnidirectional at fixed radiated power: alpha scales as
+  // (pi/3) / A_s, the beamforming-gain argument of Section 7.3.2. With this
+  // coupling the narrow sector should win (the plain A_s sweep of Fig. 4,
+  // which holds alpha constant, shows the opposite).
+  for (double degrees : {60.0, 180.0, 360.0}) {
+    sim::ScenarioConfig shaped = scenario;
+    shaped.power.charging_angle = geom::deg_to_rad(degrees);
+    shaped.power.alpha = scenario.power.alpha * (geom::kPi / 3.0) /
+                         shaped.power.charging_angle;
+    core::OfflineConfig config;
+    config.colors = 1;
+    rows.push_back(run_config("fixed-power A_s=" + util::format_fixed(degrees, 0) +
+                                  " (alpha scaled)",
+                              shaped, config, context.trials, context.seed));
+  }
+
+  util::Table table({"configuration", "mean utility", "mean switches", "sec/trial"});
+  std::vector<std::vector<std::string>> csv_rows;
+  for (const AblationRow& row : rows) {
+    table.add_row({row.label, util::format_fixed(row.utility, 4),
+                   util::format_fixed(row.switches, 1),
+                   util::format_fixed(row.seconds, 3)});
+    csv_rows.push_back({row.label, util::format_double(row.utility),
+                        util::format_double(row.switches),
+                        util::format_double(row.seconds)});
+  }
+  bench::report_table(context, table,
+                      {"configuration", "utility", "switches", "sec_per_trial"},
+                      csv_rows);
+  return 0;
+}

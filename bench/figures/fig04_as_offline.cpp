@@ -1,0 +1,27 @@
+// Fig. 4 — charging angle A_s versus overall charging utility, centralized
+// offline scenario. Series: HASTE C=1, HASTE C=4, GreedyUtility, GreedyCover.
+// Expected shape: all curves increase with A_s and coincide at 360 degrees;
+// HASTE on top, C=4 slightly above C=1.
+#include "bench_common.hpp"
+#include "geom/angle.hpp"
+
+int main(int argc, char** argv) {
+  using namespace haste;
+  const bench::BenchContext context = bench::BenchContext::from_args(argc, argv, 3);
+  bench::print_banner("Fig. 4", "A_s vs charging utility (centralized offline)", context);
+
+  const std::vector<sim::Variant> variants = sim::offline_variants();
+  const sim::SweepSeries series = sim::sweep(
+      bench::angle_sweep_degrees(context.full),
+      [](double degrees) {
+        sim::ScenarioConfig config = sim::ScenarioConfig::paper_default();
+        config.power.charging_angle = geom::deg_to_rad(degrees);
+        return config;
+      },
+      variants, context.trials, context.seed);
+
+  bench::report_sweep(context, "A_s(deg)", series, bench::labels_of(variants));
+  bench::report_improvements(series, "HASTE C=4", {"GreedyUtility", "GreedyCover"});
+  bench::report_improvements(series, "HASTE C=4", {"HASTE C=1"});
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Fig. 5 — receiving angle A_o versus overall charging utility, centralized
+// offline scenario. Expected shape: monotone increase, fast then slow.
+#include "bench_common.hpp"
+#include "geom/angle.hpp"
+
+int main(int argc, char** argv) {
+  using namespace haste;
+  const bench::BenchContext context = bench::BenchContext::from_args(argc, argv, 3);
+  bench::print_banner("Fig. 5", "A_o vs charging utility (centralized offline)", context);
+
+  const std::vector<sim::Variant> variants = sim::offline_variants();
+  const sim::SweepSeries series = sim::sweep(
+      bench::angle_sweep_degrees(context.full),
+      [](double degrees) {
+        sim::ScenarioConfig config = sim::ScenarioConfig::paper_default();
+        config.power.receiving_angle = geom::deg_to_rad(degrees);
+        return config;
+      },
+      variants, context.trials, context.seed);
+
+  bench::report_sweep(context, "A_o(deg)", series, bench::labels_of(variants));
+  bench::report_improvements(series, "HASTE C=4", {"GreedyUtility", "GreedyCover"});
+  bench::report_improvements(series, "HASTE C=4", {"HASTE C=1"});
+  return 0;
+}

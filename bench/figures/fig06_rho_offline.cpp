@@ -1,0 +1,24 @@
+// Fig. 6 — switching delay rho versus overall charging utility, centralized
+// offline scenario. Expected shape: gentle monotone decrease (chargers
+// switch rarely, so even rho = 1 costs little).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace haste;
+  const bench::BenchContext context = bench::BenchContext::from_args(argc, argv, 3);
+  bench::print_banner("Fig. 6", "rho vs charging utility (centralized offline)", context);
+
+  const std::vector<sim::Variant> variants = sim::offline_variants();
+  const sim::SweepSeries series = sim::sweep(
+      bench::rho_sweep(context.full),
+      [](double rho) {
+        sim::ScenarioConfig config = sim::ScenarioConfig::paper_default();
+        config.time.rho = rho;
+        return config;
+      },
+      variants, context.trials, context.seed);
+
+  bench::report_sweep(context, "rho", series, bench::labels_of(variants));
+  bench::report_improvements(series, "HASTE C=4", {"GreedyUtility", "GreedyCover"});
+  return 0;
+}

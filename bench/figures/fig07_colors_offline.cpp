@@ -1,0 +1,39 @@
+// Fig. 7 — color number C versus charging utility (box plot), centralized
+// offline scenario. Expected shape: mean/min/max rise slowly with C; small
+// variance throughout.
+#include "bench_common.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace haste;
+  const bench::BenchContext context = bench::BenchContext::from_args(argc, argv, 5);
+  bench::print_banner("Fig. 7", "color number C vs charging utility box plot (offline)",
+                      context);
+
+  util::Table table({"C", "min", "q1", "median", "q3", "max", "mean", "variance"});
+  std::vector<std::vector<std::string>> csv_rows;
+  for (int colors = 1; colors <= 8; ++colors) {
+    const std::vector<sim::Variant> variants = {
+        {"HASTE", sim::Algorithm::kOfflineHaste,
+         sim::AlgoParams{colors, 16 * colors, 1}}};
+    const sim::TrialResults results = sim::run_trials(
+        sim::ScenarioConfig::paper_default(), variants, context.trials, context.seed);
+    std::vector<double> utilities;
+    for (const sim::RunMetrics& m : results.at("HASTE")) {
+      utilities.push_back(m.normalized_utility);
+    }
+    const util::BoxSummary box = util::box_summary(utilities);
+    const double var = util::variance(utilities);
+    table.add_row(std::to_string(colors),
+                  {box.min, box.q1, box.median, box.q3, box.max, box.mean, var}, 5);
+    csv_rows.push_back({std::to_string(colors), util::format_double(box.min),
+                        util::format_double(box.q1), util::format_double(box.median),
+                        util::format_double(box.q3), util::format_double(box.max),
+                        util::format_double(box.mean), util::format_double(var)});
+  }
+  bench::report_table(context, table,
+                      {"C", "min", "q1", "median", "q3", "max", "mean", "variance"},
+                      csv_rows);
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Fig. 12 — charging angle A_s versus utility, distributed online scenario
+// (HASTE-DO). Expected shape: as Fig. 4 but slightly below the offline
+// curves; all series meet at A_s = 360 degrees.
+#include "bench_common.hpp"
+#include "geom/angle.hpp"
+
+int main(int argc, char** argv) {
+  using namespace haste;
+  const bench::BenchContext context = bench::BenchContext::from_args(argc, argv, 2);
+  bench::print_banner("Fig. 12", "A_s vs charging utility (distributed online)", context);
+
+  const std::vector<sim::Variant> variants = sim::online_variants();
+  const sim::SweepSeries series = sim::sweep(
+      bench::angle_sweep_degrees(context.full),
+      [](double degrees) {
+        sim::ScenarioConfig config = sim::ScenarioConfig::paper_default();
+        config.power.charging_angle = geom::deg_to_rad(degrees);
+        return config;
+      },
+      variants, context.trials, context.seed);
+
+  bench::report_sweep(context, "A_s(deg)", series, bench::labels_of(variants));
+  bench::report_improvements(series, "HASTE-DO C=4", {"GreedyUtility", "GreedyCover"});
+  bench::report_improvements(series, "HASTE-DO C=4", {"HASTE-DO C=1"});
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Fig. 14 — switching delay rho versus utility, distributed online scenario.
+// Expected shape: gentle monotone decrease.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace haste;
+  const bench::BenchContext context = bench::BenchContext::from_args(argc, argv, 2);
+  bench::print_banner("Fig. 14", "rho vs charging utility (distributed online)", context);
+
+  const std::vector<sim::Variant> variants = sim::online_variants();
+  const sim::SweepSeries series = sim::sweep(
+      bench::rho_sweep(context.full),
+      [](double rho) {
+        sim::ScenarioConfig config = sim::ScenarioConfig::paper_default();
+        config.time.rho = rho;
+        return config;
+      },
+      variants, context.trials, context.seed);
+
+  bench::report_sweep(context, "rho", series, bench::labels_of(variants));
+  bench::report_improvements(series, "HASTE-DO C=4", {"GreedyUtility", "GreedyCover"});
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Fig. 15 — color number C versus charging utility (box plot), distributed
+// online scenario. Expected shape: slow rise of min/mean/max with C, small
+// variance.
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace haste;
+  const bench::BenchContext context = bench::BenchContext::from_args(argc, argv, 2);
+  bench::print_banner("Fig. 15", "color number C vs charging utility box plot (online)",
+                      context);
+
+  util::Table table({"C", "min", "q1", "median", "q3", "max", "mean", "variance"});
+  std::vector<std::vector<std::string>> csv_rows;
+  for (int colors = 1; colors <= 8; ++colors) {
+    // Panel size scales with C but is capped to keep the negotiation cost
+    // bounded (full mode affords a bigger panel).
+    const int samples = std::min(colors * (context.full ? 4 : 2), context.full ? 32 : 8);
+    const std::vector<sim::Variant> variants = {
+        {"HASTE-DO", sim::Algorithm::kOnlineHaste, sim::AlgoParams{colors, samples, 1}}};
+    const sim::TrialResults results = sim::run_trials(
+        sim::ScenarioConfig::paper_default(), variants, context.trials, context.seed);
+    std::vector<double> utilities;
+    for (const sim::RunMetrics& m : results.at("HASTE-DO")) {
+      utilities.push_back(m.normalized_utility);
+    }
+    const util::BoxSummary box = util::box_summary(utilities);
+    const double var = util::variance(utilities);
+    table.add_row(std::to_string(colors),
+                  {box.min, box.q1, box.median, box.q3, box.max, box.mean, var}, 5);
+    csv_rows.push_back({std::to_string(colors), util::format_double(box.min),
+                        util::format_double(box.q1), util::format_double(box.median),
+                        util::format_double(box.q3), util::format_double(box.max),
+                        util::format_double(box.mean), util::format_double(var)});
+  }
+  bench::report_table(context, table,
+                      {"C", "min", "q1", "median", "q3", "max", "mean", "variance"},
+                      csv_rows);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Fig. 16 — communication cost of the distributed online algorithm (C = 1):
+// average number of messages and negotiation rounds per time slot versus the
+// number of chargers. Expected shape: messages grow ~quadratically, rounds
+// ~linearly in n.
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace haste;
+  const bench::BenchContext context = bench::BenchContext::from_args(argc, argv, 2);
+  bench::print_banner("Fig. 16", "charger count vs messages & rounds per slot (online, C=1)",
+                      context);
+
+  const std::vector<int> charger_counts =
+      context.full ? std::vector<int>{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+                   : std::vector<int>{10, 25, 50, 75, 100};
+
+  // "messages" follows the paper's accounting: one message per neighbor
+  // reception (a broadcast to d neighbors counts d) — that is what grows
+  // quadratically as both the participant count and the neighborhood size
+  // scale with n. Broadcast transmissions are reported alongside.
+  // The sequential token protocol (the proof construction of Theorem 6.1,
+  // library extension) is measured alongside as a communication baseline.
+  util::Table table({"n", "messages/slot", "broadcasts/slot", "rounds/slot",
+                     "seq msgs/slot"});
+  std::vector<std::vector<std::string>> csv_rows;
+  for (int n : charger_counts) {
+    sim::ScenarioConfig config = sim::ScenarioConfig::paper_default();
+    config.chargers = n;
+    util::RunningStats messages;
+    util::RunningStats broadcasts;
+    util::RunningStats rounds;
+    util::RunningStats seq_messages;
+    for (int t = 0; t < context.trials; ++t) {
+      util::Rng rng(util::Rng::stream_seed(context.seed, static_cast<std::uint64_t>(t)));
+      const model::Network net = sim::generate_scenario(config, rng);
+      const sim::RunMetrics metrics =
+          sim::run_algorithm(net, sim::Algorithm::kOnlineHaste, sim::AlgoParams{1, 1, 1});
+      const double slots = std::max<double>(1.0, net.horizon());
+      messages.add(static_cast<double>(metrics.deliveries) / slots);
+      broadcasts.add(static_cast<double>(metrics.messages) / slots);
+      rounds.add(static_cast<double>(metrics.rounds) / slots);
+      const sim::RunMetrics seq = sim::run_algorithm(
+          net, sim::Algorithm::kOnlineHasteSequential, sim::AlgoParams{1, 1, 1});
+      seq_messages.add(static_cast<double>(seq.deliveries) / slots);
+    }
+    table.add_row(std::to_string(n),
+                  {messages.mean(), broadcasts.mean(), rounds.mean(), seq_messages.mean()},
+                  1);
+    csv_rows.push_back({std::to_string(n), util::format_double(messages.mean()),
+                        util::format_double(broadcasts.mean()),
+                        util::format_double(rounds.mean()),
+                        util::format_double(seq_messages.mean())});
+  }
+  bench::report_table(context, table,
+                      {"n", "messages_per_slot", "broadcasts_per_slot",
+                       "rounds_per_slot", "sequential_messages_per_slot"},
+                      csv_rows);
+
+  const double m_first = std::stod(csv_rows.front()[1]);
+  const double m_last = std::stod(csv_rows.back()[1]);
+  const double r_first = std::stod(csv_rows.front()[3]);
+  const double r_last = std::stod(csv_rows.back()[3]);
+  const double n_ratio = static_cast<double>(charger_counts.back()) /
+                         static_cast<double>(charger_counts.front());
+  std::cout << "n grew " << util::format_fixed(n_ratio, 1) << "x; messages grew "
+            << util::format_fixed(m_first > 0 ? m_last / m_first : 0.0, 1)
+            << "x (expect ~quadratic), rounds grew "
+            << util::format_fixed(r_first > 0 ? r_last / r_first : 0.0, 1)
+            << "x (expect ~linear)\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Fig. 18 — individual task charging utility versus required energy E_j:
+// a scatter over one large instance with E_j ~ U[5, 100] kJ. Expected
+// shape: utility reaches 1 for small E_j, then decays; the upper envelope
+// is approximately inversely proportional to E_j.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/evaluate.hpp"
+#include "core/offline.hpp"
+#include "sim/scenario.hpp"
+#include "util/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace haste;
+  const bench::BenchContext context = bench::BenchContext::from_args(argc, argv, 1);
+  bench::print_banner("Fig. 18", "individual charging utility vs required energy E_j",
+                      context);
+
+  sim::ScenarioConfig config = sim::ScenarioConfig::paper_default();
+  config.energy_min_j = 5'000.0;
+  config.energy_max_j = 100'000.0;
+
+  // Collect (E_j, utility) pairs over `trials` instances.
+  std::vector<std::pair<double, double>> points;
+  for (int t = 0; t < context.trials; ++t) {
+    util::Rng rng(util::Rng::stream_seed(context.seed, static_cast<std::uint64_t>(t)));
+    const model::Network net = sim::generate_scenario(config, rng);
+    core::OfflineConfig offline;
+    offline.colors = 4;
+    offline.samples = 16;
+    const core::OfflineResult result = core::schedule_offline(net, offline);
+    const core::EvaluationResult eval = core::evaluate_schedule(net, result.schedule);
+    for (std::size_t j = 0; j < eval.task_utility.size(); ++j) {
+      points.emplace_back(net.tasks()[j].required_energy / 1000.0, eval.task_utility[j]);
+    }
+  }
+
+  // Bin by E_j and report mean and max utility per bin; the max column is
+  // the figure's ~1/E envelope.
+  const double bin_width = 10.0;  // kJ
+  util::Table table({"E_j bin (kJ)", "tasks", "mean U", "max U", "c/E envelope"});
+  std::vector<std::vector<std::string>> csv_rows;
+
+  // Fit c so that max-U ~ c / E using the first saturated bin boundary.
+  double c_fit = 0.0;
+  for (const auto& [energy, utility] : points) {
+    c_fit = std::max(c_fit, utility * energy);
+  }
+
+  for (double lo = 0.0; lo < 100.0; lo += bin_width) {
+    const double hi = lo + bin_width;
+    int count = 0;
+    double sum = 0.0;
+    double best = 0.0;
+    for (const auto& [energy, utility] : points) {
+      if (energy >= lo && energy < hi) {
+        ++count;
+        sum += utility;
+        best = std::max(best, utility);
+      }
+    }
+    if (count == 0) continue;
+    const double mid = (lo + hi) / 2.0;
+    const double envelope = std::min(1.0, c_fit / mid);
+    table.add_row(util::format_fixed(lo, 0) + "-" + util::format_fixed(hi, 0),
+                  {static_cast<double>(count), sum / count, best, envelope}, 3);
+    csv_rows.push_back({util::format_double(mid), std::to_string(count),
+                        util::format_double(sum / count), util::format_double(best),
+                        util::format_double(envelope)});
+  }
+  bench::report_table(context, table,
+                      {"energy_kj", "tasks", "mean_utility", "max_utility", "envelope"},
+                      csv_rows);
+  std::cout << "fitted envelope constant c = " << util::format_fixed(c_fit, 1)
+            << " kJ (max utility ~ c / E_j)\n";
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Fig. 21 — per-task charging utility on testbed Topology 1 (8 Powercast
+// transmitters / 8 sensor nodes), centralized offline algorithms. Expected:
+// HASTE at or above both baselines on essentially every task; tasks 1 and 6
+// (the longest) reach the top utilities.
+#include "bench_common.hpp"
+#include "testbed/topologies.hpp"
+
+int main(int argc, char** argv) {
+  using namespace haste;
+  const bench::BenchContext context = bench::BenchContext::from_args(argc, argv, 1);
+  bench::print_banner("Fig. 21", "testbed Topology 1, per-task utility (offline)",
+                      context);
+  bench::report_testbed(context, testbed::topology1(), /*online=*/false);
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Fig. 22 — per-task charging utility on testbed Topology 1, distributed
+// online algorithms. Expected: same ordering as Fig. 21 with slightly lower
+// absolute values (rescheduling delay).
+#include "bench_common.hpp"
+#include "testbed/topologies.hpp"
+
+int main(int argc, char** argv) {
+  using namespace haste;
+  const bench::BenchContext context = bench::BenchContext::from_args(argc, argv, 1);
+  bench::print_banner("Fig. 22", "testbed Topology 1, per-task utility (online)",
+                      context);
+  bench::report_testbed(context, testbed::topology1(), /*online=*/true);
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Fig. 24 — per-task charging utility on testbed Topology 2 (16 Powercast
+// transmitters / 20 sensor nodes, irregular layout), centralized offline
+// algorithms.
+#include "bench_common.hpp"
+#include "testbed/topologies.hpp"
+
+int main(int argc, char** argv) {
+  using namespace haste;
+  const bench::BenchContext context = bench::BenchContext::from_args(argc, argv, 1);
+  bench::print_banner("Fig. 24", "testbed Topology 2, per-task utility (offline)",
+                      context);
+  bench::report_testbed(context, testbed::topology2(), /*online=*/false);
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Fig. 25 — per-task charging utility on testbed Topology 2, distributed
+// online algorithms.
+#include "bench_common.hpp"
+#include "testbed/topologies.hpp"
+
+int main(int argc, char** argv) {
+  using namespace haste;
+  const bench::BenchContext context = bench::BenchContext::from_args(argc, argv, 1);
+  bench::print_banner("Fig. 25", "testbed Topology 2, per-task utility (online)",
+                      context);
+  bench::report_testbed(context, testbed::topology2(), /*online=*/true);
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Microbenchmarks (google-benchmark) for the library's hot kernels:
+// dominant-set extraction, ground-set construction, marginal evaluation,
+// full offline scheduling, schedule evaluation, and the DES/bus substrate.
+#include <benchmark/benchmark.h>
+
+#include "baseline/greedy_utility.hpp"
+#include "core/evaluate.hpp"
+#include "core/offline.hpp"
+#include "dist/bus.hpp"
+#include "dist/event_queue.hpp"
+#include "dist/online.hpp"
+#include "sim/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace haste;
+
+model::Network make_network(int chargers, int tasks, std::uint64_t seed = 7) {
+  sim::ScenarioConfig config = sim::ScenarioConfig::paper_default();
+  config.chargers = chargers;
+  config.tasks = tasks;
+  util::Rng rng(seed);
+  return sim::generate_scenario(config, rng);
+}
+
+void BM_DominantSetExtraction(benchmark::State& state) {
+  const model::Network net = make_network(10, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    for (model::ChargerIndex i = 0; i < net.charger_count(); ++i) {
+      benchmark::DoNotOptimize(core::extract_dominant_sets(net, i));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * net.charger_count());
+}
+BENCHMARK(BM_DominantSetExtraction)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_BuildPartitions(benchmark::State& state) {
+  const model::Network net =
+      make_network(static_cast<int>(state.range(0)), 4 * static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::build_partitions(net));
+  }
+}
+BENCHMARK(BM_BuildPartitions)->Arg(10)->Arg(25)->Arg(50);
+
+void BM_MarginalEvaluation(benchmark::State& state) {
+  const model::Network net = make_network(25, 100);
+  const auto partitions = core::build_partitions(net);
+  core::MarginalEngine engine(net, {static_cast<int>(state.range(0)),
+                                    4 * static_cast<int>(state.range(0)), 1});
+  std::size_t p = 0;
+  for (auto _ : state) {
+    const auto& partition = partitions[p % partitions.size()];
+    for (const core::Policy& policy : partition.policies) {
+      benchmark::DoNotOptimize(
+          engine.marginal(partition.charger, partition.slot, policy, 0));
+    }
+    ++p;
+  }
+}
+BENCHMARK(BM_MarginalEvaluation)->Arg(1)->Arg(4);
+
+void BM_OfflineSchedule(benchmark::State& state) {
+  const model::Network net = make_network(static_cast<int>(state.range(0)),
+                                          4 * static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    core::OfflineConfig config;
+    config.colors = static_cast<int>(state.range(1));
+    config.samples = 4 * config.colors;
+    benchmark::DoNotOptimize(core::schedule_offline(net, config));
+  }
+}
+BENCHMARK(BM_OfflineSchedule)->Args({10, 1})->Args({25, 1})->Args({50, 1})->Args({50, 4});
+
+void BM_GreedyUtilityBaseline(benchmark::State& state) {
+  const model::Network net = make_network(50, 200);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baseline::schedule_greedy_utility(net));
+  }
+}
+BENCHMARK(BM_GreedyUtilityBaseline);
+
+void BM_EvaluateSchedule(benchmark::State& state) {
+  const model::Network net = make_network(50, 200);
+  const core::OfflineResult result = core::schedule_offline(net, {1, 1, 1, true, false});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::evaluate_schedule(net, result.schedule));
+  }
+}
+BENCHMARK(BM_EvaluateSchedule);
+
+void BM_OnlineNegotiation(benchmark::State& state) {
+  const model::Network net = make_network(static_cast<int>(state.range(0)), 60);
+  for (auto _ : state) {
+    dist::OnlineConfig config;
+    config.colors = 1;
+    benchmark::DoNotOptimize(dist::run_online(net, config));
+  }
+}
+BENCHMARK(BM_OnlineNegotiation)->Arg(10)->Arg(20);
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    dist::EventQueue queue;
+    for (int i = 0; i < 10'000; ++i) {
+      queue.schedule(static_cast<double>(i % 100), [] {});
+    }
+    queue.run_all();
+    benchmark::DoNotOptimize(queue.executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_EventQueueThroughput);
+
+void BM_BusBroadcast(benchmark::State& state) {
+  dist::BroadcastBus bus;
+  constexpr int kNodes = 50;
+  for (model::ChargerIndex i = 0; i < kNodes; ++i) {
+    bus.register_node(i, [](const dist::Message&) {});
+  }
+  for (model::ChargerIndex i = 0; i < kNodes; ++i) {
+    std::vector<model::ChargerIndex> neighbors;
+    for (model::ChargerIndex j = 0; j < kNodes; ++j) {
+      if (j != i && (j - i + kNodes) % kNodes <= 5) neighbors.push_back(j);
+    }
+    bus.set_neighbors(i, neighbors);
+  }
+  dist::Message msg;
+  msg.sender = 0;
+  msg.command = dist::Command::kValue;
+  for (auto _ : state) {
+    for (model::ChargerIndex i = 0; i < kNodes; ++i) {
+      msg.sender = i;
+      bus.broadcast(msg);
+    }
+    benchmark::DoNotOptimize(bus.flush_round());
+  }
+  state.SetItemsProcessed(state.iterations() * kNodes);
+}
+BENCHMARK(BM_BusBroadcast);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+// Exact optimum of HASTE-R (the relaxed problem: no switching delay) via
+// depth-first branch and bound over the (charger, slot) policy partitions.
+//
+// The upper bound exploits concavity: a task's utility can never exceed
+// U(E_acc + "best-case remaining energy"), where the remaining energy sums,
+// over not-yet-decided partitions, the largest delivery any of the
+// partition's policies makes to the task. Feasible for the paper's
+// small-scale validation instances (Figs. 8-9: 5 chargers, 10 tasks, a few
+// slots); a node budget keeps it bounded elsewhere.
+//
+// Because HASTE-R upper-bounds HASTE (Theorem 5.1, Eq. 9), ratios computed
+// against this optimum are conservative for every algorithm evaluated with
+// switching delay.
+#pragma once
+
+#include <cstdint>
+
+#include "model/network.hpp"
+#include "model/schedule.hpp"
+
+namespace haste::baseline {
+
+/// Result of the exact search.
+struct BruteForceResult {
+  model::Schedule schedule;           ///< an optimal relaxed schedule
+  double relaxed_utility = 0.0;       ///< its HASTE-R objective value
+  std::uint64_t nodes_explored = 0;   ///< search tree nodes visited
+  bool exhausted = true;              ///< false if the node budget was hit
+                                      ///< (result is then only a lower bound)
+};
+
+/// Finds the optimal HASTE-R schedule. `node_budget` caps the search.
+BruteForceResult optimal_relaxed(const model::Network& net,
+                                 std::uint64_t node_budget = 200'000'000ULL);
+
+}  // namespace haste::baseline

@@ -1,0 +1,20 @@
+// GreedyCover baseline (Section 7.2): each charger independently picks per
+// slot the orientation covering the maximum number of active charging tasks
+// (ties broken toward the previous orientation, then lowest policy index).
+#pragma once
+
+#include "model/network.hpp"
+#include "model/schedule.hpp"
+
+namespace haste::baseline {
+
+/// Runs GreedyCover over the full horizon with global task knowledge.
+model::Schedule schedule_greedy_cover(const model::Network& net);
+
+/// Restricted variant for the online simulator (released tasks only, slots
+/// [first_slot, horizon)).
+model::Schedule schedule_greedy_cover_over(const model::Network& net,
+                                           const std::vector<model::TaskIndex>& candidates,
+                                           model::SlotIndex first_slot);
+
+}  // namespace haste::baseline

@@ -1,0 +1,34 @@
+#include "baseline/random_orient.hpp"
+
+#include "core/dominant_sets.hpp"
+#include "util/rng.hpp"
+
+namespace haste::baseline {
+
+model::Schedule schedule_random(const model::Network& net, std::uint64_t seed) {
+  util::Rng rng(seed);
+  model::Schedule schedule(net.charger_count(), net.horizon());
+  for (model::ChargerIndex i = 0; i < net.charger_count(); ++i) {
+    const auto dominant = core::extract_dominant_sets(net, i);
+    if (dominant.empty()) continue;
+    for (model::SlotIndex k = 0; k < net.horizon(); ++k) {
+      const auto& set = dominant[rng.uniform_index(dominant.size())];
+      schedule.assign(i, k, set.orientation);
+    }
+  }
+  return schedule;
+}
+
+model::Schedule schedule_random_static(const model::Network& net, std::uint64_t seed) {
+  util::Rng rng(seed);
+  model::Schedule schedule(net.charger_count(), net.horizon());
+  for (model::ChargerIndex i = 0; i < net.charger_count(); ++i) {
+    const auto dominant = core::extract_dominant_sets(net, i);
+    if (dominant.empty() || net.horizon() == 0) continue;
+    const auto& set = dominant[rng.uniform_index(dominant.size())];
+    schedule.assign(i, 0, set.orientation);
+  }
+  return schedule;
+}
+
+}  // namespace haste::baseline

@@ -1,0 +1,20 @@
+// Random-orientation baseline: each charger picks a uniformly random
+// dominant-set orientation, either once for the whole horizon ("static") or
+// independently per slot. A sanity floor for the comparisons rather than a
+// paper baseline.
+#pragma once
+
+#include <cstdint>
+
+#include "model/network.hpp"
+#include "model/schedule.hpp"
+
+namespace haste::baseline {
+
+/// Per-slot random dominant-set orientations.
+model::Schedule schedule_random(const model::Network& net, std::uint64_t seed);
+
+/// One random dominant-set orientation per charger, held for the horizon.
+model::Schedule schedule_random_static(const model::Network& net, std::uint64_t seed);
+
+}  // namespace haste::baseline

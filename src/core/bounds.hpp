@@ -1,0 +1,35 @@
+// Cheap upper bounds on the HASTE-R optimum, valid at any scale.
+//
+// Exact optima (baseline/brute_force) are only tractable on the paper's
+// small-scale instances; these bounds let the benches report optimality gaps
+// at full scale:
+//
+//  * saturation bound — each task j independently harvests at most
+//    sum over its active slots of sum over covering chargers of P_ij * T_s
+//    (as if every charger pointed at j whenever j is active);
+//  * linear policy bound — by concavity U(x) <= x / E_j, so the objective is
+//    at most the sum over (charger, slot) partitions of the best *linearized*
+//    policy gain, ignoring saturation entirely;
+//  * combined — the minimum of the two (and of the trivial sum-of-weights
+//    cap), still an upper bound.
+//
+// Both are loose in opposite regimes (saturation binds when tasks are easy,
+// the linear bound when chargers are scarce), so the combination is usually
+// informative.
+#pragma once
+
+#include "model/network.hpp"
+
+namespace haste::core {
+
+/// The computed bounds (weighted-utility units).
+struct UpperBounds {
+  double saturation_bound = 0.0;
+  double linear_policy_bound = 0.0;
+  double combined = 0.0;  ///< min of the above and the sum of weights
+};
+
+/// Computes the bounds for a network (relaxed setting, rho = 0).
+UpperBounds relaxed_upper_bounds(const model::Network& net);
+
+}  // namespace haste::core

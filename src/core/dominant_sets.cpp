@@ -1,0 +1,43 @@
+#include "core/dominant_sets.hpp"
+
+#include <algorithm>
+
+namespace haste::core {
+
+std::vector<DominantTaskSet> extract_dominant_sets(
+    const model::Network& net, model::ChargerIndex i,
+    const std::vector<model::TaskIndex>& candidates) {
+  // Keep only tasks that cover the charger; remember the original ids.
+  std::vector<model::TaskIndex> coverable;
+  std::vector<geom::Arc> arcs;
+  coverable.reserve(candidates.size());
+  arcs.reserve(candidates.size());
+  for (model::TaskIndex j : candidates) {
+    if (net.potential_power(i, j) > 0.0) {
+      coverable.push_back(j);
+      arcs.push_back(net.coverage_arc(i, j));
+    }
+  }
+  const std::vector<geom::DominantArcSet> arc_sets = geom::dominant_arc_sets(arcs);
+
+  std::vector<DominantTaskSet> sets;
+  sets.reserve(arc_sets.size());
+  for (const geom::DominantArcSet& arc_set : arc_sets) {
+    DominantTaskSet set;
+    set.orientation = arc_set.witness;
+    set.tasks.reserve(arc_set.items.size());
+    for (std::size_t idx : arc_set.items) set.tasks.push_back(coverable[idx]);
+    std::sort(set.tasks.begin(), set.tasks.end());
+    sets.push_back(std::move(set));
+  }
+  return sets;
+}
+
+std::vector<DominantTaskSet> extract_dominant_sets(const model::Network& net,
+                                                   model::ChargerIndex i) {
+  const auto span = net.coverable_tasks(i);
+  return extract_dominant_sets(net, i,
+                               std::vector<model::TaskIndex>(span.begin(), span.end()));
+}
+
+}  // namespace haste::core

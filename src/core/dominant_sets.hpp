@@ -1,0 +1,34 @@
+// Dominant task set extraction — Algorithm 1 of the paper.
+//
+// A charger only ever needs to point in one of finitely many directions: the
+// maximal sets of simultaneously-coverable tasks ("dominant task sets") and a
+// witness orientation for each. The geometric sweep lives in geom::
+// dominant_arc_sets; this layer maps tasks to orientation arcs and back.
+#pragma once
+
+#include <vector>
+
+#include "model/network.hpp"
+
+namespace haste::core {
+
+/// One dominant task set of a charger: the tasks covered and an orientation
+/// witnessing the coverage.
+struct DominantTaskSet {
+  std::vector<model::TaskIndex> tasks;  ///< sorted ascending
+  double orientation = 0.0;             ///< a direction covering exactly these
+};
+
+/// Extracts all dominant task sets of charger `i` over the tasks in
+/// `candidates` (each of which must cover the charger). Tasks in `candidates`
+/// that do not cover the charger are ignored.
+std::vector<DominantTaskSet> extract_dominant_sets(
+    const model::Network& net, model::ChargerIndex i,
+    const std::vector<model::TaskIndex>& candidates);
+
+/// Extracts the dominant task sets of charger `i` over all tasks that cover
+/// it (the paper's Gamma_i).
+std::vector<DominantTaskSet> extract_dominant_sets(const model::Network& net,
+                                                   model::ChargerIndex i);
+
+}  // namespace haste::core

@@ -1,0 +1,35 @@
+// Exact schedule evaluation: plays a schedule against the physical model of
+// Section 3 — sector gating, power superposition, switching delay (the
+// leading rho fraction of any slot whose assignment changes the orientation
+// is silent), and orientation persistence for unassigned slots — and reports
+// per-task harvested energy and utility.
+#pragma once
+
+#include <vector>
+
+#include "model/network.hpp"
+#include "model/schedule.hpp"
+
+namespace haste::core {
+
+/// Outcome of playing a schedule.
+struct EvaluationResult {
+  std::vector<double> task_energy;    ///< harvested J per task (switching-aware)
+  std::vector<double> task_utility;   ///< unweighted U_j in [0, 1]
+  double weighted_utility = 0.0;      ///< the paper's overall charging utility
+  double relaxed_weighted_utility = 0.0;  ///< same schedule, rho treated as 0
+  int switches = 0;                   ///< total orientation switches
+};
+
+/// Plays `schedule` on `net` from slot 0 to the horizon.
+EvaluationResult evaluate_schedule(const model::Network& net,
+                                   const model::Schedule& schedule);
+
+/// Per-task harvested energy of the first `slots` slots only (prefix
+/// evaluation; used by the online simulator to snapshot "energy so far"
+/// before a re-plan). Switching-aware.
+std::vector<double> prefix_task_energy(const model::Network& net,
+                                       const model::Schedule& schedule,
+                                       model::SlotIndex slots);
+
+}  // namespace haste::core

@@ -1,0 +1,95 @@
+#include "core/global_greedy.hpp"
+
+#include <queue>
+#include <vector>
+
+namespace haste::core {
+
+namespace {
+
+/// Heap entry: a cached (possibly stale) upper bound on an element's gain.
+struct HeapEntry {
+  double bound;
+  std::int32_t partition;
+  std::int32_t policy;
+  std::uint64_t epoch;  ///< engine state when `bound` was computed
+
+  bool operator<(const HeapEntry& other) const {
+    if (bound != other.bound) return bound < other.bound;
+    // Deterministic tie order: lower (partition, policy) wins.
+    if (partition != other.partition) return partition > other.partition;
+    return policy > other.policy;
+  }
+};
+
+}  // namespace
+
+GlobalGreedyResult schedule_global_greedy_over(
+    const model::Network& net, const std::vector<PolicyPartition>& partitions,
+    const GlobalGreedyConfig& config, std::span<const double> initial_energy) {
+  MarginalEngine engine(net, MarginalEngine::Config{1, 1, 1}, initial_energy);
+  GlobalGreedyResult result;
+  result.schedule = model::Schedule(net.charger_count(), net.horizon());
+
+  std::vector<bool> partition_filled(partitions.size(), false);
+  std::uint64_t epoch = 0;
+
+  const auto evaluate = [&](std::int32_t p, std::int32_t q) {
+    ++result.evaluations;
+    const PolicyPartition& partition = partitions[static_cast<std::size_t>(p)];
+    return engine.marginal(partition.charger, partition.slot,
+                           partition.policies[static_cast<std::size_t>(q)], 0);
+  };
+
+  std::priority_queue<HeapEntry> heap;
+  for (std::size_t p = 0; p < partitions.size(); ++p) {
+    for (std::size_t q = 0; q < partitions[p].policies.size(); ++q) {
+      heap.push(HeapEntry{evaluate(static_cast<std::int32_t>(p), static_cast<std::int32_t>(q)),
+                          static_cast<std::int32_t>(p), static_cast<std::int32_t>(q), epoch});
+    }
+  }
+
+  while (!heap.empty()) {
+    HeapEntry top = heap.top();
+    heap.pop();
+    if (partition_filled[static_cast<std::size_t>(top.partition)]) continue;
+    if (top.bound <= 0.0) break;  // nothing positive remains (bounds only shrink)
+
+    if (config.lazy && top.epoch != epoch) {
+      // Stale: refresh and reinsert. By submodularity the fresh value is at
+      // most the stale bound, so the heap order stays sound.
+      top.bound = evaluate(top.partition, top.policy);
+      top.epoch = epoch;
+      if (top.bound > 0.0) heap.push(top);
+      continue;
+    }
+    if (!config.lazy) {
+      // Eager mode: always re-evaluate before trusting the value.
+      const double fresh = evaluate(top.partition, top.policy);
+      if (fresh + 1e-15 < top.bound) {
+        top.bound = fresh;
+        if (fresh > 0.0) heap.push(top);
+        continue;
+      }
+      top.bound = fresh;
+      if (top.bound <= 0.0) continue;
+    }
+
+    const PolicyPartition& partition = partitions[static_cast<std::size_t>(top.partition)];
+    const Policy& policy = partition.policies[static_cast<std::size_t>(top.policy)];
+    engine.commit(partition.charger, partition.slot, policy, 0);
+    result.schedule.assign(partition.charger, partition.slot, policy.orientation);
+    partition_filled[static_cast<std::size_t>(top.partition)] = true;
+    ++epoch;
+  }
+
+  result.planned_relaxed_utility = engine.expected_value();
+  return result;
+}
+
+GlobalGreedyResult schedule_global_greedy(const model::Network& net,
+                                          const GlobalGreedyConfig& config) {
+  return schedule_global_greedy_over(net, build_partitions(net), config, {});
+}
+
+}  // namespace haste::core

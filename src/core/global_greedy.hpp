@@ -1,0 +1,43 @@
+// Global (matroid) greedy with lazy evaluation — an alternative offline
+// scheduler to Algorithm 2's locally greedy core.
+//
+// Instead of visiting (charger, slot) partitions in a fixed order, global
+// greedy repeatedly adds the element with the best marginal gain over the
+// *whole* remaining ground set, until no partition admits a positive gain.
+// For monotone submodular objectives under a matroid constraint this also
+// carries the classical 1/2 guarantee, and in practice it is slightly
+// stronger than locally greedy because early high-value picks steer later
+// ones. The price is bookkeeping: a lazy priority queue (Minoux's
+// accelerated greedy) keeps it near the locally-greedy cost — stale upper
+// bounds are re-evaluated only when they reach the top, which submodularity
+// (marginals only shrink) makes sound.
+#pragma once
+
+#include "core/objective.hpp"
+#include "model/network.hpp"
+#include "model/schedule.hpp"
+
+namespace haste::core {
+
+/// Tuning knobs of the global greedy scheduler (single color / C = 1).
+struct GlobalGreedyConfig {
+  bool lazy = true;  ///< lazy (accelerated) evaluation; false = eager rescan
+};
+
+/// Result: schedule plus the achieved relaxed objective.
+struct GlobalGreedyResult {
+  model::Schedule schedule;
+  double planned_relaxed_utility = 0.0;
+  std::uint64_t evaluations = 0;  ///< marginal evaluations performed
+};
+
+/// Runs global greedy over the full horizon.
+GlobalGreedyResult schedule_global_greedy(const model::Network& net,
+                                          const GlobalGreedyConfig& config = {});
+
+/// Runs global greedy over a precomputed ground set with initial energies.
+GlobalGreedyResult schedule_global_greedy_over(
+    const model::Network& net, const std::vector<PolicyPartition>& partitions,
+    const GlobalGreedyConfig& config, std::span<const double> initial_energy);
+
+}  // namespace haste::core

@@ -1,0 +1,43 @@
+// Local-search post-optimization for HASTE-R schedules.
+//
+// Greedy solutions can leave easy wins on the table: a partition's chosen
+// policy may be dominated once the rest of the schedule is fixed. The
+// improver sweeps all (charger, slot) partitions, swapping each one's policy
+// (or clearing it) to the choice with the best total-objective delta, until a
+// full pass yields no improvement or the pass budget is exhausted. The
+// matroid constraint is preserved by construction (one policy per partition),
+// and the relaxed objective is non-decreasing across passes.
+#pragma once
+
+#include "core/objective.hpp"
+#include "model/network.hpp"
+#include "model/schedule.hpp"
+
+namespace haste::core {
+
+/// Local search knobs.
+struct LocalSearchConfig {
+  int max_passes = 8;          ///< full sweeps over all partitions
+  double min_gain = 1e-12;     ///< stop when a pass improves less than this
+};
+
+/// Outcome of the improvement run.
+struct LocalSearchResult {
+  model::Schedule schedule;             ///< improved schedule
+  double relaxed_utility = 0.0;         ///< relaxed objective of the result
+  double initial_relaxed_utility = 0.0; ///< relaxed objective before improving
+  int passes = 0;                       ///< sweeps actually performed
+  int swaps = 0;                        ///< policy changes applied
+};
+
+/// Improves `schedule` in place (a copy is returned). `partitions` must be
+/// the ground set the schedule was built from (build_partitions(net)).
+/// Assignments at orientations not present in a partition's policy list are
+/// treated as fixed energy contributions and never touched... they cannot
+/// arise from the library's schedulers, which only assign policy witnesses.
+LocalSearchResult improve_schedule(const model::Network& net,
+                                   const std::vector<PolicyPartition>& partitions,
+                                   const model::Schedule& schedule,
+                                   const LocalSearchConfig& config = {});
+
+}  // namespace haste::core

@@ -1,0 +1,53 @@
+// Partition matroids (Definition 4.4 of the paper).
+//
+// HASTE-R's feasible sets are exactly the independent sets of a partition
+// matroid over scheduling policies: at most one policy per (charger, slot)
+// partition. The class below is generic (arbitrary per-partition capacities)
+// so the matroid axioms can be property-tested directly, which is how the
+// test suite validates Lemma 4.1.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace haste::core {
+
+/// Ground-set element id (dense, assigned by the caller).
+using ElementId = std::int32_t;
+
+/// A partition matroid over elements 0..size-1. Each element belongs to one
+/// partition; an independent set has at most `capacity(p)` elements in
+/// partition p.
+class PartitionMatroid {
+ public:
+  /// `partition_of[e]` gives the partition of element e; `capacities[p]` the
+  /// limit l_p (must be positive).
+  PartitionMatroid(std::vector<std::int32_t> partition_of,
+                   std::vector<std::int32_t> capacities);
+
+  /// Convenience: uniform capacity 1 over the given partition map.
+  static PartitionMatroid unit(std::vector<std::int32_t> partition_of);
+
+  std::size_t ground_size() const { return partition_of_.size(); }
+  std::size_t partition_count() const { return capacities_.size(); }
+  std::int32_t partition_of(ElementId e) const;
+  std::int32_t capacity(std::int32_t partition) const;
+
+  /// True if `set` (sorted or not, no duplicates) is independent.
+  bool is_independent(std::span<const ElementId> set) const;
+
+  /// True if adding `e` to the independent set `set` keeps it independent.
+  bool can_extend(std::span<const ElementId> set, ElementId e) const;
+
+  /// Matroid rank: sum of min(capacity, partition size).
+  std::size_t rank() const;
+
+ private:
+  std::vector<std::int32_t> partition_of_;
+  std::vector<std::int32_t> capacities_;
+  std::vector<std::int32_t> partition_sizes_;
+};
+
+}  // namespace haste::core

@@ -1,0 +1,178 @@
+#include "core/objective.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace haste::core {
+
+std::vector<Policy> make_slot_policies(const model::Network& net, model::ChargerIndex i,
+                                       const std::vector<DominantTaskSet>& dominant,
+                                       model::SlotIndex slot) {
+  const double slot_seconds = net.time().slot_seconds;
+  std::vector<Policy> policies;
+  policies.reserve(dominant.size());
+  for (const DominantTaskSet& set : dominant) {
+    Policy policy;
+    policy.orientation = set.orientation;
+    for (model::TaskIndex j : set.tasks) {
+      if (net.tasks()[static_cast<std::size_t>(j)].active(slot)) {
+        policy.tasks.push_back(j);
+        policy.slot_energy.push_back(net.potential_power(i, j) * slot_seconds);
+      }
+    }
+    if (policy.tasks.empty()) continue;
+    // Deduplicate policies whose active task sets coincide (frequent once
+    // inactive tasks are dropped); the first witness orientation wins.
+    const bool duplicate =
+        std::any_of(policies.begin(), policies.end(),
+                    [&](const Policy& other) { return other.tasks == policy.tasks; });
+    if (!duplicate) policies.push_back(std::move(policy));
+  }
+  return policies;
+}
+
+namespace {
+
+std::vector<PolicyPartition> build_partitions_impl(
+    const model::Network& net, model::SlotIndex first_slot,
+    const std::vector<std::vector<model::TaskIndex>>& candidates_per_charger) {
+  const model::ChargerIndex n = net.charger_count();
+  std::vector<std::vector<DominantTaskSet>> dominant(static_cast<std::size_t>(n));
+  for (model::ChargerIndex i = 0; i < n; ++i) {
+    dominant[static_cast<std::size_t>(i)] =
+        extract_dominant_sets(net, i, candidates_per_charger[static_cast<std::size_t>(i)]);
+  }
+  std::vector<PolicyPartition> partitions;
+  for (model::SlotIndex k = first_slot; k < net.horizon(); ++k) {
+    for (model::ChargerIndex i = 0; i < n; ++i) {
+      PolicyPartition partition;
+      partition.charger = i;
+      partition.slot = k;
+      partition.policies = make_slot_policies(net, i, dominant[static_cast<std::size_t>(i)], k);
+      if (!partition.policies.empty()) partitions.push_back(std::move(partition));
+    }
+  }
+  return partitions;
+}
+
+}  // namespace
+
+std::vector<PolicyPartition> build_partitions(const model::Network& net,
+                                              model::SlotIndex first_slot) {
+  std::vector<std::vector<model::TaskIndex>> candidates(
+      static_cast<std::size_t>(net.charger_count()));
+  for (model::ChargerIndex i = 0; i < net.charger_count(); ++i) {
+    const auto span = net.coverable_tasks(i);
+    candidates[static_cast<std::size_t>(i)].assign(span.begin(), span.end());
+  }
+  return build_partitions_impl(net, first_slot, candidates);
+}
+
+std::vector<PolicyPartition> build_partitions(const model::Network& net,
+                                              model::SlotIndex first_slot,
+                                              const std::vector<model::TaskIndex>& candidates) {
+  std::vector<std::vector<model::TaskIndex>> per_charger(
+      static_cast<std::size_t>(net.charger_count()));
+  for (model::ChargerIndex i = 0; i < net.charger_count(); ++i) {
+    for (model::TaskIndex j : candidates) {
+      if (net.potential_power(i, j) > 0.0) {
+        per_charger[static_cast<std::size_t>(i)].push_back(j);
+      }
+    }
+  }
+  return build_partitions_impl(net, first_slot, per_charger);
+}
+
+MarginalEngine::MarginalEngine(const model::Network& net, Config config,
+                               std::span<const double> initial_energy)
+    : net_(&net), config_(config) {
+  if (config_.colors < 1) config_.colors = 1;
+  if (config_.samples < 1) config_.samples = 1;
+  if (config_.colors == 1) config_.samples = 1;  // expectation is exact
+  const auto m = static_cast<std::size_t>(net.task_count());
+  energy_.assign(static_cast<std::size_t>(config_.samples) * m, 0.0);
+  if (!initial_energy.empty()) {
+    for (int s = 0; s < config_.samples; ++s) {
+      for (std::size_t j = 0; j < m; ++j) {
+        energy_[static_cast<std::size_t>(s) * m + j] = initial_energy[j];
+      }
+    }
+  }
+}
+
+int MarginalEngine::panel_color(std::uint64_t seed, int sample, model::ChargerIndex i,
+                                model::SlotIndex k, int colors) {
+  if (colors <= 1) return 0;
+  std::uint64_t state = seed ^ 0xa02bdbf7bb3c0a7ULL;
+  state ^= static_cast<std::uint64_t>(sample) * 0x9e3779b97f4a7c15ULL;
+  state ^= (static_cast<std::uint64_t>(static_cast<std::uint32_t>(i)) << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(k));
+  const std::uint64_t hashed = util::splitmix64(state);
+  return static_cast<int>(hashed % static_cast<std::uint64_t>(colors));
+}
+
+int MarginalEngine::final_color(std::uint64_t seed, model::ChargerIndex i,
+                                model::SlotIndex k, int colors) {
+  if (colors <= 1) return 0;
+  // Different salt than panel_color so the executed coloring is independent
+  // of the estimation panel.
+  std::uint64_t state = seed ^ 0x5851f42d4c957f2dULL;
+  state ^= (static_cast<std::uint64_t>(static_cast<std::uint32_t>(i)) << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(k));
+  const std::uint64_t hashed = util::splitmix64(state);
+  return static_cast<int>(hashed % static_cast<std::uint64_t>(colors));
+}
+
+double MarginalEngine::gain_in_sample(int s, const Policy& policy) const {
+  const auto m = static_cast<std::size_t>(net_->task_count());
+  const double* energy = energy_.data() + static_cast<std::size_t>(s) * m;
+  double gain = 0.0;
+  for (std::size_t t = 0; t < policy.tasks.size(); ++t) {
+    const auto j = static_cast<std::size_t>(policy.tasks[t]);
+    const double before = energy[j];
+    const double after = before + policy.slot_energy[t];
+    gain += net_->weighted_task_utility(static_cast<model::TaskIndex>(j), after) -
+            net_->weighted_task_utility(static_cast<model::TaskIndex>(j), before);
+  }
+  return gain;
+}
+
+double MarginalEngine::marginal(model::ChargerIndex i, model::SlotIndex k,
+                                const Policy& policy, int c) const {
+  double total = 0.0;
+  for (int s = 0; s < config_.samples; ++s) {
+    if (panel_color(config_.seed, s, i, k, config_.colors) != c) continue;
+    total += gain_in_sample(s, policy);
+  }
+  return total / static_cast<double>(config_.samples);
+}
+
+double MarginalEngine::commit(model::ChargerIndex i, model::SlotIndex k,
+                              const Policy& policy, int c) {
+  const auto m = static_cast<std::size_t>(net_->task_count());
+  double total = 0.0;
+  for (int s = 0; s < config_.samples; ++s) {
+    if (panel_color(config_.seed, s, i, k, config_.colors) != c) continue;
+    total += gain_in_sample(s, policy);
+    double* energy = energy_.data() + static_cast<std::size_t>(s) * m;
+    for (std::size_t t = 0; t < policy.tasks.size(); ++t) {
+      energy[static_cast<std::size_t>(policy.tasks[t])] += policy.slot_energy[t];
+    }
+  }
+  return total / static_cast<double>(config_.samples);
+}
+
+double MarginalEngine::expected_value() const {
+  const auto m = static_cast<std::size_t>(net_->task_count());
+  double total = 0.0;
+  for (int s = 0; s < config_.samples; ++s) {
+    const double* energy = energy_.data() + static_cast<std::size_t>(s) * m;
+    for (std::size_t j = 0; j < m; ++j) {
+      total += net_->weighted_task_utility(static_cast<model::TaskIndex>(j), energy[j]);
+    }
+  }
+  return total / static_cast<double>(config_.samples);
+}
+
+}  // namespace haste::core

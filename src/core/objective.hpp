@@ -1,0 +1,121 @@
+// The HASTE-R objective machinery:
+//
+//  * PolicyPartition — the ground set of RP2: for each (charger, slot), the
+//    scheduling policies derived from the charger's dominant task sets,
+//    restricted to the tasks active in that slot.
+//  * MarginalEngine — an incremental oracle for the expected charging utility
+//    after S-C tuple sampling, F(Q) = E_c[f(sample_c(Q))]. The expectation
+//    over colorings is estimated with a fixed panel of sampled color vectors
+//    (common random numbers), so marginals are consistent across greedy steps
+//    and the whole algorithm is deterministic given the seed. With C = 1 the
+//    panel is a single trivial sample and the engine computes f exactly.
+//
+// Color vectors are derived by hashing (seed, sample, charger, slot) rather
+// than drawn from a shared stream: distributed nodes can therefore agree on
+// the panel without exchanging any randomness (see dist/online).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/dominant_sets.hpp"
+#include "model/network.hpp"
+
+namespace haste::core {
+
+/// One scheduling policy of a partition: a dominant task set restricted to
+/// the tasks active in the partition's slot.
+struct Policy {
+  double orientation = 0.0;
+  std::vector<model::TaskIndex> tasks;  ///< active covered tasks, sorted
+  std::vector<double> slot_energy;      ///< per task: P_r(s_i, o_j) * T_s (J)
+};
+
+/// The partition Theta_{i,k}: all policies of charger `charger` at `slot`.
+struct PolicyPartition {
+  model::ChargerIndex charger = 0;
+  model::SlotIndex slot = 0;
+  std::vector<Policy> policies;
+};
+
+/// Builds the ground set over slots [first_slot, net.horizon()) for all
+/// chargers. Dominant sets are computed once per charger from `candidates`
+/// (default: every task that covers it) and filtered per slot to active
+/// tasks; empty policies, duplicate task sets within a partition, and empty
+/// partitions are dropped. Partitions are ordered slot-major (all chargers of
+/// slot k before slot k+1), which the schedulers rely on for their
+/// switch-avoiding tie-break.
+std::vector<PolicyPartition> build_partitions(const model::Network& net,
+                                              model::SlotIndex first_slot = 0);
+
+/// As above but restricted to the given candidate tasks (online case, where
+/// only released tasks are known).
+std::vector<PolicyPartition> build_partitions(const model::Network& net,
+                                              model::SlotIndex first_slot,
+                                              const std::vector<model::TaskIndex>& candidates);
+
+/// Filters one charger's dominant sets to the tasks active at `slot`,
+/// deduplicating policies with identical active sets. Exposed for the
+/// distributed scheduler, which builds partitions per node.
+std::vector<Policy> make_slot_policies(const model::Network& net, model::ChargerIndex i,
+                                       const std::vector<DominantTaskSet>& dominant,
+                                       model::SlotIndex slot);
+
+/// Incremental estimator of the expected utility after S-C tuple sampling.
+class MarginalEngine {
+ public:
+  struct Config {
+    int colors = 1;        ///< C; 1 degenerates to exact locally-greedy
+    int samples = 1;       ///< color-vector panel size S (>= 1); ignored, forced
+                           ///< to 1, when colors == 1
+    std::uint64_t seed = 1;///< shared randomness seed for the color panel
+  };
+
+  /// `initial_energy`, when non-empty, must have one entry per task of the
+  /// network: energy already harvested (online re-planning).
+  MarginalEngine(const model::Network& net, Config config,
+                 std::span<const double> initial_energy = {});
+
+  /// Color assigned to partition (charger i, slot k) in panel sample `s`.
+  /// Pure function of (seed, s, i, k) so independent engines agree.
+  static int panel_color(std::uint64_t seed, int sample, model::ChargerIndex i,
+                         model::SlotIndex k, int colors);
+
+  /// The color c_{i,k} drawn for the final sampling step (line 7-8 of
+  /// Algorithm 2); also a pure hash so distributed nodes agree.
+  static int final_color(std::uint64_t seed, model::ChargerIndex i, model::SlotIndex k,
+                         int colors);
+
+  /// Marginal gain of labeling `policy` of charger `i` at slot `k` with color
+  /// `c`: the increase of the panel-averaged utility.
+  double marginal(model::ChargerIndex i, model::SlotIndex k, const Policy& policy,
+                  int c) const;
+
+  /// Commits the S-C tuple; returns the realized marginal.
+  double commit(model::ChargerIndex i, model::SlotIndex k, const Policy& policy, int c);
+
+  /// Applies the effect of another charger's committed tuple (distributed
+  /// case): identical to commit but named for clarity at call sites.
+  double apply_remote_commit(model::ChargerIndex i, model::SlotIndex k,
+                             const Policy& policy, int c) {
+    return commit(i, k, policy, c);
+  }
+
+  /// Current estimate of F(Q) (panel average of the weighted utility).
+  double expected_value() const;
+
+  int colors() const { return config_.colors; }
+  int samples() const { return config_.samples; }
+  std::uint64_t seed() const { return config_.seed; }
+
+ private:
+  double gain_in_sample(int s, const Policy& policy) const;
+
+  const model::Network* net_;
+  Config config_;
+  // energy_[s * m + j]: accumulated relaxed energy of task j in sample s.
+  std::vector<double> energy_;
+};
+
+}  // namespace haste::core

@@ -1,0 +1,90 @@
+#include "core/offline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace haste::core {
+
+namespace {
+
+/// Marginals within this relative slack are considered tied for the
+/// switch-avoiding tie-break.
+constexpr double kTieSlack = 1e-12;
+
+}  // namespace
+
+OfflineResult schedule_offline_over(const model::Network& net,
+                                    const std::vector<PolicyPartition>& partitions,
+                                    const OfflineConfig& config,
+                                    std::span<const double> initial_energy) {
+  MarginalEngine engine(net,
+                        MarginalEngine::Config{config.colors, config.samples, config.seed},
+                        initial_energy);
+  const int colors = engine.colors();
+
+  // selections[p][c] = index of the chosen policy of partition p for color c,
+  // or -1 when nothing was added.
+  std::vector<std::vector<int>> selections(partitions.size(),
+                                           std::vector<int>(static_cast<std::size_t>(colors), -1));
+
+  // Previous selected orientation per (charger, color), updated as we walk
+  // partitions in slot-major order; drives the switch-avoiding tie-break.
+  std::map<std::pair<model::ChargerIndex, int>, double> previous_orientation;
+
+  for (int c = 0; c < colors; ++c) {
+    for (std::size_t p = 0; p < partitions.size(); ++p) {
+      const PolicyPartition& partition = partitions[p];
+      int best = -1;
+      double best_marginal = 0.0;
+      bool best_is_previous = false;
+      const auto prev_it = previous_orientation.find({partition.charger, c});
+      for (std::size_t q = 0; q < partition.policies.size(); ++q) {
+        const Policy& policy = partition.policies[q];
+        const double m = engine.marginal(partition.charger, partition.slot, policy, c);
+        const bool is_previous =
+            config.switch_avoiding_tiebreak && prev_it != previous_orientation.end() &&
+            policy.orientation == prev_it->second;
+        const bool better =
+            m > best_marginal * (1.0 + kTieSlack) + kTieSlack ||
+            (is_previous && !best_is_previous && m >= best_marginal * (1.0 - kTieSlack) - kTieSlack);
+        if (best < 0 ? (m > 0.0 || config.commit_zero_marginal) : better) {
+          // First acceptable candidate, or strictly better / tie-preferred.
+          if (best < 0 || better) {
+            best = static_cast<int>(q);
+            best_marginal = m;
+            best_is_previous = is_previous;
+          }
+        }
+      }
+      if (best >= 0) {
+        const Policy& policy = partition.policies[static_cast<std::size_t>(best)];
+        engine.commit(partition.charger, partition.slot, policy, c);
+        selections[p][static_cast<std::size_t>(c)] = best;
+        previous_orientation[{partition.charger, c}] = policy.orientation;
+      }
+    }
+  }
+
+  OfflineResult result;
+  result.planned_relaxed_utility = engine.expected_value();
+  result.schedule = model::Schedule(net.charger_count(), net.horizon());
+  for (std::size_t p = 0; p < partitions.size(); ++p) {
+    const PolicyPartition& partition = partitions[p];
+    const int c = MarginalEngine::final_color(config.seed, partition.charger,
+                                              partition.slot, colors);
+    const int chosen = selections[p][static_cast<std::size_t>(c)];
+    if (chosen >= 0) {
+      result.schedule.assign(partition.charger, partition.slot,
+                             partition.policies[static_cast<std::size_t>(chosen)].orientation);
+    }
+  }
+  return result;
+}
+
+OfflineResult schedule_offline(const model::Network& net, const OfflineConfig& config) {
+  const std::vector<PolicyPartition> partitions = build_partitions(net);
+  return schedule_offline_over(net, partitions, config, {});
+}
+
+}  // namespace haste::core

@@ -1,0 +1,153 @@
+#include "core/submodular.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace haste::core {
+
+HasteRObjective::HasteRObjective(const model::Network& net,
+                                 std::span<const PolicyPartition> partitions)
+    : net_(&net), partitions_(partitions) {
+  elements_.resize(partitions.size());
+  for (std::size_t p = 0; p < partitions.size(); ++p) {
+    for (std::size_t q = 0; q < partitions[p].policies.size(); ++q) {
+      const auto id = static_cast<ElementId>(element_partition_.size());
+      element_partition_.push_back(static_cast<std::int32_t>(p));
+      element_policy_.push_back(static_cast<std::int32_t>(q));
+      elements_[p].push_back(id);
+    }
+  }
+}
+
+const Policy& HasteRObjective::policy_of(ElementId e) const {
+  const auto p = static_cast<std::size_t>(element_partition_.at(static_cast<std::size_t>(e)));
+  const auto q = static_cast<std::size_t>(element_policy_[static_cast<std::size_t>(e)]);
+  return partitions_[p].policies[q];
+}
+
+double HasteRObjective::value(std::span<const ElementId> set) const {
+  // Accumulate relaxed energy per task, then apply the utility. Elements in
+  // the same partition both count (the set function is defined on the whole
+  // ground set; the matroid constraint is handled by the maximizers).
+  std::vector<double> energy(static_cast<std::size_t>(net_->task_count()), 0.0);
+  for (ElementId e : set) {
+    const Policy& policy = policy_of(e);
+    for (std::size_t t = 0; t < policy.tasks.size(); ++t) {
+      energy[static_cast<std::size_t>(policy.tasks[t])] += policy.slot_energy[t];
+    }
+  }
+  double total = 0.0;
+  for (std::size_t j = 0; j < energy.size(); ++j) {
+    total += net_->weighted_task_utility(static_cast<model::TaskIndex>(j), energy[j]);
+  }
+  return total;
+}
+
+PartitionMatroid HasteRObjective::matroid() const {
+  return PartitionMatroid::unit(element_partition_);
+}
+
+std::vector<ElementId> locally_greedy(const SetFunction& f,
+                                      const std::vector<std::vector<ElementId>>& partitions) {
+  std::vector<ElementId> chosen;
+  double current = f.value(chosen);
+  for (const auto& partition : partitions) {
+    ElementId best = -1;
+    double best_value = current;
+    for (ElementId e : partition) {
+      chosen.push_back(e);
+      const double candidate = f.value(chosen);
+      chosen.pop_back();
+      if (candidate > best_value + 1e-15) {
+        best_value = candidate;
+        best = e;
+      }
+    }
+    if (best >= 0) {
+      chosen.push_back(best);
+      current = best_value;
+    }
+  }
+  return chosen;
+}
+
+std::vector<ElementId> maximize_exhaustive(const SetFunction& f,
+                                           const std::vector<std::vector<ElementId>>& partitions) {
+  std::vector<ElementId> best;
+  double best_value = f.value(best);
+  std::vector<ElementId> current;
+
+  const std::function<void(std::size_t)> recurse = [&](std::size_t p) {
+    if (p == partitions.size()) {
+      const double v = f.value(current);
+      if (v > best_value) {
+        best_value = v;
+        best = current;
+      }
+      return;
+    }
+    recurse(p + 1);  // skip this partition
+    for (ElementId e : partitions[p]) {
+      current.push_back(e);
+      recurse(p + 1);
+      current.pop_back();
+    }
+  };
+  recurse(0);
+  return best;
+}
+
+namespace {
+
+/// Draws a random subset of the ground set with inclusion probability `p`.
+std::vector<ElementId> random_subset(std::size_t ground, double p, util::Rng& rng) {
+  std::vector<ElementId> set;
+  for (std::size_t e = 0; e < ground; ++e) {
+    if (rng.uniform() < p) set.push_back(static_cast<ElementId>(e));
+  }
+  return set;
+}
+
+}  // namespace
+
+double max_monotonicity_violation(const SetFunction& f, util::Rng& rng, int trials) {
+  const std::size_t ground = f.ground_size();
+  if (ground == 0) return 0.0;
+  double worst = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<ElementId> a = random_subset(ground, rng.uniform(0.0, 0.8), rng);
+    const auto e = static_cast<ElementId>(rng.uniform_index(ground));
+    if (std::find(a.begin(), a.end(), e) != a.end()) continue;
+    const double before = f.value(a);
+    a.push_back(e);
+    const double after = f.value(a);
+    worst = std::max(worst, before - after);
+  }
+  return worst;
+}
+
+double max_submodularity_violation(const SetFunction& f, util::Rng& rng, int trials) {
+  const std::size_t ground = f.ground_size();
+  if (ground == 0) return 0.0;
+  double worst = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    // A subset of B: draw B, then thin it to get A.
+    std::vector<ElementId> b = random_subset(ground, rng.uniform(0.2, 0.9), rng);
+    std::vector<ElementId> a;
+    for (ElementId e : b) {
+      if (rng.uniform() < 0.5) a.push_back(e);
+    }
+    const auto e = static_cast<ElementId>(rng.uniform_index(ground));
+    if (std::find(b.begin(), b.end(), e) != b.end()) continue;
+    const double fa = f.value(a);
+    const double fb = f.value(b);
+    a.push_back(e);
+    b.push_back(e);
+    const double fae = f.value(a);
+    const double fbe = f.value(b);
+    worst = std::max(worst, (fbe - fb) - (fae - fa));
+  }
+  return worst;
+}
+
+}  // namespace haste::core

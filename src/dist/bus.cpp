@@ -1,0 +1,60 @@
+#include "dist/bus.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace haste::dist {
+
+void BroadcastBus::register_node(model::ChargerIndex id, Handler handler) {
+  const auto index = static_cast<std::size_t>(id);
+  if (handlers_.size() <= index) {
+    handlers_.resize(index + 1);
+    neighbors_.resize(index + 1);
+  }
+  if (handlers_[index]) {
+    throw std::invalid_argument("BroadcastBus: node registered twice");
+  }
+  handlers_[index] = std::move(handler);
+}
+
+void BroadcastBus::set_neighbors(model::ChargerIndex id,
+                                 std::vector<model::ChargerIndex> neighbors) {
+  const auto index = static_cast<std::size_t>(id);
+  if (index >= neighbors_.size()) {
+    throw std::invalid_argument("BroadcastBus: unknown node");
+  }
+  neighbors_[index] = std::move(neighbors);
+}
+
+void BroadcastBus::broadcast(const Message& message) {
+  const auto sender = static_cast<std::size_t>(message.sender);
+  if (sender >= handlers_.size() || !handlers_[sender]) {
+    throw std::invalid_argument("BroadcastBus: broadcast from unregistered node");
+  }
+  ++stats_.broadcasts;
+  stats_.bytes += message.wire_size();
+  pending_.push_back(message);
+}
+
+std::size_t BroadcastBus::flush_round() {
+  // Swap out the queue first: handlers may broadcast replies, which belong
+  // to the *next* round.
+  std::vector<Message> batch;
+  batch.swap(pending_);
+  if (batch.empty()) return 0;
+  ++stats_.rounds;
+  std::size_t delivered = 0;
+  for (const Message& message : batch) {
+    for (model::ChargerIndex neighbor : neighbors_[static_cast<std::size_t>(message.sender)]) {
+      const auto index = static_cast<std::size_t>(neighbor);
+      if (index < handlers_.size() && handlers_[index]) {
+        handlers_[index](message);
+        ++delivered;
+        ++stats_.deliveries;
+      }
+    }
+  }
+  return delivered;
+}
+
+}  // namespace haste::dist

@@ -1,0 +1,59 @@
+// The broadcast medium connecting neighboring chargers.
+//
+// The paper assumes each charger's communication range covers all its
+// neighbors (chargers sharing a coverable task), so one broadcast reaches
+// every neighbor. The bus delivers queued broadcasts in deterministic FIFO
+// order and keeps the counters behind the paper's Fig. 16 (messages and
+// rounds per time slot).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dist/protocol.hpp"
+
+namespace haste::dist {
+
+/// Statistics accumulated by the bus.
+struct BusStats {
+  std::uint64_t broadcasts = 0;   ///< messages sent (one per broadcast)
+  std::uint64_t deliveries = 0;   ///< per-neighbor receptions
+  std::uint64_t bytes = 0;        ///< sum of wire sizes of broadcasts
+  std::uint64_t rounds = 0;       ///< synchronous delivery rounds flushed
+};
+
+/// Deterministic neighbor-broadcast bus.
+class BroadcastBus {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  /// Registers node `id` (ids must be dense 0..n-1) with its receive handler.
+  void register_node(model::ChargerIndex id, Handler handler);
+
+  /// Declares the neighbor list of `id` (directed: receivers of its
+  /// broadcasts). Usually symmetric, taken from Network::neighbors.
+  void set_neighbors(model::ChargerIndex id, std::vector<model::ChargerIndex> neighbors);
+
+  /// Queues a broadcast from `message.sender` to all its neighbors.
+  void broadcast(const Message& message);
+
+  /// Delivers every queued message (in send order) and bumps the round
+  /// counter; messages broadcast *during* delivery are queued for the next
+  /// round. Returns the number of messages delivered this round.
+  std::size_t flush_round();
+
+  /// True if no messages are waiting.
+  bool idle() const { return pending_.empty(); }
+
+  const BusStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = BusStats{}; }
+
+ private:
+  std::vector<Handler> handlers_;
+  std::vector<std::vector<model::ChargerIndex>> neighbors_;
+  std::vector<Message> pending_;
+  BusStats stats_;
+};
+
+}  // namespace haste::dist

@@ -1,0 +1,39 @@
+#include "dist/event_queue.hpp"
+
+#include <stdexcept>
+
+namespace haste::dist {
+
+void EventQueue::schedule(double time, Callback callback) {
+  if (time < now_) {
+    throw std::invalid_argument("EventQueue: cannot schedule in the past");
+  }
+  heap_.push(Entry{time, next_sequence_++, std::move(callback)});
+}
+
+void EventQueue::schedule_in(double delay, Callback callback) {
+  schedule(now_ + delay, std::move(callback));
+}
+
+bool EventQueue::run_next() {
+  if (heap_.empty()) return false;
+  // Copy out before pop: the callback may schedule new events.
+  Entry entry = heap_.top();
+  heap_.pop();
+  now_ = entry.time;
+  ++executed_;
+  entry.callback();
+  return true;
+}
+
+void EventQueue::run_until(double time) {
+  while (!heap_.empty() && heap_.top().time <= time) run_next();
+  if (now_ < time) now_ = time;
+}
+
+void EventQueue::run_all() {
+  while (run_next()) {
+  }
+}
+
+}  // namespace haste::dist

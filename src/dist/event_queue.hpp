@@ -1,0 +1,65 @@
+// Discrete-event simulation core for the distributed online scenario.
+//
+// A deterministic priority queue of timestamped callbacks: ties are broken
+// by insertion order (FIFO), so simulations are reproducible. Time is in
+// slot units (double) — negotiation rounds within a rescheduling window get
+// fractional timestamps.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace haste::dist {
+
+/// Deterministic discrete-event queue.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `callback` at absolute `time` (must be >= now()).
+  void schedule(double time, Callback callback);
+
+  /// Schedules `callback` `delay` after now().
+  void schedule_in(double delay, Callback callback);
+
+  /// Executes the earliest event; returns false if the queue is empty.
+  bool run_next();
+
+  /// Runs events until the queue is empty or `time` is passed (events at
+  /// exactly `time` are executed).
+  void run_until(double time);
+
+  /// Runs everything.
+  void run_all();
+
+  /// Current simulation time (the timestamp of the last executed event).
+  double now() const { return now_; }
+
+  /// Number of pending events.
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Total events executed so far.
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t sequence;
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  double now_ = 0.0;
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace haste::dist

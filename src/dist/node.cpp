@@ -1,0 +1,208 @@
+#include "dist/node.hpp"
+
+#include <algorithm>
+
+namespace haste::dist {
+
+namespace {
+
+constexpr double kTieSlack = 1e-12;
+
+}  // namespace
+
+ChargerNode::ChargerNode(const model::Network& net, model::ChargerIndex id,
+                         core::MarginalEngine::Config engine_config)
+    : net_(&net), id_(id), engine_config_(engine_config) {
+  previous_orientation_.assign(static_cast<std::size_t>(std::max(1, engine_config.colors)),
+                               std::nullopt);
+}
+
+Message ChargerNode::begin_plan(const std::vector<model::TaskIndex>& known_tasks,
+                                std::span<const double> initial_energy) {
+  dominant_ = core::extract_dominant_sets(*net_, id_, known_tasks);
+  engine_.emplace(*net_, engine_config_, initial_energy);
+  selections_.clear();
+  neighbor_tasks_.clear();
+  std::fill(previous_orientation_.begin(), previous_orientation_.end(), std::nullopt);
+
+  // HELLO: announce which known tasks this charger can cover, with the
+  // per-slot energy it would deliver (lets neighbors predict participation).
+  Message hello;
+  hello.sender = id_;
+  hello.command = Command::kHello;
+  for (model::TaskIndex j : known_tasks) {
+    const double p = net_->potential_power(id_, j);
+    if (p > 0.0) {
+      hello.policy.tasks.push_back(j);
+      hello.policy.slot_energy.push_back(p * net_->time().slot_seconds);
+    }
+  }
+  return hello;
+}
+
+bool ChargerNode::begin_stage(model::SlotIndex slot, int color) {
+  stage_slot_ = slot;
+  stage_color_ = color;
+  stage_policies_ = core::make_slot_policies(*net_, id_, dominant_, slot);
+  neighbor_values_.clear();
+  neighbor_decided_.clear();
+  if (stage_policies_.empty()) {
+    decided_ = true;
+    best_policy_ = -1;
+    best_marginal_ = 0.0;
+    return false;
+  }
+  decided_ = false;
+  recompute_best();
+  return true;
+}
+
+void ChargerNode::recompute_best() {
+  best_policy_ = -1;
+  best_marginal_ = 0.0;
+  const std::optional<double>& previous =
+      previous_orientation_[static_cast<std::size_t>(stage_color_)];
+  bool best_is_previous = false;
+  for (std::size_t q = 0; q < stage_policies_.size(); ++q) {
+    const core::Policy& policy = stage_policies_[q];
+    const double m = engine_->marginal(id_, stage_slot_, policy, stage_color_);
+    const bool is_previous = previous.has_value() && policy.orientation == *previous;
+    bool better = false;
+    if (best_policy_ < 0) {
+      better = m > 0.0;
+    } else if (m > best_marginal_ * (1.0 + kTieSlack) + kTieSlack) {
+      better = true;
+    } else if (is_previous && !best_is_previous &&
+               m >= best_marginal_ * (1.0 - kTieSlack) - kTieSlack) {
+      better = true;  // tie: prefer keeping the current orientation
+    }
+    if (better) {
+      best_policy_ = static_cast<int>(q);
+      best_marginal_ = m;
+      best_is_previous = is_previous;
+    }
+  }
+}
+
+std::optional<Message> ChargerNode::make_value_message() {
+  if (decided_) return std::nullopt;
+  Message msg;
+  msg.sender = id_;
+  msg.slot = stage_slot_;
+  msg.color = stage_color_;
+  msg.command = Command::kValue;
+  msg.marginal = best_policy_ >= 0 ? best_marginal_ : 0.0;
+  if (best_policy_ < 0) {
+    // Nothing worth selecting: announce zero so neighbors stop waiting, then
+    // go passive for this stage.
+    decided_ = true;
+  }
+  return msg;
+}
+
+void ChargerNode::receive(const Message& message) {
+  switch (message.command) {
+    case Command::kHello: {
+      neighbor_tasks_[message.sender] = message.policy.tasks;
+      return;
+    }
+    case Command::kValue: {
+      if (message.slot != stage_slot_ || message.color != stage_color_) return;
+      neighbor_values_[message.sender] = message.marginal;
+      if (message.marginal <= 0.0) neighbor_decided_[message.sender] = true;
+      return;
+    }
+    case Command::kUpdate: {
+      // Apply the neighbor's committed tuple to the local view and
+      // re-evaluate; the stage check matters because UPDATEs always concern
+      // the current stage, but be defensive.
+      core::Policy policy;
+      policy.orientation = message.policy.orientation;
+      policy.tasks = message.policy.tasks;
+      policy.slot_energy = message.policy.slot_energy;
+      engine_->apply_remote_commit(message.sender, message.slot, policy, message.color);
+      neighbor_decided_[message.sender] = true;
+      if (!decided_ && message.slot == stage_slot_ && message.color == stage_color_) {
+        recompute_best();
+      }
+      return;
+    }
+  }
+}
+
+bool ChargerNode::neighbor_participates(model::ChargerIndex j, model::SlotIndex slot) const {
+  const auto it = neighbor_tasks_.find(j);
+  if (it == neighbor_tasks_.end()) return false;
+  return std::any_of(it->second.begin(), it->second.end(), [&](model::TaskIndex t) {
+    return net_->tasks()[static_cast<std::size_t>(t)].active(slot);
+  });
+}
+
+std::optional<Message> ChargerNode::try_commit() {
+  if (decided_ || best_policy_ < 0) return std::nullopt;
+  for (model::ChargerIndex j : net_->neighbors(id_)) {
+    if (!neighbor_participates(j, stage_slot_)) continue;
+    const auto decided_it = neighbor_decided_.find(j);
+    if (decided_it != neighbor_decided_.end() && decided_it->second) continue;
+    const auto value_it = neighbor_values_.find(j);
+    if (value_it == neighbor_values_.end()) return std::nullopt;  // not heard yet
+    const double theirs = value_it->second;
+    // Tie-break by id: the lower id wins equal marginals.
+    if (theirs > best_marginal_ || (theirs == best_marginal_ && j < id_)) {
+      return std::nullopt;
+    }
+  }
+
+  // Local maximum: commit the S-C tuple.
+  return commit_current();
+}
+
+std::optional<Message> ChargerNode::force_commit() {
+  if (decided_) return std::nullopt;
+  decided_ = true;
+  if (best_policy_ < 0) return std::nullopt;
+  return commit_current();
+}
+
+Message ChargerNode::commit_current() {
+  const core::Policy& policy = stage_policies_[static_cast<std::size_t>(best_policy_)];
+  engine_->commit(id_, stage_slot_, policy, stage_color_);
+  auto& per_color = selections_[stage_slot_];
+  per_color.resize(static_cast<std::size_t>(engine_->colors()));
+  per_color[static_cast<std::size_t>(stage_color_)] = policy;
+  previous_orientation_[static_cast<std::size_t>(stage_color_)] = policy.orientation;
+  decided_ = true;
+
+  Message msg;
+  msg.sender = id_;
+  msg.slot = stage_slot_;
+  msg.color = stage_color_;
+  msg.command = Command::kUpdate;
+  msg.marginal = best_marginal_;
+  msg.policy.orientation = policy.orientation;
+  msg.policy.tasks = policy.tasks;
+  msg.policy.slot_energy = policy.slot_energy;
+  return msg;
+}
+
+void ChargerNode::write_schedule(model::Schedule& schedule,
+                                 model::SlotIndex first_slot) const {
+  for (model::SlotIndex k = first_slot; k < schedule.horizon(); ++k) {
+    schedule.clear(id_, k);
+  }
+  for (const auto& [slot, per_color] : selections_) {
+    if (slot < first_slot) continue;
+    const int c = core::MarginalEngine::final_color(engine_config_.seed, id_, slot,
+                                                    engine_->colors());
+    if (static_cast<std::size_t>(c) < per_color.size() &&
+        per_color[static_cast<std::size_t>(c)].has_value()) {
+      schedule.assign(id_, slot, per_color[static_cast<std::size_t>(c)]->orientation);
+    }
+  }
+}
+
+double ChargerNode::local_expected_value() const {
+  return engine_.has_value() ? engine_->expected_value() : 0.0;
+}
+
+}  // namespace haste::dist

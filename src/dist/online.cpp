@@ -1,0 +1,288 @@
+#include "dist/online.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "baseline/greedy_cover.hpp"
+#include "baseline/greedy_utility.hpp"
+#include "dist/bus.hpp"
+#include "dist/event_queue.hpp"
+#include "dist/node.hpp"
+
+namespace haste::dist {
+
+namespace {
+
+/// Copies the assignments of `source` into `target` for every *alive*
+/// charger, for slots in [first_slot, horizon): target slots are cleared
+/// first so the new plan fully replaces the old one from `first_slot` on.
+void splice_plan(model::Schedule& target, const model::Schedule& source,
+                 model::SlotIndex first_slot, const std::vector<bool>& alive) {
+  for (model::ChargerIndex i = 0; i < target.charger_count(); ++i) {
+    if (!alive[static_cast<std::size_t>(i)]) continue;
+    for (model::SlotIndex k = first_slot; k < target.horizon(); ++k) {
+      const model::SlotAssignment a = source.assignment(i, k);
+      if (a.has_value()) {
+        target.assign(i, k, *a);
+      } else {
+        target.clear(i, k);
+      }
+    }
+  }
+}
+
+/// Runs the ordered token protocol for one re-plan: each charger, in
+/// ascending ID order (one token round per color), greedily selects policies
+/// for all its slots and broadcasts the selections; receivers fold them into
+/// their local views. Equivalent in guarantee to the election protocol (the
+/// order of a locally greedy run does not affect its 1/2 bound), but with
+/// one broadcast per selection instead of repeated VALUE elections.
+void negotiate_sequential(const model::Network& net, const OnlineConfig& config,
+                          const std::vector<model::TaskIndex>& known,
+                          std::span<const double> initial_energy,
+                          model::SlotIndex plan_start, const std::vector<bool>& alive,
+                          model::Schedule& executed, OnlineResult& result) {
+  const model::ChargerIndex n = net.charger_count();
+
+  BroadcastBus bus;
+  std::vector<std::unique_ptr<ChargerNode>> nodes;
+  for (model::ChargerIndex i = 0; i < n; ++i) {
+    if (!alive[static_cast<std::size_t>(i)]) continue;
+    nodes.push_back(std::make_unique<ChargerNode>(
+        net, i,
+        core::MarginalEngine::Config{config.colors, config.samples, config.seed}));
+  }
+  for (auto& node : nodes) {
+    ChargerNode* raw = node.get();
+    bus.register_node(raw->id(), [raw](const Message& m) { raw->receive(m); });
+    std::vector<model::ChargerIndex> neighbors;
+    for (model::ChargerIndex j : net.neighbors(raw->id())) {
+      if (alive[static_cast<std::size_t>(j)]) neighbors.push_back(j);
+    }
+    bus.set_neighbors(raw->id(), std::move(neighbors));
+  }
+  for (auto& node : nodes) {
+    bus.broadcast(node->begin_plan(known, initial_energy));
+  }
+  bus.flush_round();
+
+  const int colors = std::max(1, config.colors);
+  std::vector<ChargerNode*> workers;
+  for (auto& node : nodes) {
+    if (node->has_work()) workers.push_back(node.get());
+  }
+
+  for (int c = 0; c < colors; ++c) {
+    for (ChargerNode* node : workers) {  // ascending id: nodes are built in order
+      ++result.rounds;                   // one token turn
+      for (model::SlotIndex k = plan_start; k < net.horizon(); ++k) {
+        if (!node->begin_stage(k, c)) continue;
+        if (auto msg = node->force_commit()) bus.broadcast(*msg);
+      }
+      bus.flush_round();  // successors see this node's selections
+    }
+  }
+
+  for (ChargerNode* node : workers) node->write_schedule(executed, plan_start);
+  for (auto& node : nodes) {
+    if (!node->has_work()) {
+      for (model::SlotIndex k = plan_start; k < net.horizon(); ++k) {
+        executed.clear(node->id(), k);
+      }
+    }
+  }
+  result.messages += bus.stats().broadcasts;
+  result.deliveries += bus.stats().deliveries;
+  result.message_bytes += bus.stats().bytes;
+}
+
+/// Runs the full HASTE negotiation for one re-plan. Writes the agreed plan
+/// into `executed` from `plan_start` on and accumulates counters.
+void negotiate_haste(const model::Network& net, const OnlineConfig& config,
+                     const std::vector<model::TaskIndex>& known,
+                     std::span<const double> initial_energy,
+                     model::SlotIndex plan_start, const std::vector<bool>& alive,
+                     model::Schedule& executed, OnlineResult& result) {
+  const model::ChargerIndex n = net.charger_count();
+
+  BroadcastBus bus;
+  std::vector<std::unique_ptr<ChargerNode>> nodes;  // index != charger id: alive only
+  nodes.reserve(static_cast<std::size_t>(n));
+  for (model::ChargerIndex i = 0; i < n; ++i) {
+    if (!alive[static_cast<std::size_t>(i)]) continue;
+    nodes.push_back(std::make_unique<ChargerNode>(
+        net, i,
+        core::MarginalEngine::Config{config.colors, config.samples, config.seed}));
+  }
+  for (auto& node : nodes) {
+    ChargerNode* raw = node.get();
+    bus.register_node(raw->id(), [raw](const Message& m) { raw->receive(m); });
+    std::vector<model::ChargerIndex> neighbors;
+    for (model::ChargerIndex j : net.neighbors(raw->id())) {
+      if (alive[static_cast<std::size_t>(j)]) neighbors.push_back(j);
+    }
+    bus.set_neighbors(raw->id(), std::move(neighbors));
+  }
+
+  // Plan start: everyone announces its coverable known tasks (HELLO).
+  for (auto& node : nodes) {
+    bus.broadcast(node->begin_plan(known, initial_energy));
+  }
+  bus.flush_round();
+
+  // The engine's color count may have been clamped (colors < 1 -> 1).
+  const int colors = std::max(1, config.colors);
+
+  std::vector<ChargerNode*> workers;
+  for (auto& node : nodes) {
+    if (node->has_work()) workers.push_back(node.get());
+  }
+
+  for (model::SlotIndex k = plan_start; k < net.horizon(); ++k) {
+    for (int c = 0; c < colors; ++c) {
+      std::vector<ChargerNode*> participants;
+      for (ChargerNode* node : workers) {
+        if (node->begin_stage(k, c)) participants.push_back(node);
+      }
+      if (participants.empty()) continue;
+
+      const std::size_t round_cap = participants.size() + 3;
+      std::size_t stage_rounds = 0;
+      for (;;) {
+        bool any_undecided = false;
+        for (ChargerNode* node : participants) {
+          if (!node->decided()) any_undecided = true;
+        }
+        if (!any_undecided) break;
+        if (++stage_rounds > round_cap) {
+          throw std::logic_error("online negotiation failed to converge");
+        }
+        ++result.rounds;
+        for (ChargerNode* node : participants) {
+          if (auto msg = node->make_value_message()) bus.broadcast(*msg);
+        }
+        bus.flush_round();
+        for (ChargerNode* node : participants) {
+          if (auto msg = node->try_commit()) bus.broadcast(*msg);
+        }
+        bus.flush_round();
+      }
+    }
+  }
+
+  for (ChargerNode* node : workers) node->write_schedule(executed, plan_start);
+  // Chargers without work keep (persist) their previous orientation — their
+  // schedule rows beyond plan_start are cleared so stale plans do not execute.
+  for (auto& node : nodes) {
+    if (!node->has_work()) {
+      for (model::SlotIndex k = plan_start; k < net.horizon(); ++k) {
+        executed.clear(node->id(), k);
+      }
+    }
+  }
+
+  result.messages += bus.stats().broadcasts;
+  result.deliveries += bus.stats().deliveries;
+  result.message_bytes += bus.stats().bytes;
+}
+
+}  // namespace
+
+OnlineResult run_online(const model::Network& net, const OnlineConfig& config) {
+  OnlineResult result;
+  result.schedule = model::Schedule(net.charger_count(), net.horizon());
+  if (net.horizon() == 0) {
+    result.evaluation = core::evaluate_schedule(net, result.schedule);
+    return result;
+  }
+
+  // Arrival batches: tasks grouped by release slot. The event queue
+  // sequences the batches; re-planning is modeled as instantaneous
+  // computation whose *effect* is delayed by tau slots.
+  std::map<model::SlotIndex, std::vector<model::TaskIndex>> batches;
+  for (model::TaskIndex j = 0; j < net.task_count(); ++j) {
+    batches[net.tasks()[static_cast<std::size_t>(j)].release_slot].push_back(j);
+  }
+
+  std::vector<model::TaskIndex> known;
+  std::vector<bool> alive(static_cast<std::size_t>(net.charger_count()), true);
+
+  // Shared re-plan body for arrival and failure events.
+  const auto replan = [&](model::SlotIndex event_slot, ReplanTrigger trigger) {
+    const model::SlotIndex plan_start =
+        std::min<model::SlotIndex>(event_slot + net.time().tau, net.horizon());
+    if (plan_start >= net.horizon() || known.empty()) return;
+    ++result.negotiations;
+
+    NegotiationRecord record;
+    record.trigger = trigger;
+    record.event_slot = event_slot;
+    record.plan_start = plan_start;
+    record.known_tasks = known.size();
+    record.alive_chargers =
+        static_cast<std::size_t>(std::count(alive.begin(), alive.end(), true));
+    const std::uint64_t messages_before = result.messages;
+    const std::uint64_t rounds_before = result.rounds;
+
+    // Energy already harvested (and committed to be harvested during the
+    // rescheduling window under the old plan).
+    const std::vector<double> harvested =
+        core::prefix_task_energy(net, result.schedule, plan_start);
+
+    switch (config.strategy) {
+      case OnlineStrategy::kHaste:
+        negotiate_haste(net, config, known, harvested, plan_start, alive,
+                        result.schedule, result);
+        break;
+      case OnlineStrategy::kHasteSequential:
+        negotiate_sequential(net, config, known, harvested, plan_start, alive,
+                             result.schedule, result);
+        break;
+      case OnlineStrategy::kGreedyUtility: {
+        const model::Schedule plan = baseline::schedule_greedy_utility_over(
+            net, known, plan_start, harvested);
+        splice_plan(result.schedule, plan, plan_start, alive);
+        break;
+      }
+      case OnlineStrategy::kGreedyCover: {
+        const model::Schedule plan =
+            baseline::schedule_greedy_cover_over(net, known, plan_start);
+        splice_plan(result.schedule, plan, plan_start, alive);
+        break;
+      }
+    }
+
+    record.messages = result.messages - messages_before;
+    record.rounds = result.rounds - rounds_before;
+    result.log.push_back(record);
+  };
+
+  EventQueue queue;
+  for (const auto& [release_slot, batch] : batches) {
+    queue.schedule(static_cast<double>(release_slot), [&, release_slot] {
+      const auto& arriving = batches.at(release_slot);
+      known.insert(known.end(), arriving.begin(), arriving.end());
+      std::sort(known.begin(), known.end());
+      replan(release_slot, ReplanTrigger::kArrival);
+    });
+  }
+  for (const ChargerFailure& failure : config.failures) {
+    if (failure.charger < 0 || failure.charger >= net.charger_count()) continue;
+    queue.schedule(static_cast<double>(failure.slot), [&, failure] {
+      if (!alive[static_cast<std::size_t>(failure.charger)]) return;
+      alive[static_cast<std::size_t>(failure.charger)] = false;
+      result.schedule.disable_from(failure.charger, failure.slot);
+      // Survivors re-plan to cover for the lost charger.
+      replan(failure.slot, ReplanTrigger::kFailure);
+    });
+  }
+  queue.run_all();
+
+  result.evaluation = core::evaluate_schedule(net, result.schedule);
+  return result;
+}
+
+}  // namespace haste::dist

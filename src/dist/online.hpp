@@ -1,0 +1,81 @@
+// Distributed online scheduling — the driver for Algorithm 3.
+//
+// Tasks arrive at their release slots; each arrival batch triggers a
+// re-plan: chargers exchange HELLOs, negotiate every (slot, color) stage of
+// the remaining horizon over the broadcast bus, and the new plan takes
+// effect tau slots after the arrival (the rescheduling delay). Slots before
+// that keep executing the previous plan. The same driver also runs the
+// distributed baselines (GreedyUtility / GreedyCover recomputed per arrival
+// with the same delay), which is how the paper's Figs. 11-15 compare them.
+#pragma once
+
+#include <cstdint>
+
+#include "core/evaluate.hpp"
+#include "model/network.hpp"
+#include "model/schedule.hpp"
+
+namespace haste::dist {
+
+/// Which per-charger policy rule the online driver runs.
+enum class OnlineStrategy {
+  kHaste,            ///< Algorithm 3 (distributed TabularGreedy negotiation)
+  kHasteSequential,  ///< ordered token protocol (the global-order construction
+                     ///< in Theorem 6.1's proof): chargers decide by ascending
+                     ///< ID and only announce — fewer messages, no elections
+  kGreedyUtility,    ///< each charger maximizes its own utility increment
+  kGreedyCover,      ///< each charger maximizes covered active tasks
+};
+
+/// A charger failure to inject: the charger goes permanently silent at the
+/// start of `slot` and stops participating in negotiations; survivors
+/// re-plan (with the usual tau delay) to cover for it.
+struct ChargerFailure {
+  model::ChargerIndex charger = 0;
+  model::SlotIndex slot = 0;
+};
+
+/// Online driver configuration.
+struct OnlineConfig {
+  OnlineStrategy strategy = OnlineStrategy::kHaste;
+  int colors = 4;          ///< C (kHaste only)
+  int samples = 16;        ///< color panel size (kHaste only)
+  std::uint64_t seed = 1;  ///< shared seed (color panel + final sampling)
+  std::vector<ChargerFailure> failures;  ///< failure injection (may be empty)
+};
+
+/// What caused a re-plan.
+enum class ReplanTrigger {
+  kArrival,  ///< new tasks released
+  kFailure,  ///< a charger died
+};
+
+/// Telemetry for one re-plan (negotiation) of an online run.
+struct NegotiationRecord {
+  ReplanTrigger trigger = ReplanTrigger::kArrival;
+  model::SlotIndex event_slot = 0;   ///< when the trigger fired
+  model::SlotIndex plan_start = 0;   ///< first slot the new plan governs
+  std::size_t known_tasks = 0;       ///< tasks released so far
+  std::size_t alive_chargers = 0;    ///< chargers still operational
+  std::uint64_t messages = 0;        ///< broadcasts spent on this re-plan
+  std::uint64_t rounds = 0;          ///< negotiation rounds of this re-plan
+};
+
+/// Result of an online run.
+struct OnlineResult {
+  model::Schedule schedule;            ///< the executed schedule
+  core::EvaluationResult evaluation;   ///< physical outcome (switching-aware)
+  std::uint64_t messages = 0;          ///< broadcasts (HELLO + VALUE + UPDATE)
+  std::uint64_t deliveries = 0;        ///< per-neighbor receptions (the paper's
+                                       ///< message count, which grows ~n^2)
+  std::uint64_t message_bytes = 0;     ///< total wire bytes
+  std::uint64_t rounds = 0;            ///< synchronous negotiation rounds
+  std::uint64_t negotiations = 0;      ///< re-plans triggered (arrivals/failures)
+  std::vector<NegotiationRecord> log;  ///< per-re-plan telemetry, in time order
+};
+
+/// Runs the online scenario on `net`: tasks become known at their release
+/// slots, re-planning happens per distinct release slot.
+OnlineResult run_online(const model::Network& net, const OnlineConfig& config = {});
+
+}  // namespace haste::dist

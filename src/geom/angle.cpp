@@ -1,0 +1,30 @@
+#include "geom/angle.hpp"
+
+#include <cmath>
+
+namespace haste::geom {
+
+double normalize_angle(double theta) {
+  double r = std::fmod(theta, kTwoPi);
+  if (r < 0.0) r += kTwoPi;
+  // fmod can return kTwoPi - epsilon rounding back up to kTwoPi after the
+  // addition; clamp so the invariant r in [0, 2*pi) always holds.
+  if (r >= kTwoPi) r = 0.0;
+  return r;
+}
+
+double angle_difference(double from, double to) {
+  double d = normalize_angle(to - from);
+  if (d > kPi) d -= kTwoPi;
+  return d;
+}
+
+double angular_distance(double a, double b) { return std::abs(angle_difference(a, b)); }
+
+bool angle_in_interval(double theta, double begin, double length) {
+  if (length >= kTwoPi) return true;
+  const double offset = normalize_angle(theta - begin);
+  return offset <= length;
+}
+
+}  // namespace haste::geom

@@ -1,0 +1,36 @@
+// Angle arithmetic on the circle.
+//
+// Orientations live in [0, 2*pi); the dominant-task-set sweep and the sector
+// tests need normalization, signed differences, and containment in circular
+// intervals, all of which are easy to get subtly wrong — they are centralized
+// here and heavily unit-tested.
+#pragma once
+
+#include <numbers>
+
+namespace haste::geom {
+
+inline constexpr double kTwoPi = 2.0 * std::numbers::pi;
+inline constexpr double kPi = std::numbers::pi;
+
+/// Normalizes an angle into [0, 2*pi).
+double normalize_angle(double theta);
+
+/// Signed smallest rotation from `from` to `to`, in (-pi, pi].
+double angle_difference(double from, double to);
+
+/// Absolute angular distance between two directions, in [0, pi].
+double angular_distance(double a, double b);
+
+/// True if normalized angle `theta` lies in the circular closed interval that
+/// starts at `begin` and extends counterclockwise by `length` (both radians,
+/// 0 <= length <= 2*pi). Intervals may wrap through 0.
+bool angle_in_interval(double theta, double begin, double length);
+
+/// Degrees -> radians.
+constexpr double deg_to_rad(double degrees) { return degrees * kPi / 180.0; }
+
+/// Radians -> degrees.
+constexpr double rad_to_deg(double radians) { return radians * 180.0 / kPi; }
+
+}  // namespace haste::geom

@@ -1,0 +1,80 @@
+#include "geom/arc.hpp"
+
+#include <algorithm>
+
+#include "geom/angle.hpp"
+
+namespace haste::geom {
+
+Arc Arc::centered(double center, double width) {
+  Arc arc;
+  arc.length = std::clamp(width, 0.0, kTwoPi);
+  arc.begin = normalize_angle(center - arc.length / 2.0);
+  return arc;
+}
+
+bool Arc::contains(double theta) const { return angle_in_interval(theta, begin, length); }
+
+bool Arc::full_circle() const { return length >= kTwoPi; }
+
+namespace {
+
+/// True if `a` is a subset of `b`; both sorted ascending.
+bool is_subset(const std::vector<std::size_t>& a, const std::vector<std::size_t>& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+}  // namespace
+
+std::vector<DominantArcSet> dominant_arc_sets(const std::vector<Arc>& arcs) {
+  if (arcs.empty()) return {};
+
+  // Candidate directions: every maximal covered set's intersection region is
+  // a closed arc whose counterclockwise start is the begin of some member arc
+  // (the member that starts last), so sweeping arc begins finds all maximal
+  // sets. Full-circle arcs contribute membership but no candidate.
+  std::vector<double> candidates;
+  candidates.reserve(arcs.size());
+  for (const Arc& arc : arcs) {
+    if (!arc.full_circle()) candidates.push_back(normalize_angle(arc.begin));
+  }
+  if (candidates.empty()) {
+    // Every arc covers the whole circle: one dominant set containing all.
+    DominantArcSet all;
+    for (std::size_t i = 0; i < arcs.size(); ++i) all.items.push_back(i);
+    return {all};
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
+
+  std::vector<DominantArcSet> sets;
+  sets.reserve(candidates.size());
+  for (double theta : candidates) {
+    DominantArcSet set;
+    set.witness = theta;
+    for (std::size_t i = 0; i < arcs.size(); ++i) {
+      if (arcs[i].contains(theta)) set.items.push_back(i);
+    }
+    if (!set.items.empty()) sets.push_back(std::move(set));
+  }
+
+  // Keep only maximal sets; equal sets are deduplicated (the first witness
+  // wins). Quadratic in the number of candidates, which is at most the
+  // number of arcs a single charger can cover — small in practice.
+  std::vector<DominantArcSet> maximal;
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < sets.size() && !dominated; ++j) {
+      if (i == j) continue;
+      if (sets[i].items == sets[j].items) {
+        dominated = j < i;  // deduplicate equal sets, keep the earliest
+      } else if (is_subset(sets[i].items, sets[j].items)) {
+        dominated = true;
+      }
+    }
+    if (!dominated) maximal.push_back(sets[i]);
+  }
+  return maximal;
+}
+
+}  // namespace haste::geom

@@ -1,0 +1,48 @@
+// Circular arcs (intervals on the orientation circle).
+//
+// Dominant-task-set extraction reduces each coverable task to the arc of
+// charger orientations that cover it; the sweep over arc endpoints then
+// enumerates all maximal covered sets. Arcs are stored as (begin, length)
+// with begin normalized to [0, 2*pi) so wrap-around is handled uniformly.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace haste::geom {
+
+/// A counterclockwise arc starting at `begin` (normalized) of `length`
+/// radians (0 <= length <= 2*pi).
+struct Arc {
+  double begin = 0.0;
+  double length = 0.0;
+
+  /// Arc centered at `center` with total width `width`.
+  static Arc centered(double center, double width);
+
+  /// End angle (not normalized; begin + length).
+  double end() const { return begin + length; }
+
+  /// True if the normalized angle theta lies on the (closed) arc.
+  bool contains(double theta) const;
+
+  /// True if this arc covers the full circle.
+  bool full_circle() const;
+};
+
+/// For a set of arcs (one per item), returns the maximal subsets of items
+/// that are simultaneously coverable by a single direction, i.e. the
+/// "dominant sets" of the circular interval system, together with a witness
+/// direction for each. Items whose arcs are empty never appear.
+///
+/// This is the geometric core of the paper's Algorithm 1; it is exposed here
+/// independently of the charging model so it can be property-tested against
+/// a brute-force angular grid.
+struct DominantArcSet {
+  std::vector<std::size_t> items;  ///< sorted indices of covered arcs
+  double witness = 0.0;            ///< a direction covering exactly these items
+};
+
+std::vector<DominantArcSet> dominant_arc_sets(const std::vector<Arc>& arcs);
+
+}  // namespace haste::geom

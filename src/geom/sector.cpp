@@ -1,0 +1,36 @@
+#include "geom/sector.hpp"
+
+#include <cmath>
+
+namespace haste::geom {
+
+bool Sector::contains(Vec2 point) const {
+  const Vec2 delta = point - apex;
+  const double dist2 = delta.norm2();
+  if (dist2 > radius * radius) return false;
+  if (dist2 == 0.0) return true;
+  const double dist = std::sqrt(dist2);
+  // delta . r_facing >= |delta| * cos(angle/2), boundary inclusive with a
+  // small relative tolerance so points exactly on the sector edge (common in
+  // the dominant-set sweep, which places orientations at arc endpoints)
+  // count. The tolerance makes evaluation permissive, never optimistic in the
+  // planner: a schedule is worth at least what the planner counted.
+  const double tolerance = 1e-9 * (1.0 + dist);
+  return delta.dot(unit_vector(facing)) >= dist * std::cos(angle / 2.0) - tolerance;
+}
+
+bool mutually_covered(Vec2 charger_pos, double charger_theta, double charging_angle,
+                      Vec2 device_pos, double device_phi, double receiving_angle,
+                      double radius) {
+  const Sector charging{charger_pos, charger_theta, charging_angle, radius};
+  const Sector receiving{device_pos, device_phi, receiving_angle, radius};
+  return charging.contains(device_pos) && receiving.contains(charger_pos);
+}
+
+bool device_can_receive_from(Vec2 device_pos, double device_phi, double receiving_angle,
+                             Vec2 charger_pos, double radius) {
+  const Sector receiving{device_pos, device_phi, receiving_angle, radius};
+  return receiving.contains(charger_pos);
+}
+
+}  // namespace haste::geom

@@ -1,0 +1,38 @@
+// Sector (circular wedge) containment tests for the directional charging
+// model: a charger's charging area and a device's receiving area are both
+// sectors with an apex, a facing direction, a half-angle, and a radius.
+#pragma once
+
+#include "geom/vec2.hpp"
+
+namespace haste::geom {
+
+/// A circular sector: apex at `apex`, bisector direction `facing` (radians),
+/// full opening angle `angle` (radians), radius `radius` (meters).
+struct Sector {
+  Vec2 apex;
+  double facing = 0.0;
+  double angle = 0.0;
+  double radius = 0.0;
+
+  /// True if `point` lies inside the sector (boundary inclusive). The apex
+  /// itself is considered contained. Mirrors the paper's test
+  ///   (p - apex) . r_facing >= |p - apex| * cos(angle / 2)  and  |p - apex| <= radius.
+  bool contains(Vec2 point) const;
+};
+
+/// The paper's mutual-coverage predicate: charger at `charger_pos` facing
+/// `charger_theta` can deliver power to a device at `device_pos` facing
+/// `device_phi` iff the device is inside the charger's charging sector AND
+/// the charger is inside the device's receiving sector (shared radius `D`).
+bool mutually_covered(Vec2 charger_pos, double charger_theta, double charging_angle,
+                      Vec2 device_pos, double device_phi, double receiving_angle,
+                      double radius);
+
+/// One-sided test: is the charger inside the device's receiving sector and
+/// within range? (Necessary condition for any orientation of the charger to
+/// charge the device — the "task covers charger" relation of the paper.)
+bool device_can_receive_from(Vec2 device_pos, double device_phi, double receiving_angle,
+                             Vec2 charger_pos, double radius);
+
+}  // namespace haste::geom

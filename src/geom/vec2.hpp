@@ -1,0 +1,48 @@
+// 2D vector type used throughout the charging model.
+#pragma once
+
+#include <cmath>
+
+namespace haste::geom {
+
+/// A point or displacement in the 2D plane (meters).
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(Vec2 other) const { return {x + other.x, y + other.y}; }
+  constexpr Vec2 operator-(Vec2 other) const { return {x - other.x, y - other.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2& operator+=(Vec2 other) {
+    x += other.x;
+    y += other.y;
+    return *this;
+  }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  /// Dot product.
+  constexpr double dot(Vec2 other) const { return x * other.x + y * other.y; }
+
+  /// Squared euclidean norm.
+  constexpr double norm2() const { return x * x + y * y; }
+
+  /// Euclidean norm.
+  double norm() const { return std::sqrt(norm2()); }
+
+  /// Polar angle in [-pi, pi] via atan2; (0,0) maps to 0.
+  double angle() const { return (x == 0.0 && y == 0.0) ? 0.0 : std::atan2(y, x); }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) { return v * s; }
+
+/// Euclidean distance between two points.
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+/// Unit vector at polar angle theta (radians).
+inline Vec2 unit_vector(double theta) { return {std::cos(theta), std::sin(theta)}; }
+
+}  // namespace haste::geom

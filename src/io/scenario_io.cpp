@@ -1,0 +1,167 @@
+#include "io/scenario_io.hpp"
+
+#include "geom/angle.hpp"
+
+namespace haste::io {
+
+using util::Json;
+
+Json network_to_json(const model::Network& net) {
+  Json root = Json::object();
+
+  Json power = Json::object();
+  const model::PowerModel& pm = net.power_model();
+  power.set("alpha", pm.alpha);
+  power.set("beta", pm.beta);
+  power.set("radius", pm.radius);
+  power.set("charging_angle_deg", geom::rad_to_deg(pm.charging_angle));
+  power.set("receiving_angle_deg", geom::rad_to_deg(pm.receiving_angle));
+  power.set("gain_profile", model::gain_profile_name(pm.gain_profile));
+  root.set("power", std::move(power));
+
+  Json time = Json::object();
+  time.set("slot_seconds", net.time().slot_seconds);
+  time.set("rho", net.time().rho);
+  time.set("tau", static_cast<int>(net.time().tau));
+  root.set("time", std::move(time));
+
+  root.set("utility", net.utility_shape().name());
+
+  Json chargers = Json::array();
+  for (const model::Charger& charger : net.chargers()) {
+    Json entry = Json::object();
+    entry.set("x", charger.position.x);
+    entry.set("y", charger.position.y);
+    chargers.push_back(std::move(entry));
+  }
+  root.set("chargers", std::move(chargers));
+
+  Json tasks = Json::array();
+  for (const model::Task& task : net.tasks()) {
+    Json entry = Json::object();
+    entry.set("x", task.position.x);
+    entry.set("y", task.position.y);
+    entry.set("facing_deg", geom::rad_to_deg(task.orientation));
+    entry.set("release_slot", static_cast<int>(task.release_slot));
+    entry.set("end_slot", static_cast<int>(task.end_slot));
+    entry.set("required_energy_j", task.required_energy);
+    entry.set("weight", task.weight);
+    tasks.push_back(std::move(entry));
+  }
+  root.set("tasks", std::move(tasks));
+  return root;
+}
+
+model::Network network_from_json(const Json& json) {
+  model::PowerModel power;
+  const Json& pj = json.at("power");
+  power.alpha = pj.at("alpha").as_number();
+  power.beta = pj.at("beta").as_number();
+  power.radius = pj.at("radius").as_number();
+  power.charging_angle = geom::deg_to_rad(pj.at("charging_angle_deg").as_number());
+  power.receiving_angle = geom::deg_to_rad(pj.at("receiving_angle_deg").as_number());
+  power.gain_profile =
+      model::parse_gain_profile(pj.string_or("gain_profile", "uniform").c_str());
+
+  model::TimeGrid time;
+  const Json& tj = json.at("time");
+  time.slot_seconds = tj.at("slot_seconds").as_number();
+  time.rho = tj.at("rho").as_number();
+  time.tau = static_cast<model::SlotIndex>(tj.at("tau").as_int());
+
+  std::vector<model::Charger> chargers;
+  const Json& cj = json.at("chargers");
+  for (std::size_t i = 0; i < cj.size(); ++i) {
+    chargers.push_back(model::Charger{
+        {cj.at(i).at("x").as_number(), cj.at(i).at("y").as_number()}});
+  }
+
+  std::vector<model::Task> tasks;
+  const Json& kj = json.at("tasks");
+  for (std::size_t j = 0; j < kj.size(); ++j) {
+    const Json& entry = kj.at(j);
+    model::Task task;
+    task.position = {entry.at("x").as_number(), entry.at("y").as_number()};
+    task.orientation = geom::deg_to_rad(entry.at("facing_deg").as_number());
+    task.release_slot = static_cast<model::SlotIndex>(entry.at("release_slot").as_int());
+    task.end_slot = static_cast<model::SlotIndex>(entry.at("end_slot").as_int());
+    task.required_energy = entry.at("required_energy_j").as_number();
+    task.weight = entry.number_or("weight", 1.0);
+    tasks.push_back(task);
+  }
+
+  return model::Network(std::move(chargers), std::move(tasks), power, time,
+                        model::make_utility_shape(json.string_or("utility", "linear")));
+}
+
+Json schedule_to_json(const model::Schedule& schedule) {
+  Json root = Json::object();
+  root.set("chargers", static_cast<int>(schedule.charger_count()));
+  root.set("horizon", static_cast<int>(schedule.horizon()));
+
+  Json assignments = Json::array();
+  Json disabled = Json::array();
+  for (model::ChargerIndex i = 0; i < schedule.charger_count(); ++i) {
+    for (model::SlotIndex k = 0; k < schedule.horizon(); ++k) {
+      const model::SlotAssignment a = schedule.assignment(i, k);
+      if (a.has_value()) {
+        Json entry = Json::object();
+        entry.set("charger", static_cast<int>(i));
+        entry.set("slot", static_cast<int>(k));
+        entry.set("orientation_deg", geom::rad_to_deg(*a));
+        assignments.push_back(std::move(entry));
+      }
+      if (schedule.disabled_at(i, k)) {
+        Json entry = Json::object();
+        entry.set("charger", static_cast<int>(i));
+        entry.set("from_slot", static_cast<int>(k));
+        disabled.push_back(std::move(entry));
+        break;  // only the first disabled slot matters (permanent outage)
+      }
+    }
+  }
+  root.set("assignments", std::move(assignments));
+  root.set("disabled", std::move(disabled));
+  return root;
+}
+
+model::Schedule schedule_from_json(const Json& json) {
+  const auto chargers = static_cast<model::ChargerIndex>(json.at("chargers").as_int());
+  const auto horizon = static_cast<model::SlotIndex>(json.at("horizon").as_int());
+  model::Schedule schedule(chargers, horizon);
+  const Json& assignments = json.at("assignments");
+  for (std::size_t idx = 0; idx < assignments.size(); ++idx) {
+    const Json& entry = assignments.at(idx);
+    schedule.assign(static_cast<model::ChargerIndex>(entry.at("charger").as_int()),
+                    static_cast<model::SlotIndex>(entry.at("slot").as_int()),
+                    geom::deg_to_rad(entry.at("orientation_deg").as_number()));
+  }
+  if (json.contains("disabled")) {
+    const Json& disabled = json.at("disabled");
+    for (std::size_t idx = 0; idx < disabled.size(); ++idx) {
+      const Json& entry = disabled.at(idx);
+      schedule.disable_from(
+          static_cast<model::ChargerIndex>(entry.at("charger").as_int()),
+          static_cast<model::SlotIndex>(entry.at("from_slot").as_int()));
+    }
+  }
+  return schedule;
+}
+
+void save_network(const std::string& path, const model::Network& net) {
+  util::save_json_file(path, network_to_json(net));
+}
+
+model::Network load_network(const std::string& path) {
+  return network_from_json(util::load_json_file(path));
+}
+
+void save_schedule(const std::string& path, const model::Schedule& schedule) {
+  util::save_json_file(path, schedule_to_json(schedule));
+}
+
+model::Schedule load_schedule(const std::string& path) {
+  return schedule_from_json(util::load_json_file(path));
+}
+
+}  // namespace haste::io

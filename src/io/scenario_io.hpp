@@ -1,0 +1,46 @@
+// JSON (de)serialization for problem instances and schedules.
+//
+// The on-disk format is a single JSON object:
+//
+// {
+//   "power":    {"alpha", "beta", "radius", "charging_angle_deg",
+//                "receiving_angle_deg", "gain_profile"},
+//   "time":     {"slot_seconds", "rho", "tau"},
+//   "utility":  "linear" | "sqrt" | "log",
+//   "chargers": [{"x", "y"}, ...],
+//   "tasks":    [{"x", "y", "facing_deg", "release_slot", "end_slot",
+//                 "required_energy_j", "weight"}, ...]
+// }
+//
+// Schedules serialize as {"horizon", "chargers", "assignments":
+// [{"charger", "slot", "orientation_deg"}, ...], "disabled":
+// [{"charger", "from_slot"}, ...]}.
+#pragma once
+
+#include <string>
+
+#include "model/network.hpp"
+#include "model/schedule.hpp"
+#include "util/json.hpp"
+
+namespace haste::io {
+
+/// Serializes a problem instance.
+util::Json network_to_json(const model::Network& net);
+
+/// Parses a problem instance; throws util::JsonError / std::invalid_argument
+/// on malformed input.
+model::Network network_from_json(const util::Json& json);
+
+/// Serializes / parses a schedule. Parsing validates charger/slot bounds
+/// against the stored dimensions.
+util::Json schedule_to_json(const model::Schedule& schedule);
+model::Schedule schedule_from_json(const util::Json& json);
+
+/// File convenience wrappers.
+void save_network(const std::string& path, const model::Network& net);
+model::Network load_network(const std::string& path);
+void save_schedule(const std::string& path, const model::Schedule& schedule);
+model::Schedule load_schedule(const std::string& path);
+
+}  // namespace haste::io

@@ -1,0 +1,45 @@
+#include "model/anisotropy.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace haste::model {
+
+double receiving_gain(ReceivingGainProfile profile, double delta) {
+  switch (profile) {
+    case ReceivingGainProfile::kUniform:
+      return 1.0;
+    case ReceivingGainProfile::kCosine: {
+      const double c = std::cos(delta);
+      return c > 0.0 ? c : 0.0;
+    }
+    case ReceivingGainProfile::kCosineSquared: {
+      const double c = std::cos(delta);
+      return c > 0.0 ? c * c : 0.0;
+    }
+  }
+  return 1.0;
+}
+
+ReceivingGainProfile parse_gain_profile(const char* name) {
+  if (std::strcmp(name, "uniform") == 0) return ReceivingGainProfile::kUniform;
+  if (std::strcmp(name, "cosine") == 0) return ReceivingGainProfile::kCosine;
+  if (std::strcmp(name, "cosine2") == 0) return ReceivingGainProfile::kCosineSquared;
+  throw std::invalid_argument(std::string("unknown gain profile: ") + name);
+}
+
+const char* gain_profile_name(ReceivingGainProfile profile) {
+  switch (profile) {
+    case ReceivingGainProfile::kUniform:
+      return "uniform";
+    case ReceivingGainProfile::kCosine:
+      return "cosine";
+    case ReceivingGainProfile::kCosineSquared:
+      return "cosine2";
+  }
+  return "?";
+}
+
+}  // namespace haste::model

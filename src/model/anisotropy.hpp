@@ -1,0 +1,40 @@
+// Anisotropic energy receiving (the paper's stated future work, following
+// the model of Lin et al., INFOCOM 2019 [57]).
+//
+// The base model treats a device's receiving sector as all-or-nothing; real
+// rectennas harvest less power as the angle of incidence moves off the
+// device's boresight. We model this with a gain g(delta) in [0, 1] applied
+// to the received power, where delta is the angle between the device's
+// facing and the direction to the charger:
+//
+//   kUniform        g = 1                       (the paper's base model)
+//   kCosine         g = cos(delta)              (projected-aperture law)
+//   kCosineSquared  g = cos(delta)^2            (sharper rectenna pattern)
+//
+// The gain applies only inside the receiving sector (outside, power is zero
+// as before), so coverage geometry — and with it the dominant-set machinery
+// and all approximation guarantees — is unchanged; only the delivered watts
+// scale. Negative cosines are clamped to zero.
+#pragma once
+
+namespace haste::model {
+
+/// Receiving gain profile of a device's antenna.
+enum class ReceivingGainProfile {
+  kUniform,
+  kCosine,
+  kCosineSquared,
+};
+
+/// Gain for an incidence angle `delta` (radians, the angular distance
+/// between the device facing and the direction device -> charger).
+double receiving_gain(ReceivingGainProfile profile, double delta);
+
+/// Parses "uniform" | "cosine" | "cosine2"; throws std::invalid_argument on
+/// unknown names.
+ReceivingGainProfile parse_gain_profile(const char* name);
+
+/// Display name of a profile.
+const char* gain_profile_name(ReceivingGainProfile profile);
+
+}  // namespace haste::model

@@ -1,0 +1,21 @@
+// Directional wireless chargers. The orientation is the decision variable of
+// HASTE and therefore lives in schedules, not here.
+#pragma once
+
+#include <cstdint>
+
+#include "geom/vec2.hpp"
+
+namespace haste::model {
+
+/// Index types used across the library (kept as plain typedefs; ranges are
+/// validated at the Network boundary).
+using ChargerIndex = std::int32_t;
+using TaskIndex = std::int32_t;
+
+/// A static directional wireless charger.
+struct Charger {
+  geom::Vec2 position;  ///< s_i: charger location (m)
+};
+
+}  // namespace haste::model

@@ -1,0 +1,100 @@
+#include "model/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "geom/angle.hpp"
+
+namespace haste::model {
+
+Network::Network(std::vector<Charger> chargers, std::vector<Task> tasks, PowerModel power,
+                 TimeGrid time, std::shared_ptr<const UtilityShape> shape)
+    : chargers_(std::move(chargers)),
+      tasks_(std::move(tasks)),
+      power_(power),
+      time_(time),
+      shape_(shape != nullptr ? std::move(shape)
+                              : std::make_shared<const LinearBoundedShape>()) {
+  power_.validate();
+  time_.validate();
+  for (const Task& task : tasks_) task.validate();
+
+  const auto n = static_cast<std::size_t>(charger_count());
+  const auto m = static_cast<std::size_t>(task_count());
+
+  horizon_ = 0;
+  for (const Task& task : tasks_) horizon_ = std::max(horizon_, task.end_slot);
+
+  coverable_.assign(n, {});
+  potential_power_.assign(n, {});
+  potential_flat_.assign(n * m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const double p = power_.potential_power(chargers_[i].position, tasks_[j]);
+      if (p > 0.0) {
+        coverable_[i].push_back(static_cast<TaskIndex>(j));
+        potential_power_[i].push_back(p);
+        potential_flat_[i * m + j] = p;
+      }
+    }
+  }
+
+  // Two chargers are neighbors iff they share a coverable task.
+  std::vector<std::vector<ChargerIndex>> chargers_of_task(m);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (TaskIndex j : coverable_[i]) {
+      chargers_of_task[static_cast<std::size_t>(j)].push_back(static_cast<ChargerIndex>(i));
+    }
+  }
+  neighbors_.assign(n, {});
+  for (const auto& group : chargers_of_task) {
+    for (ChargerIndex a : group) {
+      for (ChargerIndex b : group) {
+        if (a != b) neighbors_[static_cast<std::size_t>(a)].push_back(b);
+      }
+    }
+  }
+  for (auto& list : neighbors_) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+}
+
+std::span<const TaskIndex> Network::coverable_tasks(ChargerIndex i) const {
+  return coverable_.at(static_cast<std::size_t>(i));
+}
+
+double Network::potential_power(ChargerIndex i, TaskIndex j) const {
+  const auto m = static_cast<std::size_t>(task_count());
+  return potential_flat_.at(static_cast<std::size_t>(i) * m + static_cast<std::size_t>(j));
+}
+
+geom::Arc Network::coverage_arc(ChargerIndex i, TaskIndex j) const {
+  const geom::Vec2 delta =
+      tasks_.at(static_cast<std::size_t>(j)).position -
+      chargers_.at(static_cast<std::size_t>(i)).position;
+  return geom::Arc::centered(delta.angle(), power_.charging_angle);
+}
+
+std::span<const ChargerIndex> Network::neighbors(ChargerIndex i) const {
+  return neighbors_.at(static_cast<std::size_t>(i));
+}
+
+double Network::power(ChargerIndex i, double theta, TaskIndex j) const {
+  const Charger& charger = chargers_.at(static_cast<std::size_t>(i));
+  const Task& task = tasks_.at(static_cast<std::size_t>(j));
+  return power_.power(charger.position, theta, task.position, task.orientation);
+}
+
+double Network::weighted_task_utility(TaskIndex j, double harvested_energy) const {
+  const Task& task = tasks_.at(static_cast<std::size_t>(j));
+  return task.weight * task_utility(*shape_, harvested_energy, task.required_energy);
+}
+
+double Network::utility_upper_bound() const {
+  double sum = 0.0;
+  for (const Task& task : tasks_) sum += task.weight;
+  return sum;
+}
+
+}  // namespace haste::model

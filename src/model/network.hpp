@@ -1,0 +1,84 @@
+// The wireless charger network instance: chargers, tasks, model parameters,
+// and the derived structures every scheduler needs (coverage lists, potential
+// powers, neighbor sets, horizon).
+//
+// A Network is immutable after construction; schedulers treat it as the
+// shared read-only problem description, which also makes the Monte-Carlo
+// harness trivially thread-safe.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "geom/arc.hpp"
+#include "model/charger.hpp"
+#include "model/power.hpp"
+#include "model/task.hpp"
+#include "model/timegrid.hpp"
+#include "model/utility.hpp"
+
+namespace haste::model {
+
+/// An immutable HASTE problem instance.
+class Network {
+ public:
+  /// Builds the instance and precomputes coverage. The utility shape
+  /// defaults to the paper's linear-bounded shape when null.
+  Network(std::vector<Charger> chargers, std::vector<Task> tasks, PowerModel power,
+          TimeGrid time, std::shared_ptr<const UtilityShape> shape = nullptr);
+
+  const std::vector<Charger>& chargers() const { return chargers_; }
+  const std::vector<Task>& tasks() const { return tasks_; }
+  const PowerModel& power_model() const { return power_; }
+  const TimeGrid& time() const { return time_; }
+  const UtilityShape& utility_shape() const { return *shape_; }
+
+  ChargerIndex charger_count() const { return static_cast<ChargerIndex>(chargers_.size()); }
+  TaskIndex task_count() const { return static_cast<TaskIndex>(tasks_.size()); }
+
+  /// Horizon K: one past the last end_slot over all tasks (0 if no tasks).
+  SlotIndex horizon() const { return horizon_; }
+
+  /// The paper's T_i: tasks that cover charger `i` (the charger could charge
+  /// them with a suitable orientation). Sorted ascending.
+  std::span<const TaskIndex> coverable_tasks(ChargerIndex i) const;
+
+  /// P_r(s_i, o_j): power delivered from charger `i` to task `j` when both
+  /// sector conditions hold; 0 if task `j` does not cover charger `i`.
+  double potential_power(ChargerIndex i, TaskIndex j) const;
+
+  /// Orientation arc of charger `i` covering task `j` (valid only when the
+  /// task covers the charger): the set of theta with the device inside the
+  /// charging sector.
+  geom::Arc coverage_arc(ChargerIndex i, TaskIndex j) const;
+
+  /// N(s_i): chargers sharing at least one coverable task with `i`
+  /// (excluding `i` itself). Sorted ascending.
+  std::span<const ChargerIndex> neighbors(ChargerIndex i) const;
+
+  /// Full gated power for charger `i` at orientation `theta` to task `j`.
+  double power(ChargerIndex i, double theta, TaskIndex j) const;
+
+  /// Weighted utility of one task given its total harvested energy.
+  double weighted_task_utility(TaskIndex j, double harvested_energy) const;
+
+  /// Maximum achievable overall utility (every task saturated): sum of
+  /// weights. Useful for normalizing reports.
+  double utility_upper_bound() const;
+
+ private:
+  std::vector<Charger> chargers_;
+  std::vector<Task> tasks_;
+  PowerModel power_;
+  TimeGrid time_;
+  std::shared_ptr<const UtilityShape> shape_;
+  SlotIndex horizon_ = 0;
+
+  std::vector<std::vector<TaskIndex>> coverable_;       // per charger
+  std::vector<std::vector<double>> potential_power_;    // aligned with coverable_
+  std::vector<std::vector<ChargerIndex>> neighbors_;    // per charger
+  std::vector<double> potential_flat_;                  // dense n*m lookup
+};
+
+}  // namespace haste::model

@@ -1,0 +1,64 @@
+#include "model/power.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "geom/sector.hpp"
+
+namespace haste::model {
+
+double PowerModel::range_power(double distance) const {
+  if (distance < 0.0 || distance > radius) return 0.0;
+  const double denom = distance + beta;
+  return alpha / (denom * denom);
+}
+
+double PowerModel::incidence_gain(geom::Vec2 charger_pos, geom::Vec2 device_pos,
+                                  double device_phi) const {
+  if (gain_profile == ReceivingGainProfile::kUniform) return 1.0;
+  const geom::Vec2 toward_charger = charger_pos - device_pos;
+  if (toward_charger.norm2() == 0.0) return 1.0;
+  const double delta = geom::angular_distance(device_phi, toward_charger.angle());
+  return receiving_gain(gain_profile, delta);
+}
+
+double PowerModel::power(geom::Vec2 charger_pos, double charger_theta,
+                         geom::Vec2 device_pos, double device_phi) const {
+  if (!geom::mutually_covered(charger_pos, charger_theta, charging_angle, device_pos,
+                              device_phi, receiving_angle, radius)) {
+    return 0.0;
+  }
+  return range_power(geom::distance(charger_pos, device_pos)) *
+         incidence_gain(charger_pos, device_pos, device_phi);
+}
+
+double PowerModel::potential_power(geom::Vec2 charger_pos, const Task& task) const {
+  if (!task_covers_charger(charger_pos, task)) return 0.0;
+  return range_power(geom::distance(charger_pos, task.position)) *
+         incidence_gain(charger_pos, task.position, task.orientation);
+}
+
+bool PowerModel::task_covers_charger(geom::Vec2 charger_pos, const Task& task) const {
+  return geom::device_can_receive_from(task.position, task.orientation, receiving_angle,
+                                       charger_pos, radius);
+}
+
+void PowerModel::validate() const {
+  if (!(alpha > 0.0) || !std::isfinite(alpha)) {
+    throw std::invalid_argument("PowerModel: alpha must be positive");
+  }
+  if (!(beta >= 0.0) || !std::isfinite(beta)) {
+    throw std::invalid_argument("PowerModel: beta must be non-negative");
+  }
+  if (!(radius > 0.0) || !std::isfinite(radius)) {
+    throw std::invalid_argument("PowerModel: radius must be positive");
+  }
+  if (!(charging_angle > 0.0) || charging_angle > geom::kTwoPi) {
+    throw std::invalid_argument("PowerModel: charging_angle must be in (0, 2*pi]");
+  }
+  if (!(receiving_angle > 0.0) || receiving_angle > geom::kTwoPi) {
+    throw std::invalid_argument("PowerModel: receiving_angle must be in (0, 2*pi]");
+  }
+}
+
+}  // namespace haste::model

@@ -1,0 +1,62 @@
+// The directional charging power model of the paper (Section 3.1):
+//
+//   P_r(s_i, theta_i, o_j, phi_j) = alpha / (||s_i o_j|| + beta)^2
+//
+// when the device is inside the charger's charging sector, the charger is
+// inside the device's receiving sector, and the distance is at most D;
+// otherwise 0. Power from multiple chargers adds at the device.
+#pragma once
+
+#include "geom/angle.hpp"
+#include "geom/vec2.hpp"
+#include "model/anisotropy.hpp"
+#include "model/charger.hpp"
+#include "model/task.hpp"
+
+namespace haste::model {
+
+/// Hardware / environment parameters of the charging model.
+struct PowerModel {
+  double alpha = 10000.0;                  ///< numerator constant (W * m^2)
+  double beta = 40.0;                      ///< distance offset (m)
+  double radius = 20.0;                    ///< D: charging/receiving radius (m)
+  double charging_angle = geom::kPi / 3.0; ///< A_s: charger sector angle (rad)
+  double receiving_angle = geom::kPi / 3.0;///< A_o: device sector angle (rad)
+
+  /// Anisotropic receiving gain (the future-work extension [57]); kUniform
+  /// reproduces the paper's base model exactly.
+  ReceivingGainProfile gain_profile = ReceivingGainProfile::kUniform;
+
+  /// Paper defaults for the large-scale simulations (Section 7.1).
+  static PowerModel simulation_default() { return PowerModel{}; }
+
+  /// Distance-only power law alpha / (d + beta)^2 (no sector gating); this is
+  /// the paper's P_r(s_i, o_j) used once coverage is established.
+  double range_power(double distance) const;
+
+  /// Anisotropic receiving gain for a device at `device_pos` facing
+  /// `device_phi` receiving from a charger at `charger_pos`; 1 under the
+  /// uniform profile.
+  double incidence_gain(geom::Vec2 charger_pos, geom::Vec2 device_pos,
+                        double device_phi) const;
+
+  /// Full gated power P_r(s_i, theta_i, o_j, phi_j).
+  double power(geom::Vec2 charger_pos, double charger_theta, geom::Vec2 device_pos,
+               double device_phi) const;
+
+  /// Power the charger could deliver to the task if it pointed at it:
+  /// requires only the device-side condition (charger within the device's
+  /// receiving sector and within D). Zero if the task cannot ever be charged
+  /// by this charger ("task does not cover the charger").
+  double potential_power(geom::Vec2 charger_pos, const Task& task) const;
+
+  /// The "task covers charger" relation of the paper: some charger
+  /// orientation charges the task.
+  bool task_covers_charger(geom::Vec2 charger_pos, const Task& task) const;
+
+  /// Validates parameter sanity (positive alpha/radius, angles in (0, 2*pi]);
+  /// throws std::invalid_argument otherwise.
+  void validate() const;
+};
+
+}  // namespace haste::model

@@ -1,0 +1,85 @@
+#include "model/schedule.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace haste::model {
+
+Schedule::Schedule(ChargerIndex chargers, SlotIndex horizon) : horizon_(horizon) {
+  if (chargers < 0 || horizon < 0) {
+    throw std::invalid_argument("Schedule: negative dimensions");
+  }
+  slots_.assign(static_cast<std::size_t>(chargers),
+                std::vector<SlotAssignment>(static_cast<std::size_t>(horizon)));
+  disabled_from_.assign(static_cast<std::size_t>(chargers), horizon);
+}
+
+void Schedule::check_bounds(ChargerIndex i, SlotIndex k) const {
+  if (i < 0 || static_cast<std::size_t>(i) >= slots_.size() || k < 0 || k >= horizon_) {
+    throw std::out_of_range("Schedule: index (" + std::to_string(i) + ", " +
+                            std::to_string(k) + ") out of range");
+  }
+}
+
+void Schedule::assign(ChargerIndex i, SlotIndex k, double theta) {
+  check_bounds(i, k);
+  slots_[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] = theta;
+}
+
+void Schedule::clear(ChargerIndex i, SlotIndex k) {
+  check_bounds(i, k);
+  slots_[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)].reset();
+}
+
+SlotAssignment Schedule::assignment(ChargerIndex i, SlotIndex k) const {
+  check_bounds(i, k);
+  return slots_[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)];
+}
+
+SlotAssignment Schedule::resolved_orientation(ChargerIndex i, SlotIndex k) const {
+  check_bounds(i, k);
+  if (disabled_at(i, k)) return std::nullopt;
+  const auto& row = slots_[static_cast<std::size_t>(i)];
+  for (SlotIndex s = k; s >= 0; --s) {
+    if (row[static_cast<std::size_t>(s)].has_value()) return row[static_cast<std::size_t>(s)];
+  }
+  return std::nullopt;
+}
+
+bool Schedule::switches_at(ChargerIndex i, SlotIndex k) const {
+  check_bounds(i, k);
+  if (disabled_at(i, k)) return false;
+  const SlotAssignment current = assignment(i, k);
+  if (!current.has_value()) return false;  // persisting costs nothing
+  if (k == 0) return true;                 // coming out of Phi
+  const SlotAssignment previous = resolved_orientation(i, k - 1);
+  if (!previous.has_value()) return true;  // coming out of Phi
+  return *previous != *current;
+}
+
+void Schedule::disable_from(ChargerIndex i, SlotIndex k) {
+  if (k < 0) k = 0;
+  if (i < 0 || static_cast<std::size_t>(i) >= slots_.size()) {
+    throw std::out_of_range("Schedule: disable_from charger out of range");
+  }
+  auto& from = disabled_from_[static_cast<std::size_t>(i)];
+  from = std::min(from, k);
+}
+
+bool Schedule::disabled_at(ChargerIndex i, SlotIndex k) const {
+  check_bounds(i, k);
+  return k >= disabled_from_[static_cast<std::size_t>(i)];
+}
+
+int Schedule::total_switches() const {
+  int count = 0;
+  for (ChargerIndex i = 0; i < charger_count(); ++i) {
+    for (SlotIndex k = 0; k < horizon_; ++k) {
+      if (switches_at(i, k)) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace haste::model

@@ -1,0 +1,32 @@
+#include "model/task.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace haste::model {
+
+void Task::validate() const {
+  if (end_slot <= release_slot) {
+    throw std::invalid_argument("Task: end_slot must exceed release_slot");
+  }
+  if (!(required_energy > 0.0) || !std::isfinite(required_energy)) {
+    throw std::invalid_argument("Task: required_energy must be positive and finite");
+  }
+  if (!std::isfinite(weight) || weight < 0.0) {
+    throw std::invalid_argument("Task: weight must be finite and non-negative");
+  }
+  if (!std::isfinite(position.x) || !std::isfinite(position.y)) {
+    throw std::invalid_argument("Task: position must be finite");
+  }
+}
+
+std::string Task::describe() const {
+  std::ostringstream out;
+  out << "Task(pos=(" << position.x << "," << position.y << "), phi=" << orientation
+      << ", slots=[" << release_slot << "," << end_slot << "), E=" << required_energy
+      << "J, w=" << weight << ")";
+  return out.str();
+}
+
+}  // namespace haste::model

@@ -1,0 +1,41 @@
+// Charging tasks: the five-tuple <o_j, phi_j, t_r, t_e, E_j> of the paper,
+// plus the task weight w_j used by the weighted objective.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "geom/vec2.hpp"
+
+namespace haste::model {
+
+/// Discrete slot index (0-based: slot k spans [k*T_s, (k+1)*T_s)).
+using SlotIndex = std::int32_t;
+
+/// A charging task raised by a rechargeable device.
+///
+/// Paper slot indexing (1-based, k in [t_r/T_s + 1, t_e/T_s]) maps to the
+/// 0-based half-open range [release_slot, end_slot) used here.
+struct Task {
+  geom::Vec2 position;          ///< o_j: device location (m)
+  double orientation = 0.0;     ///< phi_j: device facing (rad)
+  SlotIndex release_slot = 0;   ///< first slot of activity (inclusive)
+  SlotIndex end_slot = 0;       ///< one past the last active slot
+  double required_energy = 1.0; ///< E_j (J); must be > 0
+  double weight = 1.0;          ///< w_j
+
+  /// True while the task can harvest energy in slot `k`.
+  constexpr bool active(SlotIndex k) const { return release_slot <= k && k < end_slot; }
+
+  /// Number of active slots.
+  constexpr SlotIndex duration_slots() const { return end_slot - release_slot; }
+
+  /// Validates the invariants (positive duration and energy, finite weight);
+  /// throws std::invalid_argument naming the offending field.
+  void validate() const;
+
+  /// Human-readable one-line description for logs and examples.
+  std::string describe() const;
+};
+
+}  // namespace haste::model

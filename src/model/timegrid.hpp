@@ -1,0 +1,36 @@
+// Discrete-time parameters: slot length T_s, switching delay rho (fraction of
+// a slot spent rotating, during which the charger is silent), and the online
+// rescheduling delay tau (whole slots per re-plan).
+#pragma once
+
+#include <stdexcept>
+
+#include "model/task.hpp"
+
+namespace haste::model {
+
+/// Time discretization and delay parameters.
+struct TimeGrid {
+  double slot_seconds = 60.0;  ///< T_s
+  double rho = 1.0 / 12.0;     ///< switching delay, fraction of a slot in [0, 1]
+  SlotIndex tau = 1;           ///< rescheduling delay in slots (online only)
+
+  /// Seconds of effective charging in a slot, given whether the charger
+  /// spends the leading rho fraction switching.
+  constexpr double effective_seconds(bool switching) const {
+    return switching ? slot_seconds * (1.0 - rho) : slot_seconds;
+  }
+
+  /// Validates invariants; throws std::invalid_argument on violation.
+  void validate() const {
+    if (!(slot_seconds > 0.0)) {
+      throw std::invalid_argument("TimeGrid: slot_seconds must be positive");
+    }
+    if (rho < 0.0 || rho > 1.0) {
+      throw std::invalid_argument("TimeGrid: rho must be in [0, 1]");
+    }
+    if (tau < 0) throw std::invalid_argument("TimeGrid: tau must be non-negative");
+  }
+};
+
+}  // namespace haste::model

@@ -1,0 +1,38 @@
+#include "model/utility.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace haste::model {
+
+double LinearBoundedShape::value(double r) const { return std::clamp(r, 0.0, 1.0); }
+
+double SqrtBoundedShape::value(double r) const {
+  if (r <= 0.0) return 0.0;
+  return std::min(1.0, std::sqrt(r));
+}
+
+LogBoundedShape::LogBoundedShape(double k) : k_(k), norm_(std::log1p(k)) {
+  if (!(k > 0.0)) throw std::invalid_argument("LogBoundedShape: k must be positive");
+}
+
+double LogBoundedShape::value(double r) const {
+  if (r <= 0.0) return 0.0;
+  if (r >= 1.0) return 1.0;
+  return std::log1p(k_ * r) / norm_;
+}
+
+double task_utility(const UtilityShape& shape, double harvested_energy,
+                    double required_energy) {
+  return shape.value(harvested_energy / required_energy);
+}
+
+std::unique_ptr<UtilityShape> make_utility_shape(const std::string& name) {
+  if (name == "linear") return std::make_unique<LinearBoundedShape>();
+  if (name == "sqrt") return std::make_unique<SqrtBoundedShape>();
+  if (name == "log") return std::make_unique<LogBoundedShape>();
+  throw std::invalid_argument("unknown utility shape: " + name);
+}
+
+}  // namespace haste::model

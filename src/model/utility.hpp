@@ -1,0 +1,66 @@
+// Charging utility functions.
+//
+// The paper's utility (Eq. 1) is U(x) = min(1, x / E_j): linear in harvested
+// energy, capped at 1 once the requirement E_j is met. Section 1.3 notes the
+// results extend to any concave utility; we model that by a `UtilityShape`
+// evaluated on the *fill ratio* r = x / E_j, so one shape object serves all
+// tasks. Shapes must be concave, non-decreasing, with shape(0) = 0 and
+// shape(r) = 1 for r >= 1 — exactly the properties the submodularity proof
+// (Lemma 4.2) and the (1 - rho) switching-delay bound rely on.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace haste::model {
+
+/// Interface for a normalized concave utility shape.
+class UtilityShape {
+ public:
+  virtual ~UtilityShape() = default;
+
+  /// Utility at fill ratio `r >= 0`; must be concave and non-decreasing with
+  /// value(0) == 0 and value(r) == 1 for r >= 1.
+  virtual double value(double r) const = 0;
+
+  /// Name for reports ("linear", "sqrt", ...).
+  virtual std::string name() const = 0;
+};
+
+/// The paper's linear-and-bounded utility: min(1, r).
+class LinearBoundedShape final : public UtilityShape {
+ public:
+  double value(double r) const override;
+  std::string name() const override { return "linear"; }
+};
+
+/// Concave extension example: min(1, sqrt(r)). Rewards early energy more,
+/// still bounded — exercises the "general concave function" extension.
+class SqrtBoundedShape final : public UtilityShape {
+ public:
+  double value(double r) const override;
+  std::string name() const override { return "sqrt"; }
+};
+
+/// Concave extension example: log1p(k*r)/log1p(k) capped at 1. `k` tunes the
+/// curvature; k -> 0 degenerates to the linear shape.
+class LogBoundedShape final : public UtilityShape {
+ public:
+  explicit LogBoundedShape(double k = 4.0);
+  double value(double r) const override;
+  std::string name() const override { return "log"; }
+
+ private:
+  double k_;
+  double norm_;
+};
+
+/// Task-level utility: shape applied to harvested_energy / required_energy.
+double task_utility(const UtilityShape& shape, double harvested_energy,
+                    double required_energy);
+
+/// Factory by name ("linear", "sqrt", "log"); throws std::invalid_argument on
+/// an unknown name.
+std::unique_ptr<UtilityShape> make_utility_shape(const std::string& name);
+
+}  // namespace haste::model

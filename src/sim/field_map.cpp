@@ -1,0 +1,120 @@
+#include "sim/field_map.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "geom/sector.hpp"
+#include "util/stats.hpp"
+
+namespace haste::sim {
+
+double FieldMap::at(int row, int column) const {
+  if (row < 0 || row >= rows || column < 0 || column >= columns) {
+    throw std::out_of_range("FieldMap::at");
+  }
+  return intensity[static_cast<std::size_t>(row) * static_cast<std::size_t>(columns) +
+                   static_cast<std::size_t>(column)];
+}
+
+double FieldMap::peak() const {
+  return intensity.empty() ? 0.0 : *std::max_element(intensity.begin(), intensity.end());
+}
+
+double FieldMap::mean() const { return util::mean(intensity); }
+
+FieldMap sample_field(const model::Network& net, const model::Schedule& schedule,
+                      model::SlotIndex slot, int columns, int rows) {
+  FieldMap field;
+  field.columns = std::max(columns, 1);
+  field.rows = std::max(rows, 1);
+
+  double min_x = 0.0, max_x = 1.0, min_y = 0.0, max_y = 1.0;
+  bool first = true;
+  const auto extend = [&](geom::Vec2 p) {
+    if (first) {
+      min_x = max_x = p.x;
+      min_y = max_y = p.y;
+      first = false;
+      return;
+    }
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  };
+  for (const model::Charger& c : net.chargers()) extend(c.position);
+  for (const model::Task& t : net.tasks()) extend(t.position);
+  // Pad by the charging radius so sector tips are visible.
+  const double pad = net.power_model().radius * 0.1 + 1e-9;
+  min_x -= pad;
+  max_x += pad;
+  min_y -= pad;
+  max_y += pad;
+
+  field.min_x = min_x;
+  field.min_y = min_y;
+  field.cell_width = (max_x - min_x) / field.columns;
+  field.cell_height = (max_y - min_y) / field.rows;
+  field.intensity.assign(
+      static_cast<std::size_t>(field.rows) * static_cast<std::size_t>(field.columns), 0.0);
+
+  // Resolve per-charger orientation once for the slot.
+  std::vector<std::optional<double>> orientation(
+      static_cast<std::size_t>(net.charger_count()));
+  for (model::ChargerIndex i = 0; i < net.charger_count(); ++i) {
+    if (slot < schedule.horizon() && !schedule.disabled_at(i, slot)) {
+      orientation[static_cast<std::size_t>(i)] = schedule.resolved_orientation(i, slot);
+    }
+  }
+
+  const model::PowerModel& power = net.power_model();
+  for (int r = 0; r < field.rows; ++r) {
+    for (int c = 0; c < field.columns; ++c) {
+      const geom::Vec2 probe{min_x + (c + 0.5) * field.cell_width,
+                             min_y + (r + 0.5) * field.cell_height};
+      double total = 0.0;
+      for (model::ChargerIndex i = 0; i < net.charger_count(); ++i) {
+        const auto& theta = orientation[static_cast<std::size_t>(i)];
+        if (!theta.has_value()) continue;
+        const geom::Vec2 pos = net.chargers()[static_cast<std::size_t>(i)].position;
+        const geom::Sector charging{pos, *theta, power.charging_angle, power.radius};
+        if (!charging.contains(probe)) continue;
+        total += power.range_power(geom::distance(pos, probe));
+      }
+      field.intensity[static_cast<std::size_t>(r) * static_cast<std::size_t>(field.columns) +
+                      static_cast<std::size_t>(c)] = total;
+    }
+  }
+  return field;
+}
+
+std::string shade_field(const FieldMap& field) {
+  // Thresholds at quantiles of the positive cells so any schedule produces a
+  // readable picture regardless of absolute power levels.
+  std::vector<double> positive;
+  for (double v : field.intensity) {
+    if (v > 0.0) positive.push_back(v);
+  }
+  const double q25 = util::quantile(positive, 0.25);
+  const double q50 = util::quantile(positive, 0.50);
+  const double q75 = util::quantile(positive, 0.75);
+
+  std::string out;
+  out.reserve(static_cast<std::size_t>(field.rows) *
+              static_cast<std::size_t>(field.columns + 1));
+  // Row 0 is the bottom of the field; render top-down.
+  for (int r = field.rows - 1; r >= 0; --r) {
+    for (int c = 0; c < field.columns; ++c) {
+      const double v = field.at(r, c);
+      char glyph = ' ';
+      if (v > 0.0) {
+        glyph = v <= q25 ? '.' : v <= q50 ? ':' : v <= q75 ? '+' : '#';
+      }
+      out += glyph;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace haste::sim

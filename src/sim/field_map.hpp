@@ -1,0 +1,42 @@
+// Power-intensity field maps: the aggregate received power density over a
+// grid of probe points, for one slot of a schedule.
+//
+// This is the quantity the EMR-safety line of work (the paper's Section 2
+// citations [42]-[48]) constrains; here it serves two purposes: visualizing
+// where a schedule concentrates energy, and checking EMR-style statistics
+// (peak and mean intensity) across schedules in the ablation bench. A probe
+// measures what an omnidirectional test receiver at that point would absorb:
+// the sum over chargers of the sector-gated power law (the receiver-side
+// condition is waived — a probe has no facing).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/network.hpp"
+#include "model/schedule.hpp"
+
+namespace haste::sim {
+
+/// A sampled intensity field over a rectangular grid.
+struct FieldMap {
+  double min_x = 0.0, min_y = 0.0;   ///< world coordinates of cell (0, 0)
+  double cell_width = 1.0, cell_height = 1.0;
+  int columns = 0, rows = 0;
+  std::vector<double> intensity;     ///< row-major, W (or the model's unit)
+
+  double at(int row, int column) const;
+  double peak() const;
+  double mean() const;
+};
+
+/// Samples the field at slot `slot` under `schedule` (resolved orientations,
+/// disabled chargers silent) over the bounding box of all entities.
+FieldMap sample_field(const model::Network& net, const model::Schedule& schedule,
+                      model::SlotIndex slot, int columns = 64, int rows = 64);
+
+/// ASCII shading of a field map (' ', '.', ':', '+', '#' by quantile of the
+/// positive intensities) — a poor man's heatmap for terminals.
+std::string shade_field(const FieldMap& field);
+
+}  // namespace haste::sim

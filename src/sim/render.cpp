@@ -1,0 +1,100 @@
+#include "sim/render.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "geom/angle.hpp"
+
+namespace haste::sim {
+
+namespace {
+
+char orientation_glyph(double theta) {
+  // Nearest quarter: right, up, left, down (screen-space arrows; the grid's
+  // y axis is drawn top-down, so "up" means increasing y = earlier rows).
+  const double normalized = geom::normalize_angle(theta);
+  const int quarter =
+      static_cast<int>(std::floor((normalized + geom::kPi / 4) / (geom::kPi / 2))) % 4;
+  switch (quarter) {
+    case 0: return '>';
+    case 1: return '^';
+    case 2: return '<';
+    default: return 'v';
+  }
+}
+
+}  // namespace
+
+std::string render_field(const model::Network& net, const model::Schedule* schedule,
+                         model::SlotIndex slot, int columns, int rows) {
+  columns = std::max(columns, 4);
+  rows = std::max(rows, 2);
+
+  // Bounding box over all entities, padded slightly.
+  double min_x = 0.0;
+  double max_x = 1.0;
+  double min_y = 0.0;
+  double max_y = 1.0;
+  bool first = true;
+  const auto extend = [&](geom::Vec2 p) {
+    if (first) {
+      min_x = max_x = p.x;
+      min_y = max_y = p.y;
+      first = false;
+      return;
+    }
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  };
+  for (const model::Charger& c : net.chargers()) extend(c.position);
+  for (const model::Task& t : net.tasks()) extend(t.position);
+  const double pad_x = std::max(1e-9, (max_x - min_x) * 0.05 + 1e-9);
+  const double pad_y = std::max(1e-9, (max_y - min_y) * 0.05 + 1e-9);
+  min_x -= pad_x;
+  max_x += pad_x;
+  min_y -= pad_y;
+  max_y += pad_y;
+
+  const auto to_cell = [&](geom::Vec2 p) {
+    const int col = static_cast<int>((p.x - min_x) / (max_x - min_x) * (columns - 1));
+    const int row = static_cast<int>((max_y - p.y) / (max_y - min_y) * (rows - 1));
+    return std::pair<int, int>(std::clamp(row, 0, rows - 1),
+                               std::clamp(col, 0, columns - 1));
+  };
+
+  std::vector<std::string> grid(static_cast<std::size_t>(rows),
+                                std::string(static_cast<std::size_t>(columns), '.'));
+
+  for (model::TaskIndex j = 0; j < net.task_count(); ++j) {
+    const model::Task& task = net.tasks()[static_cast<std::size_t>(j)];
+    const auto [row, col] = to_cell(task.position);
+    grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] =
+        task.active(slot) ? 'T' : 't';
+  }
+  for (model::ChargerIndex i = 0; i < net.charger_count(); ++i) {
+    const auto [row, col] = to_cell(net.chargers()[static_cast<std::size_t>(i)].position);
+    char glyph = '+';
+    if (schedule != nullptr && slot < schedule->horizon()) {
+      if (schedule->disabled_at(i, slot)) {
+        glyph = 'x';
+      } else {
+        const model::SlotAssignment orientation = schedule->resolved_orientation(i, slot);
+        if (orientation.has_value()) glyph = orientation_glyph(*orientation);
+      }
+    }
+    grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = glyph;
+  }
+
+  std::string out;
+  out.reserve(static_cast<std::size_t>(rows) * static_cast<std::size_t>(columns + 1));
+  for (const std::string& line : grid) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace haste::sim

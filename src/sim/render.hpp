@@ -1,0 +1,29 @@
+// ASCII rendering of a charger field — a quick visual check for examples and
+// the CLI: charger positions with their current orientation, device
+// positions with their activity state.
+//
+// Legend:  >  v  <  ^   charger pointing right/down/left/up (nearest quarter)
+//          +            charger that is idle (no orientation yet)
+//          x            charger that is disabled (failed)
+//          T            task active in the rendered slot
+//          t            task present but inactive in the rendered slot
+//          .            empty cell
+// When several entities share a cell, chargers win over tasks.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "model/network.hpp"
+#include "model/schedule.hpp"
+
+namespace haste::sim {
+
+/// Renders the field into a `rows` x `columns` character grid. When a
+/// schedule is given, charger glyphs show the resolved orientation at slot
+/// `slot`; otherwise chargers render as '+'.
+std::string render_field(const model::Network& net,
+                         const model::Schedule* schedule = nullptr,
+                         model::SlotIndex slot = 0, int columns = 48, int rows = 16);
+
+}  // namespace haste::sim

@@ -1,0 +1,110 @@
+#include "sim/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "geom/angle.hpp"
+
+namespace haste::sim {
+
+ScenarioConfig ScenarioConfig::small_scale() {
+  ScenarioConfig config;
+  config.field_width = 10.0;
+  config.field_height = 10.0;
+  config.chargers = 5;
+  config.tasks = 10;
+  // The paper's stated range "[200 J 800 kJ]" is internally inconsistent
+  // (200-800 J saturates in a single slot at these power levels, collapsing
+  // every algorithm to the same value); 1-4 kJ lands in the non-saturated
+  // regime the paper's Figs. 8-9 display. Documented in DESIGN.md.
+  config.energy_min_j = 1000.0;
+  config.energy_max_j = 4000.0;
+  config.duration_min_slots = 1;
+  config.duration_max_slots = 5;
+  config.release_window_slots = 3;
+  return config;
+}
+
+void ScenarioConfig::validate() const {
+  if (field_width <= 0.0 || field_height <= 0.0) {
+    throw std::invalid_argument("ScenarioConfig: field dimensions must be positive");
+  }
+  if (chargers < 0 || tasks < 0) {
+    throw std::invalid_argument("ScenarioConfig: counts must be non-negative");
+  }
+  if (energy_min_j <= 0.0 || energy_max_j < energy_min_j) {
+    throw std::invalid_argument("ScenarioConfig: bad energy range");
+  }
+  if (duration_min_slots < 1 || duration_max_slots < duration_min_slots) {
+    throw std::invalid_argument("ScenarioConfig: bad duration range");
+  }
+  if (release_window_slots < 0) {
+    throw std::invalid_argument("ScenarioConfig: bad release window");
+  }
+  if (arrivals == ArrivalProcess::kPoisson && !(poisson_rate_per_slot > 0.0)) {
+    throw std::invalid_argument("ScenarioConfig: poisson rate must be positive");
+  }
+  power.validate();
+  time.validate();
+}
+
+model::Network generate_scenario(const ScenarioConfig& config, util::Rng& rng) {
+  config.validate();
+
+  std::vector<model::Charger> chargers;
+  chargers.reserve(static_cast<std::size_t>(config.chargers));
+  for (int i = 0; i < config.chargers; ++i) {
+    chargers.push_back(model::Charger{
+        {rng.uniform(0.0, config.field_width), rng.uniform(0.0, config.field_height)}});
+  }
+
+  const double weight =
+      config.task_weight > 0.0
+          ? config.task_weight
+          : (config.tasks > 0 ? 1.0 / static_cast<double>(config.tasks) : 1.0);
+
+  // Pre-draw release slots: uniform over the window, or a Poisson process
+  // (exponential gaps, one arrival stream shared by all tasks).
+  std::vector<model::SlotIndex> releases(static_cast<std::size_t>(config.tasks), 0);
+  if (config.arrivals == ArrivalProcess::kPoisson) {
+    double t = 0.0;
+    for (auto& release : releases) {
+      t += -std::log(1.0 - rng.uniform()) / config.poisson_rate_per_slot;
+      release = static_cast<model::SlotIndex>(t);
+    }
+  } else {
+    for (auto& release : releases) {
+      release = static_cast<model::SlotIndex>(
+          rng.uniform_int(0, config.release_window_slots));
+    }
+  }
+
+  std::vector<model::Task> tasks;
+  tasks.reserve(static_cast<std::size_t>(config.tasks));
+  for (int j = 0; j < config.tasks; ++j) {
+    model::Task task;
+    if (config.task_placement == Placement::kGaussian) {
+      const double x = rng.normal(config.field_width / 2.0, config.gaussian_sigma_x);
+      const double y = rng.normal(config.field_height / 2.0, config.gaussian_sigma_y);
+      task.position = {std::clamp(x, 0.0, config.field_width),
+                       std::clamp(y, 0.0, config.field_height)};
+    } else {
+      task.position = {rng.uniform(0.0, config.field_width),
+                       rng.uniform(0.0, config.field_height)};
+    }
+    task.orientation = rng.uniform(0.0, geom::kTwoPi);
+    task.release_slot = releases[static_cast<std::size_t>(j)];
+    const auto duration = static_cast<model::SlotIndex>(
+        rng.uniform_int(config.duration_min_slots, config.duration_max_slots));
+    task.end_slot = task.release_slot + duration;
+    task.required_energy = rng.uniform(config.energy_min_j, config.energy_max_j);
+    task.weight = weight;
+    tasks.push_back(task);
+  }
+
+  return model::Network(std::move(chargers), std::move(tasks), config.power, config.time,
+                        model::make_utility_shape(config.utility_shape));
+}
+
+}  // namespace haste::sim

@@ -1,0 +1,141 @@
+#include "sim/svg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "geom/angle.hpp"
+
+namespace haste::sim {
+
+namespace {
+
+std::string fmt(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2f", value);
+  return buffer;
+}
+
+/// Interpolated red->yellow->green fill for a utility in [0, 1].
+std::string utility_color(double u) {
+  u = std::clamp(u, 0.0, 1.0);
+  const int red = u < 0.5 ? 220 : static_cast<int>(220 * (1.0 - u) * 2.0);
+  const int green = u < 0.5 ? static_cast<int>(200 * u * 2.0) : 200;
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "#%02x%02x50", red, green);
+  return buffer;
+}
+
+}  // namespace
+
+std::string render_svg(const model::Network& net, const model::Schedule* schedule,
+                       model::SlotIndex slot,
+                       const core::EvaluationResult* evaluation,
+                       const SvgOptions& options) {
+  // World bounding box (padded by a fraction of the charging radius).
+  double min_x = 0.0, max_x = 1.0, min_y = 0.0, max_y = 1.0;
+  bool first = true;
+  const auto extend = [&](geom::Vec2 p) {
+    if (first) {
+      min_x = max_x = p.x;
+      min_y = max_y = p.y;
+      first = false;
+      return;
+    }
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  };
+  for (const model::Charger& c : net.chargers()) extend(c.position);
+  for (const model::Task& t : net.tasks()) extend(t.position);
+  const double pad = net.power_model().radius * 0.15 + 1e-9;
+  min_x -= pad;
+  max_x += pad;
+  min_y -= pad;
+  max_y += pad;
+
+  const double world_w = std::max(max_x - min_x, 1e-9);
+  const double world_h = std::max(max_y - min_y, 1e-9);
+  const double scale = options.width_px / world_w;
+  const int height_px = std::max(1, static_cast<int>(world_h * scale));
+
+  // World -> screen: flip y so north is up.
+  const auto sx = [&](double x) { return (x - min_x) * scale; };
+  const auto sy = [&](double y) { return (max_y - y) * scale; };
+
+  std::ostringstream out;
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << options.width_px
+      << "\" height=\"" << height_px << "\" viewBox=\"0 0 " << options.width_px << ' '
+      << height_px << "\">\n";
+  out << "<rect width=\"100%\" height=\"100%\" fill=\"#fbfaf7\"/>\n";
+
+  // Charging sectors first (translucent), then markers on top.
+  if (options.draw_sectors && schedule != nullptr && slot < schedule->horizon()) {
+    const double radius = net.power_model().radius;
+    const double half = net.power_model().charging_angle / 2.0;
+    for (model::ChargerIndex i = 0; i < net.charger_count(); ++i) {
+      if (schedule->disabled_at(i, slot)) continue;
+      const model::SlotAssignment theta = schedule->resolved_orientation(i, slot);
+      if (!theta.has_value()) continue;
+      const geom::Vec2 apex = net.chargers()[static_cast<std::size_t>(i)].position;
+      const geom::Vec2 a = apex + radius * geom::unit_vector(*theta - half);
+      const geom::Vec2 b = apex + radius * geom::unit_vector(*theta + half);
+      const bool wide = net.power_model().charging_angle > geom::kPi;
+      out << "<path d=\"M " << fmt(sx(apex.x)) << ' ' << fmt(sy(apex.y)) << " L "
+          << fmt(sx(a.x)) << ' ' << fmt(sy(a.y)) << " A " << fmt(radius * scale) << ' '
+          << fmt(radius * scale) << " 0 " << (wide ? 1 : 0)
+          << " 0 "  // sweep 0: y axis is flipped, so CCW world = CW screen
+          << fmt(sx(b.x)) << ' ' << fmt(sy(b.y))
+          << " Z\" fill=\"#4a90d9\" fill-opacity=\"0.15\" stroke=\"#4a90d9\" "
+             "stroke-opacity=\"0.4\" stroke-width=\"1\"/>\n";
+    }
+  }
+
+  for (model::ChargerIndex i = 0; i < net.charger_count(); ++i) {
+    const geom::Vec2 p = net.chargers()[static_cast<std::size_t>(i)].position;
+    const bool dead =
+        schedule != nullptr && slot < schedule->horizon() && schedule->disabled_at(i, slot);
+    out << "<rect x=\"" << fmt(sx(p.x) - 4) << "\" y=\"" << fmt(sy(p.y) - 4)
+        << "\" width=\"8\" height=\"8\" fill=\"" << (dead ? "#999999" : "#1f4e79")
+        << "\"/>\n";
+  }
+
+  for (model::TaskIndex j = 0; j < net.task_count(); ++j) {
+    const model::Task& task = net.tasks()[static_cast<std::size_t>(j)];
+    const std::string fill =
+        evaluation != nullptr && static_cast<std::size_t>(j) < evaluation->task_utility.size()
+            ? utility_color(evaluation->task_utility[static_cast<std::size_t>(j)])
+            : std::string(task.active(slot) ? "#c0392b" : "#b0a89f");
+    out << "<circle cx=\"" << fmt(sx(task.position.x)) << "\" cy=\""
+        << fmt(sy(task.position.y)) << "\" r=\"5\" fill=\"" << fill
+        << "\" stroke=\"#5d4037\" stroke-width=\"1\"/>\n";
+    // Facing tick: a short line in the device's receiving direction.
+    const geom::Vec2 tip = task.position + 0.6 * geom::unit_vector(task.orientation) *
+                                               (net.power_model().radius * 0.15);
+    out << "<line x1=\"" << fmt(sx(task.position.x)) << "\" y1=\""
+        << fmt(sy(task.position.y)) << "\" x2=\"" << fmt(sx(tip.x)) << "\" y2=\""
+        << fmt(sy(tip.y)) << "\" stroke=\"#5d4037\" stroke-width=\"1.5\"/>\n";
+    if (options.label_tasks) {
+      out << "<text x=\"" << fmt(sx(task.position.x) + 7) << "\" y=\""
+          << fmt(sy(task.position.y) - 7) << "\" font-size=\"11\" fill=\"#3d3d3d\">"
+          << (j + 1) << "</text>\n";
+    }
+  }
+
+  out << "</svg>\n";
+  return out.str();
+}
+
+void save_svg(const std::string& path, const model::Network& net,
+              const model::Schedule* schedule, model::SlotIndex slot,
+              const core::EvaluationResult* evaluation, const SvgOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out << render_svg(net, schedule, slot, evaluation, options);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace haste::sim

@@ -1,0 +1,36 @@
+// SVG rendering of a charger field: charging-sector wedges, task markers
+// colored by fill ratio, and optional power shading. A publication-grade
+// snapshot of one slot of a schedule, with no dependencies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/evaluate.hpp"
+#include "model/network.hpp"
+#include "model/schedule.hpp"
+
+namespace haste::sim {
+
+/// Options for the SVG snapshot.
+struct SvgOptions {
+  int width_px = 640;            ///< image width; height follows aspect ratio
+  bool draw_sectors = true;      ///< charging-sector wedges at the slot
+  bool label_tasks = true;       ///< task indices next to markers
+};
+
+/// Renders slot `slot` of `schedule` (pass nullptr for the bare instance).
+/// When `evaluation` is given, task markers are shaded by their achieved
+/// utility (red = 0, green = 1); otherwise all tasks render neutral.
+std::string render_svg(const model::Network& net, const model::Schedule* schedule,
+                       model::SlotIndex slot,
+                       const core::EvaluationResult* evaluation = nullptr,
+                       const SvgOptions& options = {});
+
+/// Writes render_svg output to a file; throws std::runtime_error on I/O.
+void save_svg(const std::string& path, const model::Network& net,
+              const model::Schedule* schedule, model::SlotIndex slot,
+              const core::EvaluationResult* evaluation = nullptr,
+              const SvgOptions& options = {});
+
+}  // namespace haste::sim

@@ -1,0 +1,81 @@
+#include "sim/sweep.hpp"
+
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace haste::sim {
+
+std::vector<Variant> offline_variants() {
+  return {
+      {"HASTE C=1", Algorithm::kOfflineHaste, AlgoParams{1, 1, 1}},
+      {"HASTE C=4", Algorithm::kOfflineHaste, AlgoParams{4, 16, 1}},
+      {"GreedyUtility", Algorithm::kOfflineGreedyUtility, AlgoParams{}},
+      {"GreedyCover", Algorithm::kOfflineGreedyCover, AlgoParams{}},
+  };
+}
+
+std::vector<Variant> online_variants() {
+  return {
+      {"HASTE-DO C=1", Algorithm::kOnlineHaste, AlgoParams{1, 1, 1}},
+      {"HASTE-DO C=4", Algorithm::kOnlineHaste, AlgoParams{4, 8, 1}},
+      {"GreedyUtility", Algorithm::kOnlineGreedyUtility, AlgoParams{}},
+      {"GreedyCover", Algorithm::kOnlineGreedyCover, AlgoParams{}},
+  };
+}
+
+TrialResults run_trials(const ScenarioConfig& config, const std::vector<Variant>& variants,
+                        int trials, std::uint64_t base_seed) {
+  // Pre-size the result matrix so worker threads write disjoint cells.
+  std::vector<std::vector<RunMetrics>> matrix(
+      variants.size(), std::vector<RunMetrics>(static_cast<std::size_t>(trials)));
+
+  util::parallel_for(static_cast<std::size_t>(trials), [&](std::size_t t) {
+    util::Rng rng(util::Rng::stream_seed(base_seed, t));
+    const model::Network net = generate_scenario(config, rng);
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      AlgoParams params = variants[v].params;
+      // Decorrelate the scheduler's sampling randomness across trials while
+      // keeping runs reproducible.
+      params.seed = util::Rng::stream_seed(params.seed, t + 1);
+      matrix[v][t] = run_algorithm(net, variants[v].algorithm, params);
+    }
+  });
+
+  TrialResults results;
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    results[variants[v].label] = std::move(matrix[v]);
+  }
+  return results;
+}
+
+std::map<std::string, double> mean_utility(const TrialResults& results) {
+  std::map<std::string, double> means;
+  for (const auto& [label, metrics] : results) {
+    std::vector<double> values;
+    values.reserve(metrics.size());
+    for (const RunMetrics& m : metrics) values.push_back(m.normalized_utility);
+    means[label] = util::mean(values);
+  }
+  return means;
+}
+
+SweepSeries sweep(const std::vector<double>& xs,
+                  const std::function<ScenarioConfig(double)>& make_config,
+                  const std::vector<Variant>& variants, int trials,
+                  std::uint64_t base_seed) {
+  SweepSeries out;
+  out.xs = xs;
+  for (const Variant& variant : variants) {
+    out.series[variant.label] = {};
+  }
+  for (double x : xs) {
+    const TrialResults results = run_trials(make_config(x), variants, trials, base_seed);
+    const std::map<std::string, double> means = mean_utility(results);
+    for (const Variant& variant : variants) {
+      out.series[variant.label].push_back(means.at(variant.label));
+    }
+  }
+  return out;
+}
+
+}  // namespace haste::sim

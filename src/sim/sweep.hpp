@@ -1,0 +1,57 @@
+// Monte-Carlo sweep driver: runs a set of named algorithm variants over many
+// random topologies (in parallel) and aggregates the metrics. All figure
+// benches are thin wrappers around this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "sim/scenario.hpp"
+
+namespace haste::sim {
+
+/// A named algorithm variant to include in a comparison.
+struct Variant {
+  std::string label;        ///< series name, e.g. "HASTE C=4"
+  Algorithm algorithm = Algorithm::kOfflineHaste;
+  AlgoParams params;
+};
+
+/// The paper's default comparison set for offline figures:
+/// HASTE C=1, HASTE C=4, GreedyUtility, GreedyCover.
+std::vector<Variant> offline_variants();
+
+/// The online counterpart (HASTE-DO C=1 / C=4, online baselines).
+std::vector<Variant> online_variants();
+
+/// Metrics of all trials for each variant label.
+using TrialResults = std::map<std::string, std::vector<RunMetrics>>;
+
+/// Runs `trials` random topologies of `config` (trial t uses RNG stream t of
+/// `base_seed`) and evaluates every variant on each. Trials run in parallel
+/// on the default pool; results are deterministic regardless of thread
+/// count.
+TrialResults run_trials(const ScenarioConfig& config, const std::vector<Variant>& variants,
+                        int trials, std::uint64_t base_seed);
+
+/// Mean normalized utility per variant.
+std::map<std::string, double> mean_utility(const TrialResults& results);
+
+/// Convenience for sweeps: for each x-value, `make_config(x)` builds the
+/// scenario, all variants run `trials` times, and the mean normalized
+/// utilities are collected per variant in x order.
+struct SweepSeries {
+  std::vector<double> xs;
+  std::map<std::string, std::vector<double>> series;  ///< label -> mean utility per x
+};
+
+SweepSeries sweep(const std::vector<double>& xs,
+                  const std::function<ScenarioConfig(double)>& make_config,
+                  const std::vector<Variant>& variants, int trials,
+                  std::uint64_t base_seed);
+
+}  // namespace haste::sim

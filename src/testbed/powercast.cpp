@@ -1,0 +1,25 @@
+#include "testbed/powercast.hpp"
+
+#include "geom/angle.hpp"
+
+namespace haste::testbed {
+
+model::PowerModel powercast_tx91501() {
+  model::PowerModel power;
+  power.alpha = 41.93;
+  power.beta = 0.6428;
+  power.radius = 4.0;
+  power.charging_angle = geom::kPi / 3.0;
+  power.receiving_angle = 2.0 * geom::kPi / 3.0;
+  return power;
+}
+
+model::TimeGrid testbed_time() {
+  model::TimeGrid time;
+  time.slot_seconds = 60.0;
+  time.rho = 1.0 / 12.0;
+  time.tau = 1;
+  return time;
+}
+
+}  // namespace haste::testbed

@@ -1,0 +1,27 @@
+// The two field-experiment topologies (Figs. 20 and 23 of the paper).
+//
+// The paper gives the layouts only graphically; we synthesize coordinate
+// sets with the stated structure (documented substitution, see DESIGN.md):
+//
+//  * Topology 1 — 8 transmitters on the boundary of a 2.4 m x 2.4 m square
+//    (corners + edge midpoints, facing inward), 8 sensor nodes inside, one
+//    task per node with per-task orientation / release / end slots; tasks 1
+//    and 6 have the longest durations (the paper notes they reach the top
+//    utilities for that reason). Required energy 3-5 J.
+//  * Topology 2 — irregular: 16 transmitters and 20 nodes placed by a fixed
+//    seed in a 4.8 m x 4.8 m area.
+#pragma once
+
+#include "model/network.hpp"
+
+namespace haste::testbed {
+
+/// The small testbed: 8 chargers / 8 tasks (Fig. 20). `seed` varies the
+/// node layout; the default reproduces the repository's reference layout.
+model::Network topology1(std::uint64_t seed = 245);
+
+/// The large testbed: 16 chargers / 20 tasks (Fig. 23). `seed` varies the
+/// random layout; the default reproduces the repository's reference layout.
+model::Network topology2(std::uint64_t seed = 2004);
+
+}  // namespace haste::testbed

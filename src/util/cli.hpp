@@ -1,0 +1,51 @@
+// Tiny command-line flag parser shared by benches and examples.
+//
+// Supported syntax: `--name=value`, `--name value`, and boolean `--name`.
+// Unknown flags are collected and reported so every binary can print a
+// helpful error instead of silently ignoring typos.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace haste::util {
+
+/// Parsed command-line flags with typed accessors.
+class Flags {
+ public:
+  /// Parses argv (argv[0] is skipped). Positional arguments (tokens not
+  /// starting with "--") are collected separately.
+  static Flags parse(int argc, const char* const* argv);
+
+  /// True if the flag was present (with or without a value).
+  bool has(const std::string& name) const;
+
+  /// String value, or `fallback` if absent.
+  std::string get(const std::string& name, const std::string& fallback = "") const;
+
+  /// Integer value, or `fallback` if absent. Throws std::invalid_argument on
+  /// a malformed number.
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+
+  /// Floating-point value, or `fallback` if absent.
+  double get_double(const std::string& name, double fallback) const;
+
+  /// Boolean: `--flag`, `--flag=true/1/yes` are true; `--flag=false/0/no`
+  /// false; absent yields `fallback`.
+  bool get_bool(const std::string& name, bool fallback = false) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// All flag names seen, for --help style listings.
+  std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace haste::util

@@ -1,0 +1,44 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace haste::util {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string format_double(double value) {
+  char buffer[64];
+  const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  if (ec != std::errc{}) return "nan";
+  return std::string(buffer, ptr);
+}
+
+void CsvWriter::header(const std::vector<std::string>& columns) { row(columns); }
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) *out_ << ',';
+    *out_ << csv_escape(fields[i]);
+  }
+  *out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<double>& fields) {
+  std::vector<std::string> formatted;
+  formatted.reserve(fields.size());
+  for (double f : fields) formatted.push_back(format_double(f));
+  row(formatted);
+}
+
+}  // namespace haste::util

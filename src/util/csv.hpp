@@ -1,0 +1,39 @@
+// CSV emission for benchmark results.
+//
+// Every figure-reproduction bench can dump its series as CSV (via --csv) so
+// plots can be regenerated externally. Quoting follows RFC 4180: fields
+// containing commas, quotes, or newlines are quoted, quotes doubled.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace haste::util {
+
+/// Escapes one field per RFC 4180.
+std::string csv_escape(const std::string& field);
+
+/// Row-oriented CSV writer bound to an output stream.
+class CsvWriter {
+ public:
+  /// Binds to a stream owned by the caller; the stream must outlive this.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes a header row.
+  void header(const std::vector<std::string>& columns);
+
+  /// Writes a row of preformatted string fields.
+  void row(const std::vector<std::string>& fields);
+
+  /// Writes a row of doubles with full round-trip precision.
+  void row(const std::vector<double>& fields);
+
+ private:
+  std::ostream* out_;
+};
+
+/// Formats a double with enough digits to round-trip.
+std::string format_double(double value);
+
+}  // namespace haste::util

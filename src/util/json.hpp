@@ -1,0 +1,98 @@
+// Minimal self-contained JSON DOM (no external dependencies): enough for
+// scenario/schedule serialization — parse, build, and dump with full
+// round-trip fidelity for the types the library stores (numbers are doubles,
+// as in JSON itself).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace haste::util {
+
+/// Error thrown on malformed JSON input or type mismatches.
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A JSON value: null, bool, number (double), string, array, or object.
+/// Objects preserve no insertion order (std::map — deterministic dumps).
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Constructors for each type.
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}
+  Json(bool value) : type_(Type::kBool), bool_(value) {}
+  Json(double value) : type_(Type::kNumber), number_(value) {}
+  Json(int value) : type_(Type::kNumber), number_(value) {}
+  Json(std::int64_t value) : type_(Type::kNumber), number_(static_cast<double>(value)) {}
+  Json(const char* value) : type_(Type::kString), string_(value) {}
+  Json(std::string value) : type_(Type::kString), string_(std::move(value)) {}
+
+  /// Factory helpers.
+  static Json array();
+  static Json object();
+
+  /// Parses a complete JSON document; trailing garbage is an error.
+  static Json parse(std::string_view text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw JsonError on mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  std::int64_t as_int() const;  ///< number checked to be integral
+  const std::string& as_string() const;
+
+  /// Array access.
+  std::size_t size() const;  ///< array or object element count
+  const Json& at(std::size_t index) const;
+  Json& push_back(Json value);  ///< appends; returns the stored element
+
+  /// Object access.
+  bool contains(const std::string& key) const;
+  const Json& at(const std::string& key) const;
+  Json& set(const std::string& key, Json value);  ///< insert/overwrite
+  const std::map<std::string, Json>& items() const;
+
+  /// Optional-with-default lookups for object fields.
+  double number_or(const std::string& key, double fallback) const;
+  std::string string_or(const std::string& key, const std::string& fallback) const;
+  bool bool_or(const std::string& key, bool fallback) const;
+
+  /// Serializes; indent < 0 -> compact, otherwise pretty with that many
+  /// spaces per level.
+  std::string dump(int indent = -1) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::map<std::string, Json> object_;
+};
+
+/// Reads an entire file and parses it; throws JsonError (parse) or
+/// std::runtime_error (I/O).
+Json load_json_file(const std::string& path);
+
+/// Writes `value.dump(2)` to `path`; throws std::runtime_error on I/O error.
+void save_json_file(const std::string& path, const Json& value);
+
+}  // namespace haste::util

@@ -1,0 +1,61 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace haste::util {
+
+namespace {
+
+LogLevel initial_level() {
+  const char* env = std::getenv("HASTE_LOG");
+  if (env == nullptr) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+std::atomic<LogLevel>& level_storage() {
+  static std::atomic<LogLevel> level{initial_level()};
+  return level;
+}
+
+std::mutex& sink_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+}  // namespace
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+LogLevel log_level() { return level_storage().load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) {
+  level_storage().store(level, std::memory_order_relaxed);
+}
+
+void log_message(LogLevel level, std::string_view message) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  const std::lock_guard<std::mutex> lock(sink_mutex());
+  std::fprintf(stderr, "[haste %.*s] %.*s\n",
+               static_cast<int>(to_string(level).size()), to_string(level).data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace haste::util

@@ -1,0 +1,60 @@
+// Minimal leveled logger for the HASTE library.
+//
+// The library itself logs sparingly (benchmarks and examples use it for
+// progress reporting). Thread-safe: each message is formatted into a local
+// buffer and written with a single mutex-protected call.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace haste::util {
+
+/// Severity of a log message, in increasing order of importance.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Returns the short uppercase tag for a level ("DEBUG", "INFO", ...).
+std::string_view to_string(LogLevel level);
+
+/// Global log threshold; messages below it are dropped.
+/// Defaults to kInfo; override with set_log_level or HASTE_LOG env var
+/// (values: debug, info, warn, error).
+LogLevel log_level();
+
+/// Sets the global log threshold.
+void set_log_level(LogLevel level);
+
+/// Writes one formatted line to stderr if `level` passes the threshold.
+void log_message(LogLevel level, std::string_view message);
+
+namespace detail {
+
+/// Stream-style builder that emits the accumulated message on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace haste::util
+
+#define HASTE_LOG_DEBUG ::haste::util::detail::LogLine(::haste::util::LogLevel::kDebug)
+#define HASTE_LOG_INFO ::haste::util::detail::LogLine(::haste::util::LogLevel::kInfo)
+#define HASTE_LOG_WARN ::haste::util::detail::LogLine(::haste::util::LogLevel::kWarn)
+#define HASTE_LOG_ERROR ::haste::util::detail::LogLine(::haste::util::LogLevel::kError)

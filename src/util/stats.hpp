@@ -1,0 +1,73 @@
+// Descriptive statistics used by the experiment harness: means, variance,
+// quantiles, and the five-number box summaries the paper's box plots
+// (Figs. 7 and 15) are built from.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace haste::util {
+
+/// Arithmetic mean; 0 for an empty sample.
+double mean(std::span<const double> xs);
+
+/// Unbiased (n-1) sample variance; 0 for samples of size < 2.
+double variance(std::span<const double> xs);
+
+/// Sample standard deviation.
+double stddev(std::span<const double> xs);
+
+/// Smallest / largest element; 0 for an empty sample.
+double min_value(std::span<const double> xs);
+double max_value(std::span<const double> xs);
+
+/// Linear-interpolation quantile (type 7, the numpy/R default).
+/// `q` must be within [0, 1]; the sample may be unsorted.
+double quantile(std::span<const double> xs, double q);
+
+/// Half-width of the normal-approximation 95% confidence interval of the
+/// sample mean (1.96 * stddev / sqrt(n)); 0 for samples of size < 2.
+double mean_confidence95(std::span<const double> xs);
+
+/// Five-number summary plus mean, as used for box plots.
+struct BoxSummary {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  std::size_t count = 0;
+};
+
+/// Computes the box summary of an (unsorted) sample.
+BoxSummary box_summary(std::span<const double> xs);
+
+/// Streaming accumulator (Welford) for mean/variance without storing samples.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x);
+  /// Number of observations so far.
+  std::size_t count() const { return count_; }
+  /// Mean of observations so far; 0 when empty.
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Unbiased variance; 0 when count < 2.
+  double variance() const;
+  /// Standard deviation.
+  double stddev() const;
+  /// Minimum observation; 0 when empty.
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  /// Maximum observation; 0 when empty.
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace haste::util

@@ -1,0 +1,39 @@
+// Aligned console tables: the figure-reproduction benches print the paper's
+// series as readable rows, matching what each plot reports.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace haste::util {
+
+/// Builds a column-aligned plain-text table.
+class Table {
+ public:
+  /// Sets the column headers; defines the column count.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row of string cells (must match the column count).
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a row whose first cell is a label and the rest are doubles
+  /// formatted with `precision` digits after the decimal point.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 4);
+
+  /// Renders the table with a header underline.
+  void print(std::ostream& out) const;
+
+  /// Number of data rows added so far.
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double in fixed notation with `precision` decimals.
+std::string format_fixed(double value, int precision);
+
+}  // namespace haste::util

@@ -1,0 +1,69 @@
+// Fixed-size thread pool with a parallel_for helper.
+//
+// The experiment harness runs Monte-Carlo trials in parallel; determinism is
+// preserved because each trial derives its RNG from the trial index, not from
+// the executing thread (see util/rng.hpp). Exceptions thrown by tasks are
+// captured and rethrown on the calling thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace haste::util {
+
+/// A fixed pool of worker threads executing queued std::function jobs.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains outstanding work and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a job for asynchronous execution.
+  void submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has finished. If any job threw, the
+  /// first captured exception is rethrown here.
+  void wait_idle();
+
+  /// Runs body(i) for i in [0, count), distributing chunks over the pool and
+  /// blocking until completion. Equivalent to a static-schedule OpenMP
+  /// `parallel for`. The body must be safe to call concurrently.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  std::exception_ptr first_error_;
+  bool stopping_ = false;
+};
+
+/// Convenience: parallel_for on a process-wide default pool. Thread count is
+/// taken from the HASTE_THREADS environment variable when set, otherwise the
+/// hardware concurrency.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+
+/// The process-wide default pool used by the free parallel_for.
+ThreadPool& default_pool();
+
+}  // namespace haste::util

@@ -1,0 +1,113 @@
+// Tests for geom/angle.hpp: normalization, differences, circular intervals.
+#include "geom/angle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace haste::geom {
+namespace {
+
+TEST(Angle, NormalizeIdentityInRange) {
+  EXPECT_DOUBLE_EQ(normalize_angle(1.5), 1.5);
+  EXPECT_DOUBLE_EQ(normalize_angle(0.0), 0.0);
+}
+
+TEST(Angle, NormalizeWrapsNegative) {
+  EXPECT_NEAR(normalize_angle(-kPi / 2), 3 * kPi / 2, 1e-12);
+  EXPECT_NEAR(normalize_angle(-kTwoPi - 0.25), kTwoPi - 0.25, 1e-12);
+}
+
+TEST(Angle, NormalizeWrapsLarge) {
+  EXPECT_NEAR(normalize_angle(5 * kTwoPi + 0.7), 0.7, 1e-9);
+}
+
+TEST(Angle, NormalizeNeverReturnsTwoPi) {
+  // Values epsilon below a multiple of 2*pi must not round up to 2*pi.
+  const double tricky = std::nextafter(kTwoPi, 0.0);
+  const double r = normalize_angle(tricky);
+  EXPECT_GE(r, 0.0);
+  EXPECT_LT(r, kTwoPi);
+  EXPECT_LT(normalize_angle(-1e-18), kTwoPi);
+}
+
+TEST(Angle, DifferenceSignedShortest) {
+  EXPECT_NEAR(angle_difference(0.0, 1.0), 1.0, 1e-12);
+  EXPECT_NEAR(angle_difference(1.0, 0.0), -1.0, 1e-12);
+  EXPECT_NEAR(angle_difference(0.1, kTwoPi - 0.1), -0.2, 1e-12);
+}
+
+TEST(Angle, DifferencePiIsPositive) {
+  EXPECT_NEAR(angle_difference(0.0, kPi), kPi, 1e-12);
+}
+
+TEST(Angle, AngularDistanceSymmetric) {
+  util::Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double a = rng.uniform(0.0, kTwoPi);
+    const double b = rng.uniform(0.0, kTwoPi);
+    EXPECT_NEAR(angular_distance(a, b), angular_distance(b, a), 1e-12);
+    EXPECT_LE(angular_distance(a, b), kPi + 1e-12);
+    EXPECT_GE(angular_distance(a, b), 0.0);
+  }
+}
+
+TEST(Angle, IntervalBasicMembership) {
+  EXPECT_TRUE(angle_in_interval(0.5, 0.0, 1.0));
+  EXPECT_TRUE(angle_in_interval(0.0, 0.0, 1.0));  // closed at begin
+  EXPECT_TRUE(angle_in_interval(1.0, 0.0, 1.0));  // closed at end
+  EXPECT_FALSE(angle_in_interval(1.1, 0.0, 1.0));
+}
+
+TEST(Angle, IntervalWrapsThroughZero) {
+  // Interval [5.8, 5.8 + 1.0] wraps past 2*pi ~ 6.283.
+  EXPECT_TRUE(angle_in_interval(6.0, 5.8, 1.0));
+  EXPECT_TRUE(angle_in_interval(0.3, 5.8, 1.0));
+  EXPECT_FALSE(angle_in_interval(1.0, 5.8, 1.0));
+  EXPECT_FALSE(angle_in_interval(5.0, 5.8, 1.0));
+}
+
+TEST(Angle, FullCircleContainsEverything) {
+  util::Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(angle_in_interval(rng.uniform(0.0, kTwoPi), 1.234, kTwoPi));
+  }
+}
+
+TEST(Angle, ZeroLengthIntervalIsAPoint) {
+  EXPECT_TRUE(angle_in_interval(2.0, 2.0, 0.0));
+  EXPECT_FALSE(angle_in_interval(2.0001, 2.0, 0.0));
+}
+
+TEST(Angle, DegreesRadiansRoundTrip) {
+  EXPECT_NEAR(deg_to_rad(180.0), kPi, 1e-12);
+  EXPECT_NEAR(rad_to_deg(kPi / 3), 60.0, 1e-12);
+  EXPECT_NEAR(rad_to_deg(deg_to_rad(123.4)), 123.4, 1e-12);
+}
+
+class IntervalProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntervalProperty, MembershipMatchesAngularDistanceForCenteredArcs) {
+  // For an arc centered at c with width w, membership is equivalent to
+  // angular_distance(theta, c) <= w / 2.
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    const double center = rng.uniform(0.0, kTwoPi);
+    const double width = rng.uniform(0.0, kTwoPi);
+    const double theta = rng.uniform(0.0, kTwoPi);
+    const bool by_interval =
+        angle_in_interval(theta, normalize_angle(center - width / 2), width);
+    const double dist = angular_distance(theta, center);
+    if (std::abs(dist - width / 2) > 1e-9) {  // skip knife-edge cases
+      EXPECT_EQ(by_interval, dist < width / 2)
+          << "center=" << center << " width=" << width << " theta=" << theta;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace haste::geom

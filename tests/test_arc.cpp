@@ -1,0 +1,147 @@
+// Tests for geom/arc.hpp — the circular-arc sweep behind Algorithm 1.
+#include "geom/arc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "geom/angle.hpp"
+#include "util/rng.hpp"
+
+namespace haste::geom {
+namespace {
+
+std::vector<std::size_t> covered_at(const std::vector<Arc>& arcs, double theta) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    if (arcs[i].contains(theta)) out.push_back(i);
+  }
+  return out;
+}
+
+bool is_subset(const std::vector<std::size_t>& a, const std::vector<std::size_t>& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+TEST(Arc, CenteredConstruction) {
+  const Arc arc = Arc::centered(1.0, 0.4);
+  EXPECT_NEAR(arc.begin, 0.8, 1e-12);
+  EXPECT_NEAR(arc.length, 0.4, 1e-12);
+  EXPECT_TRUE(arc.contains(1.0));
+  EXPECT_TRUE(arc.contains(0.8));
+  EXPECT_TRUE(arc.contains(1.2));
+  EXPECT_FALSE(arc.contains(1.3));
+}
+
+TEST(Arc, CenteredWrapsNegativeBegin) {
+  const Arc arc = Arc::centered(0.1, 0.6);
+  EXPECT_NEAR(arc.begin, normalize_angle(0.1 - 0.3), 1e-12);
+  EXPECT_TRUE(arc.contains(0.0));
+  EXPECT_TRUE(arc.contains(kTwoPi - 0.1));
+}
+
+TEST(Arc, CenteredClampsWidth) {
+  const Arc arc = Arc::centered(1.0, 10.0);
+  EXPECT_TRUE(arc.full_circle());
+}
+
+TEST(DominantArcSets, EmptyInput) { EXPECT_TRUE(dominant_arc_sets({}).empty()); }
+
+TEST(DominantArcSets, SingleArc) {
+  const auto sets = dominant_arc_sets({Arc::centered(1.0, 0.5)});
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets[0].items, std::vector<std::size_t>{0});
+}
+
+TEST(DominantArcSets, TwoDisjointArcs) {
+  const auto sets =
+      dominant_arc_sets({Arc::centered(0.5, 0.4), Arc::centered(3.0, 0.4)});
+  ASSERT_EQ(sets.size(), 2u);
+}
+
+TEST(DominantArcSets, OverlappingArcsMergeIntoOneDominantSet) {
+  // Two arcs overlapping around 1.0; both simultaneously coverable, so the
+  // only dominant set is {0, 1}.
+  const auto sets =
+      dominant_arc_sets({Arc::centered(0.9, 0.6), Arc::centered(1.1, 0.6)});
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets[0].items, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(DominantArcSets, AllFullCircle) {
+  const auto sets = dominant_arc_sets({Arc{0.0, kTwoPi}, Arc{1.0, kTwoPi}});
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets[0].items, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(DominantArcSets, ChainOfThree) {
+  // a-b overlap, b-c overlap, a-c do not: dominant sets {a,b} and {b,c}.
+  const auto sets = dominant_arc_sets({
+      Arc::centered(0.0, 0.8),
+      Arc::centered(0.5, 0.8),
+      Arc::centered(1.0, 0.8),
+  });
+  ASSERT_EQ(sets.size(), 2u);
+  std::set<std::vector<std::size_t>> got;
+  for (const auto& s : sets) got.insert(s.items);
+  EXPECT_TRUE(got.count({0, 1}));
+  EXPECT_TRUE(got.count({1, 2}));
+}
+
+TEST(DominantArcSets, WitnessCoversExactlyTheSet) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Arc> arcs;
+    const int count = static_cast<int>(rng.uniform_int(1, 10));
+    for (int i = 0; i < count; ++i) {
+      arcs.push_back(
+          Arc::centered(rng.uniform(0.0, kTwoPi), rng.uniform(0.2, 2.0)));
+    }
+    for (const auto& set : dominant_arc_sets(arcs)) {
+      EXPECT_EQ(covered_at(arcs, set.witness), set.items);
+    }
+  }
+}
+
+class DominantArcProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DominantArcProperty, EveryOrientationIsDominatedAndSetsAreMaximal) {
+  util::Rng rng(GetParam());
+  std::vector<Arc> arcs;
+  const int count = static_cast<int>(rng.uniform_int(2, 12));
+  for (int i = 0; i < count; ++i) {
+    arcs.push_back(Arc::centered(rng.uniform(0.0, kTwoPi), rng.uniform(0.1, 2.5)));
+  }
+  const auto sets = dominant_arc_sets(arcs);
+  ASSERT_FALSE(sets.empty());
+
+  // (1) Maximality among each other: no dominant set strictly contains
+  // another, and no duplicates.
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    for (std::size_t j = 0; j < sets.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(is_subset(sets[i].items, sets[j].items))
+          << "set " << i << " inside set " << j;
+    }
+  }
+
+  // (2) Completeness: the covered set at any orientation (dense grid) is a
+  // subset of some dominant set.
+  for (int g = 0; g < 720; ++g) {
+    const double theta = g * kTwoPi / 720.0;
+    const auto covered = covered_at(arcs, theta);
+    if (covered.empty()) continue;
+    const bool dominated = std::any_of(sets.begin(), sets.end(), [&](const auto& s) {
+      return is_subset(covered, s.items);
+    });
+    EXPECT_TRUE(dominated) << "theta=" << theta;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DominantArcProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace haste::geom

@@ -1,0 +1,116 @@
+// Tests for core/bounds.hpp — upper bounds on the relaxed optimum.
+#include "core/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/brute_force.hpp"
+#include "core/evaluate.hpp"
+#include "core/offline.hpp"
+#include "test_helpers.hpp"
+
+namespace haste::core {
+namespace {
+
+using testing_helpers::random_network;
+
+TEST(Bounds, CombinedIsTheMinimum) {
+  util::Rng rng(1);
+  const model::Network net = random_network(rng, 3, 6, 3);
+  const UpperBounds bounds = relaxed_upper_bounds(net);
+  EXPECT_LE(bounds.combined, bounds.saturation_bound + 1e-12);
+  EXPECT_LE(bounds.combined, bounds.linear_policy_bound + 1e-12);
+  EXPECT_LE(bounds.combined, net.utility_upper_bound() + 1e-12);
+  EXPECT_GE(bounds.combined, 0.0);
+}
+
+class BoundsDominateOptimum : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BoundsDominateOptimum, AboveExactOptimum) {
+  util::Rng rng(GetParam());
+  const model::Network net = random_network(rng, 3, 5, 3);
+  const baseline::BruteForceResult opt = baseline::optimal_relaxed(net, 2'000'000);
+  if (!opt.exhausted) GTEST_SKIP() << "instance too large for exact search";
+  const UpperBounds bounds = relaxed_upper_bounds(net);
+  EXPECT_GE(bounds.combined, opt.relaxed_utility - 1e-9) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundsDominateOptimum,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Bounds, AboveEverySchedulerAtModerateScale) {
+  util::Rng rng(20);
+  const model::Network net = random_network(rng, 5, 15, 5);
+  const UpperBounds bounds = relaxed_upper_bounds(net);
+  OfflineConfig config;
+  config.colors = 4;
+  config.samples = 16;
+  const OfflineResult result = schedule_offline(net, config);
+  const EvaluationResult eval = evaluate_schedule(net, result.schedule);
+  EXPECT_GE(bounds.combined, eval.relaxed_weighted_utility - 1e-9);
+}
+
+TEST(Bounds, SaturationBindsWhenTasksAreEasy) {
+  // A single short task far from the charger: the saturation bound equals
+  // the achievable utility and beats the linear bound's contention blind
+  // spot... construct: one charger, one task, one slot.
+  std::vector<model::Charger> chargers = {{{0.0, 0.0}}};
+  model::Task task;
+  task.position = {10.0, 0.0};
+  task.orientation = geom::kPi;
+  task.release_slot = 0;
+  task.end_slot = 1;
+  task.required_energy = 1e9;  // never saturates: utility stays linear
+  task.weight = 1.0;
+  const model::Network net(chargers, {task}, testing_helpers::tiny_power(),
+                           model::TimeGrid{});
+  const UpperBounds bounds = relaxed_upper_bounds(net);
+  const double exact = net.weighted_task_utility(0, (100.0 / 121.0) * 60.0);
+  EXPECT_NEAR(bounds.saturation_bound, exact, 1e-9);
+  EXPECT_NEAR(bounds.linear_policy_bound, exact, 1e-6);
+  EXPECT_NEAR(bounds.combined, exact, 1e-6);
+}
+
+TEST(Bounds, WeightCapBindsWhenEnergyIsAbundant) {
+  // Tiny requirement: both structural bounds exceed the sum of weights, so
+  // the combined bound clamps to it.
+  std::vector<model::Charger> chargers = {{{0.0, 0.0}}, {{1.0, 0.0}}};
+  model::Task task;
+  task.position = {2.0, 0.0};
+  task.orientation = geom::kPi;
+  task.release_slot = 0;
+  task.end_slot = 4;
+  task.required_energy = 1.0;  // saturates instantly
+  task.weight = 0.7;
+  const model::Network net(chargers, {task}, testing_helpers::tiny_power(),
+                           model::TimeGrid{});
+  const UpperBounds bounds = relaxed_upper_bounds(net);
+  EXPECT_DOUBLE_EQ(bounds.combined, 0.7);
+}
+
+TEST(Bounds, EmptyNetworkIsZero) {
+  const model::Network net({}, {}, testing_helpers::tiny_power(), model::TimeGrid{});
+  const UpperBounds bounds = relaxed_upper_bounds(net);
+  EXPECT_DOUBLE_EQ(bounds.combined, 0.0);
+}
+
+TEST(Bounds, ValidForConcaveShapes) {
+  for (const char* shape : {"sqrt", "log"}) {
+    util::Rng rng(30);
+    std::vector<model::Charger> chargers;
+    std::vector<model::Task> tasks;
+    {
+      const model::Network base = random_network(rng, 3, 5, 3);
+      chargers = base.chargers();
+      tasks = base.tasks();
+    }
+    const model::Network net(chargers, tasks, testing_helpers::tiny_power(),
+                             model::TimeGrid{}, model::make_utility_shape(shape));
+    const baseline::BruteForceResult opt = baseline::optimal_relaxed(net, 2'000'000);
+    if (!opt.exhausted) continue;
+    const UpperBounds bounds = relaxed_upper_bounds(net);
+    EXPECT_GE(bounds.combined, opt.relaxed_utility - 1e-9) << shape;
+  }
+}
+
+}  // namespace
+}  // namespace haste::core

@@ -1,0 +1,166 @@
+// Tests for core/dominant_sets.hpp — Algorithm 1 on charging-model inputs,
+// including a reconstruction of the paper's Fig. 2 toy example.
+#include "core/dominant_sets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "geom/angle.hpp"
+#include "util/rng.hpp"
+
+namespace haste::core {
+namespace {
+
+using geom::kPi;
+using geom::kTwoPi;
+
+model::PowerModel wide_receivers() {
+  model::PowerModel power;
+  power.alpha = 100.0;
+  power.beta = 1.0;
+  power.radius = 20.0;
+  power.charging_angle = kPi / 3;
+  power.receiving_angle = kTwoPi;  // omnidirectional devices
+  return power;
+}
+
+model::Task task_toward_origin(double angle_deg, double distance) {
+  model::Task task;
+  task.position = distance * geom::unit_vector(geom::deg_to_rad(angle_deg));
+  task.orientation = geom::deg_to_rad(angle_deg + 180.0);
+  task.release_slot = 0;
+  task.end_slot = 4;
+  task.required_energy = 100.0;
+  task.weight = 1.0;
+  return task;
+}
+
+TEST(DominantSets, NoCoverableTasksYieldsEmpty) {
+  model::PowerModel power = wide_receivers();
+  power.receiving_angle = kPi / 6;
+  std::vector<model::Charger> chargers = {{{0.0, 0.0}}};
+  // Device faces away from the charger: charger not in its receiving sector.
+  model::Task task = task_toward_origin(0.0, 5.0);
+  task.orientation = 0.0;
+  const model::Network net(chargers, {task}, power, model::TimeGrid{});
+  EXPECT_TRUE(extract_dominant_sets(net, 0).empty());
+}
+
+TEST(DominantSets, SingleTaskSingleSet) {
+  std::vector<model::Charger> chargers = {{{0.0, 0.0}}};
+  const model::Network net(chargers, {task_toward_origin(45.0, 5.0)},
+                           wide_receivers(), model::TimeGrid{});
+  const auto sets = extract_dominant_sets(net, 0);
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets[0].tasks, std::vector<model::TaskIndex>{0});
+  // The witness orientation must actually cover the task.
+  EXPECT_GT(net.power(0, sets[0].orientation, 0), 0.0);
+}
+
+// Fig. 2: six tasks around a charger with A_s = 60 degrees at bearings
+// chosen so the dominant sets are {T1,T2,T3}, {T3,T4}, {T4,T5}, {T6,T1}.
+TEST(DominantSets, Figure2ToyExample) {
+  std::vector<model::Charger> chargers = {{{0.0, 0.0}}};
+  // Bearings (degrees). With a 60-degree charging sector, tasks within 60
+  // degrees of each other can be covered together.
+  // T1@0, T2@30, T3@55 -> {T1,T2,T3}; T4@100 pairs with T3 (45 apart);
+  // T5@150 pairs with T4 (50 apart); T6@320 pairs with T1 (40 apart).
+  const std::vector<double> bearings = {0.0, 30.0, 55.0, 100.0, 150.0, 320.0};
+  std::vector<model::Task> tasks;
+  for (double b : bearings) tasks.push_back(task_toward_origin(b, 5.0));
+  const model::Network net(chargers, tasks, wide_receivers(), model::TimeGrid{});
+
+  const auto sets = extract_dominant_sets(net, 0);
+  std::set<std::vector<model::TaskIndex>> got;
+  for (const auto& s : sets) got.insert(s.tasks);
+
+  EXPECT_TRUE(got.count({0, 1, 2})) << "missing {T1,T2,T3}";
+  EXPECT_TRUE(got.count({2, 3})) << "missing {T3,T4}";
+  EXPECT_TRUE(got.count({3, 4})) << "missing {T4,T5}";
+  EXPECT_TRUE(got.count({0, 5})) << "missing {T6,T1}";
+  EXPECT_EQ(sets.size(), 4u);
+}
+
+TEST(DominantSets, WitnessOrientationCoversAllItsTasks) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<model::Charger> chargers = {{{0.0, 0.0}}};
+    std::vector<model::Task> tasks;
+    const int count = static_cast<int>(rng.uniform_int(1, 12));
+    for (int i = 0; i < count; ++i) {
+      tasks.push_back(task_toward_origin(rng.uniform(0.0, 360.0), rng.uniform(2.0, 15.0)));
+    }
+    const model::Network net(chargers, tasks, wide_receivers(), model::TimeGrid{});
+    for (const auto& set : extract_dominant_sets(net, 0)) {
+      for (model::TaskIndex j : set.tasks) {
+        EXPECT_GT(net.power(0, set.orientation, j), 0.0)
+            << "trial " << trial << ": witness misses task " << j;
+      }
+    }
+  }
+}
+
+TEST(DominantSets, EveryCoverableTaskAppearsSomewhere) {
+  util::Rng rng(8);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<model::Charger> chargers = {{{0.0, 0.0}}};
+    std::vector<model::Task> tasks;
+    for (int i = 0; i < 8; ++i) {
+      tasks.push_back(task_toward_origin(rng.uniform(0.0, 360.0), 5.0));
+    }
+    const model::Network net(chargers, tasks, wide_receivers(), model::TimeGrid{});
+    const auto sets = extract_dominant_sets(net, 0);
+    std::set<model::TaskIndex> seen;
+    for (const auto& s : sets) seen.insert(s.tasks.begin(), s.tasks.end());
+    for (model::TaskIndex j : net.coverable_tasks(0)) {
+      EXPECT_TRUE(seen.count(j)) << "task " << j << " in no dominant set";
+    }
+  }
+}
+
+TEST(DominantSets, SetsAreMutuallyMaximal) {
+  util::Rng rng(9);
+  std::vector<model::Charger> chargers = {{{0.0, 0.0}}};
+  std::vector<model::Task> tasks;
+  for (int i = 0; i < 10; ++i) {
+    tasks.push_back(task_toward_origin(rng.uniform(0.0, 360.0), 5.0));
+  }
+  const model::Network net(chargers, tasks, wide_receivers(), model::TimeGrid{});
+  const auto sets = extract_dominant_sets(net, 0);
+  for (std::size_t a = 0; a < sets.size(); ++a) {
+    for (std::size_t b = 0; b < sets.size(); ++b) {
+      if (a == b) continue;
+      EXPECT_FALSE(std::includes(sets[b].tasks.begin(), sets[b].tasks.end(),
+                                 sets[a].tasks.begin(), sets[a].tasks.end()));
+    }
+  }
+}
+
+TEST(DominantSets, CandidateFilterRestrictsUniverse) {
+  std::vector<model::Charger> chargers = {{{0.0, 0.0}}};
+  std::vector<model::Task> tasks = {task_toward_origin(0.0, 5.0),
+                                    task_toward_origin(10.0, 5.0),
+                                    task_toward_origin(180.0, 5.0)};
+  const model::Network net(chargers, tasks, wide_receivers(), model::TimeGrid{});
+  const auto sets = extract_dominant_sets(net, 0, {0, 2});
+  std::set<model::TaskIndex> seen;
+  for (const auto& s : sets) seen.insert(s.tasks.begin(), s.tasks.end());
+  EXPECT_TRUE(seen.count(0));
+  EXPECT_TRUE(seen.count(2));
+  EXPECT_FALSE(seen.count(1)) << "task outside the candidate set leaked in";
+}
+
+TEST(DominantSets, TasksBehindUncoverableAreIgnored) {
+  std::vector<model::Charger> chargers = {{{0.0, 0.0}}};
+  std::vector<model::Task> tasks = {task_toward_origin(0.0, 5.0),
+                                    task_toward_origin(90.0, 50.0)};  // out of range
+  const model::Network net(chargers, tasks, wide_receivers(), model::TimeGrid{});
+  const auto sets = extract_dominant_sets(net, 0);
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets[0].tasks, std::vector<model::TaskIndex>{0});
+}
+
+}  // namespace
+}  // namespace haste::core

@@ -1,0 +1,181 @@
+// Tests for core/evaluate.hpp — hand-checked physics of schedule playback:
+// switching delay, orientation persistence, superposition, activity windows.
+#include "core/evaluate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geom/angle.hpp"
+#include "test_helpers.hpp"
+
+namespace haste::core {
+namespace {
+
+using geom::kPi;
+
+/// One charger at the origin facing a single device 10 m to the right
+/// (device faces back). alpha=100, beta=1, D=12 -> P = 100/121 W.
+model::Network one_pair(model::TimeGrid time, double required_energy = 1e9,
+                        model::SlotIndex release = 0, model::SlotIndex end = 4) {
+  std::vector<model::Charger> chargers = {{{0.0, 0.0}}};
+  model::Task task;
+  task.position = {10.0, 0.0};
+  task.orientation = kPi;
+  task.release_slot = release;
+  task.end_slot = end;
+  task.required_energy = required_energy;
+  task.weight = 1.0;
+  return model::Network(chargers, {task}, testing_helpers::tiny_power(), time);
+}
+
+constexpr double kPairPower = 100.0 / 121.0;  // W at distance 10 with beta=1
+
+TEST(Evaluate, EnergyAccumulatesOverActiveSlots) {
+  model::TimeGrid time;
+  time.slot_seconds = 60.0;
+  time.rho = 0.0;  // no switching loss
+  const model::Network net = one_pair(time);
+  model::Schedule schedule(1, 4);
+  for (model::SlotIndex k = 0; k < 4; ++k) schedule.assign(0, k, 0.0);
+
+  const EvaluationResult result = evaluate_schedule(net, schedule);
+  EXPECT_NEAR(result.task_energy[0], kPairPower * 60.0 * 4, 1e-9);
+  EXPECT_EQ(result.switches, 1);  // only the initial turn out of Phi
+}
+
+TEST(Evaluate, SwitchingDelayCostsRhoOfTheSlot) {
+  model::TimeGrid time;
+  time.slot_seconds = 60.0;
+  time.rho = 0.25;
+  const model::Network net = one_pair(time);
+  model::Schedule schedule(1, 4);
+  schedule.assign(0, 0, 0.0);    // switch (out of Phi): 45 s effective
+  schedule.assign(0, 1, 0.0);    // same angle: full 60 s
+  schedule.assign(0, 2, 1.0);    // new angle (misses task): 0 energy
+  schedule.assign(0, 3, 0.0);    // switch back: 45 s
+
+  const EvaluationResult result = evaluate_schedule(net, schedule);
+  EXPECT_NEAR(result.task_energy[0], kPairPower * (45.0 + 60.0 + 45.0), 1e-9);
+  EXPECT_EQ(result.switches, 3);
+  // The relaxed value ignores rho: 60 + 60 + 60 seconds of coverage.
+  EXPECT_NEAR(result.relaxed_weighted_utility,
+              net.weighted_task_utility(0, kPairPower * 180.0), 1e-12);
+}
+
+TEST(Evaluate, PersistenceKeepsChargingWithoutSwitching) {
+  model::TimeGrid time;
+  time.slot_seconds = 60.0;
+  time.rho = 0.5;
+  const model::Network net = one_pair(time);
+  model::Schedule schedule(1, 4);
+  schedule.assign(0, 0, 0.0);  // switch once, then persist (slots 1-3 unassigned)
+
+  const EvaluationResult result = evaluate_schedule(net, schedule);
+  EXPECT_NEAR(result.task_energy[0], kPairPower * (30.0 + 3 * 60.0), 1e-9);
+  EXPECT_EQ(result.switches, 1);
+}
+
+TEST(Evaluate, UnassignedChargerDeliversNothing) {
+  const model::Network net = one_pair(model::TimeGrid{});
+  const model::Schedule schedule(1, 4);
+  const EvaluationResult result = evaluate_schedule(net, schedule);
+  EXPECT_DOUBLE_EQ(result.task_energy[0], 0.0);
+  EXPECT_DOUBLE_EQ(result.weighted_utility, 0.0);
+  EXPECT_EQ(result.switches, 0);
+}
+
+TEST(Evaluate, InactiveSlotsDoNotCount) {
+  model::TimeGrid time;
+  time.rho = 0.0;
+  const model::Network net = one_pair(time, 1e9, /*release=*/2, /*end=*/3);
+  model::Schedule schedule(1, 3);
+  for (model::SlotIndex k = 0; k < 3; ++k) schedule.assign(0, k, 0.0);
+  const EvaluationResult result = evaluate_schedule(net, schedule);
+  EXPECT_NEAR(result.task_energy[0], kPairPower * 60.0, 1e-9);  // only slot 2
+}
+
+TEST(Evaluate, UtilityCapsAtRequiredEnergy) {
+  model::TimeGrid time;
+  time.rho = 0.0;
+  const model::Network net = one_pair(time, /*required=*/kPairPower * 30.0);
+  model::Schedule schedule(1, 4);
+  for (model::SlotIndex k = 0; k < 4; ++k) schedule.assign(0, k, 0.0);
+  const EvaluationResult result = evaluate_schedule(net, schedule);
+  EXPECT_DOUBLE_EQ(result.task_utility[0], 1.0);
+  EXPECT_DOUBLE_EQ(result.weighted_utility, 1.0);
+}
+
+TEST(Evaluate, SuperpositionAcrossChargers) {
+  // Two chargers flank an omnidirectional device; both point at it.
+  model::TimeGrid time;
+  time.slot_seconds = 60.0;
+  time.rho = 0.0;
+  std::vector<model::Charger> chargers = {{{-10.0, 0.0}}, {{10.0, 0.0}}};
+  model::Task task;
+  task.position = {0.0, 0.0};
+  task.orientation = 0.0;
+  task.release_slot = 0;
+  task.end_slot = 2;
+  task.required_energy = 1e9;
+  task.weight = 1.0;
+  const model::Network net(chargers, {task}, testing_helpers::tiny_power(), time);
+
+  model::Schedule schedule(2, 2);
+  schedule.assign(0, 0, 0.0);    // faces +x toward the device
+  schedule.assign(1, 0, kPi);    // faces -x toward the device
+  const EvaluationResult result = evaluate_schedule(net, schedule);
+  EXPECT_NEAR(result.task_energy[0], 2.0 * kPairPower * 120.0, 1e-9);
+}
+
+TEST(Evaluate, WrongOrientationMissesTask) {
+  const model::Network net = one_pair(model::TimeGrid{});
+  model::Schedule schedule(1, 4);
+  for (model::SlotIndex k = 0; k < 4; ++k) schedule.assign(0, k, kPi / 2);
+  const EvaluationResult result = evaluate_schedule(net, schedule);
+  EXPECT_DOUBLE_EQ(result.task_energy[0], 0.0);
+}
+
+TEST(Evaluate, OrientationOnSectorEdgeStillCounts) {
+  // The dominant-set witness can sit exactly on the arc boundary; evaluation
+  // must agree with the planner there (the tolerance in Sector::contains).
+  const model::Network net = one_pair(model::TimeGrid{});
+  const geom::Arc arc = net.coverage_arc(0, 0);
+  model::Schedule schedule(1, 4);
+  schedule.assign(0, 0, arc.begin);
+  const EvaluationResult result = evaluate_schedule(net, schedule);
+  EXPECT_GT(result.task_energy[0], 0.0);
+}
+
+TEST(PrefixEnergy, MatchesPartialPlayback) {
+  model::TimeGrid time;
+  time.slot_seconds = 60.0;
+  time.rho = 0.0;
+  const model::Network net = one_pair(time);
+  model::Schedule schedule(1, 4);
+  for (model::SlotIndex k = 0; k < 4; ++k) schedule.assign(0, k, 0.0);
+
+  EXPECT_NEAR(prefix_task_energy(net, schedule, 0)[0], 0.0, 1e-12);
+  EXPECT_NEAR(prefix_task_energy(net, schedule, 2)[0], kPairPower * 120.0, 1e-9);
+  EXPECT_NEAR(prefix_task_energy(net, schedule, 4)[0], kPairPower * 240.0, 1e-9);
+  // Clamped beyond the horizon.
+  EXPECT_NEAR(prefix_task_energy(net, schedule, 99)[0], kPairPower * 240.0, 1e-9);
+}
+
+TEST(Evaluate, RelaxedUtilityDominatesReal) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const model::Network net = testing_helpers::random_network(rng, 3, 6);
+    model::Schedule schedule(net.charger_count(), net.horizon());
+    for (model::ChargerIndex i = 0; i < net.charger_count(); ++i) {
+      for (model::SlotIndex k = 0; k < net.horizon(); ++k) {
+        if (rng.uniform() < 0.5) schedule.assign(i, k, rng.uniform(0.0, geom::kTwoPi));
+      }
+    }
+    const EvaluationResult result = evaluate_schedule(net, schedule);
+    EXPECT_GE(result.relaxed_weighted_utility, result.weighted_utility - 1e-12);
+    EXPECT_GE(result.weighted_utility, 0.0);
+    EXPECT_LE(result.weighted_utility, net.utility_upper_bound() + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace haste::core

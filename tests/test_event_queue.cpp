@@ -1,0 +1,89 @@
+// Tests for dist/event_queue.hpp — the discrete-event core.
+#include "dist/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace haste::dist {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(3.0, [&] { order.push_back(3); });
+  queue.schedule(1.0, [&] { order.push_back(1); });
+  queue.schedule(2.0, [&] { order.push_back(2); });
+  queue.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+}
+
+TEST(EventQueue, TiesAreFifo) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    queue.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  queue.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CallbacksCanScheduleMore) {
+  EventQueue queue;
+  std::vector<double> times;
+  queue.schedule(1.0, [&] {
+    times.push_back(queue.now());
+    queue.schedule_in(0.5, [&] { times.push_back(queue.now()); });
+  });
+  queue.run_all();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 1.5);
+}
+
+TEST(EventQueue, SchedulingInThePastThrows) {
+  EventQueue queue;
+  queue.schedule(2.0, [] {});
+  queue.run_all();
+  EXPECT_THROW(queue.schedule(1.0, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue queue;
+  std::vector<int> fired;
+  queue.schedule(1.0, [&] { fired.push_back(1); });
+  queue.schedule(2.0, [&] { fired.push_back(2); });
+  queue.schedule(3.0, [&] { fired.push_back(3); });
+  queue.run_until(2.0);  // events at exactly t=2 run
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  EXPECT_DOUBLE_EQ(queue.now(), 2.0);
+  EXPECT_EQ(queue.pending(), 1u);
+  queue.run_all();
+  EXPECT_EQ(fired.size(), 3u);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockEvenWithoutEvents) {
+  EventQueue queue;
+  queue.run_until(5.0);
+  EXPECT_DOUBLE_EQ(queue.now(), 5.0);
+}
+
+TEST(EventQueue, RunNextReturnsFalseWhenEmpty) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.run_next());
+  queue.schedule(1.0, [] {});
+  EXPECT_TRUE(queue.run_next());
+  EXPECT_FALSE(queue.run_next());
+}
+
+TEST(EventQueue, CountsExecutedEvents) {
+  EventQueue queue;
+  for (int i = 0; i < 10; ++i) queue.schedule(static_cast<double>(i), [] {});
+  queue.run_all();
+  EXPECT_EQ(queue.executed(), 10u);
+}
+
+}  // namespace
+}  // namespace haste::dist

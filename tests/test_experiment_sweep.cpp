@@ -1,0 +1,140 @@
+// Tests for sim/experiment.hpp and sim/sweep.hpp — the Monte-Carlo harness.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
+
+namespace haste::sim {
+namespace {
+
+ScenarioConfig tiny_config() {
+  ScenarioConfig config = ScenarioConfig::small_scale();
+  config.chargers = 3;
+  config.tasks = 6;
+  return config;
+}
+
+TEST(Experiment, ParseAndNameRoundTrip) {
+  for (Algorithm algorithm :
+       {Algorithm::kOfflineHaste, Algorithm::kOfflineGreedyUtility,
+        Algorithm::kOfflineGreedyCover, Algorithm::kOfflineRandom,
+        Algorithm::kOfflineGlobalGreedy, Algorithm::kOfflineImproved,
+        Algorithm::kOfflineOptimalRelaxed, Algorithm::kOnlineHaste,
+        Algorithm::kOnlineGreedyUtility, Algorithm::kOnlineGreedyCover}) {
+    EXPECT_EQ(parse_algorithm(algorithm_name(algorithm)), algorithm);
+  }
+  EXPECT_THROW(parse_algorithm("nope"), std::invalid_argument);
+}
+
+TEST(Experiment, EveryAlgorithmProducesBoundedMetrics) {
+  util::Rng rng(1);
+  const model::Network net = generate_scenario(tiny_config(), rng);
+  AlgoParams params;
+  params.colors = 1;
+  params.brute_force_budget = 500'000;
+  for (Algorithm algorithm :
+       {Algorithm::kOfflineHaste, Algorithm::kOfflineGreedyUtility,
+        Algorithm::kOfflineGreedyCover, Algorithm::kOfflineRandom,
+        Algorithm::kOfflineGlobalGreedy, Algorithm::kOfflineImproved,
+        Algorithm::kOfflineOptimalRelaxed, Algorithm::kOnlineHaste,
+        Algorithm::kOnlineGreedyUtility, Algorithm::kOnlineGreedyCover}) {
+    const RunMetrics metrics = run_algorithm(net, algorithm, params);
+    EXPECT_GE(metrics.normalized_utility, 0.0) << algorithm_name(algorithm);
+    EXPECT_LE(metrics.normalized_utility, 1.0 + 1e-9) << algorithm_name(algorithm);
+    EXPECT_EQ(metrics.task_utility.size(),
+              static_cast<std::size_t>(net.task_count()));
+  }
+}
+
+TEST(Experiment, OptimalDominatesEverythingRelaxed) {
+  util::Rng rng(2);
+  const model::Network net = generate_scenario(tiny_config(), rng);
+  AlgoParams params;
+  params.colors = 1;
+  params.brute_force_budget = 2'000'000;
+  const RunMetrics opt = run_algorithm(net, Algorithm::kOfflineOptimalRelaxed, params);
+  if (!opt.exact) GTEST_SKIP() << "budget too small for this instance";
+  for (Algorithm algorithm :
+       {Algorithm::kOfflineHaste, Algorithm::kOfflineGreedyUtility,
+        Algorithm::kOfflineGreedyCover, Algorithm::kOfflineGlobalGreedy,
+        Algorithm::kOfflineImproved, Algorithm::kOnlineHaste}) {
+    const RunMetrics metrics = run_algorithm(net, algorithm, params);
+    EXPECT_LE(metrics.relaxed_utility, opt.weighted_utility + 1e-9)
+        << algorithm_name(algorithm);
+  }
+}
+
+TEST(Sweep, VariantSetsHaveFourEntries) {
+  EXPECT_EQ(offline_variants().size(), 4u);
+  EXPECT_EQ(online_variants().size(), 4u);
+}
+
+TEST(Sweep, RunTrialsShapesAndDeterminism) {
+  const std::vector<Variant> variants = {
+      {"HASTE C=1", Algorithm::kOfflineHaste, AlgoParams{1, 1, 1}},
+      {"GreedyCover", Algorithm::kOfflineGreedyCover, AlgoParams{}},
+  };
+  const TrialResults a = run_trials(tiny_config(), variants, 4, 99);
+  const TrialResults b = run_trials(tiny_config(), variants, 4, 99);
+  ASSERT_EQ(a.size(), 2u);
+  for (const auto& [label, metrics] : a) {
+    ASSERT_EQ(metrics.size(), 4u) << label;
+    for (std::size_t t = 0; t < metrics.size(); ++t) {
+      EXPECT_EQ(metrics[t].normalized_utility,
+                b.at(label)[t].normalized_utility);
+    }
+  }
+}
+
+TEST(Sweep, DifferentSeedsDiffer) {
+  const std::vector<Variant> variants = {
+      {"HASTE C=1", Algorithm::kOfflineHaste, AlgoParams{1, 1, 1}},
+  };
+  const TrialResults a = run_trials(tiny_config(), variants, 3, 1);
+  const TrialResults b = run_trials(tiny_config(), variants, 3, 2);
+  bool any_difference = false;
+  for (std::size_t t = 0; t < 3; ++t) {
+    any_difference |= a.at("HASTE C=1")[t].normalized_utility !=
+                      b.at("HASTE C=1")[t].normalized_utility;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Sweep, MeanUtilityAveragesTrials) {
+  const std::vector<Variant> variants = {
+      {"HASTE C=1", Algorithm::kOfflineHaste, AlgoParams{1, 1, 1}},
+  };
+  const TrialResults results = run_trials(tiny_config(), variants, 5, 3);
+  const auto means = mean_utility(results);
+  double sum = 0.0;
+  for (const RunMetrics& m : results.at("HASTE C=1")) sum += m.normalized_utility;
+  EXPECT_NEAR(means.at("HASTE C=1"), sum / 5.0, 1e-12);
+}
+
+TEST(Sweep, SweepCollectsSeriesInOrder) {
+  const std::vector<Variant> variants = {
+      {"HASTE C=1", Algorithm::kOfflineHaste, AlgoParams{1, 1, 1}},
+  };
+  const std::vector<double> xs = {4.0, 8.0};
+  const SweepSeries series = sweep(
+      xs,
+      [](double x) {
+        ScenarioConfig config = ScenarioConfig::small_scale();
+        config.chargers = 3;
+        config.tasks = static_cast<int>(x);
+        return config;
+      },
+      variants, 2, 5);
+  EXPECT_EQ(series.xs, xs);
+  ASSERT_EQ(series.series.at("HASTE C=1").size(), 2u);
+  for (double v : series.series.at("HASTE C=1")) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace haste::sim

@@ -1,0 +1,118 @@
+// Tests for sim/field_map.hpp — the power-intensity sampling grid.
+#include "sim/field_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/offline.hpp"
+#include "geom/angle.hpp"
+#include "test_helpers.hpp"
+#include "testbed/topologies.hpp"
+
+namespace haste::sim {
+namespace {
+
+using geom::kPi;
+
+model::Network one_charger_net() {
+  std::vector<model::Charger> chargers = {{{0.0, 0.0}}};
+  model::Task task;
+  task.position = {10.0, 0.0};
+  task.orientation = kPi;
+  task.release_slot = 0;
+  task.end_slot = 2;
+  task.required_energy = 100.0;
+  task.weight = 1.0;
+  return model::Network(chargers, {task}, testing_helpers::tiny_power(),
+                        model::TimeGrid{});
+}
+
+TEST(FieldMap, EmptyScheduleIsSilent) {
+  const model::Network net = one_charger_net();
+  const model::Schedule schedule(1, 2);
+  const FieldMap field = sample_field(net, schedule, 0, 32, 32);
+  EXPECT_DOUBLE_EQ(field.peak(), 0.0);
+  EXPECT_DOUBLE_EQ(field.mean(), 0.0);
+}
+
+TEST(FieldMap, IntensityAppearsInsideTheSector) {
+  const model::Network net = one_charger_net();
+  model::Schedule schedule(1, 2);
+  schedule.assign(0, 0, 0.0);  // facing +x toward the task
+  const FieldMap field = sample_field(net, schedule, 0, 64, 64);
+  EXPECT_GT(field.peak(), 0.0);
+
+  // The probe on the boresight near the charger must be hot; a probe behind
+  // the charger must be cold. Locate cells by world coordinates.
+  const auto cell_value = [&](double x, double y) {
+    const int c = static_cast<int>((x - field.min_x) / field.cell_width);
+    const int r = static_cast<int>((y - field.min_y) / field.cell_height);
+    return field.at(std::clamp(r, 0, field.rows - 1),
+                    std::clamp(c, 0, field.columns - 1));
+  };
+  EXPECT_GT(cell_value(5.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(cell_value(-1.5, 0.0), 0.0);
+}
+
+TEST(FieldMap, IntensityDecaysWithDistance) {
+  const model::Network net = one_charger_net();
+  model::Schedule schedule(1, 2);
+  schedule.assign(0, 0, 0.0);
+  const FieldMap field = sample_field(net, schedule, 0, 128, 128);
+  const auto cell_value = [&](double x, double y) {
+    const int c = static_cast<int>((x - field.min_x) / field.cell_width);
+    const int r = static_cast<int>((y - field.min_y) / field.cell_height);
+    return field.at(std::clamp(r, 0, field.rows - 1),
+                    std::clamp(c, 0, field.columns - 1));
+  };
+  EXPECT_GT(cell_value(2.0, 0.0), cell_value(8.0, 0.0));
+}
+
+TEST(FieldMap, DisabledChargerContributesNothing) {
+  const model::Network net = one_charger_net();
+  model::Schedule schedule(1, 2);
+  schedule.assign(0, 0, 0.0);
+  schedule.disable_from(0, 1);
+  EXPECT_GT(sample_field(net, schedule, 0).peak(), 0.0);
+  EXPECT_DOUBLE_EQ(sample_field(net, schedule, 1).peak(), 0.0);
+}
+
+TEST(FieldMap, SuperimposesChargers) {
+  std::vector<model::Charger> chargers = {{{-5.0, 0.0}}, {{5.0, 0.0}}};
+  model::Task task;
+  task.position = {0.0, 0.0};
+  task.orientation = 0.0;
+  task.release_slot = 0;
+  task.end_slot = 1;
+  task.required_energy = 1.0;
+  task.weight = 1.0;
+  const model::Network net(chargers, {task}, testing_helpers::tiny_power(),
+                           model::TimeGrid{});
+  model::Schedule both(2, 1);
+  both.assign(0, 0, 0.0);
+  both.assign(1, 0, kPi);
+  model::Schedule one(2, 1);
+  one.assign(0, 0, 0.0);
+  const FieldMap field_both = sample_field(net, both, 0, 64, 64);
+  const FieldMap field_one = sample_field(net, one, 0, 64, 64);
+  EXPECT_GT(field_both.mean(), field_one.mean());
+}
+
+TEST(FieldMap, AccessorBoundsChecked) {
+  const model::Network net = one_charger_net();
+  const FieldMap field = sample_field(net, model::Schedule(1, 2), 0, 8, 8);
+  EXPECT_THROW(field.at(-1, 0), std::out_of_range);
+  EXPECT_THROW(field.at(0, 8), std::out_of_range);
+}
+
+TEST(FieldMap, ShadingProducesExpectedDimensionsAndGlyphs) {
+  const model::Network net = testbed::topology1();
+  const core::OfflineResult result = core::schedule_offline(net, {1, 1, 1, true, false});
+  const FieldMap field = sample_field(net, result.schedule, 1, 40, 20);
+  const std::string picture = shade_field(field);
+  EXPECT_EQ(picture.size(), 20u * 41u);
+  EXPECT_NE(picture.find('#'), std::string::npos);  // some hot cells
+  EXPECT_NE(picture.find(' '), std::string::npos);  // some cold cells
+}
+
+}  // namespace
+}  // namespace haste::sim

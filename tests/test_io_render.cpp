@@ -1,0 +1,169 @@
+// Tests for io/scenario_io.hpp and sim/render.hpp.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/evaluate.hpp"
+#include "core/offline.hpp"
+#include "io/scenario_io.hpp"
+#include "sim/render.hpp"
+#include "test_helpers.hpp"
+#include "testbed/topologies.hpp"
+
+namespace haste::io {
+namespace {
+
+using testing_helpers::random_network;
+
+TEST(ScenarioIo, NetworkRoundTripPreservesEverything) {
+  util::Rng rng(1);
+  const model::Network original = random_network(rng, 4, 9, 4, geom::kPi / 2);
+  const model::Network restored = network_from_json(network_to_json(original));
+
+  ASSERT_EQ(restored.charger_count(), original.charger_count());
+  ASSERT_EQ(restored.task_count(), original.task_count());
+  EXPECT_EQ(restored.horizon(), original.horizon());
+  EXPECT_DOUBLE_EQ(restored.power_model().alpha, original.power_model().alpha);
+  EXPECT_DOUBLE_EQ(restored.power_model().beta, original.power_model().beta);
+  EXPECT_NEAR(restored.power_model().receiving_angle,
+              original.power_model().receiving_angle, 1e-12);
+  EXPECT_DOUBLE_EQ(restored.time().slot_seconds, original.time().slot_seconds);
+  EXPECT_EQ(restored.time().tau, original.time().tau);
+  EXPECT_EQ(restored.utility_shape().name(), original.utility_shape().name());
+  for (model::TaskIndex j = 0; j < original.task_count(); ++j) {
+    const model::Task& a = original.tasks()[static_cast<std::size_t>(j)];
+    const model::Task& b = restored.tasks()[static_cast<std::size_t>(j)];
+    EXPECT_DOUBLE_EQ(a.position.x, b.position.x);
+    EXPECT_NEAR(a.orientation, b.orientation, 1e-12);
+    EXPECT_EQ(a.release_slot, b.release_slot);
+    EXPECT_EQ(a.end_slot, b.end_slot);
+    EXPECT_DOUBLE_EQ(a.required_energy, b.required_energy);
+    EXPECT_DOUBLE_EQ(a.weight, b.weight);
+  }
+}
+
+TEST(ScenarioIo, RoundTripPreservesSchedulingOutcome) {
+  // The acid test: scheduling the restored instance gives the same utility.
+  util::Rng rng(2);
+  const model::Network original = random_network(rng, 3, 8, 4);
+  const model::Network restored = network_from_json(network_to_json(original));
+  core::OfflineConfig config;
+  config.colors = 1;
+  const double a =
+      core::evaluate_schedule(original, core::schedule_offline(original, config).schedule)
+          .weighted_utility;
+  const double b =
+      core::evaluate_schedule(restored, core::schedule_offline(restored, config).schedule)
+          .weighted_utility;
+  EXPECT_NEAR(a, b, 1e-9);
+}
+
+TEST(ScenarioIo, GainProfileSurvives) {
+  util::Rng rng(3);
+  std::vector<model::Charger> chargers;
+  std::vector<model::Task> tasks;
+  {
+    const model::Network base = random_network(rng, 2, 4);
+    chargers = base.chargers();
+    tasks = base.tasks();
+  }
+  model::PowerModel power = testing_helpers::tiny_power();
+  power.gain_profile = model::ReceivingGainProfile::kCosine;
+  const model::Network net(chargers, tasks, power, model::TimeGrid{});
+  const model::Network restored = network_from_json(network_to_json(net));
+  EXPECT_EQ(restored.power_model().gain_profile, model::ReceivingGainProfile::kCosine);
+}
+
+TEST(ScenarioIo, ScheduleRoundTripIncludingOutages) {
+  model::Schedule schedule(3, 5);
+  schedule.assign(0, 0, 0.25);
+  schedule.assign(0, 3, 1.75);
+  schedule.assign(2, 1, 3.0);
+  schedule.disable_from(1, 2);
+  const model::Schedule restored = schedule_from_json(schedule_to_json(schedule));
+  EXPECT_EQ(restored.charger_count(), 3);
+  EXPECT_EQ(restored.horizon(), 5);
+  for (model::ChargerIndex i = 0; i < 3; ++i) {
+    for (model::SlotIndex k = 0; k < 5; ++k) {
+      EXPECT_EQ(restored.assignment(i, k).has_value(),
+                schedule.assignment(i, k).has_value());
+      if (schedule.assignment(i, k).has_value()) {
+        EXPECT_NEAR(*restored.assignment(i, k), *schedule.assignment(i, k), 1e-12);
+      }
+      EXPECT_EQ(restored.disabled_at(i, k), schedule.disabled_at(i, k));
+    }
+  }
+}
+
+TEST(ScenarioIo, FileHelpers) {
+  const std::string path = ::testing::TempDir() + "haste_net_test.json";
+  const model::Network net = testbed::topology1();
+  save_network(path, net);
+  const model::Network loaded = load_network(path);
+  EXPECT_EQ(loaded.charger_count(), net.charger_count());
+  EXPECT_EQ(loaded.task_count(), net.task_count());
+  std::remove(path.c_str());
+}
+
+TEST(ScenarioIo, MissingFieldsThrow) {
+  EXPECT_THROW(network_from_json(util::Json::parse("{}")), util::JsonError);
+  EXPECT_THROW(schedule_from_json(util::Json::parse("{\"chargers\": 2}")),
+               util::JsonError);
+}
+
+}  // namespace
+}  // namespace haste::io
+
+namespace haste::sim {
+namespace {
+
+TEST(Render, ContainsChargersAndTasks) {
+  const model::Network net = testbed::topology1();
+  const std::string picture = render_field(net, nullptr, 0, 40, 12);
+  EXPECT_NE(picture.find('+'), std::string::npos);  // idle chargers
+  EXPECT_NE(picture.find('T'), std::string::npos);  // tasks active at slot 0
+  // 12 lines of 40 characters plus newlines.
+  EXPECT_EQ(picture.size(), 12u * 41u);
+}
+
+TEST(Render, OrientationGlyphsAppearWithASchedule) {
+  const model::Network net = testbed::topology1();
+  const core::OfflineResult result = core::schedule_offline(net, {1, 1, 1, true, false});
+  const std::string picture = render_field(net, &result.schedule, 1, 40, 12);
+  const bool has_arrow = picture.find('>') != std::string::npos ||
+                         picture.find('<') != std::string::npos ||
+                         picture.find('^') != std::string::npos ||
+                         picture.find('v') != std::string::npos;
+  EXPECT_TRUE(has_arrow);
+}
+
+TEST(Render, DisabledChargerRendersAsX) {
+  const model::Network net = testbed::topology1();
+  model::Schedule schedule(net.charger_count(), net.horizon());
+  schedule.disable_from(0, 0);
+  const std::string picture = render_field(net, &schedule, 0, 40, 12);
+  EXPECT_NE(picture.find('x'), std::string::npos);
+}
+
+TEST(Render, HandlesDegenerateGeometry) {
+  // All entities at the same point must not crash or divide by zero.
+  std::vector<model::Charger> chargers = {{{1.0, 1.0}}};
+  model::Task task;
+  task.position = {1.0, 1.0};
+  task.orientation = 0.0;
+  task.release_slot = 0;
+  task.end_slot = 1;
+  task.required_energy = 1.0;
+  const model::Network net(chargers, {task}, testing_helpers::tiny_power(),
+                           model::TimeGrid{});
+  EXPECT_NO_THROW(render_field(net, nullptr, 0, 10, 5));
+}
+
+TEST(Render, ClampsTinyDimensions) {
+  const model::Network net = testbed::topology1();
+  const std::string picture = render_field(net, nullptr, 0, 1, 1);
+  EXPECT_FALSE(picture.empty());
+}
+
+}  // namespace
+}  // namespace haste::sim

@@ -1,0 +1,157 @@
+// Tests for util/json.hpp — the self-contained JSON DOM.
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+namespace haste::util {
+namespace {
+
+TEST(Json, DefaultIsNull) {
+  const Json j;
+  EXPECT_TRUE(j.is_null());
+  EXPECT_EQ(j.dump(), "null");
+}
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(2.5).dump(), "2.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, ArraysAndObjects) {
+  Json array = Json::array();
+  array.push_back(1);
+  array.push_back("two");
+  array.push_back(Json::object());
+  EXPECT_EQ(array.size(), 3u);
+  EXPECT_EQ(array.at(0).as_int(), 1);
+  EXPECT_EQ(array.at(1).as_string(), "two");
+  EXPECT_TRUE(array.at(2).is_object());
+
+  Json object = Json::object();
+  object.set("a", 1.5);
+  object.set("b", true);
+  EXPECT_TRUE(object.contains("a"));
+  EXPECT_FALSE(object.contains("z"));
+  EXPECT_DOUBLE_EQ(object.at("a").as_number(), 1.5);
+}
+
+TEST(Json, TypeMismatchesThrow) {
+  const Json j(1.5);
+  EXPECT_THROW(j.as_string(), JsonError);
+  EXPECT_THROW(j.as_bool(), JsonError);
+  EXPECT_THROW(j.at("key"), JsonError);
+  EXPECT_THROW(j.at(std::size_t{0}), JsonError);
+  EXPECT_THROW(j.as_int(), JsonError);  // 1.5 not integral
+  EXPECT_EQ(Json(3.0).as_int(), 3);
+}
+
+TEST(Json, ParseScalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("-12.75e1").as_number(), -127.5);
+  EXPECT_EQ(Json::parse("\"a b\"").as_string(), "a b");
+}
+
+TEST(Json, ParseNested) {
+  const Json j = Json::parse(R"({"xs": [1, 2, {"deep": [true, null]}], "s": "x"})");
+  EXPECT_EQ(j.at("xs").size(), 3u);
+  EXPECT_TRUE(j.at("xs").at(2).at("deep").at(0).as_bool());
+  EXPECT_TRUE(j.at("xs").at(2).at("deep").at(1).is_null());
+}
+
+TEST(Json, ParseWhitespaceTolerant) {
+  EXPECT_NO_THROW(Json::parse("  { \"a\" :\n [ 1 ,\t2 ] }  "));
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_THROW(Json::parse(""), JsonError);
+  EXPECT_THROW(Json::parse("{"), JsonError);
+  EXPECT_THROW(Json::parse("[1,]"), JsonError);
+  EXPECT_THROW(Json::parse("[1] trailing"), JsonError);
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonError);
+  EXPECT_THROW(Json::parse("truth"), JsonError);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), JsonError);
+  EXPECT_THROW(Json::parse("01x"), JsonError);
+}
+
+TEST(Json, StringEscapesRoundTrip) {
+  const std::string original = "line\nquote\"back\\slash\ttab";
+  const Json j(original);
+  EXPECT_EQ(Json::parse(j.dump()).as_string(), original);
+}
+
+TEST(Json, UnicodeEscapesParse) {
+  EXPECT_EQ(Json::parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(Json::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");   // e-acute
+  EXPECT_EQ(Json::parse("\"\\u20ac\"").as_string(), "\xe2\x82\xac");  // euro
+  EXPECT_THROW(Json::parse("\"\\ud800\""), JsonError);  // surrogate rejected
+}
+
+TEST(Json, NumbersRoundTripExactly) {
+  for (double value : {0.0, 1.0, -2.5, 0.1, 1e-12, 3.141592653589793, 1e18}) {
+    EXPECT_EQ(Json::parse(Json(value).dump()).as_number(), value);
+  }
+}
+
+TEST(Json, DeepDocumentRoundTrip) {
+  Json root = Json::object();
+  Json tasks = Json::array();
+  for (int i = 0; i < 20; ++i) {
+    Json t = Json::object();
+    t.set("id", i);
+    t.set("x", 0.125 * i);
+    t.set("label", "task-" + std::to_string(i));
+    tasks.push_back(std::move(t));
+  }
+  root.set("tasks", std::move(tasks));
+  root.set("meta", Json::object()).set("version", 2);
+
+  for (int indent : {-1, 0, 2, 4}) {
+    const Json reparsed = Json::parse(root.dump(indent));
+    EXPECT_EQ(reparsed.at("tasks").size(), 20u) << "indent " << indent;
+    EXPECT_EQ(reparsed.at("tasks").at(7).at("label").as_string(), "task-7");
+  }
+}
+
+TEST(Json, NestingDepthLimit) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_THROW(Json::parse(deep), JsonError);
+}
+
+TEST(Json, NonFiniteNumbersRejectedOnDump) {
+  EXPECT_THROW(Json(std::numeric_limits<double>::infinity()).dump(), JsonError);
+  EXPECT_THROW(Json(std::numeric_limits<double>::quiet_NaN()).dump(), JsonError);
+}
+
+TEST(Json, DefaultLookups) {
+  const Json j = Json::parse(R"({"present": 5, "name": "x", "flag": true})");
+  EXPECT_DOUBLE_EQ(j.number_or("present", 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(j.number_or("absent", 1.0), 1.0);
+  EXPECT_EQ(j.string_or("name", "y"), "x");
+  EXPECT_EQ(j.string_or("missing", "y"), "y");
+  EXPECT_TRUE(j.bool_or("flag", false));
+  EXPECT_FALSE(j.bool_or("missing", false));
+}
+
+TEST(Json, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "haste_json_test.json";
+  Json value = Json::object();
+  value.set("answer", 42);
+  save_json_file(path, value);
+  const Json loaded = load_json_file(path);
+  EXPECT_EQ(loaded.at("answer").as_int(), 42);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_json_file(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace haste::util

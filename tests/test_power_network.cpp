@@ -1,0 +1,182 @@
+// Tests for model/power.hpp and model/network.hpp.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "geom/angle.hpp"
+#include "model/network.hpp"
+
+namespace haste::model {
+namespace {
+
+PowerModel test_power() {
+  PowerModel power;
+  power.alpha = 10000.0;
+  power.beta = 40.0;
+  power.radius = 20.0;
+  power.charging_angle = geom::kPi / 3;
+  power.receiving_angle = geom::kPi / 3;
+  return power;
+}
+
+Task task_at(double x, double y, double phi, SlotIndex release = 0, SlotIndex end = 4,
+             double energy = 1000.0) {
+  Task task;
+  task.position = {x, y};
+  task.orientation = phi;
+  task.release_slot = release;
+  task.end_slot = end;
+  task.required_energy = energy;
+  task.weight = 1.0;
+  return task;
+}
+
+TEST(PowerModel, RangePowerFormula) {
+  const PowerModel power = test_power();
+  EXPECT_DOUBLE_EQ(power.range_power(0.0), 10000.0 / 1600.0);
+  EXPECT_DOUBLE_EQ(power.range_power(10.0), 10000.0 / 2500.0);
+  EXPECT_DOUBLE_EQ(power.range_power(20.0), 10000.0 / 3600.0);
+  EXPECT_DOUBLE_EQ(power.range_power(20.01), 0.0);  // beyond D
+  EXPECT_DOUBLE_EQ(power.range_power(-1.0), 0.0);
+}
+
+TEST(PowerModel, GatedPowerRequiresBothSectors) {
+  const PowerModel power = test_power();
+  const geom::Vec2 charger{0.0, 0.0};
+  const geom::Vec2 device{10.0, 0.0};
+  // Both facing each other: full power law value.
+  EXPECT_DOUBLE_EQ(power.power(charger, 0.0, device, geom::kPi),
+                   10000.0 / 2500.0);
+  // Charger looks away.
+  EXPECT_DOUBLE_EQ(power.power(charger, geom::kPi, device, geom::kPi), 0.0);
+  // Device looks away.
+  EXPECT_DOUBLE_EQ(power.power(charger, 0.0, device, 0.0), 0.0);
+}
+
+TEST(PowerModel, PotentialPowerIgnoresChargerOrientation) {
+  const PowerModel power = test_power();
+  const Task task = task_at(10.0, 0.0, geom::kPi);  // faces the origin
+  EXPECT_DOUBLE_EQ(power.potential_power({0.0, 0.0}, task), 10000.0 / 2500.0);
+  // Charger outside the device's receiving sector: no potential.
+  EXPECT_DOUBLE_EQ(power.potential_power({0.0, 9.0}, task), 0.0);
+}
+
+TEST(PowerModel, TaskCoversChargerMatchesSectorTest) {
+  const PowerModel power = test_power();
+  const Task task = task_at(0.0, 0.0, 0.0);  // faces +x
+  EXPECT_TRUE(power.task_covers_charger({5.0, 0.0}, task));
+  EXPECT_FALSE(power.task_covers_charger({-5.0, 0.0}, task));
+  EXPECT_FALSE(power.task_covers_charger({25.0, 0.0}, task));  // out of range
+}
+
+TEST(PowerModel, ValidateRejectsBadParameters) {
+  PowerModel power = test_power();
+  power.alpha = 0.0;
+  EXPECT_THROW(power.validate(), std::invalid_argument);
+  power = test_power();
+  power.beta = -1.0;
+  EXPECT_THROW(power.validate(), std::invalid_argument);
+  power = test_power();
+  power.radius = 0.0;
+  EXPECT_THROW(power.validate(), std::invalid_argument);
+  power = test_power();
+  power.charging_angle = 0.0;
+  EXPECT_THROW(power.validate(), std::invalid_argument);
+  power = test_power();
+  power.receiving_angle = 7.0;  // > 2*pi
+  EXPECT_THROW(power.validate(), std::invalid_argument);
+}
+
+TEST(Network, CoverageAndPotentialPower) {
+  // Charger at origin; task A to the right facing left (coverable), task B
+  // above facing up (not coverable).
+  std::vector<Charger> chargers = {{{0.0, 0.0}}};
+  std::vector<Task> tasks = {task_at(10.0, 0.0, geom::kPi),
+                             task_at(0.0, 10.0, geom::kPi / 2)};
+  const Network net(chargers, tasks, test_power(), TimeGrid{});
+
+  ASSERT_EQ(net.coverable_tasks(0).size(), 1u);
+  EXPECT_EQ(net.coverable_tasks(0)[0], 0);
+  EXPECT_DOUBLE_EQ(net.potential_power(0, 0), 10000.0 / 2500.0);
+  EXPECT_DOUBLE_EQ(net.potential_power(0, 1), 0.0);
+}
+
+TEST(Network, HorizonIsMaxEndSlot) {
+  std::vector<Charger> chargers = {{{0.0, 0.0}}};
+  std::vector<Task> tasks = {task_at(1.0, 0.0, geom::kPi, 0, 4),
+                             task_at(2.0, 0.0, geom::kPi, 3, 9)};
+  const Network net(chargers, tasks, test_power(), TimeGrid{});
+  EXPECT_EQ(net.horizon(), 9);
+}
+
+TEST(Network, NeighborsShareACoverableTask) {
+  // Two chargers on either side of a task that faces both (receiving angle
+  // must admit both; use a wide receiving angle).
+  PowerModel power = test_power();
+  power.receiving_angle = 2 * geom::kPi;  // omnidirectional device
+  std::vector<Charger> chargers = {{{-5.0, 0.0}}, {{5.0, 0.0}}, {{100.0, 100.0}}};
+  std::vector<Task> tasks = {task_at(0.0, 0.0, 0.0)};
+  const Network net(chargers, tasks, power, TimeGrid{});
+
+  ASSERT_EQ(net.neighbors(0).size(), 1u);
+  EXPECT_EQ(net.neighbors(0)[0], 1);
+  ASSERT_EQ(net.neighbors(1).size(), 1u);
+  EXPECT_EQ(net.neighbors(1)[0], 0);
+  EXPECT_TRUE(net.neighbors(2).empty());
+}
+
+TEST(Network, CoverageArcContainsDirectionToTask) {
+  std::vector<Charger> chargers = {{{0.0, 0.0}}};
+  std::vector<Task> tasks = {task_at(3.0, 3.0, -3.0 * geom::kPi / 4.0)};
+  const Network net(chargers, tasks, test_power(), TimeGrid{});
+  const geom::Arc arc = net.coverage_arc(0, 0);
+  EXPECT_TRUE(arc.contains(geom::kPi / 4));
+  EXPECT_NEAR(arc.length, net.power_model().charging_angle, 1e-12);
+}
+
+TEST(Network, PowerMatchesModel) {
+  std::vector<Charger> chargers = {{{0.0, 0.0}}};
+  std::vector<Task> tasks = {task_at(10.0, 0.0, geom::kPi)};
+  const Network net(chargers, tasks, test_power(), TimeGrid{});
+  EXPECT_DOUBLE_EQ(net.power(0, 0.0, 0), 10000.0 / 2500.0);
+  EXPECT_DOUBLE_EQ(net.power(0, geom::kPi, 0), 0.0);
+}
+
+TEST(Network, WeightedUtilityAndUpperBound) {
+  std::vector<Charger> chargers = {{{0.0, 0.0}}};
+  std::vector<Task> tasks = {task_at(10.0, 0.0, geom::kPi, 0, 4, 1000.0),
+                             task_at(5.0, 0.0, geom::kPi, 0, 4, 2000.0)};
+  tasks[0].weight = 0.25;
+  tasks[1].weight = 0.75;
+  const Network net(chargers, tasks, test_power(), TimeGrid{});
+  EXPECT_DOUBLE_EQ(net.weighted_task_utility(0, 500.0), 0.25 * 0.5);
+  EXPECT_DOUBLE_EQ(net.weighted_task_utility(1, 4000.0), 0.75);
+  EXPECT_DOUBLE_EQ(net.utility_upper_bound(), 1.0);
+}
+
+TEST(Network, DefaultsToLinearShape) {
+  std::vector<Charger> chargers = {{{0.0, 0.0}}};
+  std::vector<Task> tasks = {task_at(10.0, 0.0, geom::kPi)};
+  const Network net(chargers, tasks, test_power(), TimeGrid{});
+  EXPECT_EQ(net.utility_shape().name(), "linear");
+}
+
+TEST(Network, CustomShapeIsUsed) {
+  std::vector<Charger> chargers = {{{0.0, 0.0}}};
+  std::vector<Task> tasks = {task_at(10.0, 0.0, geom::kPi, 0, 4, 400.0)};
+  const Network net(chargers, tasks, test_power(), TimeGrid{},
+                    std::make_shared<const SqrtBoundedShape>());
+  EXPECT_DOUBLE_EQ(net.weighted_task_utility(0, 100.0), 0.5);  // sqrt(0.25)
+}
+
+TEST(Network, InvalidTaskRejectedAtConstruction) {
+  std::vector<Charger> chargers = {{{0.0, 0.0}}};
+  std::vector<Task> tasks = {task_at(1.0, 0.0, 0.0)};
+  tasks[0].required_energy = -1.0;
+  EXPECT_THROW(Network(chargers, tasks, test_power(), TimeGrid{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace haste::model

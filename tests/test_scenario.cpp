@@ -1,0 +1,170 @@
+// Tests for sim/scenario.hpp — the Section 7.1 generator.
+#include "sim/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "geom/angle.hpp"
+
+namespace haste::sim {
+namespace {
+
+TEST(Scenario, PaperDefaultMatchesSection71) {
+  const ScenarioConfig config = ScenarioConfig::paper_default();
+  EXPECT_EQ(config.chargers, 50);
+  EXPECT_EQ(config.tasks, 200);
+  EXPECT_DOUBLE_EQ(config.field_width, 50.0);
+  EXPECT_DOUBLE_EQ(config.power.alpha, 10000.0);
+  EXPECT_DOUBLE_EQ(config.power.beta, 40.0);
+  EXPECT_DOUBLE_EQ(config.power.radius, 20.0);
+  EXPECT_NEAR(config.power.charging_angle, geom::kPi / 3, 1e-12);
+  EXPECT_NEAR(config.power.receiving_angle, geom::kPi / 3, 1e-12);
+  EXPECT_DOUBLE_EQ(config.time.slot_seconds, 60.0);
+  EXPECT_NEAR(config.time.rho, 1.0 / 12.0, 1e-12);
+  EXPECT_EQ(config.time.tau, 1);
+  EXPECT_DOUBLE_EQ(config.energy_min_j, 5000.0);
+  EXPECT_DOUBLE_EQ(config.energy_max_j, 20000.0);
+  EXPECT_EQ(config.duration_min_slots, 10);
+  EXPECT_EQ(config.duration_max_slots, 120);
+}
+
+TEST(Scenario, SmallScaleMatchesSection731) {
+  const ScenarioConfig config = ScenarioConfig::small_scale();
+  EXPECT_EQ(config.chargers, 5);
+  EXPECT_EQ(config.tasks, 10);
+  EXPECT_DOUBLE_EQ(config.field_width, 10.0);
+  EXPECT_DOUBLE_EQ(config.energy_min_j, 1000.0);
+  EXPECT_DOUBLE_EQ(config.energy_max_j, 4000.0);
+  EXPECT_EQ(config.duration_min_slots, 1);
+  EXPECT_EQ(config.duration_max_slots, 5);
+}
+
+TEST(Scenario, GeneratesRequestedCounts) {
+  ScenarioConfig config = ScenarioConfig::small_scale();
+  util::Rng rng(1);
+  const model::Network net = generate_scenario(config, rng);
+  EXPECT_EQ(net.charger_count(), 5);
+  EXPECT_EQ(net.task_count(), 10);
+}
+
+TEST(Scenario, PositionsInsideField) {
+  ScenarioConfig config;
+  config.chargers = 30;
+  config.tasks = 60;
+  util::Rng rng(2);
+  const model::Network net = generate_scenario(config, rng);
+  for (const model::Charger& c : net.chargers()) {
+    EXPECT_GE(c.position.x, 0.0);
+    EXPECT_LE(c.position.x, config.field_width);
+    EXPECT_GE(c.position.y, 0.0);
+    EXPECT_LE(c.position.y, config.field_height);
+  }
+  for (const model::Task& t : net.tasks()) {
+    EXPECT_GE(t.position.x, 0.0);
+    EXPECT_LE(t.position.x, config.field_width);
+  }
+}
+
+TEST(Scenario, TaskFieldsWithinConfiguredRanges) {
+  ScenarioConfig config;
+  config.tasks = 100;
+  config.chargers = 5;
+  util::Rng rng(3);
+  const model::Network net = generate_scenario(config, rng);
+  for (const model::Task& t : net.tasks()) {
+    EXPECT_GE(t.required_energy, config.energy_min_j);
+    EXPECT_LE(t.required_energy, config.energy_max_j);
+    EXPECT_GE(t.duration_slots(), config.duration_min_slots);
+    EXPECT_LE(t.duration_slots(), config.duration_max_slots);
+    EXPECT_GE(t.release_slot, 0);
+    EXPECT_LE(t.release_slot, config.release_window_slots);
+    EXPECT_DOUBLE_EQ(t.weight, 1.0 / 100.0);
+  }
+}
+
+TEST(Scenario, ExplicitWeightOverridesDefault) {
+  ScenarioConfig config = ScenarioConfig::small_scale();
+  config.task_weight = 0.5;
+  util::Rng rng(4);
+  const model::Network net = generate_scenario(config, rng);
+  for (const model::Task& t : net.tasks()) EXPECT_DOUBLE_EQ(t.weight, 0.5);
+}
+
+TEST(Scenario, DeterministicGivenRngState) {
+  const ScenarioConfig config = ScenarioConfig::small_scale();
+  util::Rng rng_a(7);
+  util::Rng rng_b(7);
+  const model::Network a = generate_scenario(config, rng_a);
+  const model::Network b = generate_scenario(config, rng_b);
+  for (int j = 0; j < a.task_count(); ++j) {
+    EXPECT_EQ(a.tasks()[static_cast<std::size_t>(j)].position,
+              b.tasks()[static_cast<std::size_t>(j)].position);
+    EXPECT_EQ(a.tasks()[static_cast<std::size_t>(j)].required_energy,
+              b.tasks()[static_cast<std::size_t>(j)].required_energy);
+  }
+}
+
+TEST(Scenario, GaussianPlacementClampsToField) {
+  ScenarioConfig config;
+  config.tasks = 200;
+  config.chargers = 1;
+  config.task_placement = Placement::kGaussian;
+  config.gaussian_sigma_x = 100.0;  // huge spread: clamping must kick in
+  config.gaussian_sigma_y = 100.0;
+  util::Rng rng(8);
+  const model::Network net = generate_scenario(config, rng);
+  int on_boundary = 0;
+  for (const model::Task& t : net.tasks()) {
+    EXPECT_GE(t.position.x, 0.0);
+    EXPECT_LE(t.position.x, config.field_width);
+    EXPECT_GE(t.position.y, 0.0);
+    EXPECT_LE(t.position.y, config.field_height);
+    if (t.position.x == 0.0 || t.position.x == config.field_width) ++on_boundary;
+  }
+  EXPECT_GT(on_boundary, 0);
+}
+
+TEST(Scenario, GaussianConcentratesWithSmallSigma) {
+  ScenarioConfig config;
+  config.tasks = 200;
+  config.chargers = 1;
+  config.task_placement = Placement::kGaussian;
+  config.gaussian_sigma_x = 1.0;
+  config.gaussian_sigma_y = 1.0;
+  util::Rng rng(9);
+  const model::Network net = generate_scenario(config, rng);
+  int near_center = 0;
+  for (const model::Task& t : net.tasks()) {
+    if (std::abs(t.position.x - 25.0) < 4.0 && std::abs(t.position.y - 25.0) < 4.0) {
+      ++near_center;
+    }
+  }
+  EXPECT_GT(near_center, 190);
+}
+
+TEST(Scenario, UtilityShapeIsRespected) {
+  ScenarioConfig config = ScenarioConfig::small_scale();
+  config.utility_shape = "sqrt";
+  util::Rng rng(10);
+  const model::Network net = generate_scenario(config, rng);
+  EXPECT_EQ(net.utility_shape().name(), "sqrt");
+}
+
+TEST(Scenario, ValidateRejectsBadConfigs) {
+  ScenarioConfig config;
+  config.field_width = -1.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = ScenarioConfig{};
+  config.energy_max_j = config.energy_min_j - 1.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = ScenarioConfig{};
+  config.duration_min_slots = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = ScenarioConfig{};
+  config.release_window_slots = -1;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace haste::sim

@@ -1,0 +1,134 @@
+// Tests for the ordered token protocol (OnlineStrategy::kHasteSequential) —
+// the global-order construction from the proof of Theorem 6.1.
+#include <gtest/gtest.h>
+
+#include "baseline/brute_force.hpp"
+#include "dist/online.hpp"
+#include "test_helpers.hpp"
+
+namespace haste::dist {
+namespace {
+
+using testing_helpers::random_network;
+
+OnlineConfig sequential_config(int colors = 1) {
+  OnlineConfig config;
+  config.strategy = OnlineStrategy::kHasteSequential;
+  config.colors = colors;
+  config.samples = colors == 1 ? 1 : 4 * colors;
+  return config;
+}
+
+TEST(Sequential, RunsAndProducesBoundedUtility) {
+  util::Rng rng(1);
+  const model::Network net = random_network(rng, 4, 10, 5);
+  const OnlineResult result = run_online(net, sequential_config());
+  EXPECT_GE(result.evaluation.weighted_utility, 0.0);
+  EXPECT_LE(result.evaluation.weighted_utility, net.utility_upper_bound() + 1e-12);
+  EXPECT_GT(result.messages, 0u);
+  EXPECT_GT(result.rounds, 0u);
+}
+
+TEST(Sequential, Deterministic) {
+  util::Rng rng(2);
+  const model::Network net = random_network(rng, 4, 8, 4);
+  const OnlineResult a = run_online(net, sequential_config(2));
+  const OnlineResult b = run_online(net, sequential_config(2));
+  EXPECT_EQ(a.evaluation.weighted_utility, b.evaluation.weighted_utility);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+TEST(Sequential, FarFewerMessagesThanElection) {
+  // The whole point of the token order: elections repeat VALUE rounds; the
+  // token protocol sends one UPDATE per selection.
+  double election_total = 0.0;
+  double sequential_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    util::Rng rng(seed * 7);
+    const model::Network net = random_network(rng, 5, 14, 5);
+    OnlineConfig election;
+    election.colors = 1;
+    election_total += static_cast<double>(run_online(net, election).messages);
+    sequential_total +=
+        static_cast<double>(run_online(net, sequential_config()).messages);
+  }
+  EXPECT_LT(sequential_total, election_total);
+}
+
+TEST(Sequential, UtilityComparableToElection) {
+  // Both are locally greedy runs over the same ground set in different
+  // orders; utilities should land close (within 10% in aggregate).
+  double election_total = 0.0;
+  double sequential_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    util::Rng rng(seed * 11);
+    const model::Network net = random_network(rng, 4, 10, 4);
+    OnlineConfig election;
+    election.colors = 1;
+    election_total += run_online(net, election).evaluation.weighted_utility;
+    sequential_total +=
+        run_online(net, sequential_config()).evaluation.weighted_utility;
+  }
+  EXPECT_GT(sequential_total, 0.9 * election_total);
+  EXPECT_LT(sequential_total, 1.1 * election_total + 1e-9);
+}
+
+TEST(Sequential, SingleChargerMatchesElectionExactly) {
+  util::Rng rng(5);
+  const model::Network net = random_network(rng, 1, 5, 3);
+  OnlineConfig election;
+  election.colors = 1;
+  const double a = run_online(net, election).evaluation.weighted_utility;
+  const double b = run_online(net, sequential_config()).evaluation.weighted_utility;
+  EXPECT_NEAR(a, b, 1e-9);
+}
+
+TEST(Sequential, HalfOfRelaxedOptimumGuarantee) {
+  // The 1/2 locally-greedy guarantee applies to any selection order; with
+  // rho = 0, tau = 0 and a single batch the bound is directly checkable.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    util::Rng rng(seed + 40);
+    std::vector<model::Charger> chargers;
+    std::vector<model::Task> tasks;
+    {
+      const model::Network base = random_network(rng, 3, 6, 3);
+      chargers = base.chargers();
+      tasks = base.tasks();
+    }
+    for (model::Task& task : tasks) {
+      const model::SlotIndex duration = task.duration_slots();
+      task.release_slot = 0;
+      task.end_slot = duration;
+    }
+    model::TimeGrid time;
+    time.rho = 0.0;
+    time.tau = 0;
+    const model::Network net(chargers, tasks, testing_helpers::tiny_power(), time);
+    const baseline::BruteForceResult opt = baseline::optimal_relaxed(net, 2'000'000);
+    if (!opt.exhausted || opt.relaxed_utility <= 0.0) continue;
+    const OnlineResult result = run_online(net, sequential_config());
+    EXPECT_GE(result.evaluation.weighted_utility, 0.5 * opt.relaxed_utility - 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(Sequential, WorksWithFailures) {
+  util::Rng rng(6);
+  const model::Network net = random_network(rng, 4, 10, 5);
+  OnlineConfig config = sequential_config();
+  config.failures = {{0, 1}};
+  const OnlineResult result = run_online(net, config);
+  EXPECT_GE(result.evaluation.weighted_utility, 0.0);
+}
+
+TEST(Sequential, MultiColorRuns) {
+  util::Rng rng(7);
+  const model::Network net = random_network(rng, 3, 8, 4);
+  const OnlineResult result = run_online(net, sequential_config(4));
+  EXPECT_GE(result.evaluation.weighted_utility, 0.0);
+  EXPECT_LE(result.evaluation.weighted_utility, net.utility_upper_bound() + 1e-12);
+}
+
+}  // namespace
+}  // namespace haste::dist

@@ -1,0 +1,113 @@
+// Tests for util/stats.hpp.
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace haste::util {
+namespace {
+
+TEST(Stats, MeanOfKnownSample) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) { EXPECT_DOUBLE_EQ(mean({}), 0.0); }
+
+TEST(Stats, VarianceUnbiased) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Sum of squared deviations = 32, n-1 = 7.
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Stats, VarianceOfSingletonIsZero) {
+  const std::vector<double> xs = {3.0};
+  EXPECT_DOUBLE_EQ(variance(xs), 0.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs = {3.0, -1.0, 7.0, 2.0};
+  EXPECT_DOUBLE_EQ(min_value(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_value(xs), 7.0);
+}
+
+TEST(Stats, QuantileEndpoints) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.75), 7.5);
+}
+
+TEST(Stats, QuantileClampsQ) {
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 2.0), 2.0);
+}
+
+TEST(Stats, BoxSummaryOrdering) {
+  Rng rng(1);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.uniform(0.0, 100.0));
+  const BoxSummary box = box_summary(xs);
+  EXPECT_LE(box.min, box.q1);
+  EXPECT_LE(box.q1, box.median);
+  EXPECT_LE(box.median, box.q3);
+  EXPECT_LE(box.q3, box.max);
+  EXPECT_EQ(box.count, xs.size());
+  EXPECT_NEAR(box.mean, mean(xs), 1e-12);
+}
+
+TEST(Stats, BoxSummaryEmpty) {
+  const BoxSummary box = box_summary({});
+  EXPECT_EQ(box.count, 0u);
+  EXPECT_DOUBLE_EQ(box.mean, 0.0);
+}
+
+TEST(RunningStats, MatchesBatchComputation) {
+  Rng rng(2);
+  std::vector<double> xs;
+  RunningStats running;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-5.0, 5.0);
+    xs.push_back(x);
+    running.add(x);
+  }
+  EXPECT_NEAR(running.mean(), mean(xs), 1e-10);
+  EXPECT_NEAR(running.variance(), variance(xs), 1e-8);
+  EXPECT_DOUBLE_EQ(running.min(), min_value(xs));
+  EXPECT_DOUBLE_EQ(running.max(), max_value(xs));
+  EXPECT_EQ(running.count(), xs.size());
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats running;
+  EXPECT_DOUBLE_EQ(running.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(running.variance(), 0.0);
+  EXPECT_EQ(running.count(), 0u);
+}
+
+class QuantileAgainstSorted : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileAgainstSorted, WithinSampleRange) {
+  Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 101; ++i) xs.push_back(rng.uniform(0.0, 1.0));
+  const double q = quantile(xs, GetParam());
+  EXPECT_GE(q, min_value(xs));
+  EXPECT_LE(q, max_value(xs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, QuantileAgainstSorted,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0));
+
+}  // namespace
+}  // namespace haste::util

@@ -1,0 +1,130 @@
+// Tests for sim/svg.hpp and the Poisson arrival process of the scenario
+// generator.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/evaluate.hpp"
+#include "core/offline.hpp"
+#include "sim/scenario.hpp"
+#include "sim/svg.hpp"
+#include "testbed/topologies.hpp"
+
+namespace haste::sim {
+namespace {
+
+TEST(Svg, BareInstanceRenders) {
+  const model::Network net = testbed::topology1();
+  const std::string svg = render_svg(net, nullptr, 0);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // One marker per charger and per task.
+  std::size_t rects = 0;
+  for (std::size_t pos = svg.find("<rect x="); pos != std::string::npos;
+       pos = svg.find("<rect x=", pos + 1)) {
+    ++rects;
+  }
+  EXPECT_EQ(rects, 8u);
+  std::size_t circles = 0;
+  for (std::size_t pos = svg.find("<circle"); pos != std::string::npos;
+       pos = svg.find("<circle", pos + 1)) {
+    ++circles;
+  }
+  EXPECT_EQ(circles, 8u);
+}
+
+TEST(Svg, SectorsAppearWithSchedule) {
+  const model::Network net = testbed::topology1();
+  const core::OfflineResult result = core::schedule_offline(net, {1, 1, 1, true, false});
+  const std::string svg = render_svg(net, &result.schedule, 1);
+  EXPECT_NE(svg.find("<path"), std::string::npos);
+}
+
+TEST(Svg, UtilityColoringUsed) {
+  const model::Network net = testbed::topology1();
+  const core::OfflineResult result = core::schedule_offline(net, {1, 1, 1, true, false});
+  const core::EvaluationResult eval = core::evaluate_schedule(net, result.schedule);
+  const std::string with = render_svg(net, &result.schedule, 0, &eval);
+  const std::string without = render_svg(net, &result.schedule, 0);
+  EXPECT_NE(with, without);
+}
+
+TEST(Svg, LabelsToggle) {
+  const model::Network net = testbed::topology1();
+  SvgOptions no_labels;
+  no_labels.label_tasks = false;
+  EXPECT_EQ(render_svg(net, nullptr, 0, nullptr, no_labels).find("<text"),
+            std::string::npos);
+  EXPECT_NE(render_svg(net, nullptr, 0).find("<text"), std::string::npos);
+}
+
+TEST(Svg, SaveToFile) {
+  const std::string path = ::testing::TempDir() + "haste_svg_test.svg";
+  const model::Network net = testbed::topology1();
+  save_svg(path, net, nullptr, 0);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_NE(first_line.find("<svg"), std::string::npos);
+  in.close();
+  std::remove(path.c_str());
+}
+
+TEST(PoissonArrivals, ReleaseSlotsAreNonDecreasingInDrawOrder) {
+  ScenarioConfig config = ScenarioConfig::small_scale();
+  config.tasks = 50;
+  config.arrivals = ArrivalProcess::kPoisson;
+  config.poisson_rate_per_slot = 2.0;
+  util::Rng rng(5);
+  const model::Network net = generate_scenario(config, rng);
+  for (int j = 1; j < net.task_count(); ++j) {
+    EXPECT_GE(net.tasks()[static_cast<std::size_t>(j)].release_slot,
+              net.tasks()[static_cast<std::size_t>(j - 1)].release_slot);
+  }
+}
+
+TEST(PoissonArrivals, RateControlsSpread) {
+  // Higher rate -> the same number of tasks arrives in fewer slots.
+  const auto last_release = [](double rate) {
+    ScenarioConfig config = ScenarioConfig::small_scale();
+    config.tasks = 100;
+    config.arrivals = ArrivalProcess::kPoisson;
+    config.poisson_rate_per_slot = rate;
+    util::Rng rng(6);
+    const model::Network net = generate_scenario(config, rng);
+    model::SlotIndex last = 0;
+    for (const model::Task& t : net.tasks()) last = std::max(last, t.release_slot);
+    return last;
+  };
+  EXPECT_GT(last_release(0.5), last_release(8.0));
+}
+
+TEST(PoissonArrivals, MeanInterArrivalMatchesRate) {
+  ScenarioConfig config = ScenarioConfig::small_scale();
+  config.tasks = 2000;
+  config.arrivals = ArrivalProcess::kPoisson;
+  config.poisson_rate_per_slot = 4.0;
+  util::Rng rng(7);
+  const model::Network net = generate_scenario(config, rng);
+  const double last =
+      net.tasks().back().release_slot;  // ~ tasks / rate = 500 slots
+  EXPECT_NEAR(last, 500.0, 50.0);
+}
+
+TEST(PoissonArrivals, InvalidRateRejected) {
+  ScenarioConfig config = ScenarioConfig::small_scale();
+  config.arrivals = ArrivalProcess::kPoisson;
+  config.poisson_rate_per_slot = 0.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(PoissonArrivals, UniformModeUnaffectedByRate) {
+  ScenarioConfig config = ScenarioConfig::small_scale();
+  config.poisson_rate_per_slot = -1.0;  // invalid, but unused in uniform mode
+  EXPECT_NO_THROW(config.validate());
+}
+
+}  // namespace
+}  // namespace haste::sim

@@ -1,0 +1,132 @@
+// Tests for the simulated Powercast testbed (Section 8).
+#include <gtest/gtest.h>
+
+#include "core/evaluate.hpp"
+#include "core/offline.hpp"
+#include "dist/online.hpp"
+#include "geom/angle.hpp"
+#include "testbed/powercast.hpp"
+#include "testbed/topologies.hpp"
+
+namespace haste::testbed {
+namespace {
+
+TEST(Powercast, EmpiricalParameters) {
+  const model::PowerModel power = powercast_tx91501();
+  EXPECT_DOUBLE_EQ(power.alpha, 41.93);
+  EXPECT_DOUBLE_EQ(power.beta, 0.6428);
+  EXPECT_DOUBLE_EQ(power.radius, 4.0);
+  EXPECT_NEAR(power.charging_angle, geom::kPi / 3, 1e-12);
+  EXPECT_NEAR(power.receiving_angle, 2 * geom::kPi / 3, 1e-12);
+  EXPECT_NO_THROW(power.validate());
+}
+
+TEST(Powercast, TimeGridMatchesPaper) {
+  const model::TimeGrid time = testbed_time();
+  EXPECT_DOUBLE_EQ(time.slot_seconds, 60.0);
+  EXPECT_NEAR(time.rho, 1.0 / 12.0, 1e-12);
+  EXPECT_EQ(time.tau, 1);
+}
+
+TEST(Powercast, JoulesConversion) { EXPECT_DOUBLE_EQ(joules(3.5), 3500.0); }
+
+TEST(Topology1, StructureMatchesFig20) {
+  const model::Network net = topology1();
+  EXPECT_EQ(net.charger_count(), 8);
+  EXPECT_EQ(net.task_count(), 8);
+  // Chargers on the boundary of the 2.4 m square.
+  for (const model::Charger& c : net.chargers()) {
+    const bool on_boundary = c.position.x == 0.0 || c.position.x == 2.4 ||
+                             c.position.y == 0.0 || c.position.y == 2.4;
+    EXPECT_TRUE(on_boundary);
+  }
+  // Nodes strictly inside.
+  for (const model::Task& t : net.tasks()) {
+    EXPECT_GT(t.position.x, 0.0);
+    EXPECT_LT(t.position.x, 2.4);
+    EXPECT_GT(t.position.y, 0.0);
+    EXPECT_LT(t.position.y, 2.4);
+    EXPECT_GE(t.required_energy, joules(8.0));
+    EXPECT_LE(t.required_energy, joules(12.0));
+    EXPECT_DOUBLE_EQ(t.weight, 1.0 / 8.0);
+  }
+}
+
+TEST(Topology1, TasksOneAndSixRunLongest) {
+  const model::Network net = topology1();
+  const auto& tasks = net.tasks();
+  const model::SlotIndex d0 = tasks[0].duration_slots();
+  const model::SlotIndex d5 = tasks[5].duration_slots();
+  for (std::size_t j = 0; j < tasks.size(); ++j) {
+    if (j == 0 || j == 5) continue;
+    EXPECT_LT(tasks[j].duration_slots(), d0);
+    EXPECT_LT(tasks[j].duration_slots(), d5);
+  }
+}
+
+TEST(Topology1, EveryTaskIsCoverable) {
+  const model::Network net = topology1();
+  for (model::TaskIndex j = 0; j < net.task_count(); ++j) {
+    bool coverable = false;
+    for (model::ChargerIndex i = 0; i < net.charger_count(); ++i) {
+      coverable |= net.potential_power(i, j) > 0.0;
+    }
+    EXPECT_TRUE(coverable) << "task " << j << " unreachable by any charger";
+  }
+}
+
+TEST(Topology1, SchedulersProduceNonTrivialUtility) {
+  const model::Network net = topology1();
+  core::OfflineConfig config;
+  config.colors = 4;
+  config.samples = 16;
+  const core::OfflineResult offline = core::schedule_offline(net, config);
+  const core::EvaluationResult eval = core::evaluate_schedule(net, offline.schedule);
+  EXPECT_GT(eval.weighted_utility, 0.1);
+  EXPECT_LE(eval.weighted_utility, 1.0 + 1e-12);
+
+  dist::OnlineConfig online_config;
+  online_config.colors = 4;
+  online_config.samples = 8;
+  const dist::OnlineResult online = dist::run_online(net, online_config);
+  EXPECT_GT(online.evaluation.weighted_utility, 0.1);
+  EXPECT_GT(online.messages, 0u);
+}
+
+TEST(Topology2, StructureMatchesFig23) {
+  const model::Network net = topology2();
+  EXPECT_EQ(net.charger_count(), 16);
+  EXPECT_EQ(net.task_count(), 20);
+  for (const model::Task& t : net.tasks()) {
+    EXPECT_GE(t.required_energy, joules(6.0));
+    EXPECT_LE(t.required_energy, joules(10.0));
+    EXPECT_DOUBLE_EQ(t.weight, 1.0 / 20.0);
+    EXPECT_GE(t.duration_slots(), 3);
+    EXPECT_LE(t.duration_slots(), 9);
+  }
+}
+
+TEST(Topology2, SeedControlsLayout) {
+  const model::Network a = topology2(1);
+  const model::Network b = topology2(1);
+  const model::Network c = topology2(2);
+  EXPECT_EQ(a.tasks()[0].position, b.tasks()[0].position);
+  EXPECT_NE(a.tasks()[0].position, c.tasks()[0].position);
+}
+
+TEST(Topology2, MostTasksAreCoverable) {
+  const model::Network net = topology2();
+  int coverable = 0;
+  for (model::TaskIndex j = 0; j < net.task_count(); ++j) {
+    for (model::ChargerIndex i = 0; i < net.charger_count(); ++i) {
+      if (net.potential_power(i, j) > 0.0) {
+        ++coverable;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(coverable, 15) << "random layout left too many tasks unreachable";
+}
+
+}  // namespace
+}  // namespace haste::testbed

@@ -1,0 +1,112 @@
+// Tests for model/utility.hpp — Eq. (1) and the concave extensions.
+#include "model/utility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace haste::model {
+namespace {
+
+TEST(LinearBounded, MatchesEquationOne) {
+  const LinearBoundedShape shape;
+  EXPECT_DOUBLE_EQ(shape.value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(shape.value(0.25), 0.25);
+  EXPECT_DOUBLE_EQ(shape.value(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(shape.value(3.0), 1.0);  // bounded
+  EXPECT_DOUBLE_EQ(shape.value(-0.5), 0.0);
+}
+
+TEST(SqrtBounded, ShapeBasics) {
+  const SqrtBoundedShape shape;
+  EXPECT_DOUBLE_EQ(shape.value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(shape.value(0.25), 0.5);
+  EXPECT_DOUBLE_EQ(shape.value(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(shape.value(4.0), 1.0);
+}
+
+TEST(LogBounded, ShapeBasics) {
+  const LogBoundedShape shape(4.0);
+  EXPECT_DOUBLE_EQ(shape.value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(shape.value(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(shape.value(2.0), 1.0);
+  EXPECT_GT(shape.value(0.5), 0.5);  // concave: above the chord
+}
+
+TEST(LogBounded, RejectsBadCurvature) {
+  EXPECT_THROW(LogBoundedShape(0.0), std::invalid_argument);
+  EXPECT_THROW(LogBoundedShape(-1.0), std::invalid_argument);
+}
+
+TEST(TaskUtility, ScalesByRequiredEnergy) {
+  const LinearBoundedShape shape;
+  EXPECT_DOUBLE_EQ(task_utility(shape, 500.0, 1000.0), 0.5);
+  EXPECT_DOUBLE_EQ(task_utility(shape, 2000.0, 1000.0), 1.0);
+  EXPECT_DOUBLE_EQ(task_utility(shape, 0.0, 1000.0), 0.0);
+}
+
+TEST(Factory, KnownNames) {
+  EXPECT_EQ(make_utility_shape("linear")->name(), "linear");
+  EXPECT_EQ(make_utility_shape("sqrt")->name(), "sqrt");
+  EXPECT_EQ(make_utility_shape("log")->name(), "log");
+}
+
+TEST(Factory, UnknownNameThrows) {
+  EXPECT_THROW(make_utility_shape("cubic"), std::invalid_argument);
+}
+
+// Property suite: every registered shape must satisfy the contracts the
+// submodularity proof depends on (Lemma 4.2 and the (1 - rho) bound):
+// value(0) = 0, non-decreasing, concave, saturating at 1 for r >= 1.
+class ShapeContract : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<UtilityShape> shape_ = make_utility_shape(GetParam());
+};
+
+TEST_P(ShapeContract, ZeroAtZero) { EXPECT_DOUBLE_EQ(shape_->value(0.0), 0.0); }
+
+TEST_P(ShapeContract, SaturatesAtOne) {
+  EXPECT_DOUBLE_EQ(shape_->value(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(shape_->value(1.5), 1.0);
+  EXPECT_DOUBLE_EQ(shape_->value(100.0), 1.0);
+}
+
+TEST_P(ShapeContract, NonDecreasing) {
+  util::Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const double a = rng.uniform(0.0, 2.0);
+    const double b = a + rng.uniform(0.0, 1.0);
+    EXPECT_LE(shape_->value(a), shape_->value(b) + 1e-12);
+  }
+}
+
+TEST_P(ShapeContract, BoundedToUnitInterval) {
+  util::Rng rng(12);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = shape_->value(rng.uniform(0.0, 3.0));
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST_P(ShapeContract, ConcaveByDiminishingIncrements) {
+  // U(x1 + dx) - U(x1) >= U(x2 + dx) - U(x2) for x1 <= x2 — exactly Eq. (6).
+  util::Rng rng(13);
+  for (int i = 0; i < 2000; ++i) {
+    const double x1 = rng.uniform(0.0, 1.5);
+    const double x2 = x1 + rng.uniform(0.0, 1.0);
+    const double dx = rng.uniform(0.0, 0.5);
+    const double inc1 = shape_->value(x1 + dx) - shape_->value(x1);
+    const double inc2 = shape_->value(x2 + dx) - shape_->value(x2);
+    EXPECT_GE(inc1, inc2 - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShapes, ShapeContract,
+                         ::testing::Values("linear", "sqrt", "log"));
+
+}  // namespace
+}  // namespace haste::model

@@ -1,0 +1,140 @@
+// Tests for geom/vec2.hpp and geom/sector.hpp (the directional coverage
+// predicate of Fig. 1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/angle.hpp"
+#include "geom/sector.hpp"
+#include "geom/vec2.hpp"
+#include "util/rng.hpp"
+
+namespace haste::geom {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, Vec2(4.0, 1.0));
+  EXPECT_EQ(a - b, Vec2(-2.0, 3.0));
+  EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+  EXPECT_EQ(2.0 * a, Vec2(2.0, 4.0));
+  EXPECT_EQ(a / 2.0, Vec2(0.5, 1.0));
+}
+
+TEST(Vec2, DotAndNorm) {
+  const Vec2 a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.dot({1.0, 0.0}), 3.0);
+}
+
+TEST(Vec2, AngleOfAxes) {
+  EXPECT_NEAR(Vec2(1.0, 0.0).angle(), 0.0, 1e-12);
+  EXPECT_NEAR(Vec2(0.0, 1.0).angle(), kPi / 2, 1e-12);
+  EXPECT_NEAR(Vec2(-1.0, 0.0).angle(), kPi, 1e-12);
+  EXPECT_DOUBLE_EQ(Vec2(0.0, 0.0).angle(), 0.0);
+}
+
+TEST(Vec2, UnitVector) {
+  const Vec2 u = unit_vector(kPi / 3);
+  EXPECT_NEAR(u.x, 0.5, 1e-12);
+  EXPECT_NEAR(u.y, std::sqrt(3.0) / 2.0, 1e-12);
+}
+
+TEST(Vec2, Distance) { EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0); }
+
+TEST(Sector, ContainsApex) {
+  const Sector s{{1.0, 1.0}, 0.0, kPi / 3, 5.0};
+  EXPECT_TRUE(s.contains({1.0, 1.0}));
+}
+
+TEST(Sector, ContainsPointOnBisector) {
+  const Sector s{{0.0, 0.0}, 0.0, kPi / 3, 5.0};
+  EXPECT_TRUE(s.contains({3.0, 0.0}));
+}
+
+TEST(Sector, RejectsBeyondRadius) {
+  const Sector s{{0.0, 0.0}, 0.0, kPi / 3, 5.0};
+  EXPECT_FALSE(s.contains({5.1, 0.0}));
+  EXPECT_TRUE(s.contains({5.0, 0.0}));  // boundary inclusive
+}
+
+TEST(Sector, RejectsOutsideAngle) {
+  const Sector s{{0.0, 0.0}, 0.0, kPi / 3, 5.0};  // half-angle 30 degrees
+  // 31 degrees off the bisector: outside.
+  EXPECT_FALSE(s.contains(2.0 * unit_vector(deg_to_rad(31.0))));
+  // 29 degrees: inside.
+  EXPECT_TRUE(s.contains(2.0 * unit_vector(deg_to_rad(29.0))));
+}
+
+TEST(Sector, EdgeIsInclusive) {
+  const Sector s{{0.0, 0.0}, 0.0, kPi / 2, 10.0};
+  // Exactly on the 45-degree edge.
+  EXPECT_TRUE(s.contains(3.0 * unit_vector(kPi / 4)));
+}
+
+TEST(Sector, WorksForAnyFacing) {
+  util::Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const double facing = rng.uniform(0.0, kTwoPi);
+    const double angle = rng.uniform(0.1, kTwoPi);
+    const double off = rng.uniform(0.0, kPi);
+    const Sector s{{0.0, 0.0}, facing, angle, 10.0};
+    const Vec2 p = 5.0 * unit_vector(facing + off);
+    if (std::abs(off - angle / 2) > 1e-9) {
+      EXPECT_EQ(s.contains(p), off < angle / 2)
+          << "facing=" << facing << " angle=" << angle << " off=" << off;
+    }
+  }
+}
+
+TEST(Sector, FullCircleSectorContainsRing) {
+  const Sector s{{0.0, 0.0}, 1.0, kTwoPi, 2.0};
+  util::Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(s.contains(1.5 * unit_vector(rng.uniform(0.0, kTwoPi))));
+  }
+}
+
+// The Fig. 1 situation: o_j inside the charger's sector and the charger
+// inside o_j's receiving sector; o_k fails the device-side condition.
+TEST(MutualCoverage, Figure1Scenario) {
+  const Vec2 charger{0.0, 0.0};
+  const double theta = 0.0;           // charger faces +x
+  const double a_s = deg_to_rad(60);  // charging angle
+  const double a_o = deg_to_rad(60);  // receiving angle
+  const double radius = 10.0;
+
+  // Device directly ahead, facing back toward the charger: covered.
+  EXPECT_TRUE(mutually_covered(charger, theta, a_s, {4.0, 0.0}, kPi, a_o, radius));
+  // Device ahead but facing away: not covered.
+  EXPECT_FALSE(mutually_covered(charger, theta, a_s, {4.0, 0.0}, 0.0, a_o, radius));
+  // Device behind the charger: not covered even if it faces the charger.
+  EXPECT_FALSE(mutually_covered(charger, theta, a_s, {-4.0, 0.0}, 0.0, a_o, radius));
+  // Device out of range.
+  EXPECT_FALSE(mutually_covered(charger, theta, a_s, {11.0, 0.0}, kPi, a_o, radius));
+}
+
+TEST(MutualCoverage, SymmetricWhenBothFaceEachOther) {
+  util::Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const Vec2 c{rng.uniform(-5.0, 5.0), rng.uniform(-5.0, 5.0)};
+    const Vec2 d{rng.uniform(-5.0, 5.0), rng.uniform(-5.0, 5.0)};
+    if (distance(c, d) > 9.0 || distance(c, d) < 1e-6) continue;
+    const double toward_d = (d - c).angle();
+    const double toward_c = (c - d).angle();
+    EXPECT_TRUE(mutually_covered(c, toward_d, kPi / 3, d, toward_c, kPi / 3, 10.0));
+  }
+}
+
+TEST(DeviceSideCondition, MatchesReceivingSector) {
+  const Vec2 device{0.0, 0.0};
+  const double phi = kPi / 2;  // device faces +y
+  EXPECT_TRUE(device_can_receive_from(device, phi, kPi / 2, {0.0, 3.0}, 5.0));
+  EXPECT_FALSE(device_can_receive_from(device, phi, kPi / 2, {0.0, -3.0}, 5.0));
+  EXPECT_FALSE(device_can_receive_from(device, phi, kPi / 2, {0.0, 6.0}, 5.0));
+}
+
+}  // namespace
+}  // namespace haste::geom

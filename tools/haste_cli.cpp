@@ -1,0 +1,300 @@
+// haste_cli — command-line driver for the HASTE library.
+//
+// Subcommands:
+//   generate  --out FILE [--preset paper|small] [--chargers N] [--tasks M]
+//             [--seed S] [--gaussian SIGMA] [--utility linear|sqrt|log]
+//       Draws a random scenario and writes it as JSON.
+//   solve     --in FILE [--algorithm NAME] [--colors C] [--samples S]
+//             [--seed S] [--out SCHEDULE] [--improve]
+//       Runs a scheduler on a scenario file; prints the outcome, optionally
+//       writes the schedule and applies the local-search improver.
+//   eval      --in FILE --schedule FILE
+//       Replays a stored schedule against a scenario and reports utilities.
+//   testbed   [--topology 1|2] [--online] [--colors C]
+//       Runs the simulated Powercast testbed.
+//   render    --in FILE [--schedule FILE] [--slot K] [--width W] [--height H]
+//             [--svg FILE]
+//       ASCII visualization of the field; --svg additionally writes an SVG
+//       snapshot (sector wedges + utility-colored tasks).
+//   heatmap   --in FILE --schedule FILE [--slot K] [--width W] [--height H]
+//       ASCII power-intensity map (the EMR-style field) for one slot.
+//   info      --in FILE
+//       Prints instance statistics (coverage, neighbors, horizon).
+//
+// Algorithms for --algorithm: offline-haste (default), offline-greedy-utility,
+// offline-greedy-cover, offline-random, offline-optimal, online-haste,
+// online-greedy-utility, online-greedy-cover, global-greedy.
+#include <iostream>
+#include <string>
+
+#include "core/evaluate.hpp"
+#include "core/global_greedy.hpp"
+#include "core/local_search.hpp"
+#include "core/offline.hpp"
+#include "io/scenario_io.hpp"
+#include "sim/experiment.hpp"
+#include "sim/field_map.hpp"
+#include "sim/render.hpp"
+#include "sim/svg.hpp"
+#include "sim/scenario.hpp"
+#include "testbed/topologies.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace haste;
+
+int usage() {
+  std::cerr << "usage: haste_cli "
+               "<generate|solve|eval|testbed|render|heatmap|info> [flags]\n"
+               "       see the header of tools/haste_cli.cpp for details\n";
+  return 2;
+}
+
+void print_outcome(const model::Network& net, const core::EvaluationResult& eval) {
+  util::Table table({"task", "harvested(J)", "required(J)", "utility"});
+  for (std::size_t j = 0; j < eval.task_utility.size(); ++j) {
+    table.add_row({std::to_string(j + 1), util::format_fixed(eval.task_energy[j], 1),
+                   util::format_fixed(net.tasks()[j].required_energy, 1),
+                   util::format_fixed(eval.task_utility[j], 4)});
+  }
+  table.print(std::cout);
+  std::cout << "overall weighted utility: " << util::format_fixed(eval.weighted_utility, 4)
+            << " / " << util::format_fixed(net.utility_upper_bound(), 2) << " ("
+            << eval.switches << " switches)\n";
+}
+
+int cmd_generate(const util::Flags& flags) {
+  const std::string out = flags.get("out");
+  if (out.empty()) {
+    std::cerr << "generate: --out FILE is required\n";
+    return 2;
+  }
+  sim::ScenarioConfig config = flags.get("preset", "paper") == "small"
+                                   ? sim::ScenarioConfig::small_scale()
+                                   : sim::ScenarioConfig::paper_default();
+  config.chargers = static_cast<int>(flags.get_int("chargers", config.chargers));
+  config.tasks = static_cast<int>(flags.get_int("tasks", config.tasks));
+  config.utility_shape = flags.get("utility", config.utility_shape);
+  if (flags.has("gaussian")) {
+    config.task_placement = sim::Placement::kGaussian;
+    config.gaussian_sigma_x = flags.get_double("gaussian", 10.0);
+    config.gaussian_sigma_y = config.gaussian_sigma_x;
+  }
+  util::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
+  const model::Network net = sim::generate_scenario(config, rng);
+  io::save_network(out, net);
+  std::cout << "wrote " << out << ": " << net.charger_count() << " chargers, "
+            << net.task_count() << " tasks, horizon " << net.horizon() << " slots\n";
+  return 0;
+}
+
+int cmd_solve(const util::Flags& flags) {
+  const std::string in = flags.get("in");
+  if (in.empty()) {
+    std::cerr << "solve: --in FILE is required\n";
+    return 2;
+  }
+  const model::Network net = io::load_network(in);
+  const std::string algorithm = flags.get("algorithm", "offline-haste");
+
+  sim::AlgoParams params;
+  params.colors = static_cast<int>(flags.get_int("colors", 4));
+  params.samples = static_cast<int>(flags.get_int("samples", 4 * params.colors));
+  params.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+
+  model::Schedule schedule(net.charger_count(), net.horizon());
+  if (algorithm == "global-greedy") {
+    schedule = core::schedule_global_greedy(net).schedule;
+  } else {
+    const sim::Algorithm kind = sim::parse_algorithm(algorithm);
+    // Reuse the uniform runner for metrics, but re-derive the schedule for
+    // offline algorithms so it can be saved / improved.
+    switch (kind) {
+      case sim::Algorithm::kOfflineHaste:
+        schedule = core::schedule_offline(
+                       net, core::OfflineConfig{params.colors, params.samples,
+                                                params.seed, true, false})
+                       .schedule;
+        break;
+      default: {
+        const sim::RunMetrics metrics = sim::run_algorithm(net, kind, params);
+        std::cout << algorithm << ": utility "
+                  << util::format_fixed(metrics.weighted_utility, 4) << " (normalized "
+                  << util::format_fixed(metrics.normalized_utility, 4) << ")\n";
+        if (metrics.messages > 0) {
+          std::cout << "messages " << metrics.messages << ", rounds " << metrics.rounds
+                    << ", negotiations " << metrics.negotiations << "\n";
+        }
+        return 0;
+      }
+    }
+  }
+
+  if (flags.get_bool("improve")) {
+    const auto partitions = core::build_partitions(net);
+    const core::LocalSearchResult improved =
+        core::improve_schedule(net, partitions, schedule);
+    std::cout << "local search: " << improved.swaps << " swaps over "
+              << improved.passes << " passes, relaxed "
+              << util::format_fixed(improved.initial_relaxed_utility, 4) << " -> "
+              << util::format_fixed(improved.relaxed_utility, 4) << "\n";
+    schedule = improved.schedule;
+  }
+
+  print_outcome(net, core::evaluate_schedule(net, schedule));
+  const std::string out = flags.get("out");
+  if (!out.empty()) {
+    io::save_schedule(out, schedule);
+    std::cout << "schedule written to " << out << "\n";
+  }
+  return 0;
+}
+
+int cmd_eval(const util::Flags& flags) {
+  const std::string in = flags.get("in");
+  const std::string schedule_path = flags.get("schedule");
+  if (in.empty() || schedule_path.empty()) {
+    std::cerr << "eval: --in FILE and --schedule FILE are required\n";
+    return 2;
+  }
+  const model::Network net = io::load_network(in);
+  const model::Schedule schedule = io::load_schedule(schedule_path);
+  if (schedule.charger_count() != net.charger_count() ||
+      schedule.horizon() != net.horizon()) {
+    std::cerr << "eval: schedule dimensions do not match the scenario\n";
+    return 1;
+  }
+  print_outcome(net, core::evaluate_schedule(net, schedule));
+  return 0;
+}
+
+int cmd_testbed(const util::Flags& flags) {
+  const std::int64_t which = flags.get_int("topology", 1);
+  const model::Network net = which == 2 ? testbed::topology2() : testbed::topology1();
+  sim::AlgoParams params;
+  params.colors = static_cast<int>(flags.get_int("colors", 4));
+  params.samples = 4 * params.colors;
+  const sim::Algorithm kind = flags.get_bool("online")
+                                  ? sim::Algorithm::kOnlineHaste
+                                  : sim::Algorithm::kOfflineHaste;
+  const sim::RunMetrics metrics = sim::run_algorithm(net, kind, params);
+  util::Table table({"task", "utility"});
+  for (std::size_t j = 0; j < metrics.task_utility.size(); ++j) {
+    table.add_row({std::to_string(j + 1), util::format_fixed(metrics.task_utility[j], 4)});
+  }
+  table.print(std::cout);
+  std::cout << "overall: " << util::format_fixed(metrics.weighted_utility, 4) << "\n";
+  return 0;
+}
+
+int cmd_render(const util::Flags& flags) {
+  const std::string in = flags.get("in");
+  if (in.empty()) {
+    std::cerr << "render: --in FILE is required\n";
+    return 2;
+  }
+  const model::Network net = io::load_network(in);
+  const auto slot = static_cast<model::SlotIndex>(flags.get_int("slot", 0));
+  const int width = static_cast<int>(flags.get_int("width", 48));
+  const int height = static_cast<int>(flags.get_int("height", 16));
+  std::optional<model::Schedule> schedule;
+  if (flags.has("schedule")) schedule = io::load_schedule(flags.get("schedule"));
+  const model::Schedule* schedule_ptr = schedule ? &*schedule : nullptr;
+  std::cout << sim::render_field(net, schedule_ptr, slot, width, height);
+  std::cout << "legend: >^<v charger facing | + idle | x failed | T active task"
+               " | t inactive task\n";
+  if (flags.has("svg")) {
+    std::optional<core::EvaluationResult> evaluation;
+    if (schedule_ptr != nullptr) evaluation = core::evaluate_schedule(net, *schedule_ptr);
+    sim::save_svg(flags.get("svg"), net, schedule_ptr, slot,
+                  evaluation ? &*evaluation : nullptr);
+    std::cout << "svg written to " << flags.get("svg") << "\n";
+  }
+  return 0;
+}
+
+int cmd_heatmap(const util::Flags& flags) {
+  const std::string in = flags.get("in");
+  const std::string schedule_path = flags.get("schedule");
+  if (in.empty() || schedule_path.empty()) {
+    std::cerr << "heatmap: --in FILE and --schedule FILE are required\n";
+    return 2;
+  }
+  const model::Network net = io::load_network(in);
+  const model::Schedule schedule = io::load_schedule(schedule_path);
+  const auto slot = static_cast<model::SlotIndex>(flags.get_int("slot", 0));
+  const int width = static_cast<int>(flags.get_int("width", 64));
+  const int height = static_cast<int>(flags.get_int("height", 24));
+  const sim::FieldMap field = sim::sample_field(net, schedule, slot, width, height);
+  std::cout << sim::shade_field(field);
+  std::cout << "peak intensity " << util::format_fixed(field.peak(), 3)
+            << ", mean " << util::format_fixed(field.mean(), 4)
+            << " (model power units; quantile shading . : + #)\n";
+  return 0;
+}
+
+int cmd_info(const util::Flags& flags) {
+  const std::string in = flags.get("in");
+  if (in.empty()) {
+    std::cerr << "info: --in FILE is required\n";
+    return 2;
+  }
+  const model::Network net = io::load_network(in);
+  std::size_t total_coverable = 0;
+  std::size_t total_neighbors = 0;
+  for (model::ChargerIndex i = 0; i < net.charger_count(); ++i) {
+    total_coverable += net.coverable_tasks(i).size();
+    total_neighbors += net.neighbors(i).size();
+  }
+  int unreachable = 0;
+  for (model::TaskIndex j = 0; j < net.task_count(); ++j) {
+    bool covered = false;
+    for (model::ChargerIndex i = 0; i < net.charger_count() && !covered; ++i) {
+      covered = net.potential_power(i, j) > 0.0;
+    }
+    if (!covered) ++unreachable;
+  }
+  std::cout << "chargers: " << net.charger_count() << "\n"
+            << "tasks: " << net.task_count() << " (" << unreachable << " unreachable)\n"
+            << "horizon: " << net.horizon() << " slots of "
+            << net.time().slot_seconds << " s\n"
+            << "avg coverable tasks per charger: "
+            << util::format_fixed(net.charger_count() > 0
+                                      ? static_cast<double>(total_coverable) /
+                                            net.charger_count()
+                                      : 0.0,
+                                  2)
+            << "\n"
+            << "avg neighbors per charger: "
+            << util::format_fixed(net.charger_count() > 0
+                                      ? static_cast<double>(total_neighbors) /
+                                            net.charger_count()
+                                      : 0.0,
+                                  2)
+            << "\n"
+            << "utility shape: " << net.utility_shape().name() << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const util::Flags flags = util::Flags::parse(argc - 1, argv + 1);
+  try {
+    if (command == "generate") return cmd_generate(flags);
+    if (command == "solve") return cmd_solve(flags);
+    if (command == "eval") return cmd_eval(flags);
+    if (command == "testbed") return cmd_testbed(flags);
+    if (command == "render") return cmd_render(flags);
+    if (command == "heatmap") return cmd_heatmap(flags);
+    if (command == "info") return cmd_info(flags);
+  } catch (const std::exception& error) {
+    std::cerr << "haste_cli " << command << ": " << error.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
