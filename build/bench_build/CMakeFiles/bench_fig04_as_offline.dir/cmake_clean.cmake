@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig04_as_offline"
+  "../bench/bench_fig04_as_offline.pdb"
+  "CMakeFiles/bench_fig04_as_offline.dir/figures/fig04_as_offline.cpp.o"
+  "CMakeFiles/bench_fig04_as_offline.dir/figures/fig04_as_offline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_as_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

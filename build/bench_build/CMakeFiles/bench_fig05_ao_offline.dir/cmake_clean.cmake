@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig05_ao_offline"
+  "../bench/bench_fig05_ao_offline.pdb"
+  "CMakeFiles/bench_fig05_ao_offline.dir/figures/fig05_ao_offline.cpp.o"
+  "CMakeFiles/bench_fig05_ao_offline.dir/figures/fig05_ao_offline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_ao_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

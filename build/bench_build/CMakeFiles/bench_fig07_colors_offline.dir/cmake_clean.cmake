@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_colors_offline"
+  "../bench/bench_fig07_colors_offline.pdb"
+  "CMakeFiles/bench_fig07_colors_offline.dir/figures/fig07_colors_offline.cpp.o"
+  "CMakeFiles/bench_fig07_colors_offline.dir/figures/fig07_colors_offline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_colors_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

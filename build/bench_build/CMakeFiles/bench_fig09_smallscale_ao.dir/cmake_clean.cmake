@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_smallscale_ao"
+  "../bench/bench_fig09_smallscale_ao.pdb"
+  "CMakeFiles/bench_fig09_smallscale_ao.dir/figures/fig09_smallscale_ao.cpp.o"
+  "CMakeFiles/bench_fig09_smallscale_ao.dir/figures/fig09_smallscale_ao.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_smallscale_ao.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

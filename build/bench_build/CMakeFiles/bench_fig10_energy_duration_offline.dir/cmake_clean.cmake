@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_energy_duration_offline"
+  "../bench/bench_fig10_energy_duration_offline.pdb"
+  "CMakeFiles/bench_fig10_energy_duration_offline.dir/figures/fig10_energy_duration_offline.cpp.o"
+  "CMakeFiles/bench_fig10_energy_duration_offline.dir/figures/fig10_energy_duration_offline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_energy_duration_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_energy_duration_online"
+  "../bench/bench_fig11_energy_duration_online.pdb"
+  "CMakeFiles/bench_fig11_energy_duration_online.dir/figures/fig11_energy_duration_online.cpp.o"
+  "CMakeFiles/bench_fig11_energy_duration_online.dir/figures/fig11_energy_duration_online.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_energy_duration_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

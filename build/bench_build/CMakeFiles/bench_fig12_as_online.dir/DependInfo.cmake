@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/figures/fig12_as_online.cpp" "bench_build/CMakeFiles/bench_fig12_as_online.dir/figures/fig12_as_online.cpp.o" "gcc" "bench_build/CMakeFiles/bench_fig12_as_online.dir/figures/fig12_as_online.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench_build/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/haste_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/haste_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/haste_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/haste_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/haste_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/haste_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/haste_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/haste_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/haste_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig17_gaussian"
+  "../bench/bench_fig17_gaussian.pdb"
+  "CMakeFiles/bench_fig17_gaussian.dir/figures/fig17_gaussian.cpp.o"
+  "CMakeFiles/bench_fig17_gaussian.dir/figures/fig17_gaussian.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_gaussian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

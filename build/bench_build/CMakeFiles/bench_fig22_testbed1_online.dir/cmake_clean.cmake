@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig22_testbed1_online"
+  "../bench/bench_fig22_testbed1_online.pdb"
+  "CMakeFiles/bench_fig22_testbed1_online.dir/figures/fig22_testbed1_online.cpp.o"
+  "CMakeFiles/bench_fig22_testbed1_online.dir/figures/fig22_testbed1_online.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_testbed1_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

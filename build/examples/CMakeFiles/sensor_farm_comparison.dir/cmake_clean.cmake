@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_farm_comparison.dir/sensor_farm_comparison.cpp.o"
+  "CMakeFiles/sensor_farm_comparison.dir/sensor_farm_comparison.cpp.o.d"
+  "sensor_farm_comparison"
+  "sensor_farm_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_farm_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_home_online.dir/smart_home_online.cpp.o"
+  "CMakeFiles/smart_home_online.dir/smart_home_online.cpp.o.d"
+  "smart_home_online"
+  "smart_home_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_home_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_failures.dir/warehouse_failures.cpp.o"
+  "CMakeFiles/warehouse_failures.dir/warehouse_failures.cpp.o.d"
+  "warehouse_failures"
+  "warehouse_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

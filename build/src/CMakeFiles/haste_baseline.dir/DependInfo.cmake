@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/brute_force.cpp" "src/CMakeFiles/haste_baseline.dir/baseline/brute_force.cpp.o" "gcc" "src/CMakeFiles/haste_baseline.dir/baseline/brute_force.cpp.o.d"
+  "/root/repo/src/baseline/greedy_cover.cpp" "src/CMakeFiles/haste_baseline.dir/baseline/greedy_cover.cpp.o" "gcc" "src/CMakeFiles/haste_baseline.dir/baseline/greedy_cover.cpp.o.d"
+  "/root/repo/src/baseline/greedy_utility.cpp" "src/CMakeFiles/haste_baseline.dir/baseline/greedy_utility.cpp.o" "gcc" "src/CMakeFiles/haste_baseline.dir/baseline/greedy_utility.cpp.o.d"
+  "/root/repo/src/baseline/random_orient.cpp" "src/CMakeFiles/haste_baseline.dir/baseline/random_orient.cpp.o" "gcc" "src/CMakeFiles/haste_baseline.dir/baseline/random_orient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/haste_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/haste_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/haste_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/haste_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haste_baseline.dir/baseline/brute_force.cpp.o"
+  "CMakeFiles/haste_baseline.dir/baseline/brute_force.cpp.o.d"
+  "CMakeFiles/haste_baseline.dir/baseline/greedy_cover.cpp.o"
+  "CMakeFiles/haste_baseline.dir/baseline/greedy_cover.cpp.o.d"
+  "CMakeFiles/haste_baseline.dir/baseline/greedy_utility.cpp.o"
+  "CMakeFiles/haste_baseline.dir/baseline/greedy_utility.cpp.o.d"
+  "CMakeFiles/haste_baseline.dir/baseline/random_orient.cpp.o"
+  "CMakeFiles/haste_baseline.dir/baseline/random_orient.cpp.o.d"
+  "libhaste_baseline.a"
+  "libhaste_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haste_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bounds.cpp" "src/CMakeFiles/haste_core.dir/core/bounds.cpp.o" "gcc" "src/CMakeFiles/haste_core.dir/core/bounds.cpp.o.d"
+  "/root/repo/src/core/dominant_sets.cpp" "src/CMakeFiles/haste_core.dir/core/dominant_sets.cpp.o" "gcc" "src/CMakeFiles/haste_core.dir/core/dominant_sets.cpp.o.d"
+  "/root/repo/src/core/evaluate.cpp" "src/CMakeFiles/haste_core.dir/core/evaluate.cpp.o" "gcc" "src/CMakeFiles/haste_core.dir/core/evaluate.cpp.o.d"
+  "/root/repo/src/core/global_greedy.cpp" "src/CMakeFiles/haste_core.dir/core/global_greedy.cpp.o" "gcc" "src/CMakeFiles/haste_core.dir/core/global_greedy.cpp.o.d"
+  "/root/repo/src/core/local_search.cpp" "src/CMakeFiles/haste_core.dir/core/local_search.cpp.o" "gcc" "src/CMakeFiles/haste_core.dir/core/local_search.cpp.o.d"
+  "/root/repo/src/core/matroid.cpp" "src/CMakeFiles/haste_core.dir/core/matroid.cpp.o" "gcc" "src/CMakeFiles/haste_core.dir/core/matroid.cpp.o.d"
+  "/root/repo/src/core/objective.cpp" "src/CMakeFiles/haste_core.dir/core/objective.cpp.o" "gcc" "src/CMakeFiles/haste_core.dir/core/objective.cpp.o.d"
+  "/root/repo/src/core/offline.cpp" "src/CMakeFiles/haste_core.dir/core/offline.cpp.o" "gcc" "src/CMakeFiles/haste_core.dir/core/offline.cpp.o.d"
+  "/root/repo/src/core/submodular.cpp" "src/CMakeFiles/haste_core.dir/core/submodular.cpp.o" "gcc" "src/CMakeFiles/haste_core.dir/core/submodular.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/haste_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/haste_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/haste_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

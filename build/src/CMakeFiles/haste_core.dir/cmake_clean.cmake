@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haste_core.dir/core/bounds.cpp.o"
+  "CMakeFiles/haste_core.dir/core/bounds.cpp.o.d"
+  "CMakeFiles/haste_core.dir/core/dominant_sets.cpp.o"
+  "CMakeFiles/haste_core.dir/core/dominant_sets.cpp.o.d"
+  "CMakeFiles/haste_core.dir/core/evaluate.cpp.o"
+  "CMakeFiles/haste_core.dir/core/evaluate.cpp.o.d"
+  "CMakeFiles/haste_core.dir/core/global_greedy.cpp.o"
+  "CMakeFiles/haste_core.dir/core/global_greedy.cpp.o.d"
+  "CMakeFiles/haste_core.dir/core/local_search.cpp.o"
+  "CMakeFiles/haste_core.dir/core/local_search.cpp.o.d"
+  "CMakeFiles/haste_core.dir/core/matroid.cpp.o"
+  "CMakeFiles/haste_core.dir/core/matroid.cpp.o.d"
+  "CMakeFiles/haste_core.dir/core/objective.cpp.o"
+  "CMakeFiles/haste_core.dir/core/objective.cpp.o.d"
+  "CMakeFiles/haste_core.dir/core/offline.cpp.o"
+  "CMakeFiles/haste_core.dir/core/offline.cpp.o.d"
+  "CMakeFiles/haste_core.dir/core/submodular.cpp.o"
+  "CMakeFiles/haste_core.dir/core/submodular.cpp.o.d"
+  "libhaste_core.a"
+  "libhaste_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haste_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

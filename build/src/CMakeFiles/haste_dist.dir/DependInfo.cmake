@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/bus.cpp" "src/CMakeFiles/haste_dist.dir/dist/bus.cpp.o" "gcc" "src/CMakeFiles/haste_dist.dir/dist/bus.cpp.o.d"
+  "/root/repo/src/dist/event_queue.cpp" "src/CMakeFiles/haste_dist.dir/dist/event_queue.cpp.o" "gcc" "src/CMakeFiles/haste_dist.dir/dist/event_queue.cpp.o.d"
+  "/root/repo/src/dist/node.cpp" "src/CMakeFiles/haste_dist.dir/dist/node.cpp.o" "gcc" "src/CMakeFiles/haste_dist.dir/dist/node.cpp.o.d"
+  "/root/repo/src/dist/online.cpp" "src/CMakeFiles/haste_dist.dir/dist/online.cpp.o" "gcc" "src/CMakeFiles/haste_dist.dir/dist/online.cpp.o.d"
+  "/root/repo/src/dist/protocol.cpp" "src/CMakeFiles/haste_dist.dir/dist/protocol.cpp.o" "gcc" "src/CMakeFiles/haste_dist.dir/dist/protocol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/haste_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/haste_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/haste_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/haste_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/haste_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haste_dist.dir/dist/bus.cpp.o"
+  "CMakeFiles/haste_dist.dir/dist/bus.cpp.o.d"
+  "CMakeFiles/haste_dist.dir/dist/event_queue.cpp.o"
+  "CMakeFiles/haste_dist.dir/dist/event_queue.cpp.o.d"
+  "CMakeFiles/haste_dist.dir/dist/node.cpp.o"
+  "CMakeFiles/haste_dist.dir/dist/node.cpp.o.d"
+  "CMakeFiles/haste_dist.dir/dist/online.cpp.o"
+  "CMakeFiles/haste_dist.dir/dist/online.cpp.o.d"
+  "CMakeFiles/haste_dist.dir/dist/protocol.cpp.o"
+  "CMakeFiles/haste_dist.dir/dist/protocol.cpp.o.d"
+  "libhaste_dist.a"
+  "libhaste_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haste_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

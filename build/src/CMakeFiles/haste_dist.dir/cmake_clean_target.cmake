@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhaste_dist.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/angle.cpp" "src/CMakeFiles/haste_geom.dir/geom/angle.cpp.o" "gcc" "src/CMakeFiles/haste_geom.dir/geom/angle.cpp.o.d"
+  "/root/repo/src/geom/arc.cpp" "src/CMakeFiles/haste_geom.dir/geom/arc.cpp.o" "gcc" "src/CMakeFiles/haste_geom.dir/geom/arc.cpp.o.d"
+  "/root/repo/src/geom/sector.cpp" "src/CMakeFiles/haste_geom.dir/geom/sector.cpp.o" "gcc" "src/CMakeFiles/haste_geom.dir/geom/sector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/haste_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

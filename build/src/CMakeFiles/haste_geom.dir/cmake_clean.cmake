@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haste_geom.dir/geom/angle.cpp.o"
+  "CMakeFiles/haste_geom.dir/geom/angle.cpp.o.d"
+  "CMakeFiles/haste_geom.dir/geom/arc.cpp.o"
+  "CMakeFiles/haste_geom.dir/geom/arc.cpp.o.d"
+  "CMakeFiles/haste_geom.dir/geom/sector.cpp.o"
+  "CMakeFiles/haste_geom.dir/geom/sector.cpp.o.d"
+  "libhaste_geom.a"
+  "libhaste_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haste_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

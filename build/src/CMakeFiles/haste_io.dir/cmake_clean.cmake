@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haste_io.dir/io/scenario_io.cpp.o"
+  "CMakeFiles/haste_io.dir/io/scenario_io.cpp.o.d"
+  "libhaste_io.a"
+  "libhaste_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haste_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

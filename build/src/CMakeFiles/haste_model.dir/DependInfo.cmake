@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/anisotropy.cpp" "src/CMakeFiles/haste_model.dir/model/anisotropy.cpp.o" "gcc" "src/CMakeFiles/haste_model.dir/model/anisotropy.cpp.o.d"
+  "/root/repo/src/model/network.cpp" "src/CMakeFiles/haste_model.dir/model/network.cpp.o" "gcc" "src/CMakeFiles/haste_model.dir/model/network.cpp.o.d"
+  "/root/repo/src/model/power.cpp" "src/CMakeFiles/haste_model.dir/model/power.cpp.o" "gcc" "src/CMakeFiles/haste_model.dir/model/power.cpp.o.d"
+  "/root/repo/src/model/schedule.cpp" "src/CMakeFiles/haste_model.dir/model/schedule.cpp.o" "gcc" "src/CMakeFiles/haste_model.dir/model/schedule.cpp.o.d"
+  "/root/repo/src/model/task.cpp" "src/CMakeFiles/haste_model.dir/model/task.cpp.o" "gcc" "src/CMakeFiles/haste_model.dir/model/task.cpp.o.d"
+  "/root/repo/src/model/utility.cpp" "src/CMakeFiles/haste_model.dir/model/utility.cpp.o" "gcc" "src/CMakeFiles/haste_model.dir/model/utility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/haste_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/haste_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haste_model.dir/model/anisotropy.cpp.o"
+  "CMakeFiles/haste_model.dir/model/anisotropy.cpp.o.d"
+  "CMakeFiles/haste_model.dir/model/network.cpp.o"
+  "CMakeFiles/haste_model.dir/model/network.cpp.o.d"
+  "CMakeFiles/haste_model.dir/model/power.cpp.o"
+  "CMakeFiles/haste_model.dir/model/power.cpp.o.d"
+  "CMakeFiles/haste_model.dir/model/schedule.cpp.o"
+  "CMakeFiles/haste_model.dir/model/schedule.cpp.o.d"
+  "CMakeFiles/haste_model.dir/model/task.cpp.o"
+  "CMakeFiles/haste_model.dir/model/task.cpp.o.d"
+  "CMakeFiles/haste_model.dir/model/utility.cpp.o"
+  "CMakeFiles/haste_model.dir/model/utility.cpp.o.d"
+  "libhaste_model.a"
+  "libhaste_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haste_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/experiment.cpp" "src/CMakeFiles/haste_sim.dir/sim/experiment.cpp.o" "gcc" "src/CMakeFiles/haste_sim.dir/sim/experiment.cpp.o.d"
+  "/root/repo/src/sim/field_map.cpp" "src/CMakeFiles/haste_sim.dir/sim/field_map.cpp.o" "gcc" "src/CMakeFiles/haste_sim.dir/sim/field_map.cpp.o.d"
+  "/root/repo/src/sim/render.cpp" "src/CMakeFiles/haste_sim.dir/sim/render.cpp.o" "gcc" "src/CMakeFiles/haste_sim.dir/sim/render.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/CMakeFiles/haste_sim.dir/sim/scenario.cpp.o" "gcc" "src/CMakeFiles/haste_sim.dir/sim/scenario.cpp.o.d"
+  "/root/repo/src/sim/svg.cpp" "src/CMakeFiles/haste_sim.dir/sim/svg.cpp.o" "gcc" "src/CMakeFiles/haste_sim.dir/sim/svg.cpp.o.d"
+  "/root/repo/src/sim/sweep.cpp" "src/CMakeFiles/haste_sim.dir/sim/sweep.cpp.o" "gcc" "src/CMakeFiles/haste_sim.dir/sim/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/haste_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/haste_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/haste_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/haste_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/haste_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/haste_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

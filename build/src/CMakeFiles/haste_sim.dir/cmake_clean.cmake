@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haste_sim.dir/sim/experiment.cpp.o"
+  "CMakeFiles/haste_sim.dir/sim/experiment.cpp.o.d"
+  "CMakeFiles/haste_sim.dir/sim/field_map.cpp.o"
+  "CMakeFiles/haste_sim.dir/sim/field_map.cpp.o.d"
+  "CMakeFiles/haste_sim.dir/sim/render.cpp.o"
+  "CMakeFiles/haste_sim.dir/sim/render.cpp.o.d"
+  "CMakeFiles/haste_sim.dir/sim/scenario.cpp.o"
+  "CMakeFiles/haste_sim.dir/sim/scenario.cpp.o.d"
+  "CMakeFiles/haste_sim.dir/sim/svg.cpp.o"
+  "CMakeFiles/haste_sim.dir/sim/svg.cpp.o.d"
+  "CMakeFiles/haste_sim.dir/sim/sweep.cpp.o"
+  "CMakeFiles/haste_sim.dir/sim/sweep.cpp.o.d"
+  "libhaste_sim.a"
+  "libhaste_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haste_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haste_testbed.dir/testbed/powercast.cpp.o"
+  "CMakeFiles/haste_testbed.dir/testbed/powercast.cpp.o.d"
+  "CMakeFiles/haste_testbed.dir/testbed/topologies.cpp.o"
+  "CMakeFiles/haste_testbed.dir/testbed/topologies.cpp.o.d"
+  "libhaste_testbed.a"
+  "libhaste_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haste_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

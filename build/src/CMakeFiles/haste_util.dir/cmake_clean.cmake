@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haste_util.dir/util/cli.cpp.o"
+  "CMakeFiles/haste_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/haste_util.dir/util/csv.cpp.o"
+  "CMakeFiles/haste_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/haste_util.dir/util/json.cpp.o"
+  "CMakeFiles/haste_util.dir/util/json.cpp.o.d"
+  "CMakeFiles/haste_util.dir/util/log.cpp.o"
+  "CMakeFiles/haste_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/haste_util.dir/util/stats.cpp.o"
+  "CMakeFiles/haste_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/haste_util.dir/util/table.cpp.o"
+  "CMakeFiles/haste_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/haste_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/haste_util.dir/util/thread_pool.cpp.o.d"
+  "libhaste_util.a"
+  "libhaste_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haste_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_anisotropy.dir/test_anisotropy.cpp.o"
+  "CMakeFiles/test_anisotropy.dir/test_anisotropy.cpp.o.d"
+  "test_anisotropy"
+  "test_anisotropy.pdb"
+  "test_anisotropy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_anisotropy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bus_protocol.dir/test_bus_protocol.cpp.o"
+  "CMakeFiles/test_bus_protocol.dir/test_bus_protocol.cpp.o.d"
+  "test_bus_protocol"
+  "test_bus_protocol.pdb"
+  "test_bus_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bus_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dominant_sets.dir/test_dominant_sets.cpp.o"
+  "CMakeFiles/test_dominant_sets.dir/test_dominant_sets.cpp.o.d"
+  "test_dominant_sets"
+  "test_dominant_sets.pdb"
+  "test_dominant_sets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dominant_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_experiment_sweep.dir/test_experiment_sweep.cpp.o"
+  "CMakeFiles/test_experiment_sweep.dir/test_experiment_sweep.cpp.o.d"
+  "test_experiment_sweep"
+  "test_experiment_sweep.pdb"
+  "test_experiment_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_experiment_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

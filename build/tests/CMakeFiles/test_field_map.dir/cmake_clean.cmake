@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_field_map.dir/test_field_map.cpp.o"
+  "CMakeFiles/test_field_map.dir/test_field_map.cpp.o.d"
+  "test_field_map"
+  "test_field_map.pdb"
+  "test_field_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_field_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

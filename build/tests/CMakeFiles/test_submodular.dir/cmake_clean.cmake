@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_submodular.dir/test_submodular.cpp.o"
+  "CMakeFiles/test_submodular.dir/test_submodular.cpp.o.d"
+  "test_submodular"
+  "test_submodular.pdb"
+  "test_submodular[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_submodular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_svg_poisson.dir/test_svg_poisson.cpp.o"
+  "CMakeFiles/test_svg_poisson.dir/test_svg_poisson.cpp.o.d"
+  "test_svg_poisson"
+  "test_svg_poisson.pdb"
+  "test_svg_poisson[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_svg_poisson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_task_schedule.dir/test_task_schedule.cpp.o"
+  "CMakeFiles/test_task_schedule.dir/test_task_schedule.cpp.o.d"
+  "test_task_schedule"
+  "test_task_schedule.pdb"
+  "test_task_schedule[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_task_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

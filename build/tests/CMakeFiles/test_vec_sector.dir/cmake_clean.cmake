@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vec_sector.dir/test_vec_sector.cpp.o"
+  "CMakeFiles/test_vec_sector.dir/test_vec_sector.cpp.o.d"
+  "test_vec_sector"
+  "test_vec_sector.pdb"
+  "test_vec_sector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vec_sector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haste_cli.dir/haste_cli.cpp.o"
+  "CMakeFiles/haste_cli.dir/haste_cli.cpp.o.d"
+  "haste_cli"
+  "haste_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haste_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
