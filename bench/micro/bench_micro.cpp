@@ -5,6 +5,7 @@
 
 #include "baseline/greedy_utility.hpp"
 #include "core/evaluate.hpp"
+#include "core/global_greedy.hpp"
 #include "core/offline.hpp"
 #include "dist/bus.hpp"
 #include "dist/event_queue.hpp"
@@ -72,6 +73,43 @@ void BM_OfflineSchedule(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OfflineSchedule)->Args({10, 1})->Args({25, 1})->Args({50, 1})->Args({50, 4});
+
+void BM_GlobalGreedyMode(benchmark::State& state) {
+  // Head-to-head of the three marginal-evaluation modes on the fig07/fig15
+  // scale offline instance (paper-default 50 chargers / 200 tasks). The
+  // `evaluations` counter is the number of marginal-gain evaluations the mode
+  // performed for one full schedule; `matches_lazy` is 1 when the produced
+  // schedule is identical to the lazy (seed) path.
+  const model::Network net = make_network(50, 200);
+  const auto partitions = core::build_partitions(net);
+  const auto mode = static_cast<core::GreedyMode>(state.range(0));
+  const core::GlobalGreedyResult reference =
+      core::schedule_global_greedy_over(net, partitions, {core::GreedyMode::kLazy}, {});
+  core::GlobalGreedyResult result;
+  for (auto _ : state) {
+    result = core::schedule_global_greedy_over(net, partitions, {mode}, {});
+    // Copy before DoNotOptimize: it marks its operand as asm-clobbered, which
+    // would invalidate the member we still read after the loop.
+    double utility = result.planned_relaxed_utility;
+    benchmark::DoNotOptimize(utility);
+  }
+  bool matches = result.planned_relaxed_utility == reference.planned_relaxed_utility;
+  for (model::ChargerIndex i = 0; matches && i < net.charger_count(); ++i) {
+    for (model::SlotIndex k = 0; k < net.horizon(); ++k) {
+      if (result.schedule.assignment(i, k) != reference.schedule.assignment(i, k)) {
+        matches = false;
+        break;
+      }
+    }
+  }
+  state.counters["evaluations"] = static_cast<double>(result.evaluations);
+  state.counters["matches_lazy"] = matches ? 1.0 : 0.0;
+}
+BENCHMARK(BM_GlobalGreedyMode)
+    ->ArgName("mode")
+    ->Arg(static_cast<int>(core::GreedyMode::kEager))
+    ->Arg(static_cast<int>(core::GreedyMode::kLazy))
+    ->Arg(static_cast<int>(core::GreedyMode::kIncremental));
 
 void BM_GreedyUtilityBaseline(benchmark::State& state) {
   const model::Network net = make_network(50, 200);

@@ -3,22 +3,33 @@
 #include <queue>
 #include <vector>
 
+#include "util/thread_pool.hpp"
+
 namespace haste::core {
 
 namespace {
 
-/// Heap entry: a cached (possibly stale) upper bound on an element's gain.
-struct HeapEntry {
-  double bound;
+/// One element of the flattened ground set: policy `policy` of partition
+/// `partition`. Element ids are assigned in (partition, policy) lexicographic
+/// order, so comparing ids reproduces the historical tie order.
+struct Element {
   std::int32_t partition;
   std::int32_t policy;
-  std::uint64_t epoch;  ///< engine state when `bound` was computed
+};
+
+/// Heap entry: a cached gain for one element. `stamp` is the engine's commit
+/// count when the gain was evaluated; whether the cached value is still
+/// trustworthy depends on the evaluation mode (see header).
+struct HeapEntry {
+  double bound;
+  std::int32_t element;
+  std::uint64_t stamp;
 
   bool operator<(const HeapEntry& other) const {
     if (bound != other.bound) return bound < other.bound;
-    // Deterministic tie order: lower (partition, policy) wins.
-    if (partition != other.partition) return partition > other.partition;
-    return policy > other.policy;
+    // Deterministic tie order: the lower element id — i.e. the lower
+    // (partition, policy) pair — wins.
+    return element > other.element;
   }
 };
 
@@ -31,56 +42,159 @@ GlobalGreedyResult schedule_global_greedy_over(
   GlobalGreedyResult result;
   result.schedule = model::Schedule(net.charger_count(), net.horizon());
 
-  std::vector<bool> partition_filled(partitions.size(), false);
-  std::uint64_t epoch = 0;
-
-  const auto evaluate = [&](std::int32_t p, std::int32_t q) {
-    ++result.evaluations;
-    const PolicyPartition& partition = partitions[static_cast<std::size_t>(p)];
-    return engine.marginal(partition.charger, partition.slot,
-                           partition.policies[static_cast<std::size_t>(q)], 0);
-  };
-
-  std::priority_queue<HeapEntry> heap;
+  // Flatten the ground set.
+  std::vector<Element> elements;
   for (std::size_t p = 0; p < partitions.size(); ++p) {
     for (std::size_t q = 0; q < partitions[p].policies.size(); ++q) {
-      heap.push(HeapEntry{evaluate(static_cast<std::int32_t>(p), static_cast<std::int32_t>(q)),
-                          static_cast<std::int32_t>(p), static_cast<std::int32_t>(q), epoch});
+      elements.push_back(
+          Element{static_cast<std::int32_t>(p), static_cast<std::int32_t>(q)});
     }
   }
+
+  const auto evaluate = [&](std::int32_t e) {
+    const Element& el = elements[static_cast<std::size_t>(e)];
+    const PolicyPartition& partition = partitions[static_cast<std::size_t>(el.partition)];
+    const auto q = static_cast<std::size_t>(el.policy);
+    return engine.marginal(partition.charger, partition.slot, partition.policy_tasks(q),
+                           partition.policy_energy(q), 0);
+  };
+
+  // Incremental mode: a per-row term cache. term_cache/term_version hold, per
+  // (element, row), the row's utility delta and the task version it was
+  // computed at; a refresh recomputes only the rows whose task version moved
+  // and re-sums the chain in row order, which reproduces a full evaluation
+  // bit for bit (the engine runs one sample here, so evaluation order is
+  // row-major in both paths). The version stamps double as the staleness
+  // test — the per-task counters make any inverted task -> elements index
+  // unnecessary, and with it the per-commit fan-out over every element that
+  // shares a task.
+  std::vector<std::size_t> term_offset;
+  std::vector<double> term_cache;
+  std::vector<std::uint64_t> term_version;
+  constexpr std::uint64_t kNeverEvaluated = ~std::uint64_t{0};
+  if (config.mode == GreedyMode::kIncremental) {
+    term_offset.assign(elements.size() + 1, 0);
+    for (std::size_t e = 0; e < elements.size(); ++e) {
+      const Element& el = elements[e];
+      const PolicyPartition& partition =
+          partitions[static_cast<std::size_t>(el.partition)];
+      term_offset[e + 1] =
+          term_offset[e] +
+          partition.policy_tasks(static_cast<std::size_t>(el.policy)).size();
+    }
+    term_cache.assign(term_offset.back(), 0.0);
+    term_version.assign(term_offset.back(), kNeverEvaluated);
+  }
+
+  // Refresh an element's cached gain, recomputing only the rows whose task
+  // version moved; returns the exact current gain. `corrections` (optional)
+  // accumulates the number of rows recomputed.
+  const auto refresh = [&](std::int32_t e, std::uint64_t* corrections) {
+    const Element& el = elements[static_cast<std::size_t>(e)];
+    const PolicyPartition& partition = partitions[static_cast<std::size_t>(el.partition)];
+    const auto q = static_cast<std::size_t>(el.policy);
+    const auto tasks = partition.policy_tasks(q);
+    const auto slot_energy = partition.policy_energy(q);
+    double* terms = term_cache.data() + term_offset[static_cast<std::size_t>(e)];
+    std::uint64_t* versions =
+        term_version.data() + term_offset[static_cast<std::size_t>(e)];
+    double gain = 0.0;
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      const std::uint64_t version = engine.task_version(tasks[t]);
+      if (versions[t] != version) {
+        terms[t] = engine.row_term(0, tasks[t], slot_energy[t]);
+        versions[t] = version;
+        if (corrections != nullptr) ++*corrections;
+      }
+      gain += terms[t];
+    }
+    return gain;
+  };
+
+  // Initial heap build: before the first commit every marginal is independent
+  // of the others, so evaluate them in parallel and heapify sequentially
+  // (the comparator is a strict total order, so pop order is deterministic
+  // regardless of construction order).
+  std::vector<double> initial_gain(elements.size());
+  util::parallel_for(elements.size(), [&](std::size_t e) {
+    initial_gain[e] = config.mode == GreedyMode::kIncremental
+                          ? refresh(static_cast<std::int32_t>(e), nullptr)
+                          : evaluate(static_cast<std::int32_t>(e));
+  });
+  result.evaluations += elements.size();
+
+  std::priority_queue<HeapEntry> heap;
+  for (std::size_t e = 0; e < elements.size(); ++e) {
+    heap.push(HeapEntry{initial_gain[e], static_cast<std::int32_t>(e), 0});
+  }
+
+  std::vector<bool> partition_filled(partitions.size(), false);
+  std::uint64_t commit_stamp = 0;
 
   while (!heap.empty()) {
     HeapEntry top = heap.top();
     heap.pop();
-    if (partition_filled[static_cast<std::size_t>(top.partition)]) continue;
+    const Element& el = elements[static_cast<std::size_t>(top.element)];
+    if (partition_filled[static_cast<std::size_t>(el.partition)]) continue;
     if (top.bound <= 0.0) break;  // nothing positive remains (bounds only shrink)
 
-    if (config.lazy && top.epoch != epoch) {
-      // Stale: refresh and reinsert. By submodularity the fresh value is at
-      // most the stale bound, so the heap order stays sound.
-      top.bound = evaluate(top.partition, top.policy);
-      top.epoch = epoch;
-      if (top.bound > 0.0) heap.push(top);
-      continue;
-    }
-    if (!config.lazy) {
-      // Eager mode: always re-evaluate before trusting the value.
-      const double fresh = evaluate(top.partition, top.policy);
-      if (fresh + 1e-15 < top.bound) {
+    switch (config.mode) {
+      case GreedyMode::kIncremental: {
+        // Certify the popped bound against the per-row version stamps:
+        // refresh recomputes exactly the rows whose task moved and returns
+        // the exact current gain. An unchanged gain means the entry was
+        // already exact and maximal — commit with zero re-evaluation. (A
+        // changed-but-equal gain commits too: exact and equal to the heap
+        // max is argmax regardless of which rows moved.)
+        const double fresh = refresh(top.element, &result.row_corrections);
+        if (fresh == top.bound) break;
         top.bound = fresh;
-        if (fresh > 0.0) heap.push(top);
-        continue;
+        top.stamp = commit_stamp;
+        if (fresh <= 0.0) continue;
+        // Nothing commits between a re-queue and the next pop, so if the
+        // refreshed entry still strictly beats the new heap top (same
+        // comparator, ids break ties) it would pop straight back — commit
+        // now and skip the round trip.
+        if (!heap.empty() && !(heap.top() < top)) {
+          heap.push(top);
+          continue;
+        }
+        break;
       }
-      top.bound = fresh;
-      if (top.bound <= 0.0) continue;
+      case GreedyMode::kLazy:
+        // Stale epoch: refresh and reinsert. By submodularity the fresh value
+        // is at most the stale bound, so the heap order stays sound.
+        if (top.stamp != commit_stamp) {
+          ++result.evaluations;
+          top.bound = evaluate(top.element);
+          top.stamp = commit_stamp;
+          if (top.bound > 0.0) heap.push(top);
+          continue;
+        }
+        break;
+      case GreedyMode::kEager: {
+        // Always re-evaluate before trusting the value.
+        ++result.evaluations;
+        const double fresh = evaluate(top.element);
+        if (fresh + 1e-15 < top.bound) {
+          top.bound = fresh;
+          if (fresh > 0.0) heap.push(top);
+          continue;
+        }
+        top.bound = fresh;
+        if (top.bound <= 0.0) continue;
+        break;
+      }
     }
 
-    const PolicyPartition& partition = partitions[static_cast<std::size_t>(top.partition)];
-    const Policy& policy = partition.policies[static_cast<std::size_t>(top.policy)];
-    engine.commit(partition.charger, partition.slot, policy, 0);
-    result.schedule.assign(partition.charger, partition.slot, policy.orientation);
-    partition_filled[static_cast<std::size_t>(top.partition)] = true;
-    ++epoch;
+    const PolicyPartition& partition = partitions[static_cast<std::size_t>(el.partition)];
+    const auto q = static_cast<std::size_t>(el.policy);
+    engine.commit(partition.charger, partition.slot, partition.policy_tasks(q),
+                  partition.policy_energy(q), 0);
+    result.schedule.assign(partition.charger, partition.slot,
+                           partition.policies[q].orientation);
+    partition_filled[static_cast<std::size_t>(el.partition)] = true;
+    ++commit_stamp;
   }
 
   result.planned_relaxed_utility = engine.expected_value();

@@ -6,6 +6,38 @@
 
 namespace haste::core {
 
+void PolicyPartition::finalize() {
+  row_offsets.clear();
+  flat_tasks.clear();
+  flat_energy.clear();
+  row_offsets.reserve(policies.size() + 1);
+  std::size_t rows = 0;
+  for (const Policy& policy : policies) rows += policy.tasks.size();
+  flat_tasks.reserve(rows);
+  flat_energy.reserve(rows);
+  row_offsets.push_back(0);
+  for (const Policy& policy : policies) {
+    flat_tasks.insert(flat_tasks.end(), policy.tasks.begin(), policy.tasks.end());
+    flat_energy.insert(flat_energy.end(), policy.slot_energy.begin(),
+                       policy.slot_energy.end());
+    row_offsets.push_back(static_cast<std::int32_t>(flat_tasks.size()));
+  }
+}
+
+std::span<const model::TaskIndex> PolicyPartition::policy_tasks(std::size_t q) const {
+  if (!finalized()) return policies[q].tasks;
+  const auto begin = static_cast<std::size_t>(row_offsets[q]);
+  const auto end = static_cast<std::size_t>(row_offsets[q + 1]);
+  return {flat_tasks.data() + begin, end - begin};
+}
+
+std::span<const double> PolicyPartition::policy_energy(std::size_t q) const {
+  if (!finalized()) return policies[q].slot_energy;
+  const auto begin = static_cast<std::size_t>(row_offsets[q]);
+  const auto end = static_cast<std::size_t>(row_offsets[q + 1]);
+  return {flat_energy.data() + begin, end - begin};
+}
+
 std::vector<Policy> make_slot_policies(const model::Network& net, model::ChargerIndex i,
                                        const std::vector<DominantTaskSet>& dominant,
                                        model::SlotIndex slot) {
@@ -50,7 +82,10 @@ std::vector<PolicyPartition> build_partitions_impl(
       partition.charger = i;
       partition.slot = k;
       partition.policies = make_slot_policies(net, i, dominant[static_cast<std::size_t>(i)], k);
-      if (!partition.policies.empty()) partitions.push_back(std::move(partition));
+      if (!partition.policies.empty()) {
+        partition.finalize();
+        partitions.push_back(std::move(partition));
+      }
     }
   }
   return partitions;
@@ -92,6 +127,7 @@ MarginalEngine::MarginalEngine(const model::Network& net, Config config,
   if (config_.colors == 1) config_.samples = 1;  // expectation is exact
   const auto m = static_cast<std::size_t>(net.task_count());
   energy_.assign(static_cast<std::size_t>(config_.samples) * m, 0.0);
+  task_version_.assign(m, 0);
   if (!initial_energy.empty()) {
     for (int s = 0; s < config_.samples; ++s) {
       for (std::size_t j = 0; j < m; ++j) {
@@ -124,14 +160,15 @@ int MarginalEngine::final_color(std::uint64_t seed, model::ChargerIndex i,
   return static_cast<int>(hashed % static_cast<std::uint64_t>(colors));
 }
 
-double MarginalEngine::gain_in_sample(int s, const Policy& policy) const {
+double MarginalEngine::gain_in_sample(int s, std::span<const model::TaskIndex> tasks,
+                                      std::span<const double> slot_energy) const {
   const auto m = static_cast<std::size_t>(net_->task_count());
   const double* energy = energy_.data() + static_cast<std::size_t>(s) * m;
   double gain = 0.0;
-  for (std::size_t t = 0; t < policy.tasks.size(); ++t) {
-    const auto j = static_cast<std::size_t>(policy.tasks[t]);
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    const auto j = static_cast<std::size_t>(tasks[t]);
     const double before = energy[j];
-    const double after = before + policy.slot_energy[t];
+    const double after = before + slot_energy[t];
     gain += net_->weighted_task_utility(static_cast<model::TaskIndex>(j), after) -
             net_->weighted_task_utility(static_cast<model::TaskIndex>(j), before);
   }
@@ -139,28 +176,69 @@ double MarginalEngine::gain_in_sample(int s, const Policy& policy) const {
 }
 
 double MarginalEngine::marginal(model::ChargerIndex i, model::SlotIndex k,
-                                const Policy& policy, int c) const {
+                                std::span<const model::TaskIndex> tasks,
+                                std::span<const double> slot_energy, int c) const {
   double total = 0.0;
   for (int s = 0; s < config_.samples; ++s) {
     if (panel_color(config_.seed, s, i, k, config_.colors) != c) continue;
-    total += gain_in_sample(s, policy);
+    total += gain_in_sample(s, tasks, slot_energy);
   }
   return total / static_cast<double>(config_.samples);
 }
 
 double MarginalEngine::commit(model::ChargerIndex i, model::SlotIndex k,
-                              const Policy& policy, int c) {
+                              std::span<const model::TaskIndex> tasks,
+                              std::span<const double> slot_energy, int c) {
   const auto m = static_cast<std::size_t>(net_->task_count());
   double total = 0.0;
+  bool applied = false;
+  row_changed_scratch_.assign(tasks.size(), 0);
   for (int s = 0; s < config_.samples; ++s) {
     if (panel_color(config_.seed, s, i, k, config_.colors) != c) continue;
-    total += gain_in_sample(s, policy);
+    total += gain_in_sample(s, tasks, slot_energy);
     double* energy = energy_.data() + static_cast<std::size_t>(s) * m;
-    for (std::size_t t = 0; t < policy.tasks.size(); ++t) {
-      energy[static_cast<std::size_t>(policy.tasks[t])] += policy.slot_energy[t];
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      const auto j = static_cast<std::size_t>(tasks[t]);
+      const double before = energy[j];
+      const double after = before + slot_energy[t];
+      if (!row_changed_scratch_[t] &&
+          net_->weighted_task_utility(tasks[t], after) !=
+              net_->weighted_task_utility(tasks[t], before)) {
+        row_changed_scratch_[t] = 1;
+      }
+      energy[j] = after;
+    }
+    applied = true;
+  }
+  if (applied) {
+    // Only tasks whose *utility* moved de-certify cached marginals. Utility
+    // shapes are concave and non-decreasing, so u(before) == u(after) with
+    // before < after means u is flat on [before, inf): every other policy's
+    // term for that task — evaluated at an energy >= before — is provably
+    // unchanged, and stays unchanged for the rest of the run. In practice
+    // this means commits into saturated tasks dirty nothing.
+    ++commit_count_;
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      if (row_changed_scratch_[t]) {
+        ++task_version_[static_cast<std::size_t>(tasks[t])];
+      }
     }
   }
   return total / static_cast<double>(config_.samples);
+}
+
+double MarginalEngine::row_term(int s, model::TaskIndex j, double delta) const {
+  const auto m = static_cast<std::size_t>(net_->task_count());
+  const double before =
+      energy_[static_cast<std::size_t>(s) * m + static_cast<std::size_t>(j)];
+  return net_->weighted_task_utility(j, before + delta) -
+         net_->weighted_task_utility(j, before);
+}
+
+std::uint64_t MarginalEngine::version_sum(std::span<const model::TaskIndex> tasks) const {
+  std::uint64_t sum = 0;
+  for (model::TaskIndex j : tasks) sum += task_version_[static_cast<std::size_t>(j)];
+  return sum;
 }
 
 double MarginalEngine::expected_value() const {

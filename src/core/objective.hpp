@@ -33,10 +33,34 @@ struct Policy {
 };
 
 /// The partition Theta_{i,k}: all policies of charger `charger` at `slot`.
+///
+/// Besides the per-policy vectors (kept for the message protocol, which
+/// ships individual policies), a finalized partition also stores every
+/// policy's (task, energy) rows in one CSR-style flat layout so the hot
+/// evaluation loops walk contiguous memory instead of chasing one heap
+/// allocation per policy.
 struct PolicyPartition {
   model::ChargerIndex charger = 0;
   model::SlotIndex slot = 0;
   std::vector<Policy> policies;
+
+  // CSR rows over all policies: policy q's rows live at
+  // [row_offsets[q], row_offsets[q + 1]) of flat_tasks / flat_energy.
+  std::vector<std::int32_t> row_offsets;
+  std::vector<model::TaskIndex> flat_tasks;
+  std::vector<double> flat_energy;
+
+  /// (Re)builds the CSR arrays from `policies`. build_partitions() finalizes
+  /// every partition it returns; call this after mutating `policies` by hand.
+  void finalize();
+
+  /// True once the CSR arrays mirror `policies`.
+  bool finalized() const { return row_offsets.size() == policies.size() + 1; }
+
+  /// Contiguous (task, energy) rows of policy `q`; falls back to the
+  /// policy's own vectors when the partition was never finalized.
+  std::span<const model::TaskIndex> policy_tasks(std::size_t q) const;
+  std::span<const double> policy_energy(std::size_t q) const;
 };
 
 /// Builds the ground set over slots [first_slot, net.horizon()) for all
@@ -90,10 +114,25 @@ class MarginalEngine {
   /// Marginal gain of labeling `policy` of charger `i` at slot `k` with color
   /// `c`: the increase of the panel-averaged utility.
   double marginal(model::ChargerIndex i, model::SlotIndex k, const Policy& policy,
-                  int c) const;
+                  int c) const {
+    return marginal(i, k, policy.tasks, policy.slot_energy, c);
+  }
+
+  /// Span-based core of `marginal`: evaluates one policy given as parallel
+  /// (task, energy) rows — e.g. one CSR row range of a PolicyPartition.
+  double marginal(model::ChargerIndex i, model::SlotIndex k,
+                  std::span<const model::TaskIndex> tasks,
+                  std::span<const double> slot_energy, int c) const;
 
   /// Commits the S-C tuple; returns the realized marginal.
-  double commit(model::ChargerIndex i, model::SlotIndex k, const Policy& policy, int c);
+  double commit(model::ChargerIndex i, model::SlotIndex k, const Policy& policy, int c) {
+    return commit(i, k, policy.tasks, policy.slot_energy, c);
+  }
+
+  /// Span-based core of `commit`.
+  double commit(model::ChargerIndex i, model::SlotIndex k,
+                std::span<const model::TaskIndex> tasks,
+                std::span<const double> slot_energy, int c);
 
   /// Applies the effect of another charger's committed tuple (distributed
   /// case): identical to commit but named for clarity at call sites.
@@ -109,13 +148,48 @@ class MarginalEngine {
   int samples() const { return config_.samples; }
   std::uint64_t seed() const { return config_.seed; }
 
+  // --- Task-level dirty tracking -------------------------------------------
+  //
+  // Every commit that changes a task's *utility* (in any panel sample) bumps
+  // that task's version counter. A marginal depends on the engine state only
+  // through its own tasks' utilities, so a cached marginal whose tasks'
+  // versions are unchanged is EXACT — not just a submodular upper bound.
+  // Commits that only pour energy into saturated tasks bump nothing: utility
+  // shapes are concave and non-decreasing, so a task that is flat across one
+  // commit stays flat for the rest of the run. The schedulers use this for
+  // zero-re-evaluation commits (global greedy) and cache reuse (distributed
+  // nodes).
+
+  /// Number of commits that moved task `j`'s utility so far.
+  std::uint64_t task_version(model::TaskIndex j) const {
+    return task_version_[static_cast<std::size_t>(j)];
+  }
+
+  /// Sum of the version counters of `tasks`. Versions only grow, so an
+  /// unchanged sum certifies every individual version is unchanged.
+  std::uint64_t version_sum(std::span<const model::TaskIndex> tasks) const;
+
+  /// Total number of energy-changing commits so far.
+  std::uint64_t commit_count() const { return commit_count_; }
+
+  /// One row of a marginal in sample `s`: the utility delta of task `j` when
+  /// `delta` energy is added on top of its current accumulation. Summing
+  /// row_term over a policy's rows in row order reproduces `gain_in_sample`
+  /// bit for bit, which lets callers cache per-row terms and refresh only the
+  /// rows whose task version moved.
+  double row_term(int s, model::TaskIndex j, double delta) const;
+
  private:
-  double gain_in_sample(int s, const Policy& policy) const;
+  double gain_in_sample(int s, std::span<const model::TaskIndex> tasks,
+                        std::span<const double> slot_energy) const;
 
   const model::Network* net_;
   Config config_;
   // energy_[s * m + j]: accumulated relaxed energy of task j in sample s.
   std::vector<double> energy_;
+  std::vector<std::uint64_t> task_version_;  // per-task dirty counters
+  std::uint64_t commit_count_ = 0;
+  std::vector<std::uint8_t> row_changed_scratch_;  // commit-local, avoids realloc
 };
 
 }  // namespace haste::core

@@ -41,7 +41,9 @@ OfflineResult schedule_offline_over(const model::Network& net,
       const auto prev_it = previous_orientation.find({partition.charger, c});
       for (std::size_t q = 0; q < partition.policies.size(); ++q) {
         const Policy& policy = partition.policies[q];
-        const double m = engine.marginal(partition.charger, partition.slot, policy, c);
+        const double m = engine.marginal(partition.charger, partition.slot,
+                                         partition.policy_tasks(q),
+                                         partition.policy_energy(q), c);
         const bool is_previous =
             config.switch_avoiding_tiebreak && prev_it != previous_orientation.end() &&
             policy.orientation == prev_it->second;
@@ -58,10 +60,11 @@ OfflineResult schedule_offline_over(const model::Network& net,
         }
       }
       if (best >= 0) {
-        const Policy& policy = partition.policies[static_cast<std::size_t>(best)];
-        engine.commit(partition.charger, partition.slot, policy, c);
+        const auto bq = static_cast<std::size_t>(best);
+        engine.commit(partition.charger, partition.slot, partition.policy_tasks(bq),
+                      partition.policy_energy(bq), c);
         selections[p][static_cast<std::size_t>(c)] = best;
-        previous_orientation[{partition.charger, c}] = policy.orientation;
+        previous_orientation[{partition.charger, c}] = partition.policies[bq].orientation;
       }
     }
   }

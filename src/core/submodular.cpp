@@ -5,6 +5,86 @@
 
 namespace haste::core {
 
+namespace {
+
+/// Fallback incremental evaluator: keeps the element stack and evaluates
+/// from scratch on every value() query — identical cost to the historical
+/// call pattern, for set functions without incremental structure.
+class ScratchIncremental final : public SetFunction::Incremental {
+ public:
+  explicit ScratchIncremental(const SetFunction& f) : f_(&f) {}
+
+  void push(ElementId e) override { stack_.push_back(e); }
+  void pop() override { stack_.pop_back(); }
+  double value() const override { return f_->value(stack_); }
+
+ private:
+  const SetFunction* f_;
+  std::vector<ElementId> stack_;
+};
+
+/// Incremental HASTE-R evaluator: per-task accumulated energy plus the
+/// running objective value, updated in O(|policy tasks|) per push. Undo
+/// records store the exact pre-push energies and value, so pop() restores
+/// the previous state bit-for-bit (no floating-point drift from reversing
+/// additions).
+class HasteRIncremental final : public SetFunction::Incremental {
+ public:
+  HasteRIncremental(const model::Network& net, const HasteRObjective& f)
+      : net_(&net), f_(&f), energy_(static_cast<std::size_t>(net.task_count()), 0.0) {
+    // Match the from-scratch evaluation of the empty set (utilities need not
+    // vanish at zero energy for every shape).
+    for (std::size_t j = 0; j < energy_.size(); ++j) {
+      value_ += net_->weighted_task_utility(static_cast<model::TaskIndex>(j), 0.0);
+    }
+  }
+
+  void push(ElementId e) override {
+    const Policy& policy = f_->policy_of(e);
+    Undo undo;
+    undo.value = value_;
+    undo.rows.reserve(policy.tasks.size());
+    for (std::size_t t = 0; t < policy.tasks.size(); ++t) {
+      const auto j = static_cast<std::size_t>(policy.tasks[t]);
+      undo.rows.push_back({policy.tasks[t], energy_[j]});
+      const double after = energy_[j] + policy.slot_energy[t];
+      value_ += net_->weighted_task_utility(policy.tasks[t], after) -
+                net_->weighted_task_utility(policy.tasks[t], energy_[j]);
+      energy_[j] = after;
+    }
+    undo_.push_back(std::move(undo));
+  }
+
+  void pop() override {
+    const Undo& undo = undo_.back();
+    for (const auto& [task, previous] : undo.rows) {
+      energy_[static_cast<std::size_t>(task)] = previous;
+    }
+    value_ = undo.value;
+    undo_.pop_back();
+  }
+
+  double value() const override { return value_; }
+
+ private:
+  struct Undo {
+    double value = 0.0;
+    std::vector<std::pair<model::TaskIndex, double>> rows;
+  };
+
+  const model::Network* net_;
+  const HasteRObjective* f_;
+  std::vector<double> energy_;
+  double value_ = 0.0;
+  std::vector<Undo> undo_;
+};
+
+}  // namespace
+
+std::unique_ptr<SetFunction::Incremental> SetFunction::incremental() const {
+  return std::make_unique<ScratchIncremental>(*this);
+}
+
 HasteRObjective::HasteRObjective(const model::Network& net,
                                  std::span<const PolicyPartition> partitions)
     : net_(&net), partitions_(partitions) {
@@ -47,23 +127,29 @@ PartitionMatroid HasteRObjective::matroid() const {
   return PartitionMatroid::unit(element_partition_);
 }
 
+std::unique_ptr<SetFunction::Incremental> HasteRObjective::incremental() const {
+  return std::make_unique<HasteRIncremental>(*net_, *this);
+}
+
 std::vector<ElementId> locally_greedy(const SetFunction& f,
                                       const std::vector<std::vector<ElementId>>& partitions) {
   std::vector<ElementId> chosen;
-  double current = f.value(chosen);
+  const std::unique_ptr<SetFunction::Incremental> inc = f.incremental();
+  double current = inc->value();
   for (const auto& partition : partitions) {
     ElementId best = -1;
     double best_value = current;
     for (ElementId e : partition) {
-      chosen.push_back(e);
-      const double candidate = f.value(chosen);
-      chosen.pop_back();
+      inc->push(e);
+      const double candidate = inc->value();
+      inc->pop();
       if (candidate > best_value + 1e-15) {
         best_value = candidate;
         best = e;
       }
     }
     if (best >= 0) {
+      inc->push(best);
       chosen.push_back(best);
       current = best_value;
     }
@@ -73,13 +159,14 @@ std::vector<ElementId> locally_greedy(const SetFunction& f,
 
 std::vector<ElementId> maximize_exhaustive(const SetFunction& f,
                                            const std::vector<std::vector<ElementId>>& partitions) {
+  const std::unique_ptr<SetFunction::Incremental> inc = f.incremental();
   std::vector<ElementId> best;
-  double best_value = f.value(best);
+  double best_value = inc->value();
   std::vector<ElementId> current;
 
   const std::function<void(std::size_t)> recurse = [&](std::size_t p) {
     if (p == partitions.size()) {
-      const double v = f.value(current);
+      const double v = inc->value();
       if (v > best_value) {
         best_value = v;
         best = current;
@@ -89,7 +176,9 @@ std::vector<ElementId> maximize_exhaustive(const SetFunction& f,
     recurse(p + 1);  // skip this partition
     for (ElementId e : partitions[p]) {
       current.push_back(e);
+      inc->push(e);
       recurse(p + 1);
+      inc->pop();
       current.pop_back();
     }
   };

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -27,6 +28,23 @@ class SetFunction {
   virtual double value(std::span<const ElementId> set) const = 0;
   /// Ground set size.
   virtual std::size_t ground_size() const = 0;
+
+  /// A stack-disciplined incremental evaluator: push/pop elements and read
+  /// f(current set) without paying a from-scratch evaluation per query. pop()
+  /// restores the pre-push state exactly (bit-for-bit), so probing an
+  /// element and backing out is side-effect free.
+  class Incremental {
+   public:
+    virtual ~Incremental() = default;
+    virtual void push(ElementId e) = 0;  ///< add e to the current set
+    virtual void pop() = 0;              ///< remove the most recently pushed element
+    virtual double value() const = 0;    ///< f(current set)
+  };
+
+  /// Returns an evaluator over the initially empty set. The default
+  /// evaluates from scratch on every value() call (no worse than the naive
+  /// loop); objectives with incremental structure override it.
+  virtual std::unique_ptr<Incremental> incremental() const;
 };
 
 /// The HASTE-R objective f(X) of RP2 computed from scratch: element ids index
@@ -37,6 +55,10 @@ class HasteRObjective final : public SetFunction {
 
   double value(std::span<const ElementId> set) const override;
   std::size_t ground_size() const override { return element_partition_.size(); }
+
+  /// O(|policy tasks|) push/pop via per-task accumulated energy — the same
+  /// incremental scheme as the production MarginalEngine.
+  std::unique_ptr<Incremental> incremental() const override;
 
   /// Partition index (into the PolicyPartition vector) of an element.
   std::int32_t partition_of(ElementId e) const { return element_partition_[static_cast<std::size_t>(e)]; }
@@ -62,13 +84,16 @@ class HasteRObjective final : public SetFunction {
 
 /// Reference locally-greedy: visits partitions in order, adding the element
 /// with the best marginal (ties -> lowest id, skip if best marginal <= 0).
-/// Returns the chosen set. This is TabularGreedy with C = 1, computed naively
-/// in O(|ground| * |ground| * cost(f)) — test-sized inputs only.
+/// Returns the chosen set. This is TabularGreedy with C = 1. Oracle calls go
+/// through f.incremental(), so each probe costs O(|policy tasks|) for the
+/// HASTE-R objective instead of a from-scratch evaluation.
 std::vector<ElementId> locally_greedy(const SetFunction& f,
                                       const std::vector<std::vector<ElementId>>& partitions);
 
 /// Reference exhaustive maximizer over "pick at most one element per
 /// partition" — exponential; tiny inputs only. Returns the best set.
+/// Also driven through f.incremental(): the search tree pushes and pops
+/// elements instead of re-evaluating each leaf from scratch.
 std::vector<ElementId> maximize_exhaustive(const SetFunction& f,
                                            const std::vector<std::vector<ElementId>>& partitions);
 

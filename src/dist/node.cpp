@@ -44,6 +44,7 @@ bool ChargerNode::begin_stage(model::SlotIndex slot, int color) {
   stage_slot_ = slot;
   stage_color_ = color;
   stage_policies_ = core::make_slot_policies(*net_, id_, dominant_, slot);
+  stage_cache_.assign(stage_policies_.size(), MarginalCache{});
   neighbor_values_.clear();
   neighbor_decided_.clear();
   if (stage_policies_.empty()) {
@@ -65,7 +66,17 @@ void ChargerNode::recompute_best() {
   bool best_is_previous = false;
   for (std::size_t q = 0; q < stage_policies_.size(); ++q) {
     const core::Policy& policy = stage_policies_[q];
-    const double m = engine_->marginal(id_, stage_slot_, policy, stage_color_);
+    // Reuse the cached marginal when none of the policy's tasks changed since
+    // it was computed (checking versions is O(|tasks|) counter reads; a
+    // re-evaluation is utility-function calls per panel sample).
+    MarginalCache& cache = stage_cache_[q];
+    const std::uint64_t stamp = engine_->version_sum(policy.tasks);
+    if (!cache.valid || cache.stamp != stamp) {
+      cache.marginal = engine_->marginal(id_, stage_slot_, policy, stage_color_);
+      cache.stamp = stamp;
+      cache.valid = true;
+    }
+    const double m = cache.marginal;
     const bool is_previous = previous.has_value() && policy.orientation == *previous;
     bool better = false;
     if (best_policy_ < 0) {

@@ -98,6 +98,17 @@ class ChargerNode {
   model::SlotIndex stage_slot_ = 0;
   int stage_color_ = 0;
   std::vector<core::Policy> stage_policies_;
+  // Cached marginal per stage policy, stamped with the engine's task-version
+  // sum over the policy's tasks at evaluation time. Versions only grow and a
+  // marginal depends on the engine state only through those tasks' energies,
+  // so an unchanged stamp certifies the cached value is exact — remote
+  // UPDATEs touching disjoint tasks cost zero re-evaluations.
+  struct MarginalCache {
+    double marginal = 0.0;
+    std::uint64_t stamp = 0;
+    bool valid = false;
+  };
+  std::vector<MarginalCache> stage_cache_;
   int best_policy_ = -1;
   double best_marginal_ = 0.0;
   bool decided_ = true;

@@ -44,9 +44,24 @@ double quantile(std::span<const double> xs, double q) {
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
+double t_critical95(std::size_t df) {
+  // Two-sided 95% (0.975 quantile) critical values, df = 1..28. Beyond that
+  // the normal approximation is within half a percent.
+  static constexpr double kTable[] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048,
+  };
+  constexpr std::size_t kTableSize = sizeof(kTable) / sizeof(kTable[0]);
+  if (df == 0) return 0.0;
+  if (df <= kTableSize) return kTable[df - 1];
+  return 1.96;
+}
+
 double mean_confidence95(std::span<const double> xs) {
   if (xs.size() < 2) return 0.0;
-  return 1.96 * stddev(xs) / std::sqrt(static_cast<double>(xs.size()));
+  return t_critical95(xs.size() - 1) * stddev(xs) /
+         std::sqrt(static_cast<double>(xs.size()));
 }
 
 BoxSummary box_summary(std::span<const double> xs) {

@@ -26,8 +26,15 @@ double max_value(std::span<const double> xs);
 /// `q` must be within [0, 1]; the sample may be unsorted.
 double quantile(std::span<const double> xs, double q);
 
-/// Half-width of the normal-approximation 95% confidence interval of the
-/// sample mean (1.96 * stddev / sqrt(n)); 0 for samples of size < 2.
+/// Two-sided 95% critical value of Student's t distribution with `df`
+/// degrees of freedom (the 0.975 quantile). Exact table values for df <= 28;
+/// the normal approximation 1.96 beyond (the difference is < 0.5% there).
+double t_critical95(std::size_t df);
+
+/// Half-width of the 95% confidence interval of the sample mean:
+/// t_{n-1} * stddev / sqrt(n), using Student-t critical values for n < 30
+/// (the small-trial figures) and the normal approximation 1.96 otherwise;
+/// 0 for samples of size < 2.
 double mean_confidence95(std::span<const double> xs);
 
 /// Five-number summary plus mean, as used for box plots.

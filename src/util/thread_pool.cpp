@@ -6,6 +6,15 @@
 
 namespace haste::util {
 
+namespace {
+
+/// The pool the calling thread belongs to, if any. Lets parallel_for detect
+/// reentrant calls from its own workers and run inline instead of
+/// deadlocking on the pool's queue.
+thread_local const ThreadPool* current_worker_pool = nullptr;
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -47,23 +56,63 @@ void ThreadPool::wait_idle() {
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& body) {
   if (count == 0) return;
+  if (on_worker_thread()) {
+    // Reentrant call from one of our own workers: the caller counts toward
+    // in_flight_, so blocking it on the queue draining can never succeed
+    // (guaranteed deadlock with one worker). Run the body inline instead;
+    // exceptions propagate directly to the nested caller.
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  // Per-call task-group state: completion tracking and error capture are
+  // scoped to this call, so concurrent parallel_for callers on the same pool
+  // cannot steal each other's exceptions (and wait_idle never sees them).
+  struct Group {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t pending = 0;
+    std::exception_ptr error;
+  };
+  Group group;
+
   // Chunked static schedule: a few chunks per worker to amortize queue
   // overhead while still balancing uneven iterations.
   const std::size_t chunks = std::min(count, size() * 4);
+  group.pending = chunks;
   std::atomic<std::size_t> next{0};
   for (std::size_t c = 0; c < chunks; ++c) {
-    submit([&next, count, &body] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= count) return;
-        body(i);
+    submit([&group, &next, count, &body] {
+      try {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= count) break;
+          body(i);
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(group.mutex);
+        if (group.error == nullptr) group.error = std::current_exception();
+      }
+      {
+        const std::lock_guard<std::mutex> lock(group.mutex);
+        if (--group.pending == 0) group.done.notify_all();
       }
     });
   }
-  wait_idle();
+
+  std::unique_lock<std::mutex> lock(group.mutex);
+  group.done.wait(lock, [&group] { return group.pending == 0; });
+  if (group.error != nullptr) {
+    const std::exception_ptr error = group.error;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
+bool ThreadPool::on_worker_thread() const { return current_worker_pool == this; }
+
 void ThreadPool::worker_loop() {
+  current_worker_pool = this;
   for (;;) {
     std::function<void()> job;
     {

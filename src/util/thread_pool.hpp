@@ -37,16 +37,29 @@ class ThreadPool {
   void submit(std::function<void()> job);
 
   /// Blocks until every submitted job has finished. If any job threw, the
-  /// first captured exception is rethrown here.
+  /// first captured exception is rethrown here. Only jobs enqueued through
+  /// submit() report their errors this way; parallel_for scopes error
+  /// capture to the call itself.
   void wait_idle();
 
   /// Runs body(i) for i in [0, count), distributing chunks over the pool and
   /// blocking until completion. Equivalent to a static-schedule OpenMP
   /// `parallel for`. The body must be safe to call concurrently.
+  ///
+  /// Exceptions thrown by the body are captured per call: the first one is
+  /// rethrown to THIS caller, never leaked to concurrent parallel_for calls
+  /// or to wait_idle().
+  ///
+  /// Reentrant: when called from inside one of this pool's own workers (a
+  /// nested parallel_for), the body runs inline on the calling thread —
+  /// blocking a worker on its own pool's queue would deadlock.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
 
  private:
   void worker_loop();
+
+  /// True when the calling thread is one of this pool's workers.
+  bool on_worker_thread() const;
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;

@@ -13,37 +13,39 @@ namespace {
 
 using testing_helpers::random_network;
 
-TEST(GlobalGreedy, LazyMatchesEagerExactly) {
+TEST(GlobalGreedy, AllModesMatchExactly) {
   for (std::uint64_t seed = 1; seed <= 8; ++seed) {
     util::Rng rng(seed);
     const model::Network net = random_network(rng, 3, 8, 4);
-    GlobalGreedyConfig lazy;
-    lazy.lazy = true;
-    GlobalGreedyConfig eager;
-    eager.lazy = false;
-    const GlobalGreedyResult a = schedule_global_greedy(net, lazy);
-    const GlobalGreedyResult b = schedule_global_greedy(net, eager);
-    EXPECT_NEAR(a.planned_relaxed_utility, b.planned_relaxed_utility, 1e-9)
+    const GlobalGreedyResult eager =
+        schedule_global_greedy(net, {GreedyMode::kEager});
+    const GlobalGreedyResult lazy = schedule_global_greedy(net, {GreedyMode::kLazy});
+    const GlobalGreedyResult incremental =
+        schedule_global_greedy(net, {GreedyMode::kIncremental});
+    EXPECT_NEAR(lazy.planned_relaxed_utility, eager.planned_relaxed_utility, 1e-9)
+        << "seed " << seed;
+    EXPECT_DOUBLE_EQ(incremental.planned_relaxed_utility, lazy.planned_relaxed_utility)
         << "seed " << seed;
     for (model::ChargerIndex i = 0; i < net.charger_count(); ++i) {
       for (model::SlotIndex k = 0; k < net.horizon(); ++k) {
-        EXPECT_EQ(a.schedule.assignment(i, k), b.schedule.assignment(i, k))
+        EXPECT_EQ(lazy.schedule.assignment(i, k), eager.schedule.assignment(i, k))
+            << "seed " << seed << " charger " << i << " slot " << k;
+        EXPECT_EQ(incremental.schedule.assignment(i, k), lazy.schedule.assignment(i, k))
             << "seed " << seed << " charger " << i << " slot " << k;
       }
     }
   }
 }
 
-TEST(GlobalGreedy, LazySavesEvaluations) {
+TEST(GlobalGreedy, CheaperModesSaveEvaluations) {
   util::Rng rng(10);
   const model::Network net = random_network(rng, 4, 12, 5);
-  GlobalGreedyConfig lazy;
-  lazy.lazy = true;
-  GlobalGreedyConfig eager;
-  eager.lazy = false;
-  const GlobalGreedyResult a = schedule_global_greedy(net, lazy);
-  const GlobalGreedyResult b = schedule_global_greedy(net, eager);
-  EXPECT_LE(a.evaluations, b.evaluations);
+  const GlobalGreedyResult eager = schedule_global_greedy(net, {GreedyMode::kEager});
+  const GlobalGreedyResult lazy = schedule_global_greedy(net, {GreedyMode::kLazy});
+  const GlobalGreedyResult incremental =
+      schedule_global_greedy(net, {GreedyMode::kIncremental});
+  EXPECT_LE(lazy.evaluations, eager.evaluations);
+  EXPECT_LE(incremental.evaluations, lazy.evaluations);
 }
 
 TEST(GlobalGreedy, RespectsPartitionMatroid) {

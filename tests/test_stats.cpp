@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -70,6 +71,43 @@ TEST(Stats, BoxSummaryEmpty) {
   const BoxSummary box = box_summary({});
   EXPECT_EQ(box.count, 0u);
   EXPECT_DOUBLE_EQ(box.mean, 0.0);
+}
+
+TEST(Stats, ConfidenceUsesStudentTForSmallSamples) {
+  // Regression: the half-width used z = 1.96 for every n, understating the
+  // interval for the paper's small-trial figures. n = 5 must use the t
+  // critical value with 4 degrees of freedom.
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const double expected = 2.776 * stddev(xs) / std::sqrt(5.0);
+  EXPECT_NEAR(mean_confidence95(xs), expected, 1e-12);
+  // Student-t strictly widens the normal-approximation interval.
+  EXPECT_GT(mean_confidence95(xs), 1.96 * stddev(xs) / std::sqrt(5.0));
+}
+
+TEST(Stats, ConfidenceUsesNormalApproximationForLargeSamples) {
+  Rng rng(4);
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(rng.uniform(0.0, 1.0));
+  const double expected = 1.96 * stddev(xs) / std::sqrt(100.0);
+  EXPECT_NEAR(mean_confidence95(xs), expected, 1e-12);
+}
+
+TEST(Stats, ConfidenceDegenerateSamples) {
+  EXPECT_DOUBLE_EQ(mean_confidence95({}), 0.0);
+  const std::vector<double> one = {3.0};
+  EXPECT_DOUBLE_EQ(mean_confidence95(one), 0.0);
+}
+
+TEST(Stats, TCriticalTableSanity) {
+  EXPECT_DOUBLE_EQ(t_critical95(0), 0.0);
+  EXPECT_NEAR(t_critical95(1), 12.706, 1e-9);
+  EXPECT_NEAR(t_critical95(10), 2.228, 1e-9);
+  EXPECT_DOUBLE_EQ(t_critical95(29), 1.96);
+  EXPECT_DOUBLE_EQ(t_critical95(1000), 1.96);
+  // Monotone non-increasing toward the normal limit.
+  for (std::size_t df = 1; df < 40; ++df) {
+    EXPECT_LE(t_critical95(df + 1), t_critical95(df)) << "df " << df;
+  }
 }
 
 TEST(RunningStats, MatchesBatchComputation) {

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -88,6 +89,69 @@ TEST(ThreadPool, DefaultPoolParallelFor) {
   std::vector<std::atomic<int>> hits(64);
   parallel_for(64, [&](std::size_t i) { hits[i].fetch_add(1); });
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  // Regression: parallel_for from inside a pool worker used to deadlock —
+  // the calling worker counts toward in_flight_, so waiting for the pool to
+  // drain could never succeed (guaranteed with a single worker, e.g.
+  // HASTE_THREADS=1). Nested calls must run the body inline instead.
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(8 * 16);
+    pool.parallel_for(8, [&](std::size_t outer) {
+      pool.parallel_for(16, [&](std::size_t inner) {
+        hits[outer * 16 + inner].fetch_add(1);
+      });
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << threads << " threads";
+  }
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesExceptions) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.parallel_for(4,
+                                 [&](std::size_t outer) {
+                                   pool.parallel_for(4, [&](std::size_t inner) {
+                                     if (outer == 2 && inner == 3) {
+                                       throw std::runtime_error("nested boom");
+                                     }
+                                   });
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ConcurrentCallersKeepTheirOwnExceptions) {
+  // Regression: error capture used to live in pool-wide state drained by
+  // whichever wait_idle ran first, so a clean parallel_for could steal (and
+  // rethrow) a concurrent caller's exception. Error scope is now the call.
+  ThreadPool pool(4);
+  for (int round = 0; round < 25; ++round) {
+    std::atomic<bool> clean_caller_threw{false};
+    std::atomic<int> throwing_caller_caught{0};
+    std::thread thrower([&] {
+      try {
+        pool.parallel_for(32, [](std::size_t i) {
+          if (i % 4 == 0) throw std::runtime_error("mine");
+        });
+      } catch (const std::runtime_error&) {
+        throwing_caller_caught.fetch_add(1);
+      }
+    });
+    std::thread clean([&] {
+      try {
+        pool.parallel_for(32, [](std::size_t) {});
+      } catch (...) {
+        clean_caller_threw.store(true);
+      }
+    });
+    thrower.join();
+    clean.join();
+    EXPECT_EQ(throwing_caller_caught.load(), 1) << "round " << round;
+    EXPECT_FALSE(clean_caller_threw.load()) << "round " << round;
+    // Nothing leaks into wait_idle either.
+    EXPECT_NO_THROW(pool.wait_idle());
+  }
 }
 
 TEST(ThreadPool, NestedSubmissionFromJob) {
