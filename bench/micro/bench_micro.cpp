@@ -75,12 +75,15 @@ void BM_OfflineSchedule(benchmark::State& state) {
 BENCHMARK(BM_OfflineSchedule)->Args({10, 1})->Args({25, 1})->Args({50, 1})->Args({50, 4});
 
 void BM_GlobalGreedyMode(benchmark::State& state) {
-  // Head-to-head of the three marginal-evaluation modes on the fig07/fig15
-  // scale offline instance (paper-default 50 chargers / 200 tasks). The
+  // Head-to-head of the three marginal-evaluation modes across instance
+  // scales up to the fig07/fig15 offline size (paper-default 50 chargers /
+  // 200 tasks, swept here from 10 to 100 chargers at 4 tasks per charger so
+  // version-scan constant factors surface before paper scale). The
   // `evaluations` counter is the number of marginal-gain evaluations the mode
   // performed for one full schedule; `matches_lazy` is 1 when the produced
   // schedule is identical to the lazy (seed) path.
-  const model::Network net = make_network(50, 200);
+  const int n = static_cast<int>(state.range(1));
+  const model::Network net = make_network(n, 4 * n);
   const auto partitions = core::build_partitions(net);
   const auto mode = static_cast<core::GreedyMode>(state.range(0));
   const core::GlobalGreedyResult reference =
@@ -105,11 +108,63 @@ void BM_GlobalGreedyMode(benchmark::State& state) {
   state.counters["evaluations"] = static_cast<double>(result.evaluations);
   state.counters["matches_lazy"] = matches ? 1.0 : 0.0;
 }
-BENCHMARK(BM_GlobalGreedyMode)
-    ->ArgName("mode")
-    ->Arg(static_cast<int>(core::GreedyMode::kEager))
-    ->Arg(static_cast<int>(core::GreedyMode::kLazy))
-    ->Arg(static_cast<int>(core::GreedyMode::kIncremental));
+void GlobalGreedyModeArgs(benchmark::internal::Benchmark* bench) {
+  bench->ArgNames({"mode", "n"});
+  for (const core::GreedyMode mode :
+       {core::GreedyMode::kEager, core::GreedyMode::kLazy, core::GreedyMode::kIncremental}) {
+    for (const int n : {10, 25, 50, 100}) {
+      bench->Args({static_cast<int>(mode), n});
+    }
+  }
+}
+BENCHMARK(BM_GlobalGreedyMode)->Apply(GlobalGreedyModeArgs);
+
+void BM_OfflineTabular(benchmark::State& state) {
+  // TabularGreedy (Algorithm 2) at the paper's C = 4 / S = 16 panel across
+  // instance scales, incremental vs rebuild marginal evaluation. `row_evals`
+  // counts per-(row, sample) utility-delta evaluations, `marginal_evals`
+  // full oracle calls, and `matches_rebuild` is 1 when the schedule is
+  // bit-identical to the rebuild reference (it must always be).
+  const int n = static_cast<int>(state.range(0));
+  const model::Network net = make_network(n, 4 * n);
+  const auto partitions = core::build_partitions(net);
+  core::OfflineConfig config;
+  config.colors = 4;
+  config.samples = 16;
+  config.mode = static_cast<core::TabularMode>(state.range(1));
+  core::OfflineConfig reference_config = config;
+  reference_config.mode = core::TabularMode::kRebuild;
+  const core::OfflineResult reference =
+      core::schedule_offline_over(net, partitions, reference_config, {});
+  core::OfflineResult result;
+  for (auto _ : state) {
+    result = core::schedule_offline_over(net, partitions, config, {});
+    double utility = result.planned_relaxed_utility;
+    benchmark::DoNotOptimize(utility);
+  }
+  bool matches = result.planned_relaxed_utility == reference.planned_relaxed_utility;
+  for (model::ChargerIndex i = 0; matches && i < net.charger_count(); ++i) {
+    for (model::SlotIndex k = 0; k < net.horizon(); ++k) {
+      if (result.schedule.assignment(i, k) != reference.schedule.assignment(i, k)) {
+        matches = false;
+        break;
+      }
+    }
+  }
+  state.counters["row_evals"] = static_cast<double>(result.row_evaluations);
+  state.counters["marginal_evals"] = static_cast<double>(result.marginal_evaluations);
+  state.counters["matches_rebuild"] = matches ? 1.0 : 0.0;
+}
+void OfflineTabularArgs(benchmark::internal::Benchmark* bench) {
+  bench->ArgNames({"n", "mode"});
+  for (const int n : {10, 25, 50, 100}) {
+    for (const core::TabularMode mode :
+         {core::TabularMode::kRebuild, core::TabularMode::kIncremental}) {
+      bench->Args({n, static_cast<int>(mode)});
+    }
+  }
+}
+BENCHMARK(BM_OfflineTabular)->Apply(OfflineTabularArgs);
 
 void BM_GreedyUtilityBaseline(benchmark::State& state) {
   const model::Network net = make_network(50, 200);

@@ -70,18 +70,72 @@ std::vector<PolicyPartition> build_partitions_impl(
     const model::Network& net, model::SlotIndex first_slot,
     const std::vector<std::vector<model::TaskIndex>>& candidates_per_charger) {
   const model::ChargerIndex n = net.charger_count();
-  std::vector<std::vector<DominantTaskSet>> dominant(static_cast<std::size_t>(n));
+  const double slot_seconds = net.time().slot_seconds;
+  // A dominant set pre-resolved once per charger: its covered rows with the
+  // slot-invariant per-slot energy (the power law is fixed per (charger,
+  // task)) and each row's activity window. The slot loop below then only
+  // window-filters these rows instead of re-deriving power and activity per
+  // (slot, charger, row) the way make_slot_policies does — same policies,
+  // bit-identical energies, a fraction of the work.
+  struct ResolvedSet {
+    double orientation = 0.0;
+    std::vector<model::TaskIndex> tasks;
+    std::vector<double> energy;
+    std::vector<model::SlotIndex> release;
+    std::vector<model::SlotIndex> end;
+  };
+  std::vector<std::vector<ResolvedSet>> resolved(static_cast<std::size_t>(n));
   for (model::ChargerIndex i = 0; i < n; ++i) {
-    dominant[static_cast<std::size_t>(i)] =
+    const std::vector<DominantTaskSet> dominant =
         extract_dominant_sets(net, i, candidates_per_charger[static_cast<std::size_t>(i)]);
+    auto& sets = resolved[static_cast<std::size_t>(i)];
+    sets.reserve(dominant.size());
+    for (const DominantTaskSet& set : dominant) {
+      ResolvedSet rows;
+      rows.orientation = set.orientation;
+      rows.tasks.reserve(set.tasks.size());
+      rows.energy.reserve(set.tasks.size());
+      rows.release.reserve(set.tasks.size());
+      rows.end.reserve(set.tasks.size());
+      for (model::TaskIndex j : set.tasks) {
+        const model::Task& task = net.tasks()[static_cast<std::size_t>(j)];
+        rows.tasks.push_back(j);
+        rows.energy.push_back(net.potential_power(i, j) * slot_seconds);
+        rows.release.push_back(task.release_slot);
+        rows.end.push_back(task.end_slot);
+      }
+      sets.push_back(std::move(rows));
+    }
   }
   std::vector<PolicyPartition> partitions;
+  partitions.reserve(static_cast<std::size_t>(net.horizon() - first_slot) *
+                     static_cast<std::size_t>(n));
   for (model::SlotIndex k = first_slot; k < net.horizon(); ++k) {
     for (model::ChargerIndex i = 0; i < n; ++i) {
+      const auto& sets = resolved[static_cast<std::size_t>(i)];
       PolicyPartition partition;
       partition.charger = i;
       partition.slot = k;
-      partition.policies = make_slot_policies(net, i, dominant[static_cast<std::size_t>(i)], k);
+      partition.policies.reserve(sets.size());
+      for (const ResolvedSet& rows : sets) {
+        Policy policy;
+        policy.orientation = rows.orientation;
+        policy.tasks.reserve(rows.tasks.size());
+        policy.slot_energy.reserve(rows.tasks.size());
+        for (std::size_t r = 0; r < rows.tasks.size(); ++r) {
+          if (rows.release[r] <= k && k < rows.end[r]) {
+            policy.tasks.push_back(rows.tasks[r]);
+            policy.slot_energy.push_back(rows.energy[r]);
+          }
+        }
+        if (policy.tasks.empty()) continue;
+        // Same dedup rule as make_slot_policies: first witness orientation
+        // wins among policies whose active task sets coincide.
+        const bool duplicate =
+            std::any_of(partition.policies.begin(), partition.policies.end(),
+                        [&](const Policy& other) { return other.tasks == policy.tasks; });
+        if (!duplicate) partition.policies.push_back(std::move(policy));
+      }
       if (!partition.policies.empty()) {
         partition.finalize();
         partitions.push_back(std::move(partition));
@@ -127,6 +181,7 @@ MarginalEngine::MarginalEngine(const model::Network& net, Config config,
   if (config_.colors == 1) config_.samples = 1;  // expectation is exact
   const auto m = static_cast<std::size_t>(net.task_count());
   energy_.assign(static_cast<std::size_t>(config_.samples) * m, 0.0);
+  sample_version_.assign(static_cast<std::size_t>(config_.samples) * m, 0);
   task_version_.assign(m, 0);
   if (!initial_energy.empty()) {
     for (int s = 0; s < config_.samples; ++s) {
@@ -164,6 +219,7 @@ double MarginalEngine::gain_in_sample(int s, std::span<const model::TaskIndex> t
                                       std::span<const double> slot_energy) const {
   const auto m = static_cast<std::size_t>(net_->task_count());
   const double* energy = energy_.data() + static_cast<std::size_t>(s) * m;
+  row_term_count_.fetch_add(tasks.size(), std::memory_order_relaxed);
   double gain = 0.0;
   for (std::size_t t = 0; t < tasks.size(); ++t) {
     const auto j = static_cast<std::size_t>(tasks[t]);
@@ -178,6 +234,7 @@ double MarginalEngine::gain_in_sample(int s, std::span<const model::TaskIndex> t
 double MarginalEngine::marginal(model::ChargerIndex i, model::SlotIndex k,
                                 std::span<const model::TaskIndex> tasks,
                                 std::span<const double> slot_energy, int c) const {
+  marginal_count_.fetch_add(1, std::memory_order_relaxed);
   double total = 0.0;
   for (int s = 0; s < config_.samples; ++s) {
     if (panel_color(config_.seed, s, i, k, config_.colors) != c) continue;
@@ -192,42 +249,63 @@ double MarginalEngine::commit(model::ChargerIndex i, model::SlotIndex k,
   const auto m = static_cast<std::size_t>(net_->task_count());
   double total = 0.0;
   bool applied = false;
-  row_changed_scratch_.assign(tasks.size(), 0);
   for (int s = 0; s < config_.samples; ++s) {
     if (panel_color(config_.seed, s, i, k, config_.colors) != c) continue;
     total += gain_in_sample(s, tasks, slot_energy);
     double* energy = energy_.data() + static_cast<std::size_t>(s) * m;
+    std::uint64_t* versions = sample_version_.data() + static_cast<std::size_t>(s) * m;
     for (std::size_t t = 0; t < tasks.size(); ++t) {
       const auto j = static_cast<std::size_t>(tasks[t]);
       const double before = energy[j];
       const double after = before + slot_energy[t];
-      if (!row_changed_scratch_[t] &&
-          net_->weighted_task_utility(tasks[t], after) !=
-              net_->weighted_task_utility(tasks[t], before)) {
-        row_changed_scratch_[t] = 1;
+      // Only rows whose *utility* moved in this sample de-certify cached
+      // marginals. Utility shapes are concave and non-decreasing, so
+      // u(before) == u(after) with before < after means u is flat on
+      // [before, inf): every other policy's term for that (task, sample) —
+      // evaluated at an energy >= before — is provably unchanged, and stays
+      // unchanged for the rest of the run. In practice this means commits
+      // into saturated tasks dirty nothing.
+      if (net_->weighted_task_utility(tasks[t], after) !=
+          net_->weighted_task_utility(tasks[t], before)) {
+        ++versions[j];
+        ++task_version_[j];
       }
       energy[j] = after;
     }
     applied = true;
   }
-  if (applied) {
-    // Only tasks whose *utility* moved de-certify cached marginals. Utility
-    // shapes are concave and non-decreasing, so u(before) == u(after) with
-    // before < after means u is flat on [before, inf): every other policy's
-    // term for that task — evaluated at an energy >= before — is provably
-    // unchanged, and stays unchanged for the rest of the run. In practice
-    // this means commits into saturated tasks dirty nothing.
-    ++commit_count_;
-    for (std::size_t t = 0; t < tasks.size(); ++t) {
-      if (row_changed_scratch_[t]) {
-        ++task_version_[static_cast<std::size_t>(tasks[t])];
-      }
-    }
-  }
+  if (applied) ++commit_count_;
   return total / static_cast<double>(config_.samples);
 }
 
+void MarginalEngine::commit_no_gain(model::ChargerIndex i, model::SlotIndex k,
+                                    std::span<const model::TaskIndex> tasks,
+                                    std::span<const double> slot_energy, int c) {
+  const auto m = static_cast<std::size_t>(net_->task_count());
+  bool applied = false;
+  for (int s = 0; s < config_.samples; ++s) {
+    if (panel_color(config_.seed, s, i, k, config_.colors) != c) continue;
+    double* energy = energy_.data() + static_cast<std::size_t>(s) * m;
+    std::uint64_t* versions = sample_version_.data() + static_cast<std::size_t>(s) * m;
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      const auto j = static_cast<std::size_t>(tasks[t]);
+      const double before = energy[j];
+      const double after = before + slot_energy[t];
+      // Same utility-filtered bump rule as commit(); see the comment there.
+      if (net_->weighted_task_utility(tasks[t], after) !=
+          net_->weighted_task_utility(tasks[t], before)) {
+        ++versions[j];
+        ++task_version_[j];
+      }
+      energy[j] = after;
+    }
+    applied = true;
+  }
+  if (applied) ++commit_count_;
+}
+
 double MarginalEngine::row_term(int s, model::TaskIndex j, double delta) const {
+  row_term_count_.fetch_add(1, std::memory_order_relaxed);
   const auto m = static_cast<std::size_t>(net_->task_count());
   const double before =
       energy_[static_cast<std::size_t>(s) * m + static_cast<std::size_t>(j)];

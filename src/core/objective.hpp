@@ -15,6 +15,7 @@
 // the panel without exchanging any randomness (see dist/online).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -23,6 +24,13 @@
 #include "model/network.hpp"
 
 namespace haste::core {
+
+/// How the TabularGreedy schedulers (offline and the distributed nodes)
+/// evaluate candidate marginals.
+enum class TabularMode {
+  kRebuild,      ///< re-evaluate every policy from scratch (reference path)
+  kIncremental,  ///< per-(task, sample) dirty tracking with cached row terms
+};
 
 /// One scheduling policy of a partition: a dominant task set restricted to
 /// the tasks active in the partition's slot.
@@ -134,6 +142,16 @@ class MarginalEngine {
                 std::span<const model::TaskIndex> tasks,
                 std::span<const double> slot_energy, int c);
 
+  /// Commit without re-evaluating the realized gain. For callers that
+  /// selected the policy on a certified-exact cached marginal (the
+  /// incremental schedulers): the gain commit() would recompute is bit for
+  /// bit the value they already hold, so only the energy accumulation and
+  /// the version bumps remain to be done. Identical state trajectory to
+  /// commit(), zero row_term work.
+  void commit_no_gain(model::ChargerIndex i, model::SlotIndex k,
+                      std::span<const model::TaskIndex> tasks,
+                      std::span<const double> slot_energy, int c);
+
   /// Applies the effect of another charger's committed tuple (distributed
   /// case): identical to commit but named for clarity at call sites.
   double apply_remote_commit(model::ChargerIndex i, model::SlotIndex k,
@@ -148,19 +166,28 @@ class MarginalEngine {
   int samples() const { return config_.samples; }
   std::uint64_t seed() const { return config_.seed; }
 
-  // --- Task-level dirty tracking -------------------------------------------
+  // --- Per-(task, sample) dirty tracking -----------------------------------
   //
-  // Every commit that changes a task's *utility* (in any panel sample) bumps
-  // that task's version counter. A marginal depends on the engine state only
-  // through its own tasks' utilities, so a cached marginal whose tasks'
-  // versions are unchanged is EXACT — not just a submodular upper bound.
-  // Commits that only pour energy into saturated tasks bump nothing: utility
-  // shapes are concave and non-decreasing, so a task that is flat across one
-  // commit stays flat for the rest of the run. The schedulers use this for
-  // zero-re-evaluation commits (global greedy) and cache reuse (distributed
-  // nodes).
+  // Every commit that changes a task's *utility in panel sample s* bumps the
+  // (task, sample) version counter. A marginal for color c depends on the
+  // engine state only through its tasks' utilities in the samples whose color
+  // is c, so a cached marginal whose (task, relevant-sample) versions are
+  // unchanged is EXACT — not just a submodular upper bound. Commits that only
+  // pour energy into saturated tasks bump nothing: utility shapes are concave
+  // and non-decreasing, so a task that is flat across one commit stays flat
+  // for the rest of the run. The schedulers use this for zero-re-evaluation
+  // commits (global greedy), lazy partition refreshes (offline TabularGreedy),
+  // and cache reuse across remote commits (distributed nodes).
 
-  /// Number of commits that moved task `j`'s utility so far.
+  /// Number of sample-level utility changes of task `j` in sample `s`.
+  std::uint64_t sample_version(int s, model::TaskIndex j) const {
+    return sample_version_[static_cast<std::size_t>(s) *
+                               static_cast<std::size_t>(net_->task_count()) +
+                           static_cast<std::size_t>(j)];
+  }
+
+  /// Aggregate version of task `j`: the sum of its per-sample counters (one
+  /// read with S = 1, the global-greedy configuration).
   std::uint64_t task_version(model::TaskIndex j) const {
     return task_version_[static_cast<std::size_t>(j)];
   }
@@ -179,6 +206,18 @@ class MarginalEngine {
   /// rows whose task version moved.
   double row_term(int s, model::TaskIndex j, double delta) const;
 
+  /// Evaluation-effort counters, updated by the const oracle methods (thread
+  /// safe: the initial panel builds evaluate rows in parallel).
+  struct Stats {
+    std::uint64_t row_terms = 0;  ///< per-(row, sample) utility-delta evaluations
+    std::uint64_t marginals = 0;  ///< full marginal() oracle calls
+    std::uint64_t commits = 0;    ///< energy-changing commits
+  };
+  Stats stats() const {
+    return {row_term_count_.load(std::memory_order_relaxed),
+            marginal_count_.load(std::memory_order_relaxed), commit_count_};
+  }
+
  private:
   double gain_in_sample(int s, std::span<const model::TaskIndex> tasks,
                         std::span<const double> slot_energy) const;
@@ -187,9 +226,11 @@ class MarginalEngine {
   Config config_;
   // energy_[s * m + j]: accumulated relaxed energy of task j in sample s.
   std::vector<double> energy_;
-  std::vector<std::uint64_t> task_version_;  // per-task dirty counters
+  std::vector<std::uint64_t> sample_version_;  // [s * m + j] dirty counters
+  std::vector<std::uint64_t> task_version_;    // per-task sums over samples
   std::uint64_t commit_count_ = 0;
-  std::vector<std::uint8_t> row_changed_scratch_;  // commit-local, avoids realloc
+  mutable std::atomic<std::uint64_t> row_term_count_{0};
+  mutable std::atomic<std::uint64_t> marginal_count_{0};
 };
 
 }  // namespace haste::core

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
+#include <limits>
+
+#include "util/thread_pool.hpp"
 
 namespace haste::core {
 
@@ -11,6 +13,169 @@ namespace {
 /// Marginals within this relative slack are considered tied for the
 /// switch-avoiding tie-break.
 constexpr double kTieSlack = 1e-12;
+
+/// The incremental mode's per-run cache. The per-slot energy a task would
+/// receive from a charger is orientation- AND slot-independent (the power
+/// law is sector-gated, not sector-shaped, and slots have equal length), so
+/// every policy of every (charger, slot) partition covering task j prices
+/// the *same* utility-delta term for j. The cache therefore keys terms by
+/// (charger, task, sample) — a "column" — rather than by policy row: a
+/// column priced at one slot stays fresh across the charger's whole
+/// slot-major sweep until a commit actually moves that task's utility in
+/// that sample. Each column is stamped with the engine's (task, sample)
+/// version it was priced at; a lazy refresh recomputes only the columns a
+/// commit dirtied and re-sums the chain in the engine's evaluation order
+/// (samples ascending, rows in policy-row order) — bit-identical to the
+/// rebuild path's from-scratch marginal.
+///
+/// On top of the terms, `values` holds each policy's last exactly-computed
+/// marginal per color. Energies only grow and utilities are concave, so
+/// every term — and hence every policy marginal — is non-increasing over the
+/// run: a stale cached value is a valid UPPER bound (lazy partition maxima,
+/// the Minoux argument applied within a partition). The sweep skips any
+/// policy whose bound cannot alter the running selection, so losing policies
+/// are usually never re-priced at all even when their columns are dirty.
+struct TabularCache {
+  int samples = 1;
+  std::vector<int> sample_color;           // [p * samples + s]
+  std::vector<std::size_t> policy_offset;  // [p + 1]: cumulative policy counts
+  // col_of[i * task_count + j] -> global column of (charger i, task j), or -1.
+  // There is no materialized row -> column map: a policy's columns are found
+  // by gathering col_of over its task rows, which keeps the cache build free
+  // of any per-row work (columns and their deltas derive from the network's
+  // coverable-task lists, not from walking the ground set).
+  std::vector<std::ptrdiff_t> col_of;
+  std::vector<double> terms;               // [col * samples + s]
+  std::vector<std::uint64_t> versions;     // same layout as `terms`
+  std::vector<double> values;              // [(policy_offset[p] + q) * colors + c]
+  // Task-level version_sum of the policy at the moment `values[idx]` was last
+  // computed exact (same layout as `values`). Task versions upper-bound every
+  // per-sample counter, so an unchanged sum certifies the cached value exact
+  // without walking a single column — the hot path when a partition is
+  // revisited and nothing near it has committed since.
+  std::vector<std::uint64_t> stamps;
+};
+
+/// Builds the initial panel. Columns derive straight from the network — one
+/// per (charger, coverable task) pair, with delta = potential_power *
+/// slot_seconds, the exact expression make_slot_policies stores in
+/// Policy::slot_energy — so the build never walks the ground set's rows to
+/// discover its layout. Every sample starts from the same per-task energies,
+/// so one row_term evaluation per column is exact for all S samples
+/// (replicated), and version 0 matches the engine's untouched counters; the
+/// initial per-(policy, color) values fan out over the thread pool like
+/// global greedy's heap build.
+TabularCache build_tabular_cache(const model::Network& net, const MarginalEngine& engine,
+                                 const std::vector<PolicyPartition>& partitions) {
+  TabularCache cache;
+  const int samples = engine.samples();
+  const int colors = engine.colors();
+  const auto task_count = static_cast<std::size_t>(net.task_count());
+  cache.samples = samples;
+  cache.policy_offset.assign(partitions.size() + 1, 0);
+  for (std::size_t p = 0; p < partitions.size(); ++p) {
+    cache.policy_offset[p + 1] = cache.policy_offset[p] + partitions[p].policies.size();
+  }
+  cache.col_of.assign(static_cast<std::size_t>(net.charger_count()) * task_count, -1);
+  std::vector<model::TaskIndex> col_task;
+  std::vector<double> col_delta;
+  const double slot_seconds = net.time().slot_seconds;
+  for (model::ChargerIndex i = 0; i < net.charger_count(); ++i) {
+    const std::size_t charger_base = static_cast<std::size_t>(i) * task_count;
+    for (model::TaskIndex j : net.coverable_tasks(i)) {
+      cache.col_of[charger_base + static_cast<std::size_t>(j)] =
+          static_cast<std::ptrdiff_t>(col_task.size());
+      col_task.push_back(j);
+      col_delta.push_back(net.potential_power(i, j) * slot_seconds);
+    }
+  }
+  cache.sample_color.assign(partitions.size() * static_cast<std::size_t>(samples), 0);
+  cache.terms.assign(col_task.size() * static_cast<std::size_t>(samples), 0.0);
+  cache.versions.assign(col_task.size() * static_cast<std::size_t>(samples), 0);
+  cache.values.assign(cache.policy_offset.back() * static_cast<std::size_t>(colors), 0.0);
+  // Build-time version sums are all zero: the engine bumps no counter before
+  // the first commit (a warm start seeds energies without bumping), so a zero
+  // stamp certifies the replicated initial values below.
+  cache.stamps.assign(cache.values.size(), 0);
+  util::parallel_for(col_task.size(), [&](std::size_t col) {
+    const double base = engine.row_term(0, col_task[col], col_delta[col]);
+    double* terms = cache.terms.data() + col * static_cast<std::size_t>(samples);
+    for (int s = 0; s < samples; ++s) terms[s] = base;
+  });
+  util::parallel_for(partitions.size(), [&](std::size_t p) {
+    const PolicyPartition& partition = partitions[p];
+    int* colors_of = cache.sample_color.data() + p * static_cast<std::size_t>(samples);
+    for (int s = 0; s < samples; ++s) {
+      colors_of[s] = MarginalEngine::panel_color(engine.seed(), s, partition.charger,
+                                                 partition.slot, engine.colors());
+    }
+    const std::ptrdiff_t* col_of =
+        cache.col_of.data() + static_cast<std::size_t>(partition.charger) * task_count;
+    for (std::size_t q = 0; q < partition.policies.size(); ++q) {
+      const auto tasks = partition.policy_tasks(q);
+      // `inner` accumulates the shared terms in policy-row order — the same
+      // fold a clean refresh performs per sample — and each matching sample
+      // contributes the identical inner (replication), so the initial value
+      // is exactly what a first refresh would return.
+      double inner = 0.0;
+      for (std::size_t t = 0; t < tasks.size(); ++t) {
+        const auto col = static_cast<std::size_t>(col_of[tasks[t]]);
+        inner += cache.terms[col * static_cast<std::size_t>(samples)];
+      }
+      double* values =
+          cache.values.data() + (cache.policy_offset[p] + q) * static_cast<std::size_t>(colors);
+      for (int c = 0; c < colors; ++c) {
+        double total = 0.0;
+        for (int s = 0; s < samples; ++s) {
+          if (colors_of[s] == c) total += inner;
+        }
+        values[c] = total / static_cast<double>(samples);
+      }
+    }
+  });
+  return cache;
+}
+
+/// Lazily refreshed marginal of one policy (cached value at flat index
+/// `value_idx`) of partition `p` for color `c`, with `col_of` pre-offset to
+/// the partition's charger: recomputes exactly the shared (column, sample)
+/// terms whose task version moved, then re-sums in evaluation order. A
+/// column freshened here stays fresh for every later policy of the same
+/// fold (no commit happens mid-fold). The caller stores the return into
+/// `cache.values[value_idx]`, which keeps value and stamp in sync.
+double refresh_marginal(const MarginalEngine& engine, TabularCache& cache, std::size_t p,
+                        int c, const std::ptrdiff_t* col_of, std::size_t value_idx,
+                        std::span<const model::TaskIndex> tasks,
+                        std::span<const double> slot_energy) {
+  // Cheap certificate first: task versions only grow and dominate every
+  // per-sample counter, so an unchanged sum proves no relevant term moved
+  // since the cached value was computed — one gather per row instead of the
+  // full version-compare-and-sum walk over the columns.
+  std::uint64_t vsum = 0;
+  for (model::TaskIndex j : tasks) vsum += engine.task_version(j);
+  if (cache.stamps[value_idx] == vsum) return cache.values[value_idx];
+  const int samples = cache.samples;
+  const int* colors_of = cache.sample_color.data() + p * static_cast<std::size_t>(samples);
+  double total = 0.0;
+  for (int s = 0; s < samples; ++s) {
+    if (colors_of[s] != c) continue;
+    double inner = 0.0;
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      const std::size_t idx =
+          static_cast<std::size_t>(col_of[tasks[t]]) * static_cast<std::size_t>(samples) +
+          static_cast<std::size_t>(s);
+      const std::uint64_t version = engine.sample_version(s, tasks[t]);
+      if (cache.versions[idx] != version) {
+        cache.terms[idx] = engine.row_term(s, tasks[t], slot_energy[t]);
+        cache.versions[idx] = version;
+      }
+      inner += cache.terms[idx];
+    }
+    total += inner;
+  }
+  cache.stamps[value_idx] = vsum;
+  return total / static_cast<double>(samples);
+}
 
 }  // namespace
 
@@ -22,6 +187,7 @@ OfflineResult schedule_offline_over(const model::Network& net,
                         MarginalEngine::Config{config.colors, config.samples, config.seed},
                         initial_energy);
   const int colors = engine.colors();
+  const bool incremental = config.mode == TabularMode::kIncremental;
 
   // selections[p][c] = index of the chosen policy of partition p for color c,
   // or -1 when nothing was added.
@@ -30,7 +196,17 @@ OfflineResult schedule_offline_over(const model::Network& net,
 
   // Previous selected orientation per (charger, color), updated as we walk
   // partitions in slot-major order; drives the switch-avoiding tie-break.
-  std::map<std::pair<model::ChargerIndex, int>, double> previous_orientation;
+  // NaN marks "no previous orientation" — it compares unequal to every real
+  // orientation, so the is_previous test needs no presence flag.
+  std::vector<double> previous_orientation(
+      static_cast<std::size_t>(net.charger_count()) * static_cast<std::size_t>(colors),
+      std::numeric_limits<double>::quiet_NaN());
+
+  TabularCache cache;
+  if (incremental) {
+    cache = build_tabular_cache(net, engine, partitions);
+  }
+  std::vector<char> fresh;  // per-(partition, color) scratch: bound is exact
 
   for (int c = 0; c < colors; ++c) {
     for (std::size_t p = 0; p < partitions.size(); ++p) {
@@ -38,15 +214,86 @@ OfflineResult schedule_offline_over(const model::Network& net,
       int best = -1;
       double best_marginal = 0.0;
       bool best_is_previous = false;
-      const auto prev_it = previous_orientation.find({partition.charger, c});
+      const double prev =
+          previous_orientation[static_cast<std::size_t>(partition.charger) *
+                                   static_cast<std::size_t>(colors) +
+                               static_cast<std::size_t>(c)];
+      double* bounds =
+          incremental ? cache.values.data() +
+                            cache.policy_offset[p] * static_cast<std::size_t>(colors)
+                      : nullptr;
+      const std::ptrdiff_t* col_of =
+          incremental ? cache.col_of.data() +
+                            static_cast<std::size_t>(partition.charger) *
+                                static_cast<std::size_t>(net.task_count())
+                      : nullptr;
+      // Lazy partition maxima, phase A: pin down the partition's exact best
+      // marginal by refreshing policies in descending bound order (Minoux).
+      // Each refresh can only lower a bound, so when the running argmax is
+      // already exact (or nothing is positive) it is the true maximum.
+      double vstar = 0.0;
+      if (incremental && !partition.policies.empty()) {
+        fresh.assign(partition.policies.size(), 0);
+        while (true) {
+          std::size_t top = 0;
+          for (std::size_t q = 1; q < partition.policies.size(); ++q) {
+            if (bounds[q * static_cast<std::size_t>(colors) + c] >
+                bounds[top * static_cast<std::size_t>(colors) + c]) {
+              top = q;
+            }
+          }
+          if (fresh[top] != 0 || bounds[top * static_cast<std::size_t>(colors) + c] <= 0.0) {
+            vstar = bounds[top * static_cast<std::size_t>(colors) + c];
+            break;
+          }
+          bounds[top * static_cast<std::size_t>(colors) + c] = refresh_marginal(
+              engine, cache, p, c, col_of,
+              (cache.policy_offset[p] + top) * static_cast<std::size_t>(colors) +
+                  static_cast<std::size_t>(c),
+              partition.policy_tasks(top), partition.policy_energy(top));
+          fresh[top] = 1;
+        }
+      }
+      // The lowest comparison threshold the fold below can ever apply once a
+      // policy inside vstar's tie band has been accepted (the running best
+      // can leave the band only by shrinking through tie-preferred updates,
+      // each bounded by one slack step). A policy bounded under this floor
+      // can at most cause intermediate updates while the fold's best is
+      // still below the band — and the first in-band policy then resets the
+      // whole fold state through the strict branch — so skipping it never
+      // changes the selection.
+      const double vstar_floor =
+          (((vstar - kTieSlack) / (1.0 + kTieSlack)) * (1.0 - kTieSlack) - kTieSlack) *
+              (1.0 - kTieSlack) -
+          kTieSlack;
       for (std::size_t q = 0; q < partition.policies.size(); ++q) {
         const Policy& policy = partition.policies[q];
-        const double m = engine.marginal(partition.charger, partition.slot,
-                                         partition.policy_tasks(q),
-                                         partition.policy_energy(q), c);
+        const auto tasks = partition.policy_tasks(q);
+        const auto slot_energy = partition.policy_energy(q);
+        if (incremental) {
+          // Phase B: the cached value is an upper bound on the current
+          // marginal (terms only shrink), so a policy that can neither beat
+          // the running selection nor reach vstar's band leaves the fold
+          // state untouched — exactly as if its true marginal were computed
+          // and rejected. Skip it without pricing a single column.
+          const double bound = bounds[q * static_cast<std::size_t>(colors) + c];
+          const bool below_floor = vstar > 0.0 && bound < vstar_floor;
+          const bool can_alter =
+              best < 0 ? ((bound > 0.0 && !below_floor) || config.commit_zero_marginal)
+                       : (!below_floor &&
+                          bound >= best_marginal * (1.0 - kTieSlack) - kTieSlack);
+          if (!can_alter) continue;
+        }
+        const double m =
+            incremental
+                ? refresh_marginal(engine, cache, p, c, col_of,
+                                   (cache.policy_offset[p] + q) * static_cast<std::size_t>(colors) +
+                                       static_cast<std::size_t>(c),
+                                   tasks, slot_energy)
+                : engine.marginal(partition.charger, partition.slot, tasks, slot_energy, c);
+        if (incremental) bounds[q * static_cast<std::size_t>(colors) + c] = m;
         const bool is_previous =
-            config.switch_avoiding_tiebreak && prev_it != previous_orientation.end() &&
-            policy.orientation == prev_it->second;
+            config.switch_avoiding_tiebreak && policy.orientation == prev;
         const bool better =
             m > best_marginal * (1.0 + kTieSlack) + kTieSlack ||
             (is_previous && !best_is_previous && m >= best_marginal * (1.0 - kTieSlack) - kTieSlack);
@@ -61,10 +308,21 @@ OfflineResult schedule_offline_over(const model::Network& net,
       }
       if (best >= 0) {
         const auto bq = static_cast<std::size_t>(best);
-        engine.commit(partition.charger, partition.slot, partition.policy_tasks(bq),
-                      partition.policy_energy(bq), c);
+        // The incremental path selected `best` on an exactly-refreshed cached
+        // marginal, so the realized gain commit() would recompute is already
+        // known — skip it and pay only the energy/version updates.
+        if (incremental) {
+          engine.commit_no_gain(partition.charger, partition.slot,
+                                partition.policy_tasks(bq), partition.policy_energy(bq), c);
+        } else {
+          engine.commit(partition.charger, partition.slot, partition.policy_tasks(bq),
+                        partition.policy_energy(bq), c);
+        }
         selections[p][static_cast<std::size_t>(c)] = best;
-        previous_orientation[{partition.charger, c}] = partition.policies[bq].orientation;
+        previous_orientation[static_cast<std::size_t>(partition.charger) *
+                                 static_cast<std::size_t>(colors) +
+                             static_cast<std::size_t>(c)] =
+            partition.policies[bq].orientation;
       }
     }
   }
@@ -82,6 +340,9 @@ OfflineResult schedule_offline_over(const model::Network& net,
                              partition.policies[static_cast<std::size_t>(chosen)].orientation);
     }
   }
+  const MarginalEngine::Stats stats = engine.stats();
+  result.row_evaluations = stats.row_terms;
+  result.marginal_evaluations = stats.marginals;
   return result;
 }
 

@@ -11,8 +11,9 @@ constexpr double kTieSlack = 1e-12;
 }  // namespace
 
 ChargerNode::ChargerNode(const model::Network& net, model::ChargerIndex id,
-                         core::MarginalEngine::Config engine_config)
-    : net_(&net), id_(id), engine_config_(engine_config) {
+                         core::MarginalEngine::Config engine_config,
+                         core::TabularMode mode)
+    : net_(&net), id_(id), engine_config_(engine_config), mode_(mode) {
   previous_orientation_.assign(static_cast<std::size_t>(std::max(1, engine_config.colors)),
                                std::nullopt);
 }
@@ -37,6 +38,30 @@ Message ChargerNode::begin_plan(const std::vector<model::TaskIndex>& known_tasks
       hello.policy.slot_energy.push_back(p * net_->time().slot_seconds);
     }
   }
+
+  // Plan-level column cache: one column per coverable task, shared by every
+  // policy of every stage (the per-slot energy is orientation- and
+  // slot-independent). All samples share the initial energies, so one
+  // row_term per column is exact for the whole panel (replication), and
+  // version 0 matches the engine's untouched counters.
+  plan_col_task_.clear();
+  plan_col_delta_.clear();
+  plan_col_of_.assign(static_cast<std::size_t>(net_->task_count()), -1);
+  if (mode_ == core::TabularMode::kIncremental) {
+    for (std::size_t t = 0; t < hello.policy.tasks.size(); ++t) {
+      plan_col_of_[static_cast<std::size_t>(hello.policy.tasks[t])] =
+          static_cast<std::ptrdiff_t>(plan_col_task_.size());
+      plan_col_task_.push_back(hello.policy.tasks[t]);
+      plan_col_delta_.push_back(hello.policy.slot_energy[t]);
+    }
+    const auto samples = static_cast<std::size_t>(engine_->samples());
+    plan_terms_.assign(plan_col_task_.size() * samples, 0.0);
+    plan_versions_.assign(plan_col_task_.size() * samples, 0);
+    for (std::size_t col = 0; col < plan_col_task_.size(); ++col) {
+      const double base = engine_->row_term(0, plan_col_task_[col], plan_col_delta_[col]);
+      for (std::size_t s = 0; s < samples; ++s) plan_terms_[col * samples + s] = base;
+    }
+  }
   return hello;
 }
 
@@ -44,7 +69,37 @@ bool ChargerNode::begin_stage(model::SlotIndex slot, int color) {
   stage_slot_ = slot;
   stage_color_ = color;
   stage_policies_ = core::make_slot_policies(*net_, id_, dominant_, slot);
-  stage_cache_.assign(stage_policies_.size(), MarginalCache{});
+  stage_cache_.assign(stage_policies_.size(), PolicyTermCache{});
+  stage_samples_.clear();
+  for (int s = 0; s < engine_->samples(); ++s) {
+    if (core::MarginalEngine::panel_color(engine_config_.seed, s, id_, slot,
+                                          engine_->colors()) == color) {
+      stage_samples_.push_back(s);
+    }
+  }
+  // Row -> plan-column map for this stage's policies. Dominant-set tasks are
+  // always in the HELLO coverable set, but register stragglers defensively
+  // with never-priced stamps (engine versions can be anything by now).
+  stage_policy_col_.clear();
+  stage_policy_row0_.assign(stage_policies_.size(), 0);
+  if (mode_ == core::TabularMode::kIncremental) {
+    const auto samples = static_cast<std::size_t>(engine_->samples());
+    for (std::size_t q = 0; q < stage_policies_.size(); ++q) {
+      stage_policy_row0_[q] = stage_policy_col_.size();
+      const core::Policy& policy = stage_policies_[q];
+      for (std::size_t t = 0; t < policy.tasks.size(); ++t) {
+        std::ptrdiff_t& col = plan_col_of_[static_cast<std::size_t>(policy.tasks[t])];
+        if (col < 0) {
+          col = static_cast<std::ptrdiff_t>(plan_col_task_.size());
+          plan_col_task_.push_back(policy.tasks[t]);
+          plan_col_delta_.push_back(policy.slot_energy[t]);
+          plan_terms_.resize(plan_terms_.size() + samples, 0.0);
+          plan_versions_.resize(plan_versions_.size() + samples, ~std::uint64_t{0});
+        }
+        stage_policy_col_.push_back(static_cast<std::size_t>(col));
+      }
+    }
+  }
   neighbor_values_.clear();
   neighbor_decided_.clear();
   if (stage_policies_.empty()) {
@@ -58,6 +113,29 @@ bool ChargerNode::begin_stage(model::SlotIndex slot, int color) {
   return true;
 }
 
+double ChargerNode::refresh_policy(std::size_t q) {
+  const core::Policy& policy = stage_policies_[q];
+  const std::size_t rows = policy.tasks.size();
+  const auto samples = static_cast<std::size_t>(engine_->samples());
+  const std::size_t* row_col = stage_policy_col_.data() + stage_policy_row0_[q];
+  double total = 0.0;
+  for (std::size_t si = 0; si < stage_samples_.size(); ++si) {
+    const int s = stage_samples_[si];
+    double inner = 0.0;
+    for (std::size_t t = 0; t < rows; ++t) {
+      const std::size_t idx = row_col[t] * samples + static_cast<std::size_t>(s);
+      const std::uint64_t version = engine_->sample_version(s, policy.tasks[t]);
+      if (plan_versions_[idx] != version) {
+        plan_terms_[idx] = engine_->row_term(s, policy.tasks[t], policy.slot_energy[t]);
+        plan_versions_[idx] = version;
+      }
+      inner += plan_terms_[idx];
+    }
+    total += inner;
+  }
+  return total / static_cast<double>(engine_->samples());
+}
+
 void ChargerNode::recompute_best() {
   best_policy_ = -1;
   best_marginal_ = 0.0;
@@ -66,17 +144,40 @@ void ChargerNode::recompute_best() {
   bool best_is_previous = false;
   for (std::size_t q = 0; q < stage_policies_.size(); ++q) {
     const core::Policy& policy = stage_policies_[q];
-    // Reuse the cached marginal when none of the policy's tasks changed since
-    // it was computed (checking versions is O(|tasks|) counter reads; a
-    // re-evaluation is utility-function calls per panel sample).
-    MarginalCache& cache = stage_cache_[q];
-    const std::uint64_t stamp = engine_->version_sum(policy.tasks);
-    if (!cache.valid || cache.stamp != stamp) {
-      cache.marginal = engine_->marginal(id_, stage_slot_, policy, stage_color_);
-      cache.stamp = stamp;
+    double m = 0.0;
+    if (mode_ == core::TabularMode::kIncremental) {
+      PolicyTermCache& cache = stage_cache_[q];
+      if (cache.valid) {
+        // Lazy partition maxima: energies only grow and utilities are
+        // concave, so the last refreshed marginal is an upper bound on the
+        // current one. A policy whose bound cannot trigger either acceptance
+        // branch below leaves the fold state untouched — skip it without
+        // touching its rows.
+        const double bound = cache.marginal;
+        const bool can_alter =
+            best_policy_ < 0
+                ? bound > 0.0
+                : bound >= best_marginal_ * (1.0 - kTieSlack) - kTieSlack;
+        if (!can_alter) continue;
+      }
+      // Re-sum the shared column chain, re-pricing only the columns whose
+      // (task, sample) version moved since they were last priced.
+      m = refresh_policy(q);
+      cache.marginal = m;
       cache.valid = true;
+    } else {
+      // Reuse the cached marginal when none of the policy's tasks changed
+      // since it was computed (checking versions is O(|tasks|) counter reads;
+      // a re-evaluation is utility-function calls per panel sample).
+      PolicyTermCache& cache = stage_cache_[q];
+      const std::uint64_t stamp = engine_->version_sum(policy.tasks);
+      if (!cache.valid || cache.stamp != stamp) {
+        cache.marginal = engine_->marginal(id_, stage_slot_, policy, stage_color_);
+        cache.stamp = stamp;
+        cache.valid = true;
+      }
+      m = cache.marginal;
     }
-    const double m = cache.marginal;
     const bool is_previous = previous.has_value() && policy.orientation == *previous;
     bool better = false;
     if (best_policy_ < 0) {
@@ -177,7 +278,15 @@ std::optional<Message> ChargerNode::force_commit() {
 
 Message ChargerNode::commit_current() {
   const core::Policy& policy = stage_policies_[static_cast<std::size_t>(best_policy_)];
-  engine_->commit(id_, stage_slot_, policy, stage_color_);
+  // Under kIncremental, best_marginal_ came from an exactly-refreshed cache
+  // (recompute_best runs after every engine change), so the realized gain is
+  // already known and commit can skip re-evaluating it.
+  if (mode_ == core::TabularMode::kIncremental) {
+    engine_->commit_no_gain(id_, stage_slot_, policy.tasks, policy.slot_energy,
+                            stage_color_);
+  } else {
+    engine_->commit(id_, stage_slot_, policy, stage_color_);
+  }
   auto& per_color = selections_[stage_slot_];
   per_color.resize(static_cast<std::size_t>(engine_->colors()));
   per_color[static_cast<std::size_t>(stage_color_)] = policy;

@@ -32,8 +32,17 @@ namespace haste::dist {
 /// One charger participating in the distributed negotiation.
 class ChargerNode {
  public:
+  /// `mode` picks how stage marginals are evaluated: kIncremental keeps a
+  /// term cache shared by all stage policies, keyed by (distinct stage task,
+  /// relevant sample) and refreshed lazily via the engine's per-(task,
+  /// sample) versions — plus per-policy upper bounds for lazy partition
+  /// maxima — so a re-negotiation after a remote UPDATE touches only the
+  /// dirtied columns of the policies still in contention; kRebuild keeps the
+  /// whole-policy marginal cache stamped with the aggregate version sum (the
+  /// reference path). The two are bit-identical.
   ChargerNode(const model::Network& net, model::ChargerIndex id,
-              core::MarginalEngine::Config engine_config);
+              core::MarginalEngine::Config engine_config,
+              core::TabularMode mode = core::TabularMode::kIncremental);
 
   model::ChargerIndex id() const { return id_; }
 
@@ -80,12 +89,14 @@ class ChargerNode {
 
  private:
   void recompute_best();
+  double refresh_policy(std::size_t q);  ///< lazily refreshed marginal (kIncremental)
   Message commit_current();  ///< commits best_policy_ and builds the UPDATE
   bool neighbor_participates(model::ChargerIndex j, model::SlotIndex slot) const;
 
   const model::Network* net_;
   model::ChargerIndex id_;
   core::MarginalEngine::Config engine_config_;
+  core::TabularMode mode_;
 
   std::vector<core::DominantTaskSet> dominant_;
   std::optional<core::MarginalEngine> engine_;
@@ -98,17 +109,39 @@ class ChargerNode {
   model::SlotIndex stage_slot_ = 0;
   int stage_color_ = 0;
   std::vector<core::Policy> stage_policies_;
-  // Cached marginal per stage policy, stamped with the engine's task-version
-  // sum over the policy's tasks at evaluation time. Versions only grow and a
-  // marginal depends on the engine state only through those tasks' energies,
-  // so an unchanged stamp certifies the cached value is exact — remote
-  // UPDATEs touching disjoint tasks cost zero re-evaluations.
-  struct MarginalCache {
+  // Panel samples whose color at (id_, stage_slot_) matches stage_color_ —
+  // the only samples a stage marginal depends on (ascending, so lazy
+  // refreshes re-sum in the engine's evaluation order).
+  std::vector<int> stage_samples_;
+  // Per stage policy: the last exactly-computed marginal. Under kRebuild the
+  // value is stamped with the engine's task-version sum at evaluation time
+  // (versions only grow and a marginal depends on the engine state only
+  // through those tasks' energies, so an unchanged stamp certifies the
+  // cached value is exact). Under kIncremental the value doubles as an upper
+  // bound for lazy partition maxima (marginals only shrink), and the actual
+  // pricing lives in the shared stage columns below.
+  struct PolicyTermCache {
     double marginal = 0.0;
     std::uint64_t stamp = 0;
     bool valid = false;
   };
-  std::vector<MarginalCache> stage_cache_;
+  std::vector<PolicyTermCache> stage_cache_;
+  // kIncremental pricing, shared across policies AND stages of one plan: the
+  // per-slot energy a task would receive is orientation- and
+  // slot-independent, so every policy of every stage covering task j prices
+  // the same utility-delta term. Terms are keyed by (distinct coverable
+  // task, sample) — a "column" — and stamped with the engine's (task,
+  // sample) version; a term priced in one stage stays fresh for later stages
+  // until a commit actually moves that task's utility in that sample, and a
+  // remote UPDATE re-prices only the columns it dirtied, once, for all
+  // policies at once.
+  std::vector<model::TaskIndex> plan_col_task_;  // distinct coverable tasks
+  std::vector<double> plan_col_delta_;           // shared per-slot energy per column
+  std::vector<std::ptrdiff_t> plan_col_of_;      // [task] -> column, or -1
+  std::vector<std::size_t> stage_policy_col_;    // row -> column, policies concatenated
+  std::vector<std::size_t> stage_policy_row0_;   // [q]: first row of policy q
+  std::vector<double> plan_terms_;               // [col * samples + s]
+  std::vector<std::uint64_t> plan_versions_;     // same layout as `plan_terms_`
   int best_policy_ = -1;
   double best_marginal_ = 0.0;
   bool decided_ = true;

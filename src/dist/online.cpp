@@ -53,7 +53,8 @@ void negotiate_sequential(const model::Network& net, const OnlineConfig& config,
     if (!alive[static_cast<std::size_t>(i)]) continue;
     nodes.push_back(std::make_unique<ChargerNode>(
         net, i,
-        core::MarginalEngine::Config{config.colors, config.samples, config.seed}));
+        core::MarginalEngine::Config{config.colors, config.samples, config.seed},
+        config.mode));
   }
   for (auto& node : nodes) {
     ChargerNode* raw = node.get();
@@ -115,7 +116,8 @@ void negotiate_haste(const model::Network& net, const OnlineConfig& config,
     if (!alive[static_cast<std::size_t>(i)]) continue;
     nodes.push_back(std::make_unique<ChargerNode>(
         net, i,
-        core::MarginalEngine::Config{config.colors, config.samples, config.seed}));
+        core::MarginalEngine::Config{config.colors, config.samples, config.seed},
+        config.mode));
   }
   for (auto& node : nodes) {
     ChargerNode* raw = node.get();

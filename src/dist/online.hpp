@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "core/evaluate.hpp"
+#include "core/objective.hpp"
 #include "model/network.hpp"
 #include "model/schedule.hpp"
 
@@ -42,6 +43,10 @@ struct OnlineConfig {
   int samples = 16;        ///< color panel size (kHaste only)
   std::uint64_t seed = 1;  ///< shared seed (color panel + final sampling)
   std::vector<ChargerFailure> failures;  ///< failure injection (may be empty)
+  /// How nodes evaluate stage marginals (kHaste/kHasteSequential only):
+  /// kIncremental (default) reuses per-(row, sample) terms across remote
+  /// commits; kRebuild is the reference path. Bit-identical results.
+  core::TabularMode mode = core::TabularMode::kIncremental;
 };
 
 /// What caused a re-plan.

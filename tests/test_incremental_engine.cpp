@@ -184,6 +184,78 @@ TEST_P(IncrementalEngineSweep, IncrementalObjectiveMatchesFromScratch) {
 INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalEngineSweep,
                          ::testing::Values(3, 17, 29, 41, 53, 67, 79, 97));
 
+TEST_P(IncrementalEngineSweep, SampleVersionsBumpOnlyInMatchingSamples) {
+  // With a multi-sample panel a commit for color c applies only in the
+  // samples whose panel color at (charger, slot) is c: exactly those samples'
+  // per-(task, sample) counters may move, the rest must stay untouched, and
+  // the aggregate task version is always the sum over samples.
+  const model::Network net = make_network();
+  const auto partitions = build_partitions(net);
+  if (partitions.empty()) GTEST_SKIP() << "degenerate instance";
+  const MarginalEngine::Config config{4, 16, GetParam()};
+  MarginalEngine engine(net, config);
+
+  std::vector<std::vector<std::uint64_t>> expected(
+      static_cast<std::size_t>(config.samples),
+      std::vector<std::uint64_t>(static_cast<std::size_t>(net.task_count()), 0));
+  std::vector<std::vector<double>> energy(
+      static_cast<std::size_t>(config.samples),
+      std::vector<double>(static_cast<std::size_t>(net.task_count()), 0.0));
+
+  int color = 0;
+  for (const PolicyPartition& partition : partitions) {
+    const Policy& policy = partition.policies.front();
+    engine.commit(partition.charger, partition.slot, policy, color);
+    for (int s = 0; s < config.samples; ++s) {
+      if (MarginalEngine::panel_color(config.seed, s, partition.charger,
+                                      partition.slot, config.colors) != color) {
+        continue;
+      }
+      for (std::size_t t = 0; t < policy.tasks.size(); ++t) {
+        const auto j = static_cast<std::size_t>(policy.tasks[t]);
+        const double before = energy[static_cast<std::size_t>(s)][j];
+        const double after = before + policy.slot_energy[t];
+        if (net.weighted_task_utility(policy.tasks[t], after) !=
+            net.weighted_task_utility(policy.tasks[t], before)) {
+          ++expected[static_cast<std::size_t>(s)][j];
+        }
+        energy[static_cast<std::size_t>(s)][j] = after;
+      }
+    }
+    color = (color + 1) % config.colors;
+  }
+
+  for (model::TaskIndex j = 0; j < net.task_count(); ++j) {
+    std::uint64_t sum = 0;
+    for (int s = 0; s < config.samples; ++s) {
+      EXPECT_EQ(engine.sample_version(s, j),
+                expected[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)])
+          << "task " << j << " sample " << s;
+      sum += expected[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)];
+    }
+    EXPECT_EQ(engine.task_version(j), sum) << "task " << j;
+  }
+}
+
+TEST(IncrementalEngine, StatsCountRowTermsAndMarginals) {
+  util::Rng rng(5);
+  const model::Network net = random_network(rng, 3, 8, 3);
+  const auto partitions = build_partitions(net);
+  ASSERT_FALSE(partitions.empty());
+  MarginalEngine engine(net, {1, 1, 1});  // C = 1: every commit applies
+  EXPECT_EQ(engine.stats().row_terms, 0u);
+  EXPECT_EQ(engine.stats().marginals, 0u);
+  EXPECT_EQ(engine.stats().commits, 0u);
+
+  const PolicyPartition& partition = partitions.front();
+  engine.marginal(partition.charger, partition.slot, partition.policies.front(), 0);
+  EXPECT_EQ(engine.stats().marginals, 1u);
+  engine.row_term(0, partition.policies.front().tasks.front(), 1.0);
+  EXPECT_GT(engine.stats().row_terms, 0u);
+  engine.commit(partition.charger, partition.slot, partition.policies.front(), 0);
+  EXPECT_EQ(engine.stats().commits, 1u);
+}
+
 TEST(IncrementalEngine, StrictEvaluationSavingsOnDenseInstance) {
   // On a nontrivially overlapping instance the orderings are strict: lazy
   // re-evaluates on commits that touched disjoint tasks, incremental does

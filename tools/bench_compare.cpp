@@ -1,0 +1,194 @@
+// bench_compare — guard against perf backslides in the micro-bench counters.
+//
+// Modes:
+//   bench_compare BASELINE.json CURRENT.json [--threshold PCT]
+//       Diffs two google-benchmark JSON dumps: for every benchmark present in
+//       both, the deterministic work counters (marginal-gain evaluations and
+//       per-(row, sample) term evaluations) must not regress by more than
+//       PCT percent (default 10). Exit 1 on regression.
+//   bench_compare --check FILE.json
+//       Validates the invariants a committed BENCH_micro.json must satisfy:
+//       every BM_OfflineTabular entry reproduced the rebuild schedule, every
+//       non-eager BM_GlobalGreedyMode entry reproduced the lazy schedule
+//       (eager re-scores all policies each step and may legitimately pick a
+//       different member of a floating-point-tied maximum, so only the
+//       lazy/incremental pair carries a bit-identity contract), and at every
+//       swept scale the incremental TabularGreedy spent at most half the row
+//       evaluations of the rebuild path.
+//
+// Wired as ctest cases (see tools/CMakeLists.txt) so tier-1 runs both the
+// self-diff and the --check of the committed baseline.
+#include <cmath>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace {
+
+using haste::util::Json;
+
+/// name -> benchmark entry, from a google-benchmark JSON dump. Aggregate
+/// entries (mean/median/stddev of --benchmark_repetitions runs) are skipped.
+std::map<std::string, const Json*> index_benchmarks(const Json& doc) {
+  std::map<std::string, const Json*> entries;
+  const Json& list = doc.at("benchmarks");
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    const Json& entry = list.at(i);
+    if (entry.string_or("run_type", "iteration") != "iteration") continue;
+    entries[entry.at("name").as_string()] = &entry;
+  }
+  return entries;
+}
+
+/// Extracts "key:value" from a benchmark name like "BM_Foo/n:50/mode:1";
+/// returns fallback when the key is absent.
+double name_arg(const std::string& name, const std::string& key, double fallback) {
+  const std::string needle = "/" + key + ":";
+  const std::size_t pos = name.find(needle);
+  if (pos == std::string::npos) return fallback;
+  return std::stod(name.substr(pos + needle.size()));
+}
+
+int check_invariants(const std::string& path) {
+  const Json doc = haste::util::load_json_file(path);
+  const auto entries = index_benchmarks(doc);
+  int failures = 0;
+
+  // Every differential counter recorded 1 (schedules reproduced exactly).
+  // Eager global greedy is exempt from matches_lazy: it evaluates every
+  // policy every step, so among floating-point-tied maxima it can pick a
+  // different winner than the lazy heap order — a benign divergence, not a
+  // regression. The guarantee under test is lazy == incremental.
+  for (const auto& [name, entry] : entries) {
+    const bool eager_greedy = name.rfind("BM_GlobalGreedyMode", 0) == 0 &&
+                              name_arg(name, "mode", -1.0) == 0.0;
+    for (const char* counter : {"matches_rebuild", "matches_lazy"}) {
+      if (eager_greedy && std::string(counter) == "matches_lazy") continue;
+      if (entry->contains(counter) && entry->at(counter).as_number() != 1.0) {
+        std::cerr << "FAIL " << name << ": " << counter << " = "
+                  << entry->at(counter).as_number() << " (expected 1)\n";
+        ++failures;
+      }
+    }
+  }
+
+  // Incremental TabularGreedy must do <= half the row evaluations of the
+  // rebuild path at every swept scale (the whole point of the mode).
+  bool compared_any = false;
+  for (const auto& [name, entry] : entries) {
+    if (name.rfind("BM_OfflineTabular", 0) != 0) continue;
+    if (name_arg(name, "mode", -1.0) != 1.0) continue;  // TabularMode::kIncremental
+    const double n = name_arg(name, "n", -1.0);
+    std::string rebuild_name = name;
+    rebuild_name.replace(rebuild_name.rfind("mode:1"), 6, "mode:0");
+    const auto rebuild_it = entries.find(rebuild_name);
+    if (rebuild_it == entries.end()) {
+      std::cerr << "FAIL " << name << ": no rebuild twin " << rebuild_name << "\n";
+      ++failures;
+      continue;
+    }
+    const double incremental_rows = entry->number_or("row_evals", -1.0);
+    const double rebuild_rows = rebuild_it->second->number_or("row_evals", -1.0);
+    if (incremental_rows < 0.0 || rebuild_rows <= 0.0) {
+      std::cerr << "FAIL " << name << ": missing row_evals counters\n";
+      ++failures;
+      continue;
+    }
+    compared_any = true;
+    if (2.0 * incremental_rows > rebuild_rows) {
+      std::cerr << "FAIL n=" << n << ": incremental row_evals " << incremental_rows
+                << " not <= half of rebuild " << rebuild_rows << "\n";
+      ++failures;
+    }
+  }
+  if (!compared_any) {
+    std::cerr << "FAIL: no BM_OfflineTabular incremental/rebuild pairs in " << path
+              << "\n";
+    ++failures;
+  }
+
+  if (failures == 0) {
+    std::cout << "ok: " << entries.size() << " benchmark entries, all invariants hold\n";
+    return 0;
+  }
+  return 1;
+}
+
+int diff_files(const std::string& baseline_path, const std::string& current_path,
+               double threshold_pct) {
+  // The index holds pointers into the documents, so both must outlive it.
+  const Json baseline_doc = haste::util::load_json_file(baseline_path);
+  const Json current_doc = haste::util::load_json_file(current_path);
+  const auto baseline = index_benchmarks(baseline_doc);
+  const auto current = index_benchmarks(current_doc);
+  const double allowed = 1.0 + threshold_pct / 100.0;
+  int regressions = 0;
+  std::size_t compared = 0;
+
+  // The counters are deterministic work measures, so any growth is a real
+  // algorithmic regression, not noise; wall times are deliberately excluded.
+  const std::vector<std::string> counters = {"evaluations", "row_evals",
+                                             "marginal_evals"};
+  for (const auto& [name, entry] : current) {
+    const auto base_it = baseline.find(name);
+    if (base_it == baseline.end()) continue;
+    for (const std::string& counter : counters) {
+      if (!entry->contains(counter) || !base_it->second->contains(counter)) continue;
+      const double now = entry->at(counter).as_number();
+      const double before = base_it->second->at(counter).as_number();
+      ++compared;
+      if (before >= 0.0 && now > before * allowed) {
+        std::cerr << "REGRESSION " << name << ": " << counter << " " << before
+                  << " -> " << now << " (+"
+                  << (before > 0.0 ? (now / before - 1.0) * 100.0 : 100.0) << "%)\n";
+        ++regressions;
+      }
+    }
+  }
+
+  if (compared == 0) {
+    std::cerr << "FAIL: no common counters between " << baseline_path << " and "
+              << current_path << "\n";
+    return 1;
+  }
+  if (regressions == 0) {
+    std::cout << "ok: " << compared << " counters compared, none regressed more than "
+              << threshold_pct << "%\n";
+    return 0;
+  }
+  return 1;
+}
+
+int usage() {
+  std::cerr << "usage: bench_compare BASELINE.json CURRENT.json [--threshold PCT]\n"
+               "       bench_compare --check FILE.json\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    if (args.size() == 2 && args[0] == "--check") {
+      return check_invariants(args[1]);
+    }
+    double threshold = 10.0;
+    std::vector<std::string> files;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (args[i] == "--threshold" && i + 1 < args.size()) {
+        threshold = std::stod(args[++i]);
+      } else {
+        files.push_back(args[i]);
+      }
+    }
+    if (files.size() != 2) return usage();
+    return diff_files(files[0], files[1], threshold);
+  } catch (const std::exception& error) {
+    std::cerr << "bench_compare: " << error.what() << "\n";
+    return 1;
+  }
+}

@@ -5,7 +5,8 @@
 //             [--seed S] [--gaussian SIGMA] [--utility linear|sqrt|log]
 //       Draws a random scenario and writes it as JSON.
 //   solve     --in FILE [--algorithm NAME] [--colors C] [--samples S]
-//             [--seed S] [--out SCHEDULE] [--improve]
+//             [--seed S] [--mode incremental|rebuild] [--out SCHEDULE]
+//             [--improve]
 //       Runs a scheduler on a scenario file; prints the outcome, optionally
 //       writes the schedule and applies the local-search improver.
 //   eval      --in FILE --schedule FILE
@@ -103,6 +104,13 @@ int cmd_solve(const util::Flags& flags) {
   params.colors = static_cast<int>(flags.get_int("colors", 4));
   params.samples = static_cast<int>(flags.get_int("samples", 4 * params.colors));
   params.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const std::string mode = flags.get("mode", "incremental");
+  if (mode != "incremental" && mode != "rebuild") {
+    std::cerr << "solve: --mode must be incremental or rebuild\n";
+    return 2;
+  }
+  params.mode =
+      mode == "rebuild" ? core::TabularMode::kRebuild : core::TabularMode::kIncremental;
 
   model::Schedule schedule(net.charger_count(), net.horizon());
   if (algorithm == "global-greedy") {
@@ -115,7 +123,7 @@ int cmd_solve(const util::Flags& flags) {
       case sim::Algorithm::kOfflineHaste:
         schedule = core::schedule_offline(
                        net, core::OfflineConfig{params.colors, params.samples,
-                                                params.seed, true, false})
+                                                params.seed, true, false, params.mode})
                        .schedule;
         break;
       default: {
