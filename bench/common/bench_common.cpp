@@ -32,15 +32,24 @@ void print_banner(const std::string& figure, const std::string& description,
 void report_sweep(const BenchContext& context, const std::string& x_label,
                   const sim::SweepSeries& series,
                   const std::vector<std::string>& series_order) {
+  // Error bars (95% CI half-widths) ride along when the sweep recorded them:
+  // the table shows mean±ci, the CSV grows one "<label> ci95" column per
+  // series so plots can draw the paper's error bars directly.
+  const bool with_ci = !series.ci95.empty();
   std::vector<std::string> headers = {x_label};
   headers.insert(headers.end(), series_order.begin(), series_order.end());
   util::Table table(headers);
   for (std::size_t i = 0; i < series.xs.size(); ++i) {
-    std::vector<double> row;
+    std::vector<std::string> row = {util::format_fixed(series.xs[i], 2)};
     for (const std::string& label : series_order) {
-      row.push_back(series.series.at(label)[i]);
+      std::string cell = util::format_fixed(series.series.at(label)[i], 4);
+      if (with_ci) {
+        // ASCII "+-" keeps the column width math exact (Table counts bytes).
+        cell += "+-" + util::format_fixed(series.ci95.at(label)[i], 4);
+      }
+      row.push_back(std::move(cell));
     }
-    table.add_row(util::format_fixed(series.xs[i], 2), row);
+    table.add_row(std::move(row));
   }
   table.print(std::cout);
   std::cout.flush();
@@ -48,11 +57,22 @@ void report_sweep(const BenchContext& context, const std::string& x_label,
   if (!context.csv_path.empty()) {
     std::ofstream out(context.csv_path, std::ios::app);
     util::CsvWriter writer(out);
-    writer.header(headers);
+    std::vector<std::string> csv_headers = headers;
+    if (with_ci) {
+      for (const std::string& label : series_order) {
+        csv_headers.push_back(label + " ci95");
+      }
+    }
+    writer.header(csv_headers);
     for (std::size_t i = 0; i < series.xs.size(); ++i) {
       std::vector<double> row = {series.xs[i]};
       for (const std::string& label : series_order) {
         row.push_back(series.series.at(label)[i]);
+      }
+      if (with_ci) {
+        for (const std::string& label : series_order) {
+          row.push_back(series.ci95.at(label)[i]);
+        }
       }
       writer.row(row);
     }

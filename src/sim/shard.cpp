@@ -1,0 +1,685 @@
+#include "sim/shard.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <deque>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+
+#include "core/objective.hpp"
+#include "util/log.hpp"
+#include "util/subprocess.hpp"
+
+namespace haste::sim {
+
+namespace {
+
+using util::Json;
+
+// 64-bit integers travel as decimal strings: JSON numbers are doubles and
+// would silently round seeds and counters above 2^53.
+Json u64_json(std::uint64_t value) { return Json(std::to_string(value)); }
+
+std::uint64_t u64_from(const Json& json) {
+  const std::string& text = json.as_string();
+  std::size_t consumed = 0;
+  const std::uint64_t value = std::stoull(text, &consumed, 10);
+  if (consumed != text.size()) throw util::JsonError("malformed u64: " + text);
+  return value;
+}
+
+const char* placement_name(Placement placement) {
+  return placement == Placement::kGaussian ? "gaussian" : "uniform";
+}
+
+Placement parse_placement(const std::string& name) {
+  if (name == "uniform") return Placement::kUniform;
+  if (name == "gaussian") return Placement::kGaussian;
+  throw util::JsonError("unknown placement: " + name);
+}
+
+const char* arrivals_name(ArrivalProcess arrivals) {
+  return arrivals == ArrivalProcess::kPoisson ? "poisson" : "uniform-window";
+}
+
+ArrivalProcess parse_arrivals(const std::string& name) {
+  if (name == "uniform-window") return ArrivalProcess::kUniformWindow;
+  if (name == "poisson") return ArrivalProcess::kPoisson;
+  throw util::JsonError("unknown arrival process: " + name);
+}
+
+const char* tabular_mode_name(core::TabularMode mode) {
+  return mode == core::TabularMode::kRebuild ? "rebuild" : "incremental";
+}
+
+core::TabularMode parse_tabular_mode(const std::string& name) {
+  if (name == "incremental") return core::TabularMode::kIncremental;
+  if (name == "rebuild") return core::TabularMode::kRebuild;
+  throw util::JsonError("unknown tabular mode: " + name);
+}
+
+}  // namespace
+
+Json metrics_to_json(const RunMetrics& metrics) {
+  Json json = Json::object();
+  json.set("weighted_utility", metrics.weighted_utility);
+  json.set("normalized_utility", metrics.normalized_utility);
+  json.set("relaxed_utility", metrics.relaxed_utility);
+  Json task_utility = Json::array();
+  for (double u : metrics.task_utility) task_utility.push_back(u);
+  json.set("task_utility", std::move(task_utility));
+  json.set("switches", metrics.switches);
+  json.set("messages", u64_json(metrics.messages));
+  json.set("deliveries", u64_json(metrics.deliveries));
+  json.set("rounds", u64_json(metrics.rounds));
+  json.set("negotiations", u64_json(metrics.negotiations));
+  json.set("exact", metrics.exact);
+  return json;
+}
+
+RunMetrics metrics_from_json(const Json& json) {
+  RunMetrics metrics;
+  metrics.weighted_utility = json.at("weighted_utility").as_number();
+  metrics.normalized_utility = json.at("normalized_utility").as_number();
+  metrics.relaxed_utility = json.at("relaxed_utility").as_number();
+  const Json& task_utility = json.at("task_utility");
+  metrics.task_utility.reserve(task_utility.size());
+  for (std::size_t j = 0; j < task_utility.size(); ++j) {
+    metrics.task_utility.push_back(task_utility.at(j).as_number());
+  }
+  metrics.switches = static_cast<int>(json.at("switches").as_int());
+  metrics.messages = u64_from(json.at("messages"));
+  metrics.deliveries = u64_from(json.at("deliveries"));
+  metrics.rounds = u64_from(json.at("rounds"));
+  metrics.negotiations = u64_from(json.at("negotiations"));
+  metrics.exact = json.at("exact").as_bool();
+  return metrics;
+}
+
+Json scenario_config_to_json(const ScenarioConfig& config) {
+  Json json = Json::object();
+  json.set("field_width", config.field_width);
+  json.set("field_height", config.field_height);
+  json.set("chargers", config.chargers);
+  json.set("tasks", config.tasks);
+
+  Json power = Json::object();
+  power.set("alpha", config.power.alpha);
+  power.set("beta", config.power.beta);
+  power.set("radius", config.power.radius);
+  power.set("charging_angle_rad", config.power.charging_angle);
+  power.set("receiving_angle_rad", config.power.receiving_angle);
+  power.set("gain_profile", model::gain_profile_name(config.power.gain_profile));
+  json.set("power", std::move(power));
+
+  Json time = Json::object();
+  time.set("slot_seconds", config.time.slot_seconds);
+  time.set("rho", config.time.rho);
+  time.set("tau", static_cast<int>(config.time.tau));
+  json.set("time", std::move(time));
+
+  json.set("energy_min_j", config.energy_min_j);
+  json.set("energy_max_j", config.energy_max_j);
+  json.set("duration_min_slots", config.duration_min_slots);
+  json.set("duration_max_slots", config.duration_max_slots);
+  json.set("release_window_slots", config.release_window_slots);
+  json.set("arrivals", arrivals_name(config.arrivals));
+  json.set("poisson_rate_per_slot", config.poisson_rate_per_slot);
+  json.set("task_weight", config.task_weight);
+  json.set("task_placement", placement_name(config.task_placement));
+  json.set("gaussian_sigma_x", config.gaussian_sigma_x);
+  json.set("gaussian_sigma_y", config.gaussian_sigma_y);
+  json.set("utility_shape", config.utility_shape);
+  return json;
+}
+
+ScenarioConfig scenario_config_from_json(const Json& json) {
+  ScenarioConfig config;
+  config.field_width = json.at("field_width").as_number();
+  config.field_height = json.at("field_height").as_number();
+  config.chargers = static_cast<int>(json.at("chargers").as_int());
+  config.tasks = static_cast<int>(json.at("tasks").as_int());
+
+  const Json& power = json.at("power");
+  config.power.alpha = power.at("alpha").as_number();
+  config.power.beta = power.at("beta").as_number();
+  config.power.radius = power.at("radius").as_number();
+  config.power.charging_angle = power.at("charging_angle_rad").as_number();
+  config.power.receiving_angle = power.at("receiving_angle_rad").as_number();
+  config.power.gain_profile =
+      model::parse_gain_profile(power.string_or("gain_profile", "uniform").c_str());
+
+  const Json& time = json.at("time");
+  config.time.slot_seconds = time.at("slot_seconds").as_number();
+  config.time.rho = time.at("rho").as_number();
+  config.time.tau = static_cast<model::SlotIndex>(time.at("tau").as_int());
+
+  config.energy_min_j = json.at("energy_min_j").as_number();
+  config.energy_max_j = json.at("energy_max_j").as_number();
+  config.duration_min_slots = static_cast<int>(json.at("duration_min_slots").as_int());
+  config.duration_max_slots = static_cast<int>(json.at("duration_max_slots").as_int());
+  config.release_window_slots =
+      static_cast<int>(json.at("release_window_slots").as_int());
+  config.arrivals = parse_arrivals(json.at("arrivals").as_string());
+  config.poisson_rate_per_slot = json.at("poisson_rate_per_slot").as_number();
+  config.task_weight = json.at("task_weight").as_number();
+  config.task_placement = parse_placement(json.at("task_placement").as_string());
+  config.gaussian_sigma_x = json.at("gaussian_sigma_x").as_number();
+  config.gaussian_sigma_y = json.at("gaussian_sigma_y").as_number();
+  config.utility_shape = json.at("utility_shape").as_string();
+  return config;
+}
+
+Json variant_to_json(const Variant& variant) {
+  Json json = Json::object();
+  json.set("label", variant.label);
+  json.set("algorithm", algorithm_name(variant.algorithm));
+  Json params = Json::object();
+  params.set("colors", variant.params.colors);
+  params.set("samples", variant.params.samples);
+  params.set("seed", u64_json(variant.params.seed));
+  params.set("brute_force_budget", u64_json(variant.params.brute_force_budget));
+  params.set("mode", tabular_mode_name(variant.params.mode));
+  json.set("params", std::move(params));
+  return json;
+}
+
+Variant variant_from_json(const Json& json) {
+  Variant variant;
+  variant.label = json.at("label").as_string();
+  variant.algorithm = parse_algorithm(json.at("algorithm").as_string());
+  const Json& params = json.at("params");
+  variant.params.colors = static_cast<int>(params.at("colors").as_int());
+  variant.params.samples = static_cast<int>(params.at("samples").as_int());
+  variant.params.seed = u64_from(params.at("seed"));
+  variant.params.brute_force_budget = u64_from(params.at("brute_force_budget"));
+  variant.params.mode = parse_tabular_mode(params.at("mode").as_string());
+  return variant;
+}
+
+Json shard_spec_to_json(const ShardSpec& spec) {
+  Json json = Json::object();
+  json.set("shard", spec.shard_id);
+  json.set("x_index", spec.x_index);
+  json.set("trial_begin", spec.trial_begin);
+  json.set("trial_end", spec.trial_end);
+  json.set("base_seed", u64_json(spec.base_seed));
+  json.set("config", scenario_config_to_json(spec.config));
+  Json variants = Json::array();
+  for (const Variant& variant : spec.variants) variants.push_back(variant_to_json(variant));
+  json.set("variants", std::move(variants));
+  return json;
+}
+
+ShardSpec shard_spec_from_json(const Json& json) {
+  ShardSpec spec;
+  spec.shard_id = static_cast<int>(json.at("shard").as_int());
+  spec.x_index = static_cast<int>(json.at("x_index").as_int());
+  spec.trial_begin = static_cast<int>(json.at("trial_begin").as_int());
+  spec.trial_end = static_cast<int>(json.at("trial_end").as_int());
+  spec.base_seed = u64_from(json.at("base_seed"));
+  spec.config = scenario_config_from_json(json.at("config"));
+  const Json& variants = json.at("variants");
+  spec.variants.reserve(variants.size());
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    spec.variants.push_back(variant_from_json(variants.at(v)));
+  }
+  return spec;
+}
+
+std::vector<ShardSpec> plan_shards(const ScenarioConfig& config,
+                                   const std::vector<Variant>& variants, int trials,
+                                   std::uint64_t base_seed, int trials_per_shard,
+                                   int x_index, int first_shard_id) {
+  if (trials < 0) throw std::invalid_argument("plan_shards: trials must be >= 0");
+  if (trials_per_shard < 1) {
+    throw std::invalid_argument("plan_shards: trials_per_shard must be >= 1");
+  }
+  std::vector<ShardSpec> shards;
+  for (int begin = 0; begin < trials; begin += trials_per_shard) {
+    ShardSpec spec;
+    spec.shard_id = first_shard_id + static_cast<int>(shards.size());
+    spec.x_index = x_index;
+    spec.trial_begin = begin;
+    spec.trial_end = std::min(trials, begin + trials_per_shard);
+    spec.base_seed = base_seed;
+    spec.config = config;
+    spec.variants = variants;
+    shards.push_back(std::move(spec));
+  }
+  return shards;
+}
+
+std::map<std::string, std::vector<RunMetrics>> run_shard(const ShardSpec& spec) {
+  const int count = spec.trial_end - spec.trial_begin;
+  if (count < 0) throw std::invalid_argument("run_shard: empty or inverted trial range");
+  std::vector<std::vector<RunMetrics>> matrix(
+      spec.variants.size(), std::vector<RunMetrics>(static_cast<std::size_t>(count)));
+  for (int t = spec.trial_begin; t < spec.trial_end; ++t) {
+    // Exactly the per-trial code path of run_trials: the RNG derives from
+    // the global trial index, never from the shard-local position.
+    util::Rng rng(util::Rng::stream_seed(spec.base_seed, static_cast<std::uint64_t>(t)));
+    const model::Network net = generate_scenario(spec.config, rng);
+    for (std::size_t v = 0; v < spec.variants.size(); ++v) {
+      AlgoParams params = spec.variants[v].params;
+      params.seed =
+          util::Rng::stream_seed(params.seed, static_cast<std::uint64_t>(t) + 1);
+      matrix[v][static_cast<std::size_t>(t - spec.trial_begin)] =
+          run_algorithm(net, spec.variants[v].algorithm, params);
+    }
+  }
+  std::map<std::string, std::vector<RunMetrics>> results;
+  for (std::size_t v = 0; v < spec.variants.size(); ++v) {
+    results[spec.variants[v].label] = std::move(matrix[v]);
+  }
+  return results;
+}
+
+int shard_worker_main(std::istream& in, std::ostream& out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    Json request;
+    ShardSpec spec;
+    try {
+      request = Json::parse(line);
+      spec = shard_spec_from_json(request);
+    } catch (const std::exception& error) {
+      HASTE_LOG_ERROR << "shard worker: malformed request: " << error.what();
+      return 3;
+    }
+    const std::string inject = request.string_or("inject", "");
+    if (inject == "crash") {
+      std::_Exit(86);  // simulate a mid-shard crash
+    } else if (inject == "hang") {
+      for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+    } else if (inject == "garbage") {
+      out << "}{ this is not json\n" << std::flush;
+      std::_Exit(0);
+    }
+    const auto metrics = run_shard(spec);
+    Json response = Json::object();
+    response.set("shard", spec.shard_id);
+    Json by_label = Json::object();
+    for (const auto& [label, runs] : metrics) {
+      Json array = Json::array();
+      for (const RunMetrics& run : runs) array.push_back(metrics_to_json(run));
+      by_label.set(label, std::move(array));
+    }
+    response.set("metrics", std::move(by_label));
+    out << response.dump() << "\n" << std::flush;
+  }
+  return 0;
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// One attempt of one shard, for the run manifest.
+struct AttemptRecord {
+  pid_t worker_pid = -1;
+  std::string status;  ///< "ok" | "timeout" | "malformed output" | "worker exit/signal"
+  double wall_seconds = 0.0;
+};
+
+struct ShardState {
+  ShardSpec spec;
+  int attempts = 0;
+  bool done = false;
+  std::map<std::string, std::vector<RunMetrics>> metrics;
+  std::vector<AttemptRecord> history;
+};
+
+/// Drives a pool of worker subprocesses over a fixed shard list: assigns
+/// pending shards to idle workers, multiplexes their stdout, and requeues
+/// the shard of any worker that crashes, hangs past the timeout, or emits a
+/// malformed line — respawning replacements so retries land on a live
+/// worker. Total respawns are bounded because every failure consumes one of
+/// the failing shard's max_attempts.
+class ShardRunner {
+ public:
+  ShardRunner(std::vector<ShardSpec> specs, const ShardOptions& options)
+      : options_(options) {
+    if (options_.worker_argv.empty()) {
+      throw std::invalid_argument("ShardOptions::worker_argv must not be empty");
+    }
+    if (options_.workers < 1) {
+      throw std::invalid_argument("ShardOptions::workers must be >= 1");
+    }
+    if (options_.max_attempts < 1) {
+      throw std::invalid_argument("ShardOptions::max_attempts must be >= 1");
+    }
+    shards_.reserve(specs.size());
+    for (ShardSpec& spec : specs) {
+      shards_.push_back(ShardState{std::move(spec), 0, false, {}, {}});
+    }
+  }
+
+  /// Runs every shard to completion; returns metrics in shard order.
+  std::vector<std::map<std::string, std::vector<RunMetrics>>> run() {
+    try {
+      for (std::size_t s = 0; s < shards_.size(); ++s) pending_.push_back(s);
+      drive();
+    } catch (...) {
+      workers_.clear();  // kill + reap before reporting
+      write_manifest();
+      throw;
+    }
+    write_manifest();
+    std::vector<std::map<std::string, std::vector<RunMetrics>>> results;
+    results.reserve(shards_.size());
+    for (ShardState& shard : shards_) results.push_back(std::move(shard.metrics));
+    return results;
+  }
+
+ private:
+  struct WorkerSlot {
+    util::Subprocess proc;
+    util::LineBuffer lines;
+    long shard = -1;  ///< index into shards_, -1 when idle
+    Clock::time_point started;
+  };
+
+  void drive() {
+    while (completed_ < shards_.size()) {
+      spawn_up_to_target();
+      assign_pending();
+      if (workers_.empty()) {
+        throw std::runtime_error("shard runner: no worker process could be started");
+      }
+      poll_workers();
+      enforce_timeouts();
+    }
+    // Clean shutdown: EOF on stdin tells each worker to exit.
+    for (WorkerSlot& worker : workers_) worker.proc.close_stdin();
+    for (WorkerSlot& worker : workers_) worker.proc.wait();
+    workers_.clear();
+  }
+
+  void spawn_up_to_target() {
+    // Spawn only as many workers as there is pending work (capped at the
+    // configured pool size): a broken worker command then consumes shard
+    // attempts — a bounded budget — instead of respawning idle forever.
+    std::size_t idle = 0;
+    for (const WorkerSlot& worker : workers_) {
+      if (worker.shard < 0) ++idle;
+    }
+    while (workers_.size() < static_cast<std::size_t>(options_.workers) &&
+           idle < pending_.size()) {
+      WorkerSlot slot{util::Subprocess::spawn(options_.worker_argv), {}, -1, {}};
+      workers_.push_back(std::move(slot));
+      ++idle;
+    }
+  }
+
+  void assign_pending() {
+    for (WorkerSlot& worker : workers_) {
+      if (worker.shard >= 0 || pending_.empty()) continue;
+      const std::size_t s = pending_.front();
+      pending_.pop_front();
+      ShardState& shard = shards_[s];
+      Json request = shard_spec_to_json(shard.spec);
+      const auto inject = options_.inject_first_attempt.find(shard.spec.shard_id);
+      if (inject != options_.inject_first_attempt.end() && shard.attempts == 0) {
+        request.set("inject", inject->second);
+      }
+      ++shard.attempts;
+      worker.shard = static_cast<long>(s);
+      worker.started = Clock::now();
+      if (!worker.proc.write_line(request.dump())) {
+        // The worker died before we could feed it; its exit will also surface
+        // via EOF, but handle it now so the shard is not stranded.
+        fail_worker(worker, "write to worker failed");
+      }
+    }
+  }
+
+  void poll_workers() {
+    std::vector<int> fds;
+    fds.reserve(workers_.size());
+    for (const WorkerSlot& worker : workers_) fds.push_back(worker.proc.stdout_fd());
+    const auto ready = util::poll_readable(fds, poll_timeout_ms());
+    // Read back-to-front so erasing a dead worker cannot shift the indices
+    // of entries still to be processed.
+    for (auto it = ready.rbegin(); it != ready.rend(); ++it) read_worker(workers_[*it]);
+    reap_failed_workers();
+  }
+
+  int poll_timeout_ms() const {
+    double nearest = 0.1;  // keep the loop responsive to fresh spawns
+    for (const WorkerSlot& worker : workers_) {
+      if (worker.shard < 0) continue;
+      const double remaining =
+          options_.shard_timeout_seconds - seconds_since(worker.started);
+      nearest = std::min(nearest, std::max(remaining, 0.0));
+    }
+    return static_cast<int>(nearest * 1000.0) + 1;
+  }
+
+  void read_worker(WorkerSlot& worker) {
+    char buffer[65536];
+    const ssize_t n = ::read(worker.proc.stdout_fd(), buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) return;
+      fail_worker(worker, "read from worker failed");
+      return;
+    }
+    if (n == 0) {  // EOF: the worker exited (cleanly or not)
+      const util::ExitStatus status = worker.proc.wait();
+      fail_worker(worker, "worker " + status.describe());
+      return;
+    }
+    for (const std::string& line :
+         worker.lines.feed(buffer, static_cast<std::size_t>(n))) {
+      if (!handle_line(worker, line)) {
+        fail_worker(worker, "malformed output");
+        return;
+      }
+    }
+  }
+
+  /// Parses one result line; false means the worker must be recycled.
+  bool handle_line(WorkerSlot& worker, const std::string& line) {
+    if (worker.shard < 0) return false;  // output with nothing in flight
+    ShardState& shard = shards_[static_cast<std::size_t>(worker.shard)];
+    try {
+      const Json response = Json::parse(line);
+      if (static_cast<int>(response.at("shard").as_int()) != shard.spec.shard_id) {
+        return false;
+      }
+      std::map<std::string, std::vector<RunMetrics>> metrics;
+      for (const auto& [label, runs] : response.at("metrics").items()) {
+        std::vector<RunMetrics>& slot = metrics[label];
+        slot.reserve(runs.size());
+        for (std::size_t r = 0; r < runs.size(); ++r) {
+          slot.push_back(metrics_from_json(runs.at(r)));
+        }
+      }
+      shard.metrics = std::move(metrics);
+    } catch (const std::exception&) {
+      return false;
+    }
+    shard.done = true;
+    ++completed_;
+    shard.history.push_back(
+        AttemptRecord{worker.proc.pid(), "ok", seconds_since(worker.started)});
+    worker.shard = -1;
+    return true;
+  }
+
+  /// Records the failed attempt, requeues the shard (bounded), and marks the
+  /// worker for removal; a replacement is spawned on the next loop turn.
+  void fail_worker(WorkerSlot& worker, const std::string& reason) {
+    if (worker.shard >= 0) {
+      ShardState& shard = shards_[static_cast<std::size_t>(worker.shard)];
+      shard.history.push_back(
+          AttemptRecord{worker.proc.pid(), reason, seconds_since(worker.started)});
+      HASTE_LOG_WARN << "shard " << shard.spec.shard_id << " attempt " << shard.attempts
+                     << " failed (" << reason << "), "
+                     << (shard.attempts < options_.max_attempts ? "requeueing"
+                                                                : "giving up");
+      if (shard.attempts >= options_.max_attempts) {
+        throw std::runtime_error("shard " + std::to_string(shard.spec.shard_id) +
+                                 " failed " + std::to_string(shard.attempts) +
+                                 " attempts; last: " + reason);
+      }
+      pending_.push_front(static_cast<std::size_t>(worker.shard));
+      worker.shard = -1;
+    }
+    worker.proc.kill();
+    worker.proc.wait();
+    failed_workers_ = true;
+  }
+
+  void reap_failed_workers() {
+    if (!failed_workers_) return;
+    failed_workers_ = false;
+    std::vector<WorkerSlot> alive;
+    alive.reserve(workers_.size());
+    for (WorkerSlot& worker : workers_) {
+      if (!worker.proc.reaped()) alive.push_back(std::move(worker));
+    }
+    workers_ = std::move(alive);
+  }
+
+  void enforce_timeouts() {
+    for (WorkerSlot& worker : workers_) {
+      if (worker.shard < 0) continue;
+      if (seconds_since(worker.started) < options_.shard_timeout_seconds) continue;
+      fail_worker(worker, "timeout");
+    }
+    reap_failed_workers();
+  }
+
+  void write_manifest() const {
+    if (options_.manifest_path.empty()) return;
+    Json manifest = Json::object();
+    manifest.set("worker_count", options_.workers);
+    manifest.set("max_attempts", options_.max_attempts);
+    manifest.set("timeout_seconds", options_.shard_timeout_seconds);
+    Json shards = Json::array();
+    for (const ShardState& shard : shards_) {
+      Json entry = Json::object();
+      entry.set("shard", shard.spec.shard_id);
+      entry.set("x_index", shard.spec.x_index);
+      entry.set("trial_begin", shard.spec.trial_begin);
+      entry.set("trial_end", shard.spec.trial_end);
+      entry.set("done", shard.done);
+      Json attempts = Json::array();
+      for (const AttemptRecord& attempt : shard.history) {
+        Json record = Json::object();
+        record.set("worker_pid", static_cast<std::int64_t>(attempt.worker_pid));
+        record.set("status", attempt.status);
+        record.set("wall_seconds", attempt.wall_seconds);
+        attempts.push_back(std::move(record));
+      }
+      entry.set("attempts", std::move(attempts));
+      shards.push_back(std::move(entry));
+    }
+    manifest.set("shards", std::move(shards));
+    util::save_json_file(options_.manifest_path, manifest);
+  }
+
+  ShardOptions options_;
+  std::vector<ShardState> shards_;
+  std::deque<std::size_t> pending_;
+  std::vector<WorkerSlot> workers_;
+  std::size_t completed_ = 0;
+  bool failed_workers_ = false;
+};
+
+int effective_trials_per_shard(const ShardOptions& options, int trials) {
+  if (options.trials_per_shard > 0) return options.trials_per_shard;
+  // Auto: ~4 shards per worker so a crashed shard costs a fraction of a run.
+  const int shards = std::max(1, options.workers * 4);
+  return std::max(1, (trials + shards - 1) / shards);
+}
+
+}  // namespace
+
+TrialResults run_trials_sharded(const ScenarioConfig& config,
+                                const std::vector<Variant>& variants, int trials,
+                                std::uint64_t base_seed, const ShardOptions& options) {
+  const std::vector<ShardSpec> specs =
+      plan_shards(config, variants, trials, base_seed,
+                  effective_trials_per_shard(options, trials));
+  ShardRunner runner(specs, options);
+  const auto shard_results = runner.run();
+
+  TrialResults results;
+  for (const Variant& variant : variants) {
+    results[variant.label].resize(static_cast<std::size_t>(trials));
+  }
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    for (const auto& [label, runs] : shard_results[s]) {
+      std::vector<RunMetrics>& merged = results.at(label);
+      for (std::size_t r = 0; r < runs.size(); ++r) {
+        merged[static_cast<std::size_t>(specs[s].trial_begin) + r] = runs[r];
+      }
+    }
+  }
+  return results;
+}
+
+SweepSeries sweep_sharded(const std::vector<double>& xs,
+                          const std::vector<ScenarioConfig>& configs,
+                          const std::vector<Variant>& variants, int trials,
+                          std::uint64_t base_seed, const ShardOptions& options) {
+  if (xs.size() != configs.size()) {
+    throw std::invalid_argument("sweep_sharded: xs and configs must align");
+  }
+  // One flat shard list across every (x, trial) cell: a slow x-point keeps
+  // all workers busy instead of serializing the sweep at its barrier.
+  std::vector<ShardSpec> specs;
+  for (std::size_t x = 0; x < xs.size(); ++x) {
+    std::vector<ShardSpec> slice =
+        plan_shards(configs[x], variants, trials, base_seed,
+                    effective_trials_per_shard(options, trials), static_cast<int>(x),
+                    static_cast<int>(specs.size()));
+    for (ShardSpec& spec : slice) specs.push_back(std::move(spec));
+  }
+  ShardRunner runner(specs, options);
+  const auto shard_results = runner.run();
+
+  // Reassemble per-x TrialResults, then reduce exactly like sweep().
+  std::vector<TrialResults> per_x(xs.size());
+  for (std::size_t x = 0; x < xs.size(); ++x) {
+    for (const Variant& variant : variants) {
+      per_x[x][variant.label].resize(static_cast<std::size_t>(trials));
+    }
+  }
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    TrialResults& results = per_x[static_cast<std::size_t>(specs[s].x_index)];
+    for (const auto& [label, runs] : shard_results[s]) {
+      std::vector<RunMetrics>& merged = results.at(label);
+      for (std::size_t r = 0; r < runs.size(); ++r) {
+        merged[static_cast<std::size_t>(specs[s].trial_begin) + r] = runs[r];
+      }
+    }
+  }
+
+  SweepSeries out;
+  out.xs = xs;
+  for (const Variant& variant : variants) {
+    out.series[variant.label] = {};
+    out.ci95[variant.label] = {};
+  }
+  for (std::size_t x = 0; x < xs.size(); ++x) {
+    const auto summaries = utility_summary(per_x[x]);
+    for (const Variant& variant : variants) {
+      out.series[variant.label].push_back(summaries.at(variant.label).mean);
+      out.ci95[variant.label].push_back(summaries.at(variant.label).ci95);
+    }
+  }
+  return out;
+}
+
+}  // namespace haste::sim

@@ -1,0 +1,108 @@
+// Process-level sharding of the Monte-Carlo harness.
+//
+// run_trials / sweep parallelize trials with threads inside one process; this
+// layer partitions the same (trial, x-point) work into deterministic shards
+// and farms them out to crash-isolated worker processes (the `--worker`
+// re-entrant mode of tools/haste_shard, or any binary speaking the same
+// line protocol). Because trial t always derives its RNG from
+// Rng::stream_seed(base_seed, t) — never from its position in a shard — the
+// merged output is bit-identical to the in-process path, and a shard lost to
+// a crashing, hanging, or garbage-emitting worker can be requeued onto a
+// surviving worker without perturbing any other trial.
+//
+// Wire protocol (one JSON object per line, newline-terminated):
+//   driver -> worker: shard_spec_to_json(spec), plus optional "inject"
+//                     (fault injection for tests: "crash" | "garbage" |
+//                     "hang") — stdin EOF tells the worker to exit
+//   worker -> driver: {"shard": id, "metrics": {label: [RunMetrics...]}}
+// 64-bit seeds and counters travel as decimal strings (JSON numbers are
+// doubles and would silently round above 2^53); every double is serialized
+// with shortest-round-trip precision, so the round trip is bit-exact.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/sweep.hpp"
+#include "util/json.hpp"
+
+namespace haste::sim {
+
+/// Exact JSON round-trip for one run's metrics.
+util::Json metrics_to_json(const RunMetrics& metrics);
+RunMetrics metrics_from_json(const util::Json& json);
+
+/// Exact JSON round-trip for a scenario configuration (angles stay in
+/// radians — no lossy degree conversion — so regenerated scenarios are
+/// bit-identical).
+util::Json scenario_config_to_json(const ScenarioConfig& config);
+ScenarioConfig scenario_config_from_json(const util::Json& json);
+
+/// Exact JSON round-trip for an algorithm variant.
+util::Json variant_to_json(const Variant& variant);
+Variant variant_from_json(const util::Json& json);
+
+/// One unit of crash-isolated work: a contiguous trial range of one x-point.
+struct ShardSpec {
+  int shard_id = 0;
+  int x_index = 0;      ///< position in the sweep (0 for a single panel)
+  int trial_begin = 0;  ///< inclusive
+  int trial_end = 0;    ///< exclusive
+  std::uint64_t base_seed = 0;
+  ScenarioConfig config;
+  std::vector<Variant> variants;
+};
+
+util::Json shard_spec_to_json(const ShardSpec& spec);
+ShardSpec shard_spec_from_json(const util::Json& json);
+
+/// Splits `trials` of one x-point into shards of at most `trials_per_shard`
+/// trials, ids starting at `first_shard_id`.
+std::vector<ShardSpec> plan_shards(const ScenarioConfig& config,
+                                   const std::vector<Variant>& variants, int trials,
+                                   std::uint64_t base_seed, int trials_per_shard,
+                                   int x_index = 0, int first_shard_id = 0);
+
+/// Computes one shard in-process — the exact per-trial code path of
+/// run_trials, so shard placement cannot perturb results.
+std::map<std::string, std::vector<RunMetrics>> run_shard(const ShardSpec& spec);
+
+/// Worker REPL: reads shard requests from `in` line by line, writes result
+/// lines to `out`. Returns the process exit code (0 on clean EOF, 3 on a
+/// malformed request).
+int shard_worker_main(std::istream& in, std::ostream& out);
+
+/// Knobs of the process-sharded runner.
+struct ShardOptions {
+  /// Command used to exec each worker, e.g. {"/proc/self/exe", "--worker"}.
+  std::vector<std::string> worker_argv;
+  int workers = 2;           ///< concurrent worker processes (>= 1)
+  int trials_per_shard = 0;  ///< <= 0: auto (~4 shards per worker)
+  double shard_timeout_seconds = 300.0;  ///< kill + requeue past this
+  int max_attempts = 3;      ///< per-shard attempt bound before giving up
+  std::string manifest_path; ///< per-shard telemetry JSON; "" = none
+  /// Fault injection for tests: shard id -> directive sent with that
+  /// shard's FIRST attempt only ("crash" | "garbage" | "hang").
+  std::map<int, std::string> inject_first_attempt;
+};
+
+/// Process-sharded equivalent of run_trials: same signature semantics, and
+/// the merged TrialResults is bit-identical to the in-process path. Throws
+/// std::runtime_error when a shard exhausts max_attempts or no worker can be
+/// spawned (the manifest, if requested, is still written).
+TrialResults run_trials_sharded(const ScenarioConfig& config,
+                                const std::vector<Variant>& variants, int trials,
+                                std::uint64_t base_seed, const ShardOptions& options);
+
+/// Process-sharded equivalent of sweep(): shards span all (x, trial) cells
+/// and run through one worker pool, so a long x-point cannot serialize the
+/// sweep. Means and 95% CI half-widths match sweep() bit-for-bit.
+SweepSeries sweep_sharded(const std::vector<double>& xs,
+                          const std::vector<ScenarioConfig>& configs,
+                          const std::vector<Variant>& variants, int trials,
+                          std::uint64_t base_seed, const ShardOptions& options);
+
+}  // namespace haste::sim

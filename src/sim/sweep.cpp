@@ -50,13 +50,21 @@ TrialResults run_trials(const ScenarioConfig& config, const std::vector<Variant>
 
 std::map<std::string, double> mean_utility(const TrialResults& results) {
   std::map<std::string, double> means;
+  for (const auto& [label, summary] : utility_summary(results)) {
+    means[label] = summary.mean;
+  }
+  return means;
+}
+
+std::map<std::string, UtilitySummary> utility_summary(const TrialResults& results) {
+  std::map<std::string, UtilitySummary> summaries;
   for (const auto& [label, metrics] : results) {
     std::vector<double> values;
     values.reserve(metrics.size());
     for (const RunMetrics& m : metrics) values.push_back(m.normalized_utility);
-    means[label] = util::mean(values);
+    summaries[label] = UtilitySummary{util::mean(values), util::mean_confidence95(values)};
   }
-  return means;
+  return summaries;
 }
 
 SweepSeries sweep(const std::vector<double>& xs,
@@ -67,12 +75,14 @@ SweepSeries sweep(const std::vector<double>& xs,
   out.xs = xs;
   for (const Variant& variant : variants) {
     out.series[variant.label] = {};
+    out.ci95[variant.label] = {};
   }
   for (double x : xs) {
     const TrialResults results = run_trials(make_config(x), variants, trials, base_seed);
-    const std::map<std::string, double> means = mean_utility(results);
+    const auto summaries = utility_summary(results);
     for (const Variant& variant : variants) {
-      out.series[variant.label].push_back(means.at(variant.label));
+      out.series[variant.label].push_back(summaries.at(variant.label).mean);
+      out.ci95[variant.label].push_back(summaries.at(variant.label).ci95);
     }
   }
   return out;

@@ -41,12 +41,24 @@ TrialResults run_trials(const ScenarioConfig& config, const std::vector<Variant>
 /// Mean normalized utility per variant.
 std::map<std::string, double> mean_utility(const TrialResults& results);
 
+/// Central tendency plus dispersion of one variant's trials.
+struct UtilitySummary {
+  double mean = 0.0;  ///< mean normalized utility
+  double ci95 = 0.0;  ///< half-width of the 95% CI of the mean (error bar)
+};
+
+/// Mean and 95% confidence half-width of the normalized utility per variant
+/// (util::mean_confidence95), so figures can plot the paper's error bars
+/// without recomputing them from raw trials.
+std::map<std::string, UtilitySummary> utility_summary(const TrialResults& results);
+
 /// Convenience for sweeps: for each x-value, `make_config(x)` builds the
 /// scenario, all variants run `trials` times, and the mean normalized
 /// utilities are collected per variant in x order.
 struct SweepSeries {
   std::vector<double> xs;
   std::map<std::string, std::vector<double>> series;  ///< label -> mean utility per x
+  std::map<std::string, std::vector<double>> ci95;    ///< label -> 95% CI half-width per x
 };
 
 SweepSeries sweep(const std::vector<double>& xs,

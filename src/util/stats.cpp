@@ -36,6 +36,11 @@ double quantile(std::span<const double> xs, double q) {
   if (xs.empty()) return 0.0;
   std::vector<double> sorted(xs.begin(), xs.end());
   std::sort(sorted.begin(), sorted.end());
+  return quantile_sorted(sorted, q);
+}
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   const double pos = q * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
@@ -68,11 +73,15 @@ BoxSummary box_summary(std::span<const double> xs) {
   BoxSummary box;
   box.count = xs.size();
   if (xs.empty()) return box;
-  box.min = min_value(xs);
-  box.q1 = quantile(xs, 0.25);
-  box.median = quantile(xs, 0.5);
-  box.q3 = quantile(xs, 0.75);
-  box.max = max_value(xs);
+  // Sort once; min/max/quantiles all read the same sorted buffer instead of
+  // re-copying and re-sorting the sample per statistic.
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  box.min = sorted.front();
+  box.q1 = quantile_sorted(sorted, 0.25);
+  box.median = quantile_sorted(sorted, 0.5);
+  box.q3 = quantile_sorted(sorted, 0.75);
+  box.max = sorted.back();
   box.mean = mean(xs);
   return box;
 }

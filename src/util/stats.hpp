@@ -26,6 +26,9 @@ double max_value(std::span<const double> xs);
 /// `q` must be within [0, 1]; the sample may be unsorted.
 double quantile(std::span<const double> xs, double q);
 
+/// Same quantile on an already ascending-sorted sample — no copy, no sort.
+double quantile_sorted(std::span<const double> sorted, double q);
+
 /// Two-sided 95% critical value of Student's t distribution with `df`
 /// degrees of freedom (the 0.975 quantile). Exact table values for df <= 28;
 /// the normal approximation 1.96 beyond (the difference is < 0.5% there).

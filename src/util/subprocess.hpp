@@ -1,0 +1,95 @@
+// Minimal fork/exec + pipe substrate for the process-sharded experiment
+// harness (POSIX only). A Subprocess owns one child with a pipe to its stdin
+// and one from its stdout; stderr is inherited so worker diagnostics reach
+// the terminal. The shard runner multiplexes many children with
+// poll_readable and reassembles their line-oriented output with LineBuffer.
+#pragma once
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+namespace haste::util {
+
+/// Outcome of a terminated child, as reported by waitpid.
+struct ExitStatus {
+  bool exited = false;    ///< terminated via exit(code)
+  int exit_code = 0;      ///< valid when exited
+  bool signaled = false;  ///< terminated by a signal
+  int term_signal = 0;    ///< valid when signaled
+
+  /// Human-readable form: "exit 0", "signal 9", or "unknown".
+  std::string describe() const;
+};
+
+/// A spawned child process. Move-only; the destructor kills (SIGKILL) and
+/// reaps a child that is still running so no zombies leak on error paths.
+class Subprocess {
+ public:
+  /// Forks and execs `argv` (argv[0] is the executable path; no PATH
+  /// search). The child's stdin/stdout are connected to pipes owned by this
+  /// object. Throws std::runtime_error if the pipes or fork fail; an exec
+  /// failure surfaces as an immediate child exit with code 127.
+  /// SIGPIPE is ignored process-wide on first use so writing to a crashed
+  /// child yields EPIPE instead of killing the caller.
+  static Subprocess spawn(const std::vector<std::string>& argv);
+
+  Subprocess(Subprocess&& other) noexcept;
+  Subprocess& operator=(Subprocess&& other) noexcept;
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+  ~Subprocess();
+
+  pid_t pid() const { return pid_; }
+
+  /// Readable end of the child's stdout; -1 after close_stdout.
+  int stdout_fd() const { return stdout_fd_; }
+
+  /// Writes `line` plus '\n' to the child's stdin. Returns false if the
+  /// child is gone (EPIPE) or the write fails otherwise.
+  bool write_line(const std::string& line);
+
+  /// Closes the child's stdin (EOF signals a worker to finish and exit).
+  void close_stdin();
+
+  /// Sends a signal (default SIGKILL) to the child; no-op once reaped.
+  void kill(int sig = 9);
+
+  /// Blocking waitpid; caches and returns the exit status. Safe to call
+  /// repeatedly.
+  ExitStatus wait();
+
+  /// True until wait() has reaped the child.
+  bool reaped() const { return reaped_; }
+
+ private:
+  Subprocess() = default;
+  void close_fds();
+
+  pid_t pid_ = -1;
+  int stdin_fd_ = -1;
+  int stdout_fd_ = -1;
+  bool reaped_ = false;
+  ExitStatus status_;
+};
+
+/// Polls `fds` for readability (POLLIN/POLLHUP/POLLERR, i.e. "read() will
+/// not block" — EOF counts). Returns the indices of ready entries; an empty
+/// vector means the timeout elapsed. Entries of -1 are skipped.
+std::vector<std::size_t> poll_readable(const std::vector<int>& fds, int timeout_ms);
+
+/// Reassembles '\n'-terminated lines from arbitrary read chunks.
+class LineBuffer {
+ public:
+  /// Appends a chunk; returns every newly completed line (without '\n').
+  std::vector<std::string> feed(const char* data, std::size_t size);
+
+  /// Unterminated trailing data (non-empty at EOF means a truncated line).
+  const std::string& partial() const { return buffer_; }
+
+ private:
+  std::string buffer_;
+};
+
+}  // namespace haste::util

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
+
+#include "util/log.hpp"
 
 namespace haste::util {
 
@@ -137,14 +140,24 @@ void ThreadPool::worker_loop() {
   }
 }
 
+std::size_t parse_thread_env(const char* text) {
+  if (text == nullptr || *text == '\0') return 0;
+  constexpr long kMaxThreads = 4096;
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || parsed <= 0 ||
+      parsed > kMaxThreads) {
+    HASTE_LOG_WARN << "ignoring invalid HASTE_THREADS value \"" << text
+                   << "\" (expected an integer in [1, " << kMaxThreads
+                   << "]); using the hardware default";
+    return 0;
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
 ThreadPool& default_pool() {
-  static ThreadPool pool([] {
-    if (const char* env = std::getenv("HASTE_THREADS")) {
-      const long parsed = std::strtol(env, nullptr, 10);
-      if (parsed > 0) return static_cast<std::size_t>(parsed);
-    }
-    return std::size_t{0};
-  }());
+  static ThreadPool pool(parse_thread_env(std::getenv("HASTE_THREADS")));
   return pool;
 }
 

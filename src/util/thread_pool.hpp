@@ -79,4 +79,11 @@ void parallel_for(std::size_t count, const std::function<void(std::size_t)>& bod
 /// The process-wide default pool used by the free parallel_for.
 ThreadPool& default_pool();
 
+/// Parses a HASTE_THREADS value. Returns the thread count for a valid
+/// positive integer (at most 4096); returns 0 — "use the hardware default" —
+/// for null/empty input, and warns and returns 0 for anything malformed:
+/// trailing garbage ("8x"), non-numbers ("abc"), non-positive values ("-2",
+/// "0"), or out-of-range magnitudes.
+std::size_t parse_thread_env(const char* text);
+
 }  // namespace haste::util

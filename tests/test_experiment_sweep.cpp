@@ -4,8 +4,11 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include <vector>
+
 #include "sim/experiment.hpp"
 #include "sim/sweep.hpp"
+#include "util/stats.hpp"
 
 namespace haste::sim {
 namespace {
@@ -114,6 +117,26 @@ TEST(Sweep, MeanUtilityAveragesTrials) {
   EXPECT_NEAR(means.at("HASTE C=1"), sum / 5.0, 1e-12);
 }
 
+TEST(Sweep, UtilitySummaryMatchesStatsHelpers) {
+  const std::vector<Variant> variants = {
+      {"HASTE C=1", Algorithm::kOfflineHaste, AlgoParams{1, 1, 1}},
+      {"GreedyCover", Algorithm::kOfflineGreedyCover, AlgoParams{}},
+  };
+  const TrialResults results = run_trials(tiny_config(), variants, 6, 17);
+  const auto summaries = utility_summary(results);
+  const auto means = mean_utility(results);
+  ASSERT_EQ(summaries.size(), 2u);
+  for (const auto& [label, summary] : summaries) {
+    std::vector<double> values;
+    for (const RunMetrics& m : results.at(label)) {
+      values.push_back(m.normalized_utility);
+    }
+    EXPECT_DOUBLE_EQ(summary.mean, means.at(label)) << label;
+    EXPECT_DOUBLE_EQ(summary.ci95, util::mean_confidence95(values)) << label;
+    EXPECT_GT(summary.ci95, 0.0) << label;  // random trials do vary
+  }
+}
+
 TEST(Sweep, SweepCollectsSeriesInOrder) {
   const std::vector<Variant> variants = {
       {"HASTE C=1", Algorithm::kOfflineHaste, AlgoParams{1, 1, 1}},
@@ -134,6 +157,28 @@ TEST(Sweep, SweepCollectsSeriesInOrder) {
     EXPECT_GE(v, 0.0);
     EXPECT_LE(v, 1.0);
   }
+  // Error bars ride along with the means, one per x-point.
+  ASSERT_EQ(series.ci95.at("HASTE C=1").size(), 2u);
+  for (double ci : series.ci95.at("HASTE C=1")) EXPECT_GE(ci, 0.0);
+}
+
+TEST(Sweep, SweepErrorBarsMatchTrialDispersion) {
+  const std::vector<Variant> variants = {
+      {"HASTE C=1", Algorithm::kOfflineHaste, AlgoParams{1, 1, 1}},
+  };
+  const std::vector<double> xs = {6.0};
+  const SweepSeries series = sweep(
+      xs,
+      [](double x) {
+        ScenarioConfig config = tiny_config();
+        config.tasks = static_cast<int>(x);
+        return config;
+      },
+      variants, 5, 21);
+  const TrialResults trials = run_trials(tiny_config(), variants, 5, 21);
+  const auto summary = utility_summary(trials).at("HASTE C=1");
+  EXPECT_DOUBLE_EQ(series.series.at("HASTE C=1")[0], summary.mean);
+  EXPECT_DOUBLE_EQ(series.ci95.at("HASTE C=1")[0], summary.ci95);
 }
 
 }  // namespace

@@ -1,0 +1,375 @@
+// Tests for the process-sharded Monte-Carlo harness (sim/shard.hpp) and the
+// subprocess substrate beneath it. This binary has a custom main: invoked
+// with --worker it serves shard requests on stdin (the re-entrant worker
+// mode), so the sharded tests spawn this very executable and the worker runs
+// the exact same library code as the in-process reference — the precondition
+// for bit-identical differential checks.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "sim/shard.hpp"
+#include "util/subprocess.hpp"
+
+namespace haste::sim {
+namespace {
+
+std::string self_exe() {
+  char buffer[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  if (n <= 0) throw std::runtime_error("readlink /proc/self/exe failed");
+  buffer[n] = '\0';
+  return buffer;
+}
+
+ScenarioConfig tiny_config() {
+  ScenarioConfig config = ScenarioConfig::small_scale();
+  config.chargers = 3;
+  config.tasks = 6;
+  return config;
+}
+
+std::vector<Variant> tiny_variants() {
+  return {
+      {"HASTE C=1", Algorithm::kOfflineHaste, AlgoParams{1, 1, 1}},
+      {"GreedyCover", Algorithm::kOfflineGreedyCover, AlgoParams{}},
+      // An online variant so the uint64 message counters cross the wire too.
+      {"HASTE-DO C=1", Algorithm::kOnlineHaste, AlgoParams{1, 1, 1}},
+  };
+}
+
+ShardOptions self_options(int workers) {
+  ShardOptions options;
+  options.worker_argv = {self_exe(), "--worker"};
+  options.workers = workers;
+  options.trials_per_shard = 2;
+  options.shard_timeout_seconds = 120.0;
+  return options;
+}
+
+bool metrics_equal(const RunMetrics& a, const RunMetrics& b) {
+  return a.weighted_utility == b.weighted_utility &&
+         a.normalized_utility == b.normalized_utility &&
+         a.relaxed_utility == b.relaxed_utility && a.task_utility == b.task_utility &&
+         a.switches == b.switches && a.messages == b.messages &&
+         a.deliveries == b.deliveries && a.rounds == b.rounds &&
+         a.negotiations == b.negotiations && a.exact == b.exact;
+}
+
+void expect_results_equal(const TrialResults& sharded, const TrialResults& reference) {
+  ASSERT_EQ(sharded.size(), reference.size());
+  for (const auto& [label, runs] : reference) {
+    ASSERT_TRUE(sharded.count(label)) << label;
+    const std::vector<RunMetrics>& other = sharded.at(label);
+    ASSERT_EQ(other.size(), runs.size()) << label;
+    for (std::size_t t = 0; t < runs.size(); ++t) {
+      EXPECT_TRUE(metrics_equal(other[t], runs[t])) << label << " trial " << t;
+    }
+  }
+}
+
+TEST(ShardJson, MetricsRoundTripIsBitExact) {
+  RunMetrics metrics;
+  metrics.weighted_utility = 1.0 / 3.0;
+  metrics.normalized_utility = 0.1;
+  metrics.relaxed_utility = 3.141592653589793;
+  metrics.task_utility = {0.0, 1e-300, 0.30000000000000004, 1.0};
+  metrics.switches = 17;
+  metrics.messages = (1ULL << 60) + 12345;  // beyond double's 2^53 precision
+  metrics.deliveries = 987654321;
+  metrics.rounds = 42;
+  metrics.negotiations = 7;
+  metrics.exact = false;
+
+  const RunMetrics back =
+      metrics_from_json(util::Json::parse(metrics_to_json(metrics).dump()));
+  EXPECT_TRUE(metrics_equal(metrics, back));
+  EXPECT_EQ(back.messages, (1ULL << 60) + 12345);
+  // Bitwise, not just ==: the serialized doubles must round-trip exactly.
+  EXPECT_EQ(std::memcmp(&metrics.weighted_utility, &back.weighted_utility,
+                        sizeof(double)),
+            0);
+}
+
+TEST(ShardJson, ScenarioConfigRoundTripPreservesEveryField) {
+  ScenarioConfig config = ScenarioConfig::paper_default();
+  config.chargers = 7;
+  config.tasks = 31;
+  config.power.charging_angle = 1.0471975511965976;  // pi/3, full precision
+  config.power.gain_profile = model::ReceivingGainProfile::kCosine;
+  config.time.rho = 1.0 / 12.0;
+  config.arrivals = ArrivalProcess::kPoisson;
+  config.poisson_rate_per_slot = 2.5;
+  config.task_placement = Placement::kGaussian;
+  config.gaussian_sigma_x = 12.5;
+  config.utility_shape = "sqrt";
+
+  const ScenarioConfig back =
+      scenario_config_from_json(util::Json::parse(scenario_config_to_json(config).dump()));
+  EXPECT_EQ(back.chargers, config.chargers);
+  EXPECT_EQ(back.tasks, config.tasks);
+  EXPECT_EQ(back.power.charging_angle, config.power.charging_angle);
+  EXPECT_EQ(back.power.gain_profile, config.power.gain_profile);
+  EXPECT_EQ(back.time.rho, config.time.rho);
+  EXPECT_EQ(back.arrivals, config.arrivals);
+  EXPECT_EQ(back.poisson_rate_per_slot, config.poisson_rate_per_slot);
+  EXPECT_EQ(back.task_placement, config.task_placement);
+  EXPECT_EQ(back.gaussian_sigma_x, config.gaussian_sigma_x);
+  EXPECT_EQ(back.utility_shape, config.utility_shape);
+  // Regenerating from the round-tripped config must be bit-identical.
+  util::Rng rng_a(7);
+  util::Rng rng_b(7);
+  const model::Network a = generate_scenario(config, rng_a);
+  const model::Network b = generate_scenario(back, rng_b);
+  ASSERT_EQ(a.task_count(), b.task_count());
+  for (model::TaskIndex j = 0; j < a.task_count(); ++j) {
+    EXPECT_EQ(a.tasks()[j].position.x, b.tasks()[j].position.x);
+    EXPECT_EQ(a.tasks()[j].required_energy, b.tasks()[j].required_energy);
+  }
+}
+
+TEST(ShardJson, ShardSpecRoundTripKeepsFullSeeds) {
+  ShardSpec spec;
+  spec.shard_id = 3;
+  spec.x_index = 2;
+  spec.trial_begin = 8;
+  spec.trial_end = 16;
+  spec.base_seed = 0xDEADBEEFDEADBEEFULL;  // would round through a double
+  spec.config = tiny_config();
+  spec.variants = tiny_variants();
+  spec.variants[0].params.seed = 0xFFFFFFFFFFFFFFFFULL;
+
+  const ShardSpec back =
+      shard_spec_from_json(util::Json::parse(shard_spec_to_json(spec).dump()));
+  EXPECT_EQ(back.shard_id, 3);
+  EXPECT_EQ(back.x_index, 2);
+  EXPECT_EQ(back.trial_begin, 8);
+  EXPECT_EQ(back.trial_end, 16);
+  EXPECT_EQ(back.base_seed, 0xDEADBEEFDEADBEEFULL);
+  ASSERT_EQ(back.variants.size(), spec.variants.size());
+  EXPECT_EQ(back.variants[0].params.seed, 0xFFFFFFFFFFFFFFFFULL);
+  EXPECT_EQ(back.variants[0].label, "HASTE C=1");
+  EXPECT_EQ(back.variants[2].algorithm, Algorithm::kOnlineHaste);
+}
+
+TEST(ShardPlan, CoversAllTrialsDisjointly) {
+  const auto shards = plan_shards(tiny_config(), tiny_variants(), 10, 99, 3);
+  ASSERT_EQ(shards.size(), 4u);
+  int expected_begin = 0;
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    EXPECT_EQ(shards[s].shard_id, static_cast<int>(s));
+    EXPECT_EQ(shards[s].trial_begin, expected_begin);
+    expected_begin = shards[s].trial_end;
+  }
+  EXPECT_EQ(expected_begin, 10);
+  EXPECT_THROW(plan_shards(tiny_config(), tiny_variants(), 5, 1, 0),
+               std::invalid_argument);
+}
+
+TEST(Shard, RunShardMatchesRunTrialsSlice) {
+  const auto variants = tiny_variants();
+  const TrialResults reference = run_trials(tiny_config(), variants, 6, 2024);
+  ShardSpec spec;
+  spec.trial_begin = 2;
+  spec.trial_end = 5;
+  spec.base_seed = 2024;
+  spec.config = tiny_config();
+  spec.variants = variants;
+  const auto slice = run_shard(spec);
+  for (const auto& [label, runs] : slice) {
+    ASSERT_EQ(runs.size(), 3u);
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+      EXPECT_TRUE(metrics_equal(runs[r], reference.at(label)[2 + r]))
+          << label << " trial " << (2 + r);
+    }
+  }
+}
+
+TEST(ShardWorker, ServesRequestsOverStreams) {
+  const auto shards = plan_shards(tiny_config(), tiny_variants(), 4, 11, 2);
+  std::stringstream in;
+  for (const ShardSpec& spec : shards) in << shard_spec_to_json(spec).dump() << "\n";
+  std::stringstream out;
+  EXPECT_EQ(shard_worker_main(in, out), 0);
+
+  const TrialResults reference = run_trials(tiny_config(), tiny_variants(), 4, 11);
+  std::string line;
+  int responses = 0;
+  while (std::getline(out, line)) {
+    const util::Json response = util::Json::parse(line);
+    const int shard_id = static_cast<int>(response.at("shard").as_int());
+    const ShardSpec& spec = shards[static_cast<std::size_t>(shard_id)];
+    for (const auto& [label, runs] : response.at("metrics").items()) {
+      for (std::size_t r = 0; r < runs.size(); ++r) {
+        EXPECT_TRUE(metrics_equal(
+            metrics_from_json(runs.at(r)),
+            reference.at(label)[static_cast<std::size_t>(spec.trial_begin) + r]));
+      }
+    }
+    ++responses;
+  }
+  EXPECT_EQ(responses, 2);
+}
+
+TEST(ShardWorker, RejectsMalformedRequest) {
+  std::stringstream in("this is not json\n");
+  std::stringstream out;
+  EXPECT_EQ(shard_worker_main(in, out), 3);
+}
+
+TEST(ShardRunner, ShardedMatchesInProcessBitIdentical) {
+  const TrialResults reference = run_trials(tiny_config(), tiny_variants(), 7, 2018);
+  const TrialResults sharded =
+      run_trials_sharded(tiny_config(), tiny_variants(), 7, 2018, self_options(3));
+  expect_results_equal(sharded, reference);
+}
+
+TEST(ShardRunner, SweepShardedMatchesSweep) {
+  const std::vector<double> xs = {4.0, 6.0};
+  std::vector<ScenarioConfig> configs;
+  for (double x : xs) {
+    ScenarioConfig config = tiny_config();
+    config.tasks = static_cast<int>(x);
+    configs.push_back(config);
+  }
+  const std::vector<Variant> variants = {
+      {"HASTE C=1", Algorithm::kOfflineHaste, AlgoParams{1, 1, 1}},
+  };
+  std::size_t next = 0;
+  const SweepSeries reference = sweep(
+      xs, [&](double) { return configs[next++]; }, variants, 4, 5);
+  const SweepSeries sharded = sweep_sharded(xs, configs, variants, 4, 5, self_options(2));
+  EXPECT_EQ(sharded.xs, reference.xs);
+  EXPECT_EQ(sharded.series, reference.series);
+  EXPECT_EQ(sharded.ci95, reference.ci95);
+}
+
+TEST(ShardRunner, CrashedWorkerShardIsRetriedAndMergeIdentical) {
+  const std::string manifest_path =
+      testing::TempDir() + "haste_shard_crash_manifest.json";
+  ShardOptions options = self_options(2);
+  options.manifest_path = manifest_path;
+  options.inject_first_attempt[1] = "crash";  // killed mid-run on attempt 1
+
+  const TrialResults reference = run_trials(tiny_config(), tiny_variants(), 8, 77);
+  const TrialResults sharded =
+      run_trials_sharded(tiny_config(), tiny_variants(), 8, 77, options);
+  expect_results_equal(sharded, reference);
+
+  const util::Json manifest = util::load_json_file(manifest_path);
+  const util::Json& shards = manifest.at("shards");
+  bool found = false;
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const util::Json& entry = shards.at(s);
+    if (entry.at("shard").as_int() != 1) {
+      EXPECT_EQ(entry.at("attempts").size(), 1u);
+      continue;
+    }
+    found = true;
+    EXPECT_TRUE(entry.at("done").as_bool());
+    ASSERT_EQ(entry.at("attempts").size(), 2u);  // the crash, then the retry
+    EXPECT_NE(entry.at("attempts").at(0).at("status").as_string(), "ok");
+    EXPECT_EQ(entry.at("attempts").at(1).at("status").as_string(), "ok");
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ShardRunner, MalformedWorkerOutputIsRetried) {
+  ShardOptions options = self_options(2);
+  options.inject_first_attempt[0] = "garbage";
+  const TrialResults reference = run_trials(tiny_config(), tiny_variants(), 6, 31);
+  const TrialResults sharded =
+      run_trials_sharded(tiny_config(), tiny_variants(), 6, 31, options);
+  expect_results_equal(sharded, reference);
+}
+
+TEST(ShardRunner, HangingWorkerIsKilledAndRequeued) {
+  ShardOptions options = self_options(2);
+  options.shard_timeout_seconds = 1.0;
+  options.inject_first_attempt[2] = "hang";
+  const TrialResults reference = run_trials(tiny_config(), tiny_variants(), 6, 13);
+  const TrialResults sharded =
+      run_trials_sharded(tiny_config(), tiny_variants(), 6, 13, options);
+  expect_results_equal(sharded, reference);
+}
+
+TEST(ShardRunner, ExhaustedAttemptsThrowButManifestSurvives) {
+  const std::string manifest_path =
+      testing::TempDir() + "haste_shard_failed_manifest.json";
+  ShardOptions options = self_options(2);
+  options.max_attempts = 1;
+  options.manifest_path = manifest_path;
+  options.inject_first_attempt[0] = "crash";
+  EXPECT_THROW(run_trials_sharded(tiny_config(), tiny_variants(), 4, 9, options),
+               std::runtime_error);
+  const util::Json manifest = util::load_json_file(manifest_path);
+  EXPECT_FALSE(manifest.at("shards").at(0).at("done").as_bool());
+}
+
+TEST(ShardRunner, RejectsBadOptions) {
+  ShardOptions options;  // empty worker_argv
+  EXPECT_THROW(run_trials_sharded(tiny_config(), tiny_variants(), 2, 1, options),
+               std::invalid_argument);
+  options = self_options(0);
+  EXPECT_THROW(run_trials_sharded(tiny_config(), tiny_variants(), 2, 1, options),
+               std::invalid_argument);
+}
+
+TEST(Subprocess, LineBufferReassemblesChunks) {
+  util::LineBuffer buffer;
+  auto lines = buffer.feed("ab", 2);
+  EXPECT_TRUE(lines.empty());
+  lines = buffer.feed("c\nde\nf", 6);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "abc");
+  EXPECT_EQ(lines[1], "de");
+  EXPECT_EQ(buffer.partial(), "f");
+}
+
+TEST(Subprocess, SpawnEchoAndWait) {
+  util::Subprocess proc = util::Subprocess::spawn({"/bin/cat"});
+  ASSERT_TRUE(proc.write_line("hello shard"));
+  proc.close_stdin();
+  std::string collected;
+  char chunk[256];
+  for (;;) {
+    const auto ready = util::poll_readable({proc.stdout_fd()}, 5000);
+    ASSERT_FALSE(ready.empty());
+    const ssize_t n = ::read(proc.stdout_fd(), chunk, sizeof(chunk));
+    ASSERT_GE(n, 0);
+    if (n == 0) break;
+    collected.append(chunk, static_cast<std::size_t>(n));
+  }
+  EXPECT_EQ(collected, "hello shard\n");
+  const util::ExitStatus status = proc.wait();
+  EXPECT_TRUE(status.exited);
+  EXPECT_EQ(status.exit_code, 0);
+  EXPECT_EQ(status.describe(), "exit 0");
+}
+
+TEST(Subprocess, ExecFailureSurfacesAsExit127) {
+  util::Subprocess proc = util::Subprocess::spawn({"/no/such/binary/anywhere"});
+  const util::ExitStatus status = proc.wait();
+  EXPECT_TRUE(status.exited);
+  EXPECT_EQ(status.exit_code, 127);
+}
+
+}  // namespace
+}  // namespace haste::sim
+
+// Custom main: `--worker` turns this test binary into a shard worker serving
+// stdin, so the runner tests can spawn the exact code under test.
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--worker") == 0) {
+      return haste::sim::shard_worker_main(std::cin, std::cout);
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -65,6 +66,31 @@ TEST(Stats, BoxSummaryOrdering) {
   EXPECT_LE(box.q3, box.max);
   EXPECT_EQ(box.count, xs.size());
   EXPECT_NEAR(box.mean, mean(xs), 1e-12);
+}
+
+TEST(Stats, QuantileSortedMatchesQuantile) {
+  Rng rng(9);
+  std::vector<double> xs;
+  for (int i = 0; i < 257; ++i) xs.push_back(rng.uniform(-10.0, 10.0));
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    EXPECT_DOUBLE_EQ(quantile_sorted(sorted, q), quantile(xs, q)) << "q " << q;
+  }
+}
+
+TEST(Stats, BoxSummaryMatchesIndividualStatistics) {
+  // Regression: box_summary sorted the sample once per quantile (3x); the
+  // single-sort path must reproduce the per-call results exactly.
+  Rng rng(6);
+  std::vector<double> xs;
+  for (int i = 0; i < 333; ++i) xs.push_back(rng.uniform(0.0, 50.0));
+  const BoxSummary box = box_summary(xs);
+  EXPECT_DOUBLE_EQ(box.min, min_value(xs));
+  EXPECT_DOUBLE_EQ(box.q1, quantile(xs, 0.25));
+  EXPECT_DOUBLE_EQ(box.median, quantile(xs, 0.5));
+  EXPECT_DOUBLE_EQ(box.q3, quantile(xs, 0.75));
+  EXPECT_DOUBLE_EQ(box.max, max_value(xs));
 }
 
 TEST(Stats, BoxSummaryEmpty) {

@@ -154,6 +154,28 @@ TEST(ThreadPool, ConcurrentCallersKeepTheirOwnExceptions) {
   }
 }
 
+TEST(ThreadPool, ParseThreadEnvAcceptsPlainPositiveIntegers) {
+  EXPECT_EQ(parse_thread_env("1"), 1u);
+  EXPECT_EQ(parse_thread_env("8"), 8u);
+  EXPECT_EQ(parse_thread_env("4096"), 4096u);
+  EXPECT_EQ(parse_thread_env(" 8"), 8u);  // strtol skips leading whitespace
+}
+
+TEST(ThreadPool, ParseThreadEnvRejectsGarbage) {
+  // Regression: HASTE_THREADS went through atoi, so "abc" silently became 0
+  // (falling back without a warning) and "8x" became 8. Invalid values must
+  // be ignored (return 0 = use hardware_concurrency), never half-parsed.
+  EXPECT_EQ(parse_thread_env(nullptr), 0u);
+  EXPECT_EQ(parse_thread_env(""), 0u);
+  EXPECT_EQ(parse_thread_env("abc"), 0u);
+  EXPECT_EQ(parse_thread_env("-2"), 0u);
+  EXPECT_EQ(parse_thread_env("0"), 0u);
+  EXPECT_EQ(parse_thread_env("8x"), 0u);
+  EXPECT_EQ(parse_thread_env("3.5"), 0u);
+  EXPECT_EQ(parse_thread_env("99999999999999999999"), 0u);  // ERANGE
+  EXPECT_EQ(parse_thread_env("4097"), 0u);                  // above the cap
+}
+
 TEST(ThreadPool, NestedSubmissionFromJob) {
   ThreadPool pool(2);
   std::atomic<int> count{0};

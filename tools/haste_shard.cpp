@@ -1,0 +1,241 @@
+// haste_shard — process-sharded Monte-Carlo experiment runner.
+//
+// Driver mode (default): partitions (trial, x-point) work into deterministic
+// shards, spawns N crash-isolated worker processes (this same binary in
+// --worker mode), streams per-shard RunMetrics back as JSON lines, and
+// merges them into exactly what the in-process run_trials/sweep would have
+// produced. A worker that crashes, hangs past --shard-timeout, or emits
+// malformed output has its shard requeued (bounded retries) onto a
+// surviving worker; per-shard telemetry goes to --manifest.
+//
+// Flags:
+//   --preset paper|small     scenario preset (default paper)
+//   --chargers N, --tasks M  override the preset's sizes
+//   --variants offline|online  comparison set (default offline)
+//   --trials N               Monte-Carlo trials per x-point (default 100)
+//   --seed S                 base RNG seed (default 2018)
+//   --sweep-tasks a,b,c      sweep the task count over these x-values
+//                            (omit for a single panel)
+//   --workers W              worker processes (default 2)
+//   --shard-trials K         trials per shard (default: ~4 shards/worker)
+//   --shard-timeout SEC      kill + requeue a shard past this (default 300)
+//   --manifest PATH          write per-shard attempt telemetry JSON
+//   --out PATH               write the merged summary JSON
+//   --verify                 also run the in-process path and fail (exit 1)
+//                            unless the merged results are bit-identical
+//   --inject LIST            fault injection for testing, e.g. "0:crash" or
+//                            "0:crash,2:garbage,3:hang" (first attempt only)
+//   --worker-bin PATH        worker executable (default: this binary)
+//
+// Worker mode: `haste_shard --worker` serves shard requests on stdin until
+// EOF. See src/sim/shard.hpp for the wire protocol.
+#include <unistd.h>
+
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/shard.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace haste;
+
+std::string self_path(const char* argv0) {
+  char buffer[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  if (n > 0) {
+    buffer[n] = '\0';
+    return buffer;
+  }
+  return argv0;
+}
+
+std::vector<double> parse_double_list(const std::string& text) {
+  std::vector<double> values;
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) values.push_back(std::stod(item));
+  }
+  return values;
+}
+
+std::map<int, std::string> parse_inject(const std::string& text) {
+  std::map<int, std::string> inject;
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    const std::size_t colon = item.find(':');
+    if (colon == std::string::npos) {
+      throw std::invalid_argument("--inject entries must look like SHARD:MODE");
+    }
+    inject[std::stoi(item.substr(0, colon))] = item.substr(colon + 1);
+  }
+  return inject;
+}
+
+bool metrics_equal(const sim::RunMetrics& a, const sim::RunMetrics& b) {
+  return a.weighted_utility == b.weighted_utility &&
+         a.normalized_utility == b.normalized_utility &&
+         a.relaxed_utility == b.relaxed_utility && a.task_utility == b.task_utility &&
+         a.switches == b.switches && a.messages == b.messages &&
+         a.deliveries == b.deliveries && a.rounds == b.rounds &&
+         a.negotiations == b.negotiations && a.exact == b.exact;
+}
+
+bool results_equal(const sim::TrialResults& a, const sim::TrialResults& b) {
+  if (a.size() != b.size()) return false;
+  for (const auto& [label, runs] : a) {
+    const auto it = b.find(label);
+    if (it == b.end() || it->second.size() != runs.size()) return false;
+    for (std::size_t t = 0; t < runs.size(); ++t) {
+      if (!metrics_equal(runs[t], it->second[t])) return false;
+    }
+  }
+  return true;
+}
+
+void print_summary(double x, const std::map<std::string, sim::UtilitySummary>& summaries,
+                   util::Table& table) {
+  for (const auto& [label, summary] : summaries) {
+    table.add_row({util::format_fixed(x, 2), label, util::format_fixed(summary.mean, 4),
+                   util::format_fixed(summary.ci95, 4)});
+  }
+}
+
+int usage() {
+  std::cerr << "usage: haste_shard [driver flags] | haste_shard --worker\n"
+               "       see the header of tools/haste_shard.cpp for the flag list\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Worker fast path: serve shard requests on stdin, no driver flags parsed.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--worker") == 0) {
+      return sim::shard_worker_main(std::cin, std::cout);
+    }
+  }
+
+  try {
+    const util::Flags flags = util::Flags::parse(argc, argv);
+
+    sim::ScenarioConfig config = flags.get("preset", "paper") == "small"
+                                     ? sim::ScenarioConfig::small_scale()
+                                     : sim::ScenarioConfig::paper_default();
+    config.chargers = static_cast<int>(flags.get_int("chargers", config.chargers));
+    config.tasks = static_cast<int>(flags.get_int("tasks", config.tasks));
+
+    const std::string variant_set = flags.get("variants", "offline");
+    if (variant_set != "offline" && variant_set != "online") {
+      std::cerr << "haste_shard: --variants must be offline or online\n";
+      return usage();
+    }
+    const std::vector<sim::Variant> variants =
+        variant_set == "online" ? sim::online_variants() : sim::offline_variants();
+
+    const int trials = static_cast<int>(flags.get_int("trials", 100));
+    const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2018));
+
+    sim::ShardOptions options;
+    options.worker_argv = {flags.get("worker-bin", self_path(argv[0])), "--worker"};
+    options.workers = static_cast<int>(flags.get_int("workers", 2));
+    options.trials_per_shard = static_cast<int>(flags.get_int("shard-trials", 0));
+    options.shard_timeout_seconds = flags.get_double("shard-timeout", 300.0);
+    options.manifest_path = flags.get("manifest");
+    if (flags.has("inject")) {
+      options.inject_first_attempt = parse_inject(flags.get("inject"));
+    }
+
+    util::Table table({"x", "variant", "mean_utility", "ci95"});
+    util::Json out_json = util::Json::object();
+    bool verified_ok = true;
+
+    if (flags.has("sweep-tasks")) {
+      const std::vector<double> xs = parse_double_list(flags.get("sweep-tasks"));
+      std::vector<sim::ScenarioConfig> configs;
+      for (double x : xs) {
+        sim::ScenarioConfig point = config;
+        point.tasks = static_cast<int>(x);
+        configs.push_back(point);
+      }
+      const sim::SweepSeries sharded =
+          sim::sweep_sharded(xs, configs, variants, trials, seed, options);
+      for (std::size_t x = 0; x < xs.size(); ++x) {
+        std::map<std::string, sim::UtilitySummary> summaries;
+        for (const auto& [label, means] : sharded.series) {
+          summaries[label] = {means[x], sharded.ci95.at(label)[x]};
+        }
+        print_summary(xs[x], summaries, table);
+      }
+      util::Json series = util::Json::object();
+      for (const auto& [label, means] : sharded.series) {
+        util::Json entry = util::Json::object();
+        util::Json mean_array = util::Json::array();
+        util::Json ci_array = util::Json::array();
+        for (std::size_t x = 0; x < xs.size(); ++x) {
+          mean_array.push_back(means[x]);
+          ci_array.push_back(sharded.ci95.at(label)[x]);
+        }
+        entry.set("mean", std::move(mean_array));
+        entry.set("ci95", std::move(ci_array));
+        series.set(label, std::move(entry));
+      }
+      out_json.set("series", std::move(series));
+
+      if (flags.get_bool("verify")) {
+        std::size_t next = 0;
+        const sim::SweepSeries reference = sim::sweep(
+            xs, [&](double) { return configs[next++]; }, variants, trials, seed);
+        verified_ok = sharded.series == reference.series && sharded.ci95 == reference.ci95;
+      }
+    } else {
+      const sim::TrialResults sharded =
+          sim::run_trials_sharded(config, variants, trials, seed, options);
+      const auto summaries = sim::utility_summary(sharded);
+      print_summary(0.0, summaries, table);
+      util::Json series = util::Json::object();
+      for (const auto& [label, summary] : summaries) {
+        util::Json entry = util::Json::object();
+        entry.set("mean", summary.mean);
+        entry.set("ci95", summary.ci95);
+        series.set(label, std::move(entry));
+      }
+      out_json.set("series", std::move(series));
+
+      if (flags.get_bool("verify")) {
+        const sim::TrialResults reference =
+            sim::run_trials(config, variants, trials, seed);
+        verified_ok = results_equal(sharded, reference);
+      }
+    }
+
+    table.print(std::cout);
+    if (!options.manifest_path.empty()) {
+      std::cout << "manifest written to " << options.manifest_path << "\n";
+    }
+    if (!flags.get("out").empty()) {
+      util::save_json_file(flags.get("out"), out_json);
+      std::cout << "summary written to " << flags.get("out") << "\n";
+    }
+    if (flags.get_bool("verify")) {
+      if (!verified_ok) {
+        std::cerr << "VERIFY FAILED: sharded results differ from the in-process path\n";
+        return 1;
+      }
+      std::cout << "verify: sharded results bit-identical to the in-process path\n";
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "haste_shard: " << error.what() << "\n";
+    return 1;
+  }
+}
