@@ -1,16 +1,20 @@
 #include "sim/shard.hpp"
 
+#include <signal.h>
+#include <string.h>
 #include <unistd.h>
 
 #include <chrono>
 #include <deque>
 #include <istream>
+#include <memory>
 #include <ostream>
 #include <stdexcept>
 #include <thread>
 
 #include "core/objective.hpp"
 #include "util/log.hpp"
+#include "util/socket.hpp"
 #include "util/subprocess.hpp"
 
 namespace haste::sim {
@@ -278,41 +282,145 @@ std::map<std::string, std::vector<RunMetrics>> run_shard(const ShardSpec& spec) 
   return results;
 }
 
+namespace {
+
+/// Outcome of serving one request line, transport-independent. The `inject`
+/// tag tells the transport loop which failure to act out (writing garbage,
+/// truncating the line, resetting the connection, dripping bytes) — the
+/// modes that never return (crash, hang, kill-self) are handled inside
+/// serve_shard_line itself.
+struct ServedLine {
+  int exit_code = 0;     ///< non-zero: stop serving with this code
+  std::string response;  ///< result line, without the trailing '\n'
+  std::string inject;    ///< "", "garbage", "partial", "reset", "slow"
+};
+
+ServedLine serve_shard_line(const std::string& line) {
+  ServedLine served;
+  Json request;
+  ShardSpec spec;
+  try {
+    request = Json::parse(line);
+    spec = shard_spec_from_json(request);
+  } catch (const std::exception& error) {
+    HASTE_LOG_ERROR << "shard worker: malformed request: " << error.what();
+    served.exit_code = 3;
+    return served;
+  }
+  const std::string inject = request.string_or("inject", "");
+  if (inject == "crash") {
+    std::_Exit(86);  // simulate a mid-shard crash
+  } else if (inject == "kill-self") {
+    ::raise(SIGKILL);  // simulate an external kill: death by signal
+  } else if (inject == "hang") {
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+  } else if (inject == "garbage") {
+    served.inject = "garbage";
+    served.response = "}{ this is not json";
+    return served;
+  }
+  const auto metrics = run_shard(spec);
+  Json response = Json::object();
+  response.set("shard", spec.shard_id);
+  Json by_label = Json::object();
+  for (const auto& [label, runs] : metrics) {
+    Json array = Json::array();
+    for (const RunMetrics& run : runs) array.push_back(metrics_to_json(run));
+    by_label.set(label, std::move(array));
+  }
+  response.set("metrics", std::move(by_label));
+  served.response = response.dump();
+  if (inject == "partial") {
+    // Die with half a result line on the wire: the driver must treat the
+    // truncated line as a failed attempt, not as data.
+    served.inject = "partial";
+    served.response = served.response.substr(0, served.response.size() / 2);
+  } else if (inject == "reset" || inject == "slow") {
+    served.inject = inject;
+  }
+  return served;
+}
+
+}  // namespace
+
 int shard_worker_main(std::istream& in, std::ostream& out) {
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
-    Json request;
-    ShardSpec spec;
-    try {
-      request = Json::parse(line);
-      spec = shard_spec_from_json(request);
-    } catch (const std::exception& error) {
-      HASTE_LOG_ERROR << "shard worker: malformed request: " << error.what();
-      return 3;
-    }
-    const std::string inject = request.string_or("inject", "");
-    if (inject == "crash") {
-      std::_Exit(86);  // simulate a mid-shard crash
-    } else if (inject == "hang") {
-      for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
-    } else if (inject == "garbage") {
-      out << "}{ this is not json\n" << std::flush;
+    const ServedLine served = serve_shard_line(line);
+    if (served.exit_code != 0) return served.exit_code;
+    if (served.inject == "garbage") {
+      out << served.response << "\n" << std::flush;
       std::_Exit(0);
     }
-    const auto metrics = run_shard(spec);
-    Json response = Json::object();
-    response.set("shard", spec.shard_id);
-    Json by_label = Json::object();
-    for (const auto& [label, runs] : metrics) {
-      Json array = Json::array();
-      for (const RunMetrics& run : runs) array.push_back(metrics_to_json(run));
-      by_label.set(label, std::move(array));
+    if (served.inject == "partial") {
+      out << served.response << std::flush;  // no newline, then die
+      std::_Exit(9);
     }
-    response.set("metrics", std::move(by_label));
-    out << response.dump() << "\n" << std::flush;
+    if (served.inject == "reset") {
+      std::_Exit(1);  // no socket to reset over a pipe; just vanish
+    }
+    if (served.inject == "slow") {
+      // Slow-loris: drip the result out far slower than any shard timeout.
+      const std::string payload = served.response + "\n";
+      for (char byte : payload) {
+        out.write(&byte, 1);
+        out.flush();
+        if (!out) std::_Exit(1);  // driver gave up and closed the pipe
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      }
+      continue;
+    }
+    out << served.response << "\n" << std::flush;
   }
   return 0;
+}
+
+int shard_worker_connect(const std::string& address) {
+  util::TcpSocket socket;
+  try {
+    socket = util::TcpSocket::connect(address);
+  } catch (const std::exception& error) {
+    HASTE_LOG_ERROR << "shard worker: " << error.what();
+    return 4;
+  }
+  util::LineBuffer lines;
+  char buffer[65536];
+  for (;;) {
+    if (util::poll_readable({socket.fd()}, 1000).empty()) continue;
+    const ssize_t n = ::read(socket.fd(), buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return 0;  // connection torn down
+    }
+    if (n == 0) return 0;  // driver half-closed: no more shards
+    for (const std::string& line : lines.feed(buffer, static_cast<std::size_t>(n))) {
+      if (line.empty()) continue;
+      const ServedLine served = serve_shard_line(line);
+      if (served.exit_code != 0) return served.exit_code;
+      if (served.inject == "garbage") {
+        socket.write_all(served.response + "\n");
+        std::_Exit(0);
+      }
+      if (served.inject == "partial") {
+        socket.write_all(served.response);  // mid-line, then die
+        std::_Exit(9);
+      }
+      if (served.inject == "reset") {
+        socket.close(/*reset=*/true);  // RST instead of a result line
+        std::_Exit(1);
+      }
+      if (served.inject == "slow") {
+        const std::string payload = served.response + "\n";
+        for (char byte : payload) {
+          if (!socket.write_all(&byte, 1)) std::_Exit(1);  // driver hung up
+          std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        }
+        continue;
+      }
+      if (!socket.write_all(served.response + "\n")) return 0;
+    }
+  }
 }
 
 namespace {
@@ -325,8 +433,10 @@ double seconds_since(Clock::time_point start) {
 
 /// One attempt of one shard, for the run manifest.
 struct AttemptRecord {
-  pid_t worker_pid = -1;
-  std::string status;  ///< "ok" | "timeout" | "malformed output" | "worker exit/signal"
+  pid_t worker_pid = -1;   ///< -1 for remote (TCP) workers
+  std::string worker;      ///< "pid 1234" or "ip:port"
+  std::string transport;   ///< "subprocess" | "tcp"
+  std::string status;  ///< "ok" | "timeout" | "malformed output" | "worker exit/signal" | ...
   double wall_seconds = 0.0;
 };
 
@@ -338,24 +448,174 @@ struct ShardState {
   std::vector<AttemptRecord> history;
 };
 
-/// Drives a pool of worker subprocesses over a fixed shard list: assigns
-/// pending shards to idle workers, multiplexes their stdout, and requeues
-/// the shard of any worker that crashes, hangs past the timeout, or emits a
-/// malformed line — respawning replacements so retries land on a live
-/// worker. Total respawns are bounded because every failure consumes one of
-/// the failing shard's max_attempts.
+/// One worker connection, whatever carries it. The runner only ever needs a
+/// readable fd to multiplex, a way to send a request line, and the three
+/// lifecycle verbs (finish politely, terminate now, explain the corpse).
+class WorkerLink {
+ public:
+  virtual ~WorkerLink() = default;
+  virtual int read_fd() const = 0;
+  virtual bool send_line(const std::string& line) = 0;
+  /// Pushes buffered request bytes toward a slow reader; default no-op.
+  virtual void flush() {}
+  /// Politely signals "no more shards" (EOF / half-close).
+  virtual void finish() = 0;
+  /// Waits for a finished worker to go away where that is observable.
+  virtual void await() {}
+  /// Hard stop: kill the process / close the connection. A link that was
+  /// terminated can never deliver a stale result for a requeued shard.
+  virtual void terminate() = 0;
+  virtual std::string peer() const = 0;
+  virtual pid_t pid() const { return -1; }
+  virtual const char* transport() const = 0;
+  /// After EOF: what happened to the worker, for the manifest.
+  virtual std::string fate() = 0;
+};
+
+class SubprocessLink : public WorkerLink {
+ public:
+  explicit SubprocessLink(util::Subprocess proc) : proc_(std::move(proc)) {}
+  int read_fd() const override { return proc_.stdout_fd(); }
+  bool send_line(const std::string& line) override { return proc_.write_line(line); }
+  void finish() override { proc_.close_stdin(); }
+  void await() override { proc_.wait(); }
+  void terminate() override {
+    proc_.kill();
+    proc_.wait();
+  }
+  std::string peer() const override { return "pid " + std::to_string(proc_.pid()); }
+  pid_t pid() const override { return proc_.pid(); }
+  const char* transport() const override { return "subprocess"; }
+  std::string fate() override { return "worker " + proc_.wait().describe(); }
+
+ private:
+  util::Subprocess proc_;
+};
+
+class TcpLink : public WorkerLink {
+ public:
+  explicit TcpLink(util::TcpSocket socket) : socket_(std::move(socket)) {}
+  int read_fd() const override { return socket_.fd(); }
+  bool send_line(const std::string& line) override { return socket_.send_line(line); }
+  void flush() override { socket_.flush(0); }
+  void finish() override {
+    socket_.flush(1000);
+    socket_.shutdown_write();
+  }
+  void terminate() override { socket_.close(); }
+  std::string peer() const override { return socket_.peer(); }
+  const char* transport() const override { return "tcp"; }
+  std::string fate() override { return "connection closed by peer"; }
+
+ private:
+  util::TcpSocket socket_;
+};
+
+/// A source of worker links. The pool mixes links from every configured
+/// transport; each transport contributes at most capacity() of them at once.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual int capacity() const = 0;
+  /// Tries to produce one more link within `timeout_ms`; nullptr when none
+  /// became available (e.g. no TCP worker has connected yet).
+  virtual std::unique_ptr<WorkerLink> open(int timeout_ms) = 0;
+  virtual const char* name() const = 0;
+};
+
+class SubprocessTransport : public Transport {
+ public:
+  SubprocessTransport(std::vector<std::string> argv, int capacity)
+      : argv_(std::move(argv)), capacity_(capacity) {}
+  int capacity() const override { return capacity_; }
+  const char* name() const override { return "subprocess"; }
+  std::unique_ptr<WorkerLink> open(int) override {
+    return std::make_unique<SubprocessLink>(util::Subprocess::spawn(argv_));
+  }
+
+ private:
+  std::vector<std::string> argv_;
+  int capacity_;
+};
+
+class TcpTransport : public Transport {
+ public:
+  TcpTransport(const std::string& address, int capacity,
+               std::vector<std::string> spawn_argv)
+      : listener_(util::TcpListener::listen(address)),
+        capacity_(capacity),
+        spawn_argv_(std::move(spawn_argv)) {
+    if (!spawn_argv_.empty()) spawn_argv_.push_back(listener_.local_address());
+    HASTE_LOG_INFO << "shard runner: listening for TCP workers on "
+                   << listener_.local_address()
+                   << (spawn_argv_.empty() ? " (start workers with --connect)" : "");
+  }
+  int capacity() const override { return capacity_; }
+  const char* name() const override { return "tcp"; }
+
+  std::unique_ptr<WorkerLink> open(int timeout_ms) override {
+    std::optional<util::TcpSocket> socket = listener_.accept(0);
+    if (!socket) {
+      if (!spawn_argv_.empty()) {
+        // Loopback helper: keep as many live --connect workers in flight as
+        // the capacity allows, replacing spawns that died (crash injection,
+        // external kills) so a requeued shard still finds a connection.
+        // try_wait() reaps without blocking; live-or-connecting spawns are
+        // bounded by capacity, so this cannot fork without end.
+        std::size_t live = 0;
+        for (util::Subprocess& proc : spawned_) {
+          if (!proc.try_wait()) ++live;
+        }
+        if (live < static_cast<std::size_t>(capacity_)) {
+          spawned_.push_back(util::Subprocess::spawn(spawn_argv_));
+        }
+      }
+      socket = listener_.accept(timeout_ms);
+    }
+    if (!socket) return nullptr;
+    return std::make_unique<TcpLink>(std::move(*socket));
+  }
+
+ private:
+  util::TcpListener listener_;
+  int capacity_;
+  std::vector<std::string> spawn_argv_;
+  std::vector<util::Subprocess> spawned_;  ///< destructor reaps leftovers
+};
+
+/// Drives a pool of workers over a fixed shard list: assigns pending shards
+/// to idle workers, multiplexes their output fds, and requeues the shard of
+/// any worker that crashes, disconnects, hangs past the timeout, or emits a
+/// malformed line — opening replacement links so retries land on a live
+/// worker. The pool draws from every configured transport (fork+pipe
+/// subprocesses, accepted TCP connections) and treats the links uniformly.
+/// Total replacements are bounded because every failure consumes one of the
+/// failing shard's max_attempts.
 class ShardRunner {
  public:
   ShardRunner(std::vector<ShardSpec> specs, const ShardOptions& options)
       : options_(options) {
-    if (options_.worker_argv.empty()) {
-      throw std::invalid_argument("ShardOptions::worker_argv must not be empty");
-    }
-    if (options_.workers < 1) {
-      throw std::invalid_argument("ShardOptions::workers must be >= 1");
-    }
     if (options_.max_attempts < 1) {
       throw std::invalid_argument("ShardOptions::max_attempts must be >= 1");
+    }
+    const bool tcp_enabled = !options_.listen_address.empty();
+    if (!tcp_enabled && options_.worker_argv.empty()) {
+      throw std::invalid_argument("ShardOptions::worker_argv must not be empty");
+    }
+    if (!tcp_enabled && options_.workers < 1) {
+      throw std::invalid_argument("ShardOptions::workers must be >= 1");
+    }
+    if (tcp_enabled && options_.tcp_workers < 1) {
+      throw std::invalid_argument(
+          "ShardOptions::tcp_workers must be >= 1 when listen_address is set");
+    }
+    if (!options_.worker_argv.empty() && options_.workers > 0) {
+      transports_.push_back(std::make_unique<SubprocessTransport>(
+          options_.worker_argv, options_.workers));
+    }
+    if (tcp_enabled) {
+      transports_.push_back(std::make_unique<TcpTransport>(
+          options_.listen_address, options_.tcp_workers, options_.tcp_spawn_argv));
     }
     shards_.reserve(specs.size());
     for (ShardSpec& spec : specs) {
@@ -369,7 +629,8 @@ class ShardRunner {
       for (std::size_t s = 0; s < shards_.size(); ++s) pending_.push_back(s);
       drive();
     } catch (...) {
-      workers_.clear();  // kill + reap before reporting
+      workers_.clear();     // kill / disconnect + reap before reporting
+      transports_.clear();  // close the listener, reap spawned TCP workers
       write_manifest();
       throw;
     }
@@ -382,47 +643,71 @@ class ShardRunner {
 
  private:
   struct WorkerSlot {
-    util::Subprocess proc;
+    std::unique_ptr<WorkerLink> link;
+    Transport* origin = nullptr;
     util::LineBuffer lines;
     long shard = -1;  ///< index into shards_, -1 when idle
     Clock::time_point started;
+    bool dead = false;  ///< failed, waiting for reap_failed_workers
   };
 
   void drive() {
+    const Clock::time_point started = Clock::now();
     while (completed_ < shards_.size()) {
-      spawn_up_to_target();
+      open_up_to_target();
       assign_pending();
+      reap_failed_workers();
       if (workers_.empty()) {
-        throw std::runtime_error("shard runner: no worker process could be started");
+        // Only a TCP-fed pool can be legitimately empty (workers still
+        // dialing in); open_up_to_target already waited a beat for them.
+        if (seconds_since(started) > options_.connect_wait_seconds) {
+          throw std::runtime_error(
+              "shard runner: no worker available within " +
+              std::to_string(options_.connect_wait_seconds) + "s");
+        }
+        continue;
       }
+      flush_outboxes();
       poll_workers();
       enforce_timeouts();
     }
-    // Clean shutdown: EOF on stdin tells each worker to exit.
-    for (WorkerSlot& worker : workers_) worker.proc.close_stdin();
-    for (WorkerSlot& worker : workers_) worker.proc.wait();
+    // Clean shutdown: EOF toward each worker tells it to exit.
+    for (WorkerSlot& worker : workers_) worker.link->finish();
+    for (WorkerSlot& worker : workers_) worker.link->await();
     workers_.clear();
+    transports_.clear();
   }
 
-  void spawn_up_to_target() {
-    // Spawn only as many workers as there is pending work (capped at the
-    // configured pool size): a broken worker command then consumes shard
+  void open_up_to_target() {
+    // Open only as many links as there is pending work (capped at each
+    // transport's pool share): a broken worker command then consumes shard
     // attempts — a bounded budget — instead of respawning idle forever.
     std::size_t idle = 0;
     for (const WorkerSlot& worker : workers_) {
-      if (worker.shard < 0) ++idle;
+      if (!worker.dead && worker.shard < 0) ++idle;
     }
-    while (workers_.size() < static_cast<std::size_t>(options_.workers) &&
-           idle < pending_.size()) {
-      WorkerSlot slot{util::Subprocess::spawn(options_.worker_argv), {}, -1, {}};
-      workers_.push_back(std::move(slot));
-      ++idle;
+    for (const std::unique_ptr<Transport>& transport : transports_) {
+      std::size_t from_this = 0;
+      for (const WorkerSlot& worker : workers_) {
+        if (!worker.dead && worker.origin == transport.get()) ++from_this;
+      }
+      while (from_this < static_cast<std::size_t>(transport->capacity()) &&
+             idle < pending_.size()) {
+        // An empty pool has nothing to poll, so waiting inside open() for a
+        // TCP worker to dial in is what paces the connect-wait loop.
+        std::unique_ptr<WorkerLink> link = transport->open(workers_.empty() ? 200 : 0);
+        if (!link) break;
+        workers_.push_back(
+            WorkerSlot{std::move(link), transport.get(), {}, -1, {}, false});
+        ++from_this;
+        ++idle;
+      }
     }
   }
 
   void assign_pending() {
     for (WorkerSlot& worker : workers_) {
-      if (worker.shard >= 0 || pending_.empty()) continue;
+      if (worker.dead || worker.shard >= 0 || pending_.empty()) continue;
       const std::size_t s = pending_.front();
       pending_.pop_front();
       ShardState& shard = shards_[s];
@@ -434,7 +719,7 @@ class ShardRunner {
       ++shard.attempts;
       worker.shard = static_cast<long>(s);
       worker.started = Clock::now();
-      if (!worker.proc.write_line(request.dump())) {
+      if (!worker.link->send_line(request.dump())) {
         // The worker died before we could feed it; its exit will also surface
         // via EOF, but handle it now so the shard is not stranded.
         fail_worker(worker, "write to worker failed");
@@ -442,21 +727,30 @@ class ShardRunner {
     }
   }
 
+  void flush_outboxes() {
+    // Push buffered request bytes toward slow readers (TCP links buffer
+    // writes so a stalled worker can never block the driver loop; its
+    // stall is charged to the shard timeout instead).
+    for (WorkerSlot& worker : workers_) {
+      if (!worker.dead) worker.link->flush();
+    }
+  }
+
   void poll_workers() {
     std::vector<int> fds;
     fds.reserve(workers_.size());
-    for (const WorkerSlot& worker : workers_) fds.push_back(worker.proc.stdout_fd());
+    for (const WorkerSlot& worker : workers_) {
+      fds.push_back(worker.dead ? -1 : worker.link->read_fd());
+    }
     const auto ready = util::poll_readable(fds, poll_timeout_ms());
-    // Read back-to-front so erasing a dead worker cannot shift the indices
-    // of entries still to be processed.
-    for (auto it = ready.rbegin(); it != ready.rend(); ++it) read_worker(workers_[*it]);
+    for (std::size_t index : ready) read_worker(workers_[index]);
     reap_failed_workers();
   }
 
   int poll_timeout_ms() const {
-    double nearest = 0.1;  // keep the loop responsive to fresh spawns
+    double nearest = 0.1;  // keep the loop responsive to fresh links
     for (const WorkerSlot& worker : workers_) {
-      if (worker.shard < 0) continue;
+      if (worker.dead || worker.shard < 0) continue;
       const double remaining =
           options_.shard_timeout_seconds - seconds_since(worker.started);
       nearest = std::min(nearest, std::max(remaining, 0.0));
@@ -465,16 +759,23 @@ class ShardRunner {
   }
 
   void read_worker(WorkerSlot& worker) {
+    if (worker.dead) return;
     char buffer[65536];
-    const ssize_t n = ::read(worker.proc.stdout_fd(), buffer, sizeof(buffer));
+    const ssize_t n = ::read(worker.link->read_fd(), buffer, sizeof(buffer));
     if (n < 0) {
       if (errno == EINTR || errno == EAGAIN) return;
-      fail_worker(worker, "read from worker failed");
+      // e.g. ECONNRESET when a TCP worker dies hard instead of closing.
+      fail_worker(worker, std::string("read from worker failed: ") +
+                              ::strerror(errno));
       return;
     }
-    if (n == 0) {  // EOF: the worker exited (cleanly or not)
-      const util::ExitStatus status = worker.proc.wait();
-      fail_worker(worker, "worker " + status.describe());
+    if (n == 0) {  // EOF: the worker exited / disconnected (cleanly or not)
+      std::string reason = worker.link->fate();
+      if (!worker.lines.partial().empty()) {
+        reason += " mid-line (" + std::to_string(worker.lines.partial().size()) +
+                  " bytes of truncated output)";
+      }
+      fail_worker(worker, reason);
       return;
     }
     for (const std::string& line :
@@ -509,21 +810,24 @@ class ShardRunner {
     }
     shard.done = true;
     ++completed_;
-    shard.history.push_back(
-        AttemptRecord{worker.proc.pid(), "ok", seconds_since(worker.started)});
+    shard.history.push_back(AttemptRecord{worker.link->pid(), worker.link->peer(),
+                                          worker.link->transport(), "ok",
+                                          seconds_since(worker.started)});
     worker.shard = -1;
     return true;
   }
 
   /// Records the failed attempt, requeues the shard (bounded), and marks the
-  /// worker for removal; a replacement is spawned on the next loop turn.
+  /// worker for removal; a replacement link is opened on the next loop turn.
   void fail_worker(WorkerSlot& worker, const std::string& reason) {
     if (worker.shard >= 0) {
       ShardState& shard = shards_[static_cast<std::size_t>(worker.shard)];
-      shard.history.push_back(
-          AttemptRecord{worker.proc.pid(), reason, seconds_since(worker.started)});
+      shard.history.push_back(AttemptRecord{worker.link->pid(), worker.link->peer(),
+                                            worker.link->transport(), reason,
+                                            seconds_since(worker.started)});
       HASTE_LOG_WARN << "shard " << shard.spec.shard_id << " attempt " << shard.attempts
-                     << " failed (" << reason << "), "
+                     << " failed on " << worker.link->transport() << " worker "
+                     << worker.link->peer() << " (" << reason << "), "
                      << (shard.attempts < options_.max_attempts ? "requeueing"
                                                                 : "giving up");
       if (shard.attempts >= options_.max_attempts) {
@@ -534,8 +838,8 @@ class ShardRunner {
       pending_.push_front(static_cast<std::size_t>(worker.shard));
       worker.shard = -1;
     }
-    worker.proc.kill();
-    worker.proc.wait();
+    worker.link->terminate();
+    worker.dead = true;
     failed_workers_ = true;
   }
 
@@ -545,15 +849,17 @@ class ShardRunner {
     std::vector<WorkerSlot> alive;
     alive.reserve(workers_.size());
     for (WorkerSlot& worker : workers_) {
-      if (!worker.proc.reaped()) alive.push_back(std::move(worker));
+      if (!worker.dead) alive.push_back(std::move(worker));
     }
     workers_ = std::move(alive);
   }
 
   void enforce_timeouts() {
     for (WorkerSlot& worker : workers_) {
-      if (worker.shard < 0) continue;
+      if (worker.dead || worker.shard < 0) continue;
       if (seconds_since(worker.started) < options_.shard_timeout_seconds) continue;
+      // Kill the process / close the connection: a timed-out worker must
+      // never deliver a stale result after its shard was requeued.
       fail_worker(worker, "timeout");
     }
     reap_failed_workers();
@@ -563,6 +869,10 @@ class ShardRunner {
     if (options_.manifest_path.empty()) return;
     Json manifest = Json::object();
     manifest.set("worker_count", options_.workers);
+    manifest.set("tcp_worker_count", options_.tcp_workers);
+    if (!options_.listen_address.empty()) {
+      manifest.set("listen_address", options_.listen_address);
+    }
     manifest.set("max_attempts", options_.max_attempts);
     manifest.set("timeout_seconds", options_.shard_timeout_seconds);
     Json shards = Json::array();
@@ -577,6 +887,8 @@ class ShardRunner {
       for (const AttemptRecord& attempt : shard.history) {
         Json record = Json::object();
         record.set("worker_pid", static_cast<std::int64_t>(attempt.worker_pid));
+        record.set("worker", attempt.worker);
+        record.set("transport", attempt.transport);
         record.set("status", attempt.status);
         record.set("wall_seconds", attempt.wall_seconds);
         attempts.push_back(std::move(record));
@@ -591,6 +903,7 @@ class ShardRunner {
   ShardOptions options_;
   std::vector<ShardState> shards_;
   std::deque<std::size_t> pending_;
+  std::vector<std::unique_ptr<Transport>> transports_;
   std::vector<WorkerSlot> workers_;
   std::size_t completed_ = 0;
   bool failed_workers_ = false;
@@ -598,8 +911,10 @@ class ShardRunner {
 
 int effective_trials_per_shard(const ShardOptions& options, int trials) {
   if (options.trials_per_shard > 0) return options.trials_per_shard;
-  // Auto: ~4 shards per worker so a crashed shard costs a fraction of a run.
-  const int shards = std::max(1, options.workers * 4);
+  // Auto: ~4 shards per worker (across every transport) so a crashed shard
+  // costs a fraction of a run. Shard boundaries never affect merged results.
+  const int pool = std::max(1, options.workers + options.tcp_workers);
+  const int shards = std::max(1, pool * 4);
   return std::max(1, (trials + shards - 1) / shards);
 }
 

@@ -12,12 +12,24 @@
 //
 // Wire protocol (one JSON object per line, newline-terminated):
 //   driver -> worker: shard_spec_to_json(spec), plus optional "inject"
-//                     (fault injection for tests: "crash" | "garbage" |
-//                     "hang") — stdin EOF tells the worker to exit
+//                     (fault injection for tests, see below) — EOF on the
+//                     request stream tells the worker to exit
 //   worker -> driver: {"shard": id, "metrics": {label: [RunMetrics...]}}
 // 64-bit seeds and counters travel as decimal strings (JSON numbers are
 // doubles and would silently round above 2^53); every double is serialized
 // with shortest-round-trip precision, so the round trip is bit-exact.
+//
+// The protocol is transport-agnostic: the same lines flow over a fork+pipe
+// worker (`--worker`, stdin/stdout) or a TCP connection (`--connect`,
+// shard_worker_connect). The driver pool mixes both transports freely —
+// every link gets the same bounded requeue, timeout handling (kill the
+// process / close the connection), and manifest telemetry.
+//
+// Inject modes ("crash" | "garbage" | "hang" | "kill-self" | "partial" |
+// "reset" | "slow", first attempt only) simulate worker failure for tests:
+// exit mid-shard, emit non-JSON, never answer, die by SIGKILL, die after
+// half a result line, reset the connection instead of answering, or drip
+// the result out slower than any sane shard timeout.
 #pragma once
 
 #include <cstdint>
@@ -75,18 +87,42 @@ std::map<std::string, std::vector<RunMetrics>> run_shard(const ShardSpec& spec);
 /// malformed request).
 int shard_worker_main(std::istream& in, std::ostream& out);
 
-/// Knobs of the process-sharded runner.
+/// TCP worker: connects to a driver at `address` ("host:port") and serves
+/// shard requests over the socket until the driver half-closes or drops the
+/// connection. Returns the process exit code (0 on clean close, 3 on a
+/// malformed request, 4 when the connection cannot be established).
+int shard_worker_connect(const std::string& address);
+
+/// Knobs of the process-sharded runner. Two transports can feed the same
+/// worker pool: fork+pipe subprocesses (`worker_argv` x `workers`) and TCP
+/// connections accepted on `listen_address` (`tcp_workers` of them, either
+/// spawned locally via `tcp_spawn_argv` or started by hand on other hosts
+/// with `--connect`). At least one transport must be configured.
 struct ShardOptions {
-  /// Command used to exec each worker, e.g. {"/proc/self/exe", "--worker"}.
+  /// Command used to exec each local worker, e.g. {"/proc/self/exe",
+  /// "--worker"}. Empty disables the subprocess transport.
   std::vector<std::string> worker_argv;
-  int workers = 2;           ///< concurrent worker processes (>= 1)
+  int workers = 2;           ///< concurrent local worker processes
   int trials_per_shard = 0;  ///< <= 0: auto (~4 shards per worker)
-  double shard_timeout_seconds = 300.0;  ///< kill + requeue past this
+  double shard_timeout_seconds = 300.0;  ///< kill/disconnect + requeue past this
   int max_attempts = 3;      ///< per-shard attempt bound before giving up
   std::string manifest_path; ///< per-shard telemetry JSON; "" = none
   /// Fault injection for tests: shard id -> directive sent with that
-  /// shard's FIRST attempt only ("crash" | "garbage" | "hang").
+  /// shard's FIRST attempt only (see the inject modes above).
   std::map<int, std::string> inject_first_attempt;
+
+  /// TCP transport: non-empty enables it — listen on "host:port" (port 0 =
+  /// ephemeral) and accept worker connections into the pool.
+  std::string listen_address;
+  int tcp_workers = 0;  ///< TCP worker connections to admit into the pool
+  /// Loopback convenience (and the ctest story): spawn this command with the
+  /// actually-bound listen address appended once per TCP worker slot, e.g.
+  /// {"haste_shard", "--connect"}. Empty = wait for externally started
+  /// workers to dial in.
+  std::vector<std::string> tcp_spawn_argv;
+  /// Give up if the pool stays empty this long — covers remote workers that
+  /// never connect (a non-empty pool never waits on this).
+  double connect_wait_seconds = 30.0;
 };
 
 /// Process-sharded equivalent of run_trials: same signature semantics, and

@@ -1,0 +1,121 @@
+// Minimal TCP substrate for the shard runner's remote transport (POSIX,
+// IPv4). A TcpListener accepts worker connections on the driver side; a
+// TcpSocket is one byte stream endpoint — the driver reads result lines from
+// its fd with poll_readable + LineBuffer (subprocess.hpp) exactly as it does
+// from a pipe, and writes request lines through a per-connection outbox so a
+// slow or stalled worker can never block the driver loop.
+//
+// The wire carries the same newline-delimited JSON as the fork+pipe path;
+// there is no authentication or encryption, so only use it on trusted
+// networks (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace haste::util {
+
+/// A parsed "host:port" endpoint (IPv4 or a resolvable hostname).
+struct SocketAddress {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// Parses "host:port". Throws std::invalid_argument on a missing host, a
+/// missing colon, or a port outside [0, 65535]. Port 0 is allowed (the OS
+/// picks an ephemeral port at bind time).
+SocketAddress parse_socket_address(const std::string& text);
+
+/// One TCP byte-stream endpoint. Move-only; the destructor closes the fd.
+class TcpSocket {
+ public:
+  TcpSocket() = default;
+  TcpSocket(TcpSocket&& other) noexcept;
+  TcpSocket& operator=(TcpSocket&& other) noexcept;
+  TcpSocket(const TcpSocket&) = delete;
+  TcpSocket& operator=(const TcpSocket&) = delete;
+  ~TcpSocket();
+
+  /// Connects to "host:port", waiting at most `timeout_ms` for the handshake.
+  /// Throws std::runtime_error on failure (refused, unresolvable, timeout).
+  static TcpSocket connect(const std::string& address, int timeout_ms = 10000);
+
+  /// Raw fd for poll_readable / read; -1 once closed.
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Peer endpoint as "ip:port" (captured at connect/accept time, so it
+  /// stays meaningful in telemetry after the connection dies).
+  const std::string& peer() const { return peer_; }
+
+  /// Queues `line` + '\n' into the outbox and flushes as much as the socket
+  /// accepts without blocking. Returns false once the connection is dead;
+  /// true with unsent bytes left just means the peer is slow — keep calling
+  /// flush(). The driver's request lines therefore never block its loop.
+  bool send_line(const std::string& line);
+
+  /// Writes pending outbox bytes, polling writability up to `timeout_ms`
+  /// (0 = only what fits right now). False once the connection is dead.
+  bool flush(int timeout_ms = 0);
+
+  /// Outbox bytes not yet handed to the kernel.
+  std::size_t pending_bytes() const { return outbox_.size(); }
+
+  /// Blocking write of raw bytes (worker side; polls through EAGAIN).
+  /// Returns false if the peer is gone (EPIPE/ECONNRESET).
+  bool write_all(const char* data, std::size_t size);
+  bool write_all(const std::string& data) { return write_all(data.data(), data.size()); }
+
+  /// Half-close: signals EOF to the peer while leaving reads open. This is
+  /// how the driver tells a worker "no more shards".
+  void shutdown_write();
+
+  /// Closes the fd. With `reset`, arranges an immediate RST instead of an
+  /// orderly FIN (SO_LINGER 0) — used by fault-injection tests.
+  void close(bool reset = false);
+
+ private:
+  friend class TcpListener;
+
+  int fd_ = -1;
+  std::string peer_;
+  std::string outbox_;
+};
+
+/// A listening TCP socket (SO_REUSEADDR). Move-only; closes on destruction.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+  ~TcpListener();
+
+  /// Binds and listens on "host:port" (port 0 = ephemeral; see port()).
+  /// Throws std::runtime_error on failure.
+  static TcpListener listen(const std::string& address, int backlog = 16);
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// The actually bound port — resolves ":0" to the OS's pick.
+  std::uint16_t port() const { return port_; }
+
+  /// "host:port" with the bound port, suitable for a worker's --connect.
+  std::string local_address() const;
+
+  /// Accepts one pending connection, waiting at most `timeout_ms`
+  /// (0 = non-blocking check). std::nullopt if nothing arrived in time.
+  /// The accepted socket is non-blocking: reads return EAGAIN instead of
+  /// stalling the driver, matching the poll-driven runner loop.
+  std::optional<TcpSocket> accept(int timeout_ms);
+
+ private:
+  int fd_ = -1;
+  std::string host_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace haste::util

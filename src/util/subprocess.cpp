@@ -27,8 +27,19 @@ void ignore_sigpipe_once() {
 }  // namespace
 
 std::string ExitStatus::describe() const {
-  if (exited) return "exit " + std::to_string(exit_code);
-  if (signaled) return "signal " + std::to_string(term_signal);
+  if (exited) {
+    // 127 is the shell/exec convention for "command not found": the child
+    // _exit(127)s when execv fails, and conflating that with an ordinary
+    // worker exit hides misconfigured --worker-bin paths in the manifest.
+    if (exit_code == 127) return "exec failure (exit 127)";
+    return "exit " + std::to_string(exit_code);
+  }
+  if (signaled) {
+    const char* name = ::strsignal(term_signal);
+    std::string text = "signal " + std::to_string(term_signal);
+    if (name != nullptr) text += std::string(" (") + name + ")";
+    return text;
+  }
   return "unknown";
 }
 
@@ -139,6 +150,22 @@ void Subprocess::close_stdin() {
 
 void Subprocess::kill(int sig) {
   if (pid_ >= 0 && !reaped_) ::kill(pid_, sig);
+}
+
+bool Subprocess::try_wait() {
+  if (reaped_) return true;
+  int raw = 0;
+  const pid_t r = ::waitpid(pid_, &raw, WNOHANG);
+  if (r != pid_) return false;  // still running (or EINTR/ECHILD)
+  reaped_ = true;
+  if (WIFEXITED(raw)) {
+    status_.exited = true;
+    status_.exit_code = WEXITSTATUS(raw);
+  } else if (WIFSIGNALED(raw)) {
+    status_.signaled = true;
+    status_.term_signal = WTERMSIG(raw);
+  }
+  return true;
 }
 
 ExitStatus Subprocess::wait() {

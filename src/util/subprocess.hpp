@@ -60,6 +60,10 @@ class Subprocess {
   /// repeatedly.
   ExitStatus wait();
 
+  /// Non-blocking waitpid (WNOHANG): reaps the child if it has exited and
+  /// returns whether it is reaped. Never blocks.
+  bool try_wait();
+
   /// True until wait() has reaped the child.
   bool reaped() const { return reaped_; }
 

@@ -357,6 +357,72 @@ TEST(Subprocess, ExecFailureSurfacesAsExit127) {
   const util::ExitStatus status = proc.wait();
   EXPECT_TRUE(status.exited);
   EXPECT_EQ(status.exit_code, 127);
+  // describe() must not conflate "the binary doesn't exist" with an ordinary
+  // worker exit — that's how a bad --worker-bin shows up in the manifest.
+  EXPECT_EQ(status.describe(), "exec failure (exit 127)");
+}
+
+TEST(Subprocess, SignalDeathDescribesTheSignal) {
+  util::Subprocess proc = util::Subprocess::spawn({"/bin/cat"});
+  proc.kill(9);
+  const util::ExitStatus status = proc.wait();
+  EXPECT_TRUE(status.signaled);
+  EXPECT_EQ(status.term_signal, 9);
+  EXPECT_EQ(status.describe().rfind("signal 9", 0), 0u) << status.describe();
+  EXPECT_NE(status.describe().find("Killed"), std::string::npos) << status.describe();
+}
+
+TEST(Subprocess, TryWaitReapsWithoutBlocking) {
+  util::Subprocess proc = util::Subprocess::spawn({"/bin/cat"});
+  EXPECT_FALSE(proc.try_wait());  // still alive — must not block
+  EXPECT_FALSE(proc.reaped());
+  proc.kill(9);
+  while (!proc.try_wait()) {
+    ::usleep(10000);
+  }
+  EXPECT_TRUE(proc.reaped());
+  const util::ExitStatus status = proc.wait();  // cached, no second waitpid
+  EXPECT_TRUE(status.signaled);
+  EXPECT_EQ(status.term_signal, 9);
+}
+
+TEST(ShardRunner, ManifestDistinguishesExecFailure) {
+  const std::string manifest_path =
+      testing::TempDir() + "haste_shard_exec_failure_manifest.json";
+  ShardOptions options = self_options(1);
+  options.worker_argv = {"/no/such/binary/anywhere", "--worker"};
+  options.max_attempts = 1;
+  options.manifest_path = manifest_path;
+  EXPECT_THROW(run_trials_sharded(tiny_config(), tiny_variants(), 2, 3, options),
+               std::runtime_error);
+  const util::Json manifest = util::load_json_file(manifest_path);
+  const std::string status =
+      manifest.at("shards").at(0).at("attempts").at(0).at("status").as_string();
+  EXPECT_NE(status.find("exec failure (exit 127)"), std::string::npos) << status;
+}
+
+TEST(ShardRunner, ManifestRecordsSignalDeathByName) {
+  const std::string manifest_path =
+      testing::TempDir() + "haste_shard_sigkill_manifest.json";
+  ShardOptions options = self_options(2);
+  options.manifest_path = manifest_path;
+  options.inject_first_attempt[0] = "kill-self";  // worker raises SIGKILL
+  const TrialResults reference = run_trials(tiny_config(), tiny_variants(), 6, 23);
+  const TrialResults sharded =
+      run_trials_sharded(tiny_config(), tiny_variants(), 6, 23, options);
+  expect_results_equal(sharded, reference);
+  const util::Json manifest = util::load_json_file(manifest_path);
+  const util::Json& shards = manifest.at("shards");
+  bool found = false;
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const util::Json& entry = shards.at(s);
+    if (entry.at("shard").as_int() != 0) continue;
+    found = true;
+    ASSERT_GE(entry.at("attempts").size(), 2u);
+    const std::string status = entry.at("attempts").at(0).at("status").as_string();
+    EXPECT_NE(status.find("signal 9"), std::string::npos) << status;
+  }
+  EXPECT_TRUE(found);
 }
 
 }  // namespace

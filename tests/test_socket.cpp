@@ -1,0 +1,299 @@
+// Tests for the TCP substrate (util/socket.hpp) and the edge cases of the
+// line-reassembly / poll helpers (util/subprocess.hpp) the shard transports
+// are built on. Everything runs over loopback with ephemeral ports, so the
+// suite cannot collide with other processes or itself under ctest -j.
+#include <gtest/gtest.h>
+#include <errno.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "util/socket.hpp"
+#include "util/subprocess.hpp"
+
+namespace haste::util {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+/// Listener + connected pair over loopback, for the socket tests.
+struct LoopbackPair {
+  TcpListener listener;
+  TcpSocket client;  ///< worker side: blocking
+  TcpSocket server;  ///< driver side: non-blocking (accepted)
+};
+
+LoopbackPair make_pair_over_loopback() {
+  LoopbackPair pair;
+  pair.listener = TcpListener::listen("127.0.0.1:0");
+  pair.client = TcpSocket::connect(pair.listener.local_address());
+  auto accepted = pair.listener.accept(2000);
+  if (!accepted) throw std::runtime_error("loopback accept timed out");
+  pair.server = std::move(*accepted);
+  return pair;
+}
+
+std::string read_some(int fd, int timeout_ms) {
+  std::string collected;
+  char chunk[4096];
+  const Clock::time_point start = Clock::now();
+  while (ms_since(start) < timeout_ms) {
+    if (poll_readable({fd}, 50).empty()) continue;
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n > 0) {
+      collected.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) break;
+    if (errno == EINTR || errno == EAGAIN) continue;
+    break;
+  }
+  return collected;
+}
+
+TEST(SocketAddress, ParsesHostAndPort) {
+  const SocketAddress address = parse_socket_address("127.0.0.1:8080");
+  EXPECT_EQ(address.host, "127.0.0.1");
+  EXPECT_EQ(address.port, 8080);
+  EXPECT_EQ(parse_socket_address("localhost:0").port, 0);  // ephemeral allowed
+  EXPECT_EQ(parse_socket_address("example.com:65535").port, 65535);
+}
+
+TEST(SocketAddress, RejectsMalformedEndpoints) {
+  EXPECT_THROW(parse_socket_address("no-port"), std::invalid_argument);
+  EXPECT_THROW(parse_socket_address(":7777"), std::invalid_argument);
+  EXPECT_THROW(parse_socket_address("host:"), std::invalid_argument);
+  EXPECT_THROW(parse_socket_address("host:abc"), std::invalid_argument);
+  EXPECT_THROW(parse_socket_address("host:70000"), std::invalid_argument);
+  EXPECT_THROW(parse_socket_address("host:12x"), std::invalid_argument);
+}
+
+TEST(TcpListener, BindsEphemeralPortAndReportsIt) {
+  const TcpListener listener = TcpListener::listen("127.0.0.1:0");
+  EXPECT_TRUE(listener.valid());
+  EXPECT_NE(listener.port(), 0);  // ":0" resolved to the OS's pick
+  EXPECT_EQ(listener.local_address(),
+            "127.0.0.1:" + std::to_string(listener.port()));
+}
+
+TEST(TcpListener, AcceptTimesOutWithoutAConnection) {
+  TcpListener listener = TcpListener::listen("127.0.0.1:0");
+  const Clock::time_point start = Clock::now();
+  EXPECT_FALSE(listener.accept(0).has_value());    // non-blocking check
+  EXPECT_FALSE(listener.accept(100).has_value());  // bounded wait
+  EXPECT_LT(ms_since(start), 2000.0);
+}
+
+TEST(TcpSocket, ConnectToClosedPortThrows) {
+  // Bind-then-close guarantees the port exists but nothing listens on it.
+  std::uint16_t dead_port = 0;
+  {
+    const TcpListener listener = TcpListener::listen("127.0.0.1:0");
+    dead_port = listener.port();
+  }
+  EXPECT_THROW(
+      TcpSocket::connect("127.0.0.1:" + std::to_string(dead_port), 2000),
+      std::runtime_error);
+  EXPECT_THROW(TcpSocket::connect("not-an-address", 100), std::invalid_argument);
+}
+
+TEST(TcpSocket, LinesFlowBothWaysAcrossLoopback) {
+  LoopbackPair pair = make_pair_over_loopback();
+  EXPECT_NE(pair.server.peer().find("127.0.0.1:"), std::string::npos);
+  EXPECT_NE(pair.client.peer().find("127.0.0.1:"), std::string::npos);
+
+  ASSERT_TRUE(pair.server.send_line("request 1"));
+  ASSERT_TRUE(pair.server.flush(1000));
+  EXPECT_EQ(read_some(pair.client.fd(), 2000), "request 1\n");
+
+  ASSERT_TRUE(pair.client.write_all("response 1\n"));
+  EXPECT_EQ(read_some(pair.server.fd(), 2000), "response 1\n");
+}
+
+TEST(TcpSocket, ShutdownWriteDeliversEofButKeepsReadsOpen) {
+  LoopbackPair pair = make_pair_over_loopback();
+  pair.server.shutdown_write();
+  // Client sees EOF...
+  char byte;
+  ASSERT_FALSE(poll_readable({pair.client.fd()}, 2000).empty());
+  EXPECT_EQ(::read(pair.client.fd(), &byte, 1), 0);
+  // ...but can still answer on the other half of the connection.
+  ASSERT_TRUE(pair.client.write_all("late result\n"));
+  EXPECT_EQ(read_some(pair.server.fd(), 2000), "late result\n");
+}
+
+TEST(TcpSocket, ResetCloseSurfacesAsReadError) {
+  LoopbackPair pair = make_pair_over_loopback();
+  pair.client.close(/*reset=*/true);  // RST, not FIN
+  ASSERT_FALSE(poll_readable({pair.server.fd()}, 2000).empty());
+  char byte;
+  const ssize_t n = ::read(pair.server.fd(), &byte, 1);
+  // Linux loopback surfaces the RST as ECONNRESET; a bare EOF would also be
+  // acceptable to the runner (both fail the in-flight shard attempt).
+  EXPECT_LE(n, 0);
+}
+
+TEST(TcpSocket, OutboxBuffersWhenThePeerStallsAndDrainsWhenItReads) {
+  LoopbackPair pair = make_pair_over_loopback();
+  // Shrink the send buffer so backpressure appears at test-sized payloads.
+  const int small = 4096;
+  ::setsockopt(pair.server.fd(), SOL_SOCKET, SO_SNDBUF, &small, sizeof(small));
+
+  const std::string line(8192, 'x');
+  std::size_t queued_lines = 0;
+  while (pair.server.pending_bytes() == 0 && queued_lines < 512) {
+    ASSERT_TRUE(pair.server.send_line(line));  // never blocks, never fails
+    ++queued_lines;
+  }
+  ASSERT_GT(pair.server.pending_bytes(), 0u)
+      << "peer never exerted backpressure; cannot test the outbox";
+
+  // Drain on the client while flushing on the server: everything arrives,
+  // in order, newline-framed.
+  std::string received;
+  const std::size_t expected = queued_lines * (line.size() + 1);
+  const Clock::time_point start = Clock::now();
+  while (received.size() < expected && ms_since(start) < 10000) {
+    ASSERT_TRUE(pair.server.flush(10));
+    received += read_some(pair.client.fd(), 50);
+  }
+  ASSERT_EQ(received.size(), expected);
+  EXPECT_EQ(pair.server.pending_bytes(), 0u);
+  for (std::size_t i = 0; i < queued_lines; ++i) {
+    EXPECT_EQ(received[(i + 1) * (line.size() + 1) - 1], '\n') << "line " << i;
+  }
+}
+
+TEST(TcpSocket, SendToDeadPeerReportsFailure) {
+  LoopbackPair pair = make_pair_over_loopback();
+  pair.client.close();
+  // The first send may still land in the kernel buffer; the failure must
+  // surface within a few attempts, not crash the process via SIGPIPE.
+  bool failed = false;
+  for (int i = 0; i < 20 && !failed; ++i) {
+    failed = !pair.server.send_line("into the void") || !pair.server.flush(50);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(failed);
+}
+
+// --- LineBuffer edge cases ---------------------------------------------------
+
+TEST(LineBufferEdge, ReassemblesOneByteChunks) {
+  LineBuffer buffer;
+  const std::string text = "alpha\nbeta\n";
+  std::vector<std::string> lines;
+  for (char byte : text) {
+    for (std::string& line : buffer.feed(&byte, 1)) lines.push_back(std::move(line));
+  }
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "alpha");
+  EXPECT_EQ(lines[1], "beta");
+  EXPECT_TRUE(buffer.partial().empty());
+}
+
+TEST(LineBufferEdge, EmptyLinesAreRealLines) {
+  LineBuffer buffer;
+  const auto lines = buffer.feed("\n\nx\n\n", 5);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0], "");
+  EXPECT_EQ(lines[1], "");
+  EXPECT_EQ(lines[2], "x");
+  EXPECT_EQ(lines[3], "");
+}
+
+TEST(LineBufferEdge, CrLfPayloadKeepsTheCarriageReturn) {
+  // The wire protocol is '\n'-delimited; a '\r' is payload, not framing —
+  // the JSON parser rejects it later, which is what flags a CRLF-speaking
+  // worker as malformed instead of silently accepting mangled lines.
+  LineBuffer buffer;
+  const auto lines = buffer.feed("a\r\nb\n", 5);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "a\r");
+  EXPECT_EQ(lines[1], "b");
+}
+
+TEST(LineBufferEdge, PartialSurvivesUntilEofAndFlagsTruncation) {
+  LineBuffer buffer;
+  EXPECT_TRUE(buffer.feed("{\"shard\": 1, \"met", 17).empty());
+  EXPECT_EQ(buffer.partial(), "{\"shard\": 1, \"met");
+  // More bytes without a newline keep accumulating...
+  EXPECT_TRUE(buffer.feed("rics\"", 5).empty());
+  EXPECT_EQ(buffer.partial(), "{\"shard\": 1, \"metrics\"");
+  // ...and at EOF the caller sees the truncated tail (a failed attempt).
+  EXPECT_FALSE(buffer.partial().empty());
+}
+
+TEST(LineBufferEdge, FeedOfZeroBytesIsANoOp) {
+  LineBuffer buffer;
+  EXPECT_TRUE(buffer.feed("", 0).empty());
+  EXPECT_TRUE(buffer.partial().empty());
+}
+
+// --- poll_readable edge cases ------------------------------------------------
+
+TEST(PollReadableEdge, AllNegativeFdsReturnImmediatelyEmpty) {
+  const Clock::time_point start = Clock::now();
+  EXPECT_TRUE(poll_readable({-1, -1, -1}, 5000).empty());
+  // Must not sit out the 5s timeout with nothing to watch.
+  EXPECT_LT(ms_since(start), 1000.0);
+}
+
+TEST(PollReadableEdge, EmptyVectorReturnsEmpty) {
+  EXPECT_TRUE(poll_readable({}, 1000).empty());
+}
+
+TEST(PollReadableEdge, ZeroTimeoutReportsOnlyReadyFds) {
+  int quiet[2];
+  int noisy[2];
+  ASSERT_EQ(::pipe(quiet), 0);
+  ASSERT_EQ(::pipe(noisy), 0);
+  ASSERT_EQ(::write(noisy[1], "!", 1), 1);
+
+  // Zero timeout: a pure readiness probe, no blocking.
+  EXPECT_TRUE(poll_readable({quiet[0]}, 0).empty());
+  const auto ready = poll_readable({quiet[0], noisy[0]}, 0);
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0], 1u);
+
+  for (int fd : {quiet[0], quiet[1], noisy[0], noisy[1]}) ::close(fd);
+}
+
+TEST(PollReadableEdge, NegativeEntriesKeepOriginalIndices) {
+  int a[2];
+  int b[2];
+  ASSERT_EQ(::pipe(a), 0);
+  ASSERT_EQ(::pipe(b), 0);
+  ASSERT_EQ(::write(a[1], "x", 1), 1);
+  ASSERT_EQ(::write(b[1], "y", 1), 1);
+
+  // -1 entries are skipped but must not shift the reported indices.
+  const auto ready = poll_readable({-1, a[0], -1, b[0]}, 1000);
+  ASSERT_EQ(ready.size(), 2u);
+  EXPECT_EQ(ready[0], 1u);
+  EXPECT_EQ(ready[1], 3u);
+
+  for (int fd : {a[0], a[1], b[0], b[1]}) ::close(fd);
+}
+
+TEST(PollReadableEdge, EofCountsAsReadable) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ::close(fds[1]);  // writer gone: reader sees EOF, which "will not block"
+  const auto ready = poll_readable({fds[0]}, 1000);
+  ASSERT_EQ(ready.size(), 1u);
+  char byte;
+  EXPECT_EQ(::read(fds[0], &byte, 1), 0);
+  ::close(fds[0]);
+}
+
+}  // namespace
+}  // namespace haste::util

@@ -1,12 +1,13 @@
 // haste_shard — process-sharded Monte-Carlo experiment runner.
 //
 // Driver mode (default): partitions (trial, x-point) work into deterministic
-// shards, spawns N crash-isolated worker processes (this same binary in
-// --worker mode), streams per-shard RunMetrics back as JSON lines, and
-// merges them into exactly what the in-process run_trials/sweep would have
-// produced. A worker that crashes, hangs past --shard-timeout, or emits
-// malformed output has its shard requeued (bounded retries) onto a
-// surviving worker; per-shard telemetry goes to --manifest.
+// shards, farms them out to crash-isolated workers (local fork+pipe
+// subprocesses, remote TCP connections, or both in one pool), streams
+// per-shard RunMetrics back as JSON lines, and merges them into exactly what
+// the in-process run_trials/sweep would have produced. A worker that
+// crashes, disconnects, hangs past --shard-timeout, or emits malformed
+// output has its shard requeued (bounded retries) onto a surviving worker;
+// per-shard telemetry goes to --manifest.
 //
 // Flags:
 //   --preset paper|small     scenario preset (default paper)
@@ -16,7 +17,8 @@
 //   --seed S                 base RNG seed (default 2018)
 //   --sweep-tasks a,b,c      sweep the task count over these x-values
 //                            (omit for a single panel)
-//   --workers W              worker processes (default 2)
+//   --workers W              local worker processes (default 2;
+//                            0 with --serve)
 //   --shard-trials K         trials per shard (default: ~4 shards/worker)
 //   --shard-timeout SEC      kill + requeue a shard past this (default 300)
 //   --manifest PATH          write per-shard attempt telemetry JSON
@@ -27,8 +29,21 @@
 //                            "0:crash,2:garbage,3:hang" (first attempt only)
 //   --worker-bin PATH        worker executable (default: this binary)
 //
-// Worker mode: `haste_shard --worker` serves shard requests on stdin until
-// EOF. See src/sim/shard.hpp for the wire protocol.
+// TCP transport (multi-host; unauthenticated — trusted networks only):
+//   --serve HOST:PORT        listen for TCP workers and add them to the pool
+//                            (PORT 0 picks an ephemeral port; the bound
+//                            address is logged). Defaults --workers to 0.
+//   --tcp-workers N          TCP worker connections to admit (default 2
+//                            with --serve)
+//   --tcp-spawn              loopback convenience: spawn the TCP workers
+//                            locally as `--connect` subprocesses aimed at
+//                            the bound port
+//   --connect-wait SEC       give up if no worker joins in time (default 30)
+//
+// Worker modes:
+//   `haste_shard --worker` serves shard requests on stdin until EOF;
+//   `haste_shard --connect HOST:PORT` dials a `--serve` driver and serves
+//   the same protocol over the socket. See src/sim/shard.hpp.
 #include <unistd.h>
 
 #include <cstring>
@@ -110,7 +125,9 @@ void print_summary(double x, const std::map<std::string, sim::UtilitySummary>& s
 }
 
 int usage() {
-  std::cerr << "usage: haste_shard [driver flags] | haste_shard --worker\n"
+  std::cerr << "usage: haste_shard [driver flags]\n"
+               "       haste_shard --worker            (serve shards on stdin)\n"
+               "       haste_shard --connect HOST:PORT (serve shards over TCP)\n"
                "       see the header of tools/haste_shard.cpp for the flag list\n";
   return 2;
 }
@@ -118,10 +135,14 @@ int usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Worker fast path: serve shard requests on stdin, no driver flags parsed.
+  // Worker fast paths: serve shard requests, no driver flags parsed.
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--worker") == 0) {
       return sim::shard_worker_main(std::cin, std::cout);
+    }
+    if (std::strcmp(argv[i], "--connect") == 0) {
+      if (i + 1 >= argc) return usage();
+      return sim::shard_worker_connect(argv[i + 1]);
     }
   }
 
@@ -146,8 +167,18 @@ int main(int argc, char** argv) {
     const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2018));
 
     sim::ShardOptions options;
-    options.worker_argv = {flags.get("worker-bin", self_path(argv[0])), "--worker"};
-    options.workers = static_cast<int>(flags.get_int("workers", 2));
+    const std::string worker_bin = flags.get("worker-bin", self_path(argv[0]));
+    options.listen_address = flags.get("serve");
+    const bool serving = !options.listen_address.empty();
+    // With --serve the pool is TCP-first: local subprocesses join only when
+    // --workers is set explicitly alongside it.
+    options.workers = static_cast<int>(flags.get_int("workers", serving ? 0 : 2));
+    options.worker_argv = {worker_bin, "--worker"};
+    options.tcp_workers = static_cast<int>(flags.get_int("tcp-workers", serving ? 2 : 0));
+    if (flags.get_bool("tcp-spawn")) {
+      options.tcp_spawn_argv = {worker_bin, "--connect"};
+    }
+    options.connect_wait_seconds = flags.get_double("connect-wait", 30.0);
     options.trials_per_shard = static_cast<int>(flags.get_int("shard-trials", 0));
     options.shard_timeout_seconds = flags.get_double("shard-timeout", 300.0);
     options.manifest_path = flags.get("manifest");
