@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/obs.hpp"
 #include "util/thread_pool.hpp"
 
 namespace haste::core {
@@ -189,6 +190,13 @@ OfflineResult schedule_offline_over(const model::Network& net,
   const int colors = engine.colors();
   const bool incremental = config.mode == TabularMode::kIncremental;
 
+  HASTE_OBS_SPAN(schedule_span, "offline.schedule");
+  schedule_span.arg("chargers", util::Json(net.charger_count()));
+  schedule_span.arg("tasks", util::Json(net.task_count()));
+  schedule_span.arg("partitions", util::Json(static_cast<std::int64_t>(partitions.size())));
+  schedule_span.arg("colors", util::Json(colors));
+  schedule_span.arg("mode", util::Json(incremental ? "incremental" : "rebuild"));
+
   // selections[p][c] = index of the chosen policy of partition p for color c,
   // or -1 when nothing was added.
   std::vector<std::vector<int>> selections(partitions.size(),
@@ -204,11 +212,16 @@ OfflineResult schedule_offline_over(const model::Network& net,
 
   TabularCache cache;
   if (incremental) {
+    HASTE_OBS_SPAN(build_span, "offline.cache_build");
     cache = build_tabular_cache(net, engine, partitions);
   }
   std::vector<char> fresh;  // per-(partition, color) scratch: bound is exact
 
   for (int c = 0; c < colors; ++c) {
+    // One span per color stage: coarse enough to stay invisible in the
+    // per-partition hot loop, fine enough to see the stage skew per trace.
+    HASTE_OBS_SPAN(color_span, "offline.color");
+    color_span.arg("color", util::Json(c));
     for (std::size_t p = 0; p < partitions.size(); ++p) {
       const PolicyPartition& partition = partitions[p];
       int best = -1;
@@ -343,6 +356,12 @@ OfflineResult schedule_offline_over(const model::Network& net,
   const MarginalEngine::Stats stats = engine.stats();
   result.row_evaluations = stats.row_terms;
   result.marginal_evaluations = stats.marginals;
+  // Mirror the engine's evaluation counts into the registry so profiles of
+  // any caller (CLI, benches, shard workers) see them without plumbing.
+  HASTE_OBS_COUNTER_ADD("offline.row_evals", stats.row_terms);
+  HASTE_OBS_COUNTER_ADD("offline.marginal_evals", stats.marginals);
+  HASTE_OBS_COUNTER_ADD("offline.commits", stats.commits);
+  HASTE_OBS_COUNTER_ADD("offline.schedules", 1);
   return result;
 }
 

@@ -87,6 +87,13 @@ class ChargerNode {
   /// The planner's local expected utility estimate (diagnostics).
   double local_expected_value() const;
 
+  /// Evaluation counters of the current plan's engine (zeroed at every
+  /// begin_plan, since the engine is rebuilt per plan); all-zero before the
+  /// first plan. Lets the online driver charge row_term work to re-plans.
+  core::MarginalEngine::Stats engine_stats() const {
+    return engine_.has_value() ? engine_->stats() : core::MarginalEngine::Stats{};
+  }
+
  private:
   void recompute_best();
   double refresh_policy(std::size_t q);  ///< lazily refreshed marginal (kIncremental)
@@ -154,6 +161,19 @@ class ChargerNode {
 
   // Last committed orientation per color (switch-avoiding tie-break).
   std::vector<std::optional<double>> previous_orientation_;
+
+  // Cross-plan reuse caches, effective when the same node object serves
+  // consecutive re-plans (OnlineConfig::reuse_nodes). Both memoize pure
+  // functions, so hitting them is bit-identical to recomputing:
+  //   - dominant sets depend only on (net, id, known_tasks);
+  //   - a column's initial term row_term(0, task, delta) depends only on the
+  //     task's harvested base energy (delta is fixed per column — the
+  //     orientation- and slot-independent per-slot energy).
+  std::vector<model::TaskIndex> cached_known_;  // known_tasks of dominant_
+  bool dominant_cached_ = false;
+  std::vector<std::uint64_t> term_cache_base_;  // [task]: bit pattern of base
+  std::vector<double> term_cache_term_;         // [task]: cached initial term
+  std::vector<char> term_cache_valid_;          // [task]
 };
 
 }  // namespace haste::dist

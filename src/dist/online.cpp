@@ -11,6 +11,7 @@
 #include "dist/bus.hpp"
 #include "dist/event_queue.hpp"
 #include "dist/node.hpp"
+#include "obs/obs.hpp"
 
 namespace haste::dist {
 
@@ -34,46 +35,55 @@ void splice_plan(model::Schedule& target, const model::Schedule& source,
   }
 }
 
+/// Sums the per-plan engine evaluation counters over a fleet (each node's
+/// engine is rebuilt at begin_plan, so the totals are this re-plan's cost).
+std::uint64_t fleet_row_evals(const std::vector<ChargerNode*>& nodes) {
+  std::uint64_t total = 0;
+  for (const ChargerNode* node : nodes) total += node->engine_stats().row_terms;
+  return total;
+}
+
+/// Wires the alive fleet onto a fresh bus (alive-restricted neighborhoods)
+/// and runs the plan-start HELLO round.
+void wire_and_hello(const model::Network& net, const std::vector<ChargerNode*>& nodes,
+                    const std::vector<bool>& alive,
+                    const std::vector<model::TaskIndex>& known,
+                    std::span<const double> initial_energy, BroadcastBus& bus) {
+  for (ChargerNode* node : nodes) {
+    bus.register_node(node->id(), [node](const Message& m) { node->receive(m); });
+    std::vector<model::ChargerIndex> neighbors;
+    for (model::ChargerIndex j : net.neighbors(node->id())) {
+      if (alive[static_cast<std::size_t>(j)]) neighbors.push_back(j);
+    }
+    bus.set_neighbors(node->id(), std::move(neighbors));
+  }
+  for (ChargerNode* node : nodes) {
+    bus.broadcast(node->begin_plan(known, initial_energy));
+  }
+  bus.flush_round();
+}
+
 /// Runs the ordered token protocol for one re-plan: each charger, in
 /// ascending ID order (one token round per color), greedily selects policies
 /// for all its slots and broadcasts the selections; receivers fold them into
 /// their local views. Equivalent in guarantee to the election protocol (the
 /// order of a locally greedy run does not affect its 1/2 bound), but with
 /// one broadcast per selection instead of repeated VALUE elections.
+/// `nodes` is the alive fleet in ascending id order, owned by the caller —
+/// persistent across re-plans under OnlineConfig::reuse_nodes.
 void negotiate_sequential(const model::Network& net, const OnlineConfig& config,
+                          const std::vector<ChargerNode*>& nodes,
                           const std::vector<model::TaskIndex>& known,
                           std::span<const double> initial_energy,
                           model::SlotIndex plan_start, const std::vector<bool>& alive,
                           model::Schedule& executed, OnlineResult& result) {
-  const model::ChargerIndex n = net.charger_count();
-
   BroadcastBus bus;
-  std::vector<std::unique_ptr<ChargerNode>> nodes;
-  for (model::ChargerIndex i = 0; i < n; ++i) {
-    if (!alive[static_cast<std::size_t>(i)]) continue;
-    nodes.push_back(std::make_unique<ChargerNode>(
-        net, i,
-        core::MarginalEngine::Config{config.colors, config.samples, config.seed},
-        config.mode));
-  }
-  for (auto& node : nodes) {
-    ChargerNode* raw = node.get();
-    bus.register_node(raw->id(), [raw](const Message& m) { raw->receive(m); });
-    std::vector<model::ChargerIndex> neighbors;
-    for (model::ChargerIndex j : net.neighbors(raw->id())) {
-      if (alive[static_cast<std::size_t>(j)]) neighbors.push_back(j);
-    }
-    bus.set_neighbors(raw->id(), std::move(neighbors));
-  }
-  for (auto& node : nodes) {
-    bus.broadcast(node->begin_plan(known, initial_energy));
-  }
-  bus.flush_round();
+  wire_and_hello(net, nodes, alive, known, initial_energy, bus);
 
   const int colors = std::max(1, config.colors);
   std::vector<ChargerNode*> workers;
-  for (auto& node : nodes) {
-    if (node->has_work()) workers.push_back(node.get());
+  for (ChargerNode* node : nodes) {
+    if (node->has_work()) workers.push_back(node);
   }
 
   for (int c = 0; c < colors; ++c) {
@@ -88,7 +98,7 @@ void negotiate_sequential(const model::Network& net, const OnlineConfig& config,
   }
 
   for (ChargerNode* node : workers) node->write_schedule(executed, plan_start);
-  for (auto& node : nodes) {
+  for (ChargerNode* node : nodes) {
     if (!node->has_work()) {
       for (model::SlotIndex k = plan_start; k < net.horizon(); ++k) {
         executed.clear(node->id(), k);
@@ -101,46 +111,24 @@ void negotiate_sequential(const model::Network& net, const OnlineConfig& config,
 }
 
 /// Runs the full HASTE negotiation for one re-plan. Writes the agreed plan
-/// into `executed` from `plan_start` on and accumulates counters.
+/// into `executed` from `plan_start` on and accumulates counters. `nodes` is
+/// the alive fleet in ascending id order, owned by the caller.
 void negotiate_haste(const model::Network& net, const OnlineConfig& config,
+                     const std::vector<ChargerNode*>& nodes,
                      const std::vector<model::TaskIndex>& known,
                      std::span<const double> initial_energy,
                      model::SlotIndex plan_start, const std::vector<bool>& alive,
                      model::Schedule& executed, OnlineResult& result) {
-  const model::ChargerIndex n = net.charger_count();
-
   BroadcastBus bus;
-  std::vector<std::unique_ptr<ChargerNode>> nodes;  // index != charger id: alive only
-  nodes.reserve(static_cast<std::size_t>(n));
-  for (model::ChargerIndex i = 0; i < n; ++i) {
-    if (!alive[static_cast<std::size_t>(i)]) continue;
-    nodes.push_back(std::make_unique<ChargerNode>(
-        net, i,
-        core::MarginalEngine::Config{config.colors, config.samples, config.seed},
-        config.mode));
-  }
-  for (auto& node : nodes) {
-    ChargerNode* raw = node.get();
-    bus.register_node(raw->id(), [raw](const Message& m) { raw->receive(m); });
-    std::vector<model::ChargerIndex> neighbors;
-    for (model::ChargerIndex j : net.neighbors(raw->id())) {
-      if (alive[static_cast<std::size_t>(j)]) neighbors.push_back(j);
-    }
-    bus.set_neighbors(raw->id(), std::move(neighbors));
-  }
-
   // Plan start: everyone announces its coverable known tasks (HELLO).
-  for (auto& node : nodes) {
-    bus.broadcast(node->begin_plan(known, initial_energy));
-  }
-  bus.flush_round();
+  wire_and_hello(net, nodes, alive, known, initial_energy, bus);
 
   // The engine's color count may have been clamped (colors < 1 -> 1).
   const int colors = std::max(1, config.colors);
 
   std::vector<ChargerNode*> workers;
-  for (auto& node : nodes) {
-    if (node->has_work()) workers.push_back(node.get());
+  for (ChargerNode* node : nodes) {
+    if (node->has_work()) workers.push_back(node);
   }
 
   for (model::SlotIndex k = plan_start; k < net.horizon(); ++k) {
@@ -178,7 +166,7 @@ void negotiate_haste(const model::Network& net, const OnlineConfig& config,
   for (ChargerNode* node : workers) node->write_schedule(executed, plan_start);
   // Chargers without work keep (persist) their previous orientation — their
   // schedule rows beyond plan_start are cleared so stale plans do not execute.
-  for (auto& node : nodes) {
+  for (ChargerNode* node : nodes) {
     if (!node->has_work()) {
       for (model::SlotIndex k = plan_start; k < net.horizon(); ++k) {
         executed.clear(node->id(), k);
@@ -212,6 +200,13 @@ OnlineResult run_online(const model::Network& net, const OnlineConfig& config) {
   std::vector<model::TaskIndex> known;
   std::vector<bool> alive(static_cast<std::size_t>(net.charger_count()), true);
 
+  // The charger fleet for the negotiation strategies. Under reuse_nodes each
+  // ChargerNode persists across re-plans (constructed lazily on the first
+  // negotiation it is alive for), carrying its plan-level column store and
+  // dominant-set caches between negotiations; otherwise the fleet is rebuilt
+  // from scratch per re-plan (the reference path).
+  std::vector<std::unique_ptr<ChargerNode>> persistent_nodes;
+
   // Shared re-plan body for arrival and failure events.
   const auto replan = [&](model::SlotIndex event_slot, ReplanTrigger trigger) {
     const model::SlotIndex plan_start =
@@ -228,19 +223,57 @@ OnlineResult run_online(const model::Network& net, const OnlineConfig& config) {
         static_cast<std::size_t>(std::count(alive.begin(), alive.end(), true));
     const std::uint64_t messages_before = result.messages;
     const std::uint64_t rounds_before = result.rounds;
+    const std::uint64_t deliveries_before = result.deliveries;
+    const std::uint64_t bytes_before = result.message_bytes;
+
+    HASTE_OBS_SPAN(replan_span, "online.replan");
+    replan_span.arg("trigger", util::Json(trigger == ReplanTrigger::kArrival
+                                              ? "arrival"
+                                              : "failure"));
+    replan_span.arg("event_slot", util::Json(static_cast<std::int64_t>(event_slot)));
+    replan_span.arg("plan_start", util::Json(static_cast<std::int64_t>(plan_start)));
+    replan_span.arg("known_tasks", util::Json(static_cast<std::int64_t>(known.size())));
+    replan_span.arg("alive", util::Json(static_cast<std::int64_t>(record.alive_chargers)));
 
     // Energy already harvested (and committed to be harvested during the
     // rescheduling window under the old plan).
     const std::vector<double> harvested =
         core::prefix_task_energy(net, result.schedule, plan_start);
 
+    const bool negotiated = config.strategy == OnlineStrategy::kHaste ||
+                            config.strategy == OnlineStrategy::kHasteSequential;
+    std::vector<std::unique_ptr<ChargerNode>> scratch_nodes;  // non-reuse fleet
+    std::vector<ChargerNode*> fleet;  // alive nodes, ascending id
+    if (negotiated) {
+      const core::MarginalEngine::Config engine_config{config.colors, config.samples,
+                                                       config.seed};
+      if (config.reuse_nodes) {
+        persistent_nodes.resize(static_cast<std::size_t>(net.charger_count()));
+        for (model::ChargerIndex i = 0; i < net.charger_count(); ++i) {
+          if (!alive[static_cast<std::size_t>(i)]) continue;
+          auto& slot = persistent_nodes[static_cast<std::size_t>(i)];
+          if (slot == nullptr) {
+            slot = std::make_unique<ChargerNode>(net, i, engine_config, config.mode);
+          }
+          fleet.push_back(slot.get());
+        }
+      } else {
+        for (model::ChargerIndex i = 0; i < net.charger_count(); ++i) {
+          if (!alive[static_cast<std::size_t>(i)]) continue;
+          scratch_nodes.push_back(
+              std::make_unique<ChargerNode>(net, i, engine_config, config.mode));
+          fleet.push_back(scratch_nodes.back().get());
+        }
+      }
+    }
+
     switch (config.strategy) {
       case OnlineStrategy::kHaste:
-        negotiate_haste(net, config, known, harvested, plan_start, alive,
+        negotiate_haste(net, config, fleet, known, harvested, plan_start, alive,
                         result.schedule, result);
         break;
       case OnlineStrategy::kHasteSequential:
-        negotiate_sequential(net, config, known, harvested, plan_start, alive,
+        negotiate_sequential(net, config, fleet, known, harvested, plan_start, alive,
                              result.schedule, result);
         break;
       case OnlineStrategy::kGreedyUtility: {
@@ -259,6 +292,15 @@ OnlineResult run_online(const model::Network& net, const OnlineConfig& config) {
 
     record.messages = result.messages - messages_before;
     record.rounds = result.rounds - rounds_before;
+    record.row_evals = fleet_row_evals(fleet);
+    result.row_evaluations += record.row_evals;
+    replan_span.arg("row_evals",
+                    util::Json(static_cast<std::int64_t>(record.row_evals)));
+    HASTE_OBS_COUNTER_ADD("online.replans", 1);
+    HASTE_OBS_COUNTER_ADD("online.row_evals", record.row_evals);
+    HASTE_OBS_COUNTER_ADD("bus.broadcasts", record.messages);
+    HASTE_OBS_COUNTER_ADD("bus.deliveries", result.deliveries - deliveries_before);
+    HASTE_OBS_COUNTER_ADD("bus.bytes", result.message_bytes - bytes_before);
     result.log.push_back(record);
   };
 

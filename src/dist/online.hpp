@@ -47,6 +47,14 @@ struct OnlineConfig {
   /// kIncremental (default) reuses per-(row, sample) terms across remote
   /// commits; kRebuild is the reference path. Bit-identical results.
   core::TabularMode mode = core::TabularMode::kIncremental;
+  /// Keep each charger's ChargerNode alive across re-plans
+  /// (kHaste/kHasteSequential only) so its plan-level column store and
+  /// dominant-set extraction carry over between negotiations: columns whose
+  /// harvested base energy is unchanged since the previous plan skip their
+  /// re-pricing row_term, and an unchanged known-task set skips the dominant
+  /// re-extraction. Bit-identical to rebuilding the fleet per re-plan (the
+  /// reference path, `false`) — asserted by the differential tests.
+  bool reuse_nodes = true;
 };
 
 /// What caused a re-plan.
@@ -64,6 +72,7 @@ struct NegotiationRecord {
   std::size_t alive_chargers = 0;    ///< chargers still operational
   std::uint64_t messages = 0;        ///< broadcasts spent on this re-plan
   std::uint64_t rounds = 0;          ///< negotiation rounds of this re-plan
+  std::uint64_t row_evals = 0;       ///< engine row_term evaluations spent
 };
 
 /// Result of an online run.
@@ -76,6 +85,7 @@ struct OnlineResult {
   std::uint64_t message_bytes = 0;     ///< total wire bytes
   std::uint64_t rounds = 0;            ///< synchronous negotiation rounds
   std::uint64_t negotiations = 0;      ///< re-plans triggered (arrivals/failures)
+  std::uint64_t row_evaluations = 0;   ///< engine row_term evaluations, all re-plans
   std::vector<NegotiationRecord> log;  ///< per-re-plan telemetry, in time order
 };
 

@@ -1,0 +1,191 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace haste::obs {
+
+namespace {
+
+// u64s ride as decimal strings (same convention as the shard wire protocol):
+// a JSON number is a double and silently rounds above 2^53.
+util::Json u64_json(std::uint64_t value) { return util::Json(std::to_string(value)); }
+
+std::uint64_t u64_from(const util::Json& json) {
+  const std::string& text = json.as_string();
+  if (text.empty()) throw util::JsonError("empty u64 string");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || errno == ERANGE || text[0] == '-') {
+    throw util::JsonError("malformed u64 string: " + text);
+  }
+  return static_cast<std::uint64_t>(parsed);
+}
+
+}  // namespace
+
+std::size_t thread_slot() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot = next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+Counter::Counter() : cells_(new Cell[kCellCount]) {}
+
+std::uint64_t Counter::value() const {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < kCellCount; ++i) {
+    sum += cells_[i].value.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+void Gauge::add(double delta) {
+  double current = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram() : cells_(new Cell[kCellCount]) {}
+
+std::size_t Histogram::bucket_index(double value) {
+  if (!(value >= 1.0)) return 0;  // < 1, negative, and NaN all land in 0
+  const int exponent = std::ilogb(value);  // floor(log2(value)), >= 0 here
+  const std::size_t index = static_cast<std::size_t>(exponent) + 1;
+  return index < kBucketCount ? index : kBucketCount - 1;
+}
+
+void Histogram::record(double value) {
+  Cell& cell = cells_[thread_slot() & kCellMask];
+  const std::lock_guard<std::mutex> lock(cell.mutex);
+  cell.stats.add(value);
+  ++cell.buckets[bucket_index(value)];
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, value] : other.gauges) gauges[name] = value;
+  for (const auto& [name, hist] : other.histograms) {
+    HistogramSnapshot& mine = histograms[name];
+    mine.stats.merge(hist.stats);
+    if (!hist.buckets.empty()) {
+      if (mine.buckets.size() < hist.buckets.size()) {
+        mine.buckets.resize(hist.buckets.size(), 0);
+      }
+      for (std::size_t i = 0; i < hist.buckets.size(); ++i) {
+        mine.buckets[i] += hist.buckets[i];
+      }
+    }
+  }
+}
+
+util::Json MetricsSnapshot::to_json() const {
+  util::Json out = util::Json::object();
+  util::Json counters_json = util::Json::object();
+  for (const auto& [name, value] : counters) counters_json.set(name, u64_json(value));
+  out.set("counters", std::move(counters_json));
+  util::Json gauges_json = util::Json::object();
+  for (const auto& [name, value] : gauges) gauges_json.set(name, util::Json(value));
+  out.set("gauges", std::move(gauges_json));
+  util::Json hists_json = util::Json::object();
+  for (const auto& [name, hist] : histograms) {
+    util::Json h = util::Json::object();
+    h.set("count", u64_json(hist.stats.count()));
+    h.set("mean", util::Json(hist.stats.mean()));
+    h.set("m2", util::Json(hist.stats.m2()));
+    h.set("min", util::Json(hist.stats.min()));
+    h.set("max", util::Json(hist.stats.max()));
+    util::Json buckets = util::Json::array();
+    for (std::uint64_t b : hist.buckets) buckets.push_back(u64_json(b));
+    h.set("buckets", std::move(buckets));
+    hists_json.set(name, std::move(h));
+  }
+  out.set("histograms", std::move(hists_json));
+  return out;
+}
+
+MetricsSnapshot MetricsSnapshot::from_json(const util::Json& json) {
+  MetricsSnapshot snap;
+  if (json.contains("counters")) {
+    for (const auto& [name, value] : json.at("counters").items()) {
+      snap.counters[name] = u64_from(value);
+    }
+  }
+  if (json.contains("gauges")) {
+    for (const auto& [name, value] : json.at("gauges").items()) {
+      snap.gauges[name] = value.as_number();
+    }
+  }
+  if (json.contains("histograms")) {
+    for (const auto& [name, h] : json.at("histograms").items()) {
+      HistogramSnapshot hist;
+      hist.stats = util::RunningStats::from_moments(
+          static_cast<std::size_t>(u64_from(h.at("count"))),
+          h.at("mean").as_number(), h.at("m2").as_number(),
+          h.at("min").as_number(), h.at("max").as_number());
+      const util::Json& buckets = h.at("buckets");
+      hist.buckets.reserve(buckets.size());
+      for (std::size_t i = 0; i < buckets.size(); ++i) {
+        hist.buckets.push_back(u64_from(buckets.at(i)));
+      }
+      snap.histograms[name] = std::move(hist);
+    }
+  }
+  return snap;
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    MetricsSnapshot::HistogramSnapshot merged;
+    merged.buckets.assign(Histogram::kBucketCount, 0);
+    for (std::size_t c = 0; c < Histogram::kCellCount; ++c) {
+      Histogram::Cell& cell = hist->cells_[c];
+      const std::lock_guard<std::mutex> cell_lock(cell.mutex);
+      merged.stats.merge(cell.stats);
+      for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+        merged.buckets[i] += cell.buckets[i];
+      }
+    }
+    snap.histograms[name] = std::move(merged);
+  }
+  return snap;
+}
+
+}  // namespace haste::obs

@@ -1,0 +1,148 @@
+// Process-wide metrics registry: named counters, gauges, and log-scale
+// histograms shared by every layer (scheduler, thread pool, shard runner).
+//
+// Hot-path cost model:
+//   - Counter::add is lock-free: each thread owns a cache-line-padded atomic
+//     cell (threads beyond the shard count share cells by index wrap, which
+//     only costs contention, never correctness).
+//   - Gauge is a single atomic double (CAS add, relaxed store/load).
+//   - Histogram::record takes one uncontended per-thread mutex (shared only
+//     with snapshot aggregation, which is rare).
+// Snapshots aggregate the shards into plain maps that merge exactly across
+// processes (worker -> driver) and round-trip through JSON bit-exact, with
+// u64s carried as decimal strings per the shard wire convention.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/stats.hpp"
+
+namespace haste::obs {
+
+/// Dense per-process id for the calling thread, assigned on first use.
+/// Used to index per-thread metric shards; never reused within a process.
+std::size_t thread_slot();
+
+/// Monotonically increasing counter (events, rows evaluated, bytes, ...).
+class Counter {
+ public:
+  Counter();
+
+  /// Adds `delta` on the calling thread's shard. Lock-free.
+  void add(std::uint64_t delta = 1) {
+    cells_[thread_slot() & kCellMask].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  /// Sum across all shards. Monotone but not a consistent cut while other
+  /// threads are adding (fine for telemetry).
+  std::uint64_t value() const;
+
+ private:
+  // 64 shards x one cache line; threads beyond 64 wrap onto existing cells.
+  static constexpr std::size_t kCellCount = 64;
+  static constexpr std::size_t kCellMask = kCellCount - 1;
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::unique_ptr<Cell[]> cells_;
+};
+
+/// Last-write-wins scalar (queue depth, pool size, configuration echoes).
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void add(double delta);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Streaming distribution: Welford moments plus fixed log2 buckets.
+/// Bucket 0 holds values < 1; bucket i (i >= 1) holds [2^(i-1), 2^i);
+/// the last bucket absorbs everything larger. Units are caller-defined
+/// (the tracer helpers record microseconds).
+class Histogram {
+ public:
+  static constexpr std::size_t kBucketCount = 64;
+
+  Histogram();
+
+  /// Records one observation on the calling thread's shard.
+  void record(double value);
+
+  /// Bucket index for `value` under the fixed log2 layout.
+  static std::size_t bucket_index(double value);
+
+ private:
+  friend class MetricsRegistry;
+  struct Cell {
+    std::mutex mutex;
+    util::RunningStats stats;
+    std::array<std::uint64_t, kBucketCount> buckets{};
+  };
+  static constexpr std::size_t kCellCount = 16;
+  static constexpr std::size_t kCellMask = kCellCount - 1;
+  std::unique_ptr<Cell[]> cells_;
+};
+
+/// Point-in-time aggregation of a registry (or of a merge of several):
+/// plain values, no shards. Serializable and exactly mergeable, so worker
+/// processes can ship snapshots to the shard driver over the wire protocol.
+struct MetricsSnapshot {
+  struct HistogramSnapshot {
+    util::RunningStats stats;
+    std::vector<std::uint64_t> buckets;  // empty means all-zero
+  };
+
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  /// Folds `other` in: counters and histogram buckets add, histogram moments
+  /// combine via RunningStats::merge, gauges are last-write-wins.
+  void merge(const MetricsSnapshot& other);
+
+  /// Exact JSON round-trip (u64s as decimal strings, doubles as numbers).
+  util::Json to_json() const;
+  static MetricsSnapshot from_json(const util::Json& json);
+};
+
+/// Registry of named instruments. Instruments are created on first use and
+/// live for the registry's lifetime, so returned references are stable and
+/// callers may cache them (the HASTE_OBS_* macros do, in a function-local
+/// static).
+class MetricsRegistry {
+ public:
+  /// The process-wide registry used by all instrumentation macros.
+  static MetricsRegistry& instance();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Aggregates every instrument into plain values. Cumulative since
+  /// process start; take deltas of snapshots to window.
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace haste::obs

@@ -1,0 +1,145 @@
+#include "obs/trace.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <utility>
+
+namespace haste::obs {
+
+namespace {
+
+std::int64_t process_pid() { return static_cast<std::int64_t>(::getpid()); }
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+std::int64_t Tracer::now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void Tracer::start_file(std::string path) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    path_ = std::move(path);
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::start_memory() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    path_.clear();
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::stop() {
+  enabled_.store(false, std::memory_order_relaxed);
+  std::string path;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    path = path_;
+  }
+  if (!path.empty()) write(path);
+}
+
+void Tracer::push(util::Json event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::complete(const std::string& name, std::int64_t ts_us,
+                      std::int64_t dur_us, util::Json args, std::int64_t pid,
+                      std::int64_t tid) {
+  if (!enabled()) return;
+  util::Json event = util::Json::object();
+  event.set("name", util::Json(name));
+  event.set("ph", util::Json("X"));
+  event.set("ts", util::Json(ts_us));
+  event.set("dur", util::Json(dur_us < 0 ? std::int64_t{0} : dur_us));
+  event.set("pid", util::Json(pid < 0 ? process_pid() : pid));
+  event.set("tid", util::Json(
+      tid < 0 ? static_cast<std::int64_t>(thread_slot()) : tid));
+  if (args.is_object()) event.set("args", std::move(args));
+  push(std::move(event));
+}
+
+void Tracer::instant(const std::string& name, util::Json args) {
+  if (!enabled()) return;
+  util::Json event = util::Json::object();
+  event.set("name", util::Json(name));
+  event.set("ph", util::Json("i"));
+  event.set("s", util::Json("t"));  // thread-scoped tick mark
+  event.set("ts", util::Json(now_us()));
+  event.set("pid", util::Json(process_pid()));
+  event.set("tid", util::Json(static_cast<std::int64_t>(thread_slot())));
+  if (args.is_object()) event.set("args", std::move(args));
+  push(std::move(event));
+}
+
+void Tracer::counter(const std::string& name, double value) {
+  if (!enabled()) return;
+  util::Json event = util::Json::object();
+  event.set("name", util::Json(name));
+  event.set("ph", util::Json("C"));
+  event.set("ts", util::Json(now_us()));
+  event.set("pid", util::Json(process_pid()));
+  event.set("tid", util::Json(std::int64_t{0}));
+  util::Json args = util::Json::object();
+  args.set("value", util::Json(value));
+  event.set("args", std::move(args));
+  push(std::move(event));
+}
+
+void Tracer::process_name(const std::string& name) {
+  if (!enabled()) return;
+  util::Json event = util::Json::object();
+  event.set("name", util::Json("process_name"));
+  event.set("ph", util::Json("M"));
+  event.set("ts", util::Json(std::int64_t{0}));
+  event.set("pid", util::Json(process_pid()));
+  event.set("tid", util::Json(std::int64_t{0}));
+  util::Json args = util::Json::object();
+  args.set("name", util::Json(name));
+  event.set("args", std::move(args));
+  push(std::move(event));
+}
+
+util::Json Tracer::take_events() {
+  std::vector<util::Json> drained;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    drained.swap(events_);
+  }
+  util::Json out = util::Json::array();
+  for (auto& event : drained) out.push_back(std::move(event));
+  return out;
+}
+
+void Tracer::inject(const util::Json& events) {
+  if (!events.is_array()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    events_.push_back(events.at(i));
+  }
+}
+
+void Tracer::write(const std::string& path) {
+  util::Json doc = util::Json::object();
+  util::Json array = util::Json::array();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& event : events_) array.push_back(event);
+  }
+  doc.set("traceEvents", std::move(array));
+  util::save_json_file(path, doc);
+}
+
+}  // namespace haste::obs

@@ -1,0 +1,129 @@
+// Chrome trace-event emitter (the JSON loaded by Perfetto / chrome://tracing):
+// complete spans (`ph: "X"`), counter samples (`ph: "C"`), instants
+// (`ph: "i"`), and process-name metadata (`ph: "M"`). Disabled by default;
+// the enabled check is one relaxed atomic load, so instrumentation sites are
+// near-free when tracing is off.
+//
+// Timestamps are microseconds on the steady (monotonic) clock, which Linux
+// shares across processes on a host — a driver that injects events collected
+// by its worker processes gets a naturally aligned multi-process timeline,
+// with each process a distinct pid track.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
+
+namespace haste::obs {
+
+class Tracer {
+ public:
+  /// The process-wide tracer used by all instrumentation.
+  static Tracer& instance();
+
+  /// Enables tracing and remembers `path`; stop() writes the collected
+  /// events there as {"traceEvents": [...]}.
+  void start_file(std::string path);
+
+  /// Enables tracing with no output file: events accumulate in memory until
+  /// drained with take_events() (how shard workers ship spans to the driver).
+  void start_memory();
+
+  /// Disables tracing; in file mode, writes the buffered events first.
+  void stop();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Microseconds on the steady clock (shared timebase across processes on
+  /// one host). Valid whether or not tracing is enabled.
+  static std::int64_t now_us();
+
+  /// Emits a complete span. `args` may be a Json object or null. No-op when
+  /// disabled. `pid`/`tid` default to the calling process/thread; pass
+  /// explicit values to record events on behalf of another process (the
+  /// shard driver's per-attempt spans, attributed to the worker).
+  void complete(const std::string& name, std::int64_t ts_us,
+                std::int64_t dur_us, util::Json args = util::Json(),
+                std::int64_t pid = -1, std::int64_t tid = -1);
+
+  /// Emits a thread-scoped instant event. No-op when disabled.
+  void instant(const std::string& name, util::Json args = util::Json());
+
+  /// Emits a counter sample (rendered as a stacked track). No-op when
+  /// disabled.
+  void counter(const std::string& name, double value);
+
+  /// Emits process_name metadata so Perfetto labels the pid track.
+  void process_name(const std::string& name);
+
+  /// Drains the buffer as a Json array of trace events (the wire payload a
+  /// worker attaches to its shard responses).
+  util::Json take_events();
+
+  /// Appends externally collected events (a worker's take_events payload).
+  /// Works even when the tracer is enabled in file mode only.
+  void inject(const util::Json& events);
+
+  /// Writes {"traceEvents": buffer} to `path` without disabling.
+  void write(const std::string& path);
+
+ private:
+  void push(util::Json event);
+
+  std::atomic<bool> enabled_{false};
+  std::mutex mutex_;
+  std::string path_;
+  std::vector<util::Json> events_;
+};
+
+/// RAII complete-span helper: captures the start time if tracing is enabled
+/// at construction, emits an "X" event on destruction. arg() attaches
+/// argument fields (ignored while disabled, so callers need no guards).
+class Span {
+ public:
+  explicit Span(std::string name)
+      : name_(std::move(name)),
+        start_(Tracer::instance().enabled() ? Tracer::now_us() : -1) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() {
+    if (start_ < 0) return;
+    Tracer::instance().complete(name_, start_, Tracer::now_us() - start_,
+                                std::move(args_));
+  }
+
+  bool active() const { return start_ >= 0; }
+  void arg(const std::string& key, util::Json value) {
+    if (start_ < 0) return;
+    if (!args_.is_object()) args_ = util::Json::object();
+    args_.set(key, std::move(value));
+  }
+
+ private:
+  std::string name_;
+  std::int64_t start_;
+  util::Json args_;
+};
+
+/// RAII timer feeding a metrics Histogram with elapsed microseconds,
+/// independent of whether the tracer is enabled.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& histogram)
+      : histogram_(histogram), start_(Tracer::now_us()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    histogram_.record(static_cast<double>(Tracer::now_us() - start_));
+  }
+
+ private:
+  Histogram& histogram_;
+  std::int64_t start_;
+};
+
+}  // namespace haste::obs

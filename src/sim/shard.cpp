@@ -13,6 +13,8 @@
 #include <thread>
 
 #include "core/objective.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 #include "util/socket.hpp"
 #include "util/subprocess.hpp"
@@ -307,6 +309,15 @@ ServedLine serve_shard_line(const std::string& line) {
     served.exit_code = 3;
     return served;
   }
+  // Driver-requested observability: switch the tracer to in-memory
+  // collection (never file output — workers inherit the driver's
+  // environment, and honoring HASTE_TRACE here would have every worker
+  // clobber the same file) and attach the cumulative metrics snapshot plus
+  // the drained trace events to this response.
+  const bool want_obs = request.bool_or("obs", false);
+  if (want_obs && !obs::Tracer::instance().enabled()) {
+    obs::Tracer::instance().start_memory();
+  }
   const std::string inject = request.string_or("inject", "");
   if (inject == "crash") {
     std::_Exit(86);  // simulate a mid-shard crash
@@ -319,7 +330,14 @@ ServedLine serve_shard_line(const std::string& line) {
     served.response = "}{ this is not json";
     return served;
   }
-  const auto metrics = run_shard(spec);
+  std::map<std::string, std::vector<RunMetrics>> metrics;
+  {
+    obs::Span span("shard.run");
+    span.arg("shard", Json(spec.shard_id));
+    span.arg("trials", Json(spec.trial_end - spec.trial_begin));
+    metrics = run_shard(spec);
+  }
+  HASTE_OBS_COUNTER_ADD("shard.served", 1);
   Json response = Json::object();
   response.set("shard", spec.shard_id);
   Json by_label = Json::object();
@@ -329,6 +347,14 @@ ServedLine serve_shard_line(const std::string& line) {
     by_label.set(label, std::move(array));
   }
   response.set("metrics", std::move(by_label));
+  if (want_obs) {
+    // Snapshots are cumulative for this worker process; the driver keeps
+    // only the latest per peer, so re-sending totals cannot double-count.
+    Json obs_payload = Json::object();
+    obs_payload.set("metrics", obs::MetricsRegistry::instance().snapshot().to_json());
+    obs_payload.set("trace", obs::Tracer::instance().take_events());
+    response.set("obs", std::move(obs_payload));
+  }
   served.response = response.dump();
   if (inject == "partial") {
     // Die with half a result line on the wire: the driver must treat the
@@ -376,12 +402,16 @@ int shard_worker_main(std::istream& in, std::ostream& out) {
   return 0;
 }
 
-int shard_worker_connect(const std::string& address) {
+int shard_worker_connect(const std::string& address, const std::string& auth_token) {
   util::TcpSocket socket;
   try {
     socket = util::TcpSocket::connect(address);
   } catch (const std::exception& error) {
     HASTE_LOG_ERROR << "shard worker: " << error.what();
+    return 4;
+  }
+  if (!auth_token.empty() && !socket.write_all(auth_token + "\n")) {
+    HASTE_LOG_ERROR << "shard worker: failed to send auth token to " << address;
     return 4;
   }
   util::LineBuffer lines;
@@ -511,6 +541,38 @@ class TcpLink : public WorkerLink {
   util::TcpSocket socket_;
 };
 
+/// Reads the one-line shared-secret token off a freshly accepted connection,
+/// byte by byte so no request bytes past the newline are consumed (they stay
+/// in the socket for the link's LineBuffer). Returns true only on an exact
+/// match within the deadline — a silent, slow, or chatty-but-wrong peer is
+/// rejected alike.
+bool read_auth_token(util::TcpSocket& socket, const std::string& expected) {
+  std::string line;
+  const Clock::time_point deadline = Clock::now() + std::chrono::seconds(2);
+  while (line.size() < 512) {  // no sane token is longer; bound garbage
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now());
+    if (remaining.count() <= 0) return false;
+    if (util::poll_readable({socket.fd()}, static_cast<int>(remaining.count()))
+            .empty()) {
+      continue;  // poll timed out; the loop re-checks the deadline
+    }
+    char byte = 0;
+    const ssize_t n = ::read(socket.fd(), &byte, 1);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return false;
+    }
+    if (n == 0) return false;  // closed before authenticating
+    if (byte == '\n') {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line == expected;
+    }
+    line.push_back(byte);
+  }
+  return false;
+}
+
 /// A source of worker links. The pool mixes links from every configured
 /// transport; each transport contributes at most capacity() of them at once.
 class Transport {
@@ -541,10 +603,11 @@ class SubprocessTransport : public Transport {
 class TcpTransport : public Transport {
  public:
   TcpTransport(const std::string& address, int capacity,
-               std::vector<std::string> spawn_argv)
+               std::vector<std::string> spawn_argv, std::string auth_token)
       : listener_(util::TcpListener::listen(address)),
         capacity_(capacity),
-        spawn_argv_(std::move(spawn_argv)) {
+        spawn_argv_(std::move(spawn_argv)),
+        auth_token_(std::move(auth_token)) {
     if (!spawn_argv_.empty()) spawn_argv_.push_back(listener_.local_address());
     HASTE_LOG_INFO << "shard runner: listening for TCP workers on "
                    << listener_.local_address()
@@ -573,6 +636,15 @@ class TcpTransport : public Transport {
       socket = listener_.accept(timeout_ms);
     }
     if (!socket) return nullptr;
+    if (!auth_token_.empty() && !read_auth_token(*socket, auth_token_)) {
+      // Close before any shard flows; the dropped TcpSocket sends FIN. A
+      // spawned loopback worker that lands here exits on the close and is
+      // replaced (bounded by capacity) on a later turn.
+      HASTE_LOG_WARN << "shard runner: rejected unauthenticated TCP worker "
+                     << socket->peer();
+      HASTE_OBS_COUNTER_ADD("shard.auth_reject", 1);
+      return nullptr;
+    }
     return std::make_unique<TcpLink>(std::move(*socket));
   }
 
@@ -580,6 +652,7 @@ class TcpTransport : public Transport {
   util::TcpListener listener_;
   int capacity_;
   std::vector<std::string> spawn_argv_;
+  std::string auth_token_;                 ///< "" = accept anyone
   std::vector<util::Subprocess> spawned_;  ///< destructor reaps leftovers
 };
 
@@ -615,7 +688,8 @@ class ShardRunner {
     }
     if (tcp_enabled) {
       transports_.push_back(std::make_unique<TcpTransport>(
-          options_.listen_address, options_.tcp_workers, options_.tcp_spawn_argv));
+          options_.listen_address, options_.tcp_workers, options_.tcp_spawn_argv,
+          options_.auth_token));
     }
     shards_.reserve(specs.size());
     for (ShardSpec& spec : specs) {
@@ -631,9 +705,11 @@ class ShardRunner {
     } catch (...) {
       workers_.clear();     // kill / disconnect + reap before reporting
       transports_.clear();  // close the listener, reap spawned TCP workers
+      export_worker_metrics();
       write_manifest();
       throw;
     }
+    export_worker_metrics();
     write_manifest();
     std::vector<std::map<std::string, std::vector<RunMetrics>>> results;
     results.reserve(shards_.size());
@@ -649,9 +725,12 @@ class ShardRunner {
     long shard = -1;  ///< index into shards_, -1 when idle
     Clock::time_point started;
     bool dead = false;  ///< failed, waiting for reap_failed_workers
+    long serial = 0;    ///< 1-based pool admission order, stable per link
   };
 
   void drive() {
+    HASTE_OBS_SPAN(drive_span, "shard.drive");
+    drive_span.arg("shards", Json(static_cast<int>(shards_.size())));
     const Clock::time_point started = Clock::now();
     while (completed_ < shards_.size()) {
       open_up_to_target();
@@ -697,8 +776,8 @@ class ShardRunner {
         // TCP worker to dial in is what paces the connect-wait loop.
         std::unique_ptr<WorkerLink> link = transport->open(workers_.empty() ? 200 : 0);
         if (!link) break;
-        workers_.push_back(
-            WorkerSlot{std::move(link), transport.get(), {}, -1, {}, false});
+        workers_.push_back(WorkerSlot{std::move(link), transport.get(), {}, -1, {},
+                                      false, ++worker_serial_});
         ++from_this;
         ++idle;
       }
@@ -716,6 +795,7 @@ class ShardRunner {
       if (inject != options_.inject_first_attempt.end() && shard.attempts == 0) {
         request.set("inject", inject->second);
       }
+      if (options_.collect_obs) request.set("obs", true);
       ++shard.attempts;
       worker.shard = static_cast<long>(s);
       worker.started = Clock::now();
@@ -805,6 +885,7 @@ class ShardRunner {
         }
       }
       shard.metrics = std::move(metrics);
+      if (response.contains("obs")) absorb_worker_obs(worker, response.at("obs"));
     } catch (const std::exception&) {
       return false;
     }
@@ -813,8 +894,49 @@ class ShardRunner {
     shard.history.push_back(AttemptRecord{worker.link->pid(), worker.link->peer(),
                                           worker.link->transport(), "ok",
                                           seconds_since(worker.started)});
+    record_attempt_span(shard.spec.shard_id, "ok", worker);
+    HASTE_OBS_COUNTER_ADD("shard.ok", 1);
     worker.shard = -1;
     return true;
+  }
+
+  /// Folds a worker's "obs" response payload into driver state: the latest
+  /// cumulative metrics snapshot per peer (latest-wins, so totals are never
+  /// double-counted) and — when the driver itself is tracing — the worker's
+  /// trace events, which carry the worker's own pid and so show up as a
+  /// separate process track in the merged trace.
+  void absorb_worker_obs(const WorkerSlot& worker, const Json& payload) {
+    if (payload.contains("metrics")) {
+      worker_metrics_[worker.link->peer()] =
+          obs::MetricsSnapshot::from_json(payload.at("metrics"));
+    }
+    if (payload.contains("trace") && obs::Tracer::instance().enabled()) {
+      obs::Tracer::instance().inject(payload.at("trace"));
+    }
+  }
+
+  /// Retroactively records one attempt as a driver-side trace span: the
+  /// driver and its workers share the machine's monotonic clock, so the
+  /// attempt's start time is directly comparable with worker-side spans.
+  void record_attempt_span(int shard_id, const std::string& status,
+                           const WorkerSlot& worker) const {
+    obs::Tracer& tracer = obs::Tracer::instance();
+    if (!tracer.enabled()) return;
+    const std::int64_t start_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            worker.started.time_since_epoch())
+            .count();
+    Json args = Json::object();
+    args.set("shard", shard_id);
+    args.set("status", status);
+    args.set("transport", worker.link->transport());
+    args.set("worker", worker.link->peer());
+    // One synthetic driver-side track (tid) per pool slot: attempts on one
+    // link are sequential, so tracks never show a partial span overlap, and
+    // concurrent workers render side by side instead of colliding on the
+    // driver's real thread id.
+    tracer.complete("shard.attempt", start_us, obs::Tracer::now_us() - start_us,
+                    std::move(args), /*pid=*/-1, /*tid=*/worker.serial);
   }
 
   /// Records the failed attempt, requeues the shard (bounded), and marks the
@@ -825,6 +947,7 @@ class ShardRunner {
       shard.history.push_back(AttemptRecord{worker.link->pid(), worker.link->peer(),
                                             worker.link->transport(), reason,
                                             seconds_since(worker.started)});
+      record_attempt_span(shard.spec.shard_id, reason, worker);
       HASTE_LOG_WARN << "shard " << shard.spec.shard_id << " attempt " << shard.attempts
                      << " failed on " << worker.link->transport() << " worker "
                      << worker.link->peer() << " (" << reason << "), "
@@ -836,6 +959,7 @@ class ShardRunner {
                                  " attempts; last: " + reason);
       }
       pending_.push_front(static_cast<std::size_t>(worker.shard));
+      HASTE_OBS_COUNTER_ADD("shard.requeue", 1);
       worker.shard = -1;
     }
     worker.link->terminate();
@@ -860,9 +984,22 @@ class ShardRunner {
       if (seconds_since(worker.started) < options_.shard_timeout_seconds) continue;
       // Kill the process / close the connection: a timed-out worker must
       // never deliver a stale result after its shard was requeued.
+      HASTE_OBS_COUNTER_ADD("shard.timeout", 1);
       fail_worker(worker, "timeout");
     }
     reap_failed_workers();
+  }
+
+  obs::MetricsSnapshot merged_worker_metrics() const {
+    obs::MetricsSnapshot merged;
+    for (const auto& [peer, snapshot] : worker_metrics_) merged.merge(snapshot);
+    return merged;
+  }
+
+  void export_worker_metrics() const {
+    if (options_.worker_metrics_out) {
+      *options_.worker_metrics_out = merged_worker_metrics();
+    }
   }
 
   void write_manifest() const {
@@ -897,6 +1034,11 @@ class ShardRunner {
       shards.push_back(std::move(entry));
     }
     manifest.set("shards", std::move(shards));
+    if (options_.collect_obs) {
+      manifest.set("driver_metrics",
+                   obs::MetricsRegistry::instance().snapshot().to_json());
+      manifest.set("worker_metrics", merged_worker_metrics().to_json());
+    }
     util::save_json_file(options_.manifest_path, manifest);
   }
 
@@ -907,6 +1049,10 @@ class ShardRunner {
   std::vector<WorkerSlot> workers_;
   std::size_t completed_ = 0;
   bool failed_workers_ = false;
+  long worker_serial_ = 0;  ///< admission counter; the per-link trace tid
+  /// Latest cumulative metrics snapshot each worker attached to a response,
+  /// keyed by peer ("pid 1234" / "ip:port" — unique per worker process).
+  std::map<std::string, obs::MetricsSnapshot> worker_metrics_;
 };
 
 int effective_trials_per_shard(const ShardOptions& options, int trials) {

@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/sweep.hpp"
 #include "util/json.hpp"
 
@@ -89,9 +90,11 @@ int shard_worker_main(std::istream& in, std::ostream& out);
 
 /// TCP worker: connects to a driver at `address` ("host:port") and serves
 /// shard requests over the socket until the driver half-closes or drops the
-/// connection. Returns the process exit code (0 on clean close, 3 on a
+/// connection. When `auth_token` is non-empty it is sent as the first line —
+/// the per-run shared secret a token-requiring driver expects before any
+/// shard flows. Returns the process exit code (0 on clean close, 3 on a
 /// malformed request, 4 when the connection cannot be established).
-int shard_worker_connect(const std::string& address);
+int shard_worker_connect(const std::string& address, const std::string& auth_token = "");
 
 /// Knobs of the process-sharded runner. Two transports can feed the same
 /// worker pool: fork+pipe subprocesses (`worker_argv` x `workers`) and TCP
@@ -123,6 +126,24 @@ struct ShardOptions {
   /// Give up if the pool stays empty this long — covers remote workers that
   /// never connect (a non-empty pool never waits on this).
   double connect_wait_seconds = 30.0;
+
+  /// Per-run shared secret for the TCP transport. When non-empty, every
+  /// accepted connection must present exactly this token as its first line
+  /// (see shard_worker_connect / `--token` / HASTE_SHARD_TOKEN); a mismatch
+  /// or a silent connection is closed before any shard is assigned and
+  /// counted under the `shard.auth_reject` metric. Empty = accept anyone
+  /// (trusted-network mode, the pre-token behavior).
+  std::string auth_token;
+
+  /// Ask workers for observability payloads: every shard request carries
+  /// "obs": true, and workers attach their cumulative metrics snapshot plus
+  /// drained trace events to each response. The driver merges the per-worker
+  /// snapshots into the manifest ("worker_metrics") and `worker_metrics_out`,
+  /// and forwards worker trace events into its own tracer when one is active.
+  bool collect_obs = false;
+  /// When non-null, receives the merged cross-worker metrics snapshot after
+  /// the run (also on the failure path, with whatever was collected).
+  obs::MetricsSnapshot* worker_metrics_out = nullptr;
 };
 
 /// Process-sharded equivalent of run_trials: same signature semantics, and

@@ -100,6 +100,37 @@ void RunningStats::add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al.'s pairwise update: combined M2 adds the between-group term
+  // delta^2 * n_a * n_b / (n_a + n_b) to the within-group M2s.
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * (nb / total);
+  m2_ += other.m2_ + delta * delta * (na * nb / total);
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+RunningStats RunningStats::from_moments(std::size_t count, double mean,
+                                        double m2, double min, double max) {
+  RunningStats stats;
+  stats.count_ = count;
+  if (count == 0) return stats;
+  stats.mean_ = mean;
+  stats.m2_ = m2;
+  stats.min_ = min;
+  stats.max_ = max;
+  return stats;
+}
+
 double RunningStats::variance() const {
   if (count_ < 2) return 0.0;
   return m2_ / static_cast<double>(count_ - 1);

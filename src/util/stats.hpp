@@ -59,6 +59,10 @@ class RunningStats {
  public:
   /// Adds one observation.
   void add(double x);
+  /// Folds another accumulator in (Chan's parallel combine), as if every
+  /// observation of `other` had been add()ed to this one. Exact for the
+  /// moments it tracks: count, mean, M2, min, max.
+  void merge(const RunningStats& other);
   /// Number of observations so far.
   std::size_t count() const { return count_; }
   /// Mean of observations so far; 0 when empty.
@@ -71,6 +75,13 @@ class RunningStats {
   double min() const { return count_ == 0 ? 0.0 : min_; }
   /// Maximum observation; 0 when empty.
   double max() const { return count_ == 0 ? 0.0 : max_; }
+  /// Sum of squared deviations from the mean (Welford's M2); exposed so
+  /// accumulators can round-trip through serialization losslessly.
+  double m2() const { return count_ == 0 ? 0.0 : m2_; }
+  /// Rebuilds an accumulator from previously captured moments (the inverse
+  /// of count()/mean()/m2()/min()/max(), e.g. after a JSON round-trip).
+  static RunningStats from_moments(std::size_t count, double mean, double m2,
+                                   double min, double max);
 
  private:
   std::size_t count_ = 0;

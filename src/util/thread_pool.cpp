@@ -5,6 +5,7 @@
 #include <cerrno>
 #include <cstdlib>
 
+#include "obs/obs.hpp"
 #include "util/log.hpp"
 
 namespace haste::util {
@@ -41,7 +42,9 @@ void ThreadPool::submit(std::function<void()> job) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(job));
+    HASTE_OBS_GAUGE_SET("pool.queue_depth", static_cast<double>(queue_.size()));
   }
+  HASTE_OBS_COUNTER_ADD("pool.tasks", 1);
   work_available_.notify_one();
 }
 
@@ -125,6 +128,7 @@ void ThreadPool::worker_loop() {
       job = std::move(queue_.front());
       queue_.pop_front();
       ++in_flight_;
+      HASTE_OBS_GAUGE_SET("pool.queue_depth", static_cast<double>(queue_.size()));
     }
     try {
       job();

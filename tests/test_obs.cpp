@@ -1,0 +1,353 @@
+// Tests for the observability subsystem (src/obs/): counter/gauge/histogram
+// semantics under concurrency, snapshot merge + JSON round trip, the
+// Chrome-trace emitter's event schema, and the RAII helpers.
+#include "obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace haste::obs {
+namespace {
+
+using util::Json;
+
+TEST(Counter, SumsExactlyAcrossThreads) {
+  Counter counter;
+  util::ThreadPool pool(8);
+  pool.parallel_for(10000, [&](std::size_t i) { counter.add(i % 3 + 1); });
+  // sum over i of (i % 3 + 1): 10000 iterations, pattern 1,2,3 repeating.
+  std::uint64_t expected = 0;
+  for (std::size_t i = 0; i < 10000; ++i) expected += i % 3 + 1;
+  EXPECT_EQ(counter.value(), expected);
+}
+
+TEST(Counter, DefaultDeltaIsOne) {
+  Counter counter;
+  counter.add();
+  counter.add();
+  EXPECT_EQ(counter.value(), 2u);
+}
+
+TEST(ThreadSlot, StablePerThreadAndDistinctAcrossThreads) {
+  const std::size_t mine = thread_slot();
+  EXPECT_EQ(thread_slot(), mine);  // stable on re-query
+  std::set<std::size_t> seen;
+  std::mutex mutex;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      const std::size_t slot = thread_slot();
+      std::lock_guard<std::mutex> lock(mutex);
+      seen.insert(slot);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_FALSE(seen.count(mine));
+}
+
+TEST(Gauge, SetAddAndConcurrentAddsSumExactly) {
+  Gauge gauge;
+  gauge.set(2.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.5);
+  gauge.add(-0.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.0);
+  gauge.set(0.0);
+  util::ThreadPool pool(4);
+  pool.parallel_for(1000, [&](std::size_t) { gauge.add(1.0); });
+  EXPECT_DOUBLE_EQ(gauge.value(), 1000.0);  // integral doubles add exactly
+}
+
+TEST(Histogram, BucketIndexLayout) {
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(0.999), 0u);
+  EXPECT_EQ(Histogram::bucket_index(-5.0), 0u);  // negatives park in bucket 0
+  EXPECT_EQ(Histogram::bucket_index(std::numeric_limits<double>::quiet_NaN()), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1.0), 1u);
+  EXPECT_EQ(Histogram::bucket_index(1.999), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2.0), 2u);
+  EXPECT_EQ(Histogram::bucket_index(3.999), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4.0), 3u);
+  // The top bucket absorbs everything, including infinity.
+  EXPECT_EQ(Histogram::bucket_index(1e300), Histogram::kBucketCount - 1);
+  EXPECT_EQ(Histogram::bucket_index(std::numeric_limits<double>::infinity()),
+            Histogram::kBucketCount - 1);
+}
+
+TEST(Histogram, SnapshotMatchesSingleStreamGroundTruth) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.histogram("h");
+  util::RunningStats truth;
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i) values.push_back(0.25 * i * i - 10.0);
+  for (double v : values) {
+    histogram.record(v);
+    truth.add(v);
+  }
+  const MetricsSnapshot snapshot = registry.snapshot();
+  ASSERT_TRUE(snapshot.histograms.count("h"));
+  const auto& shot = snapshot.histograms.at("h");
+  EXPECT_EQ(shot.stats.count(), truth.count());
+  EXPECT_DOUBLE_EQ(shot.stats.min(), truth.min());
+  EXPECT_DOUBLE_EQ(shot.stats.max(), truth.max());
+  // The single calling thread lands in one shard, so even the mean is the
+  // exact single-stream value (merge folds empty cells only).
+  EXPECT_DOUBLE_EQ(shot.stats.mean(), truth.mean());
+  std::uint64_t bucket_sum = 0;
+  for (std::uint64_t b : shot.buckets) bucket_sum += b;
+  EXPECT_EQ(bucket_sum, truth.count());
+}
+
+TEST(Histogram, ConcurrentRecordsAggregateAllObservations) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.histogram("spread");
+  util::ThreadPool pool(8);
+  pool.parallel_for(5000, [&](std::size_t i) {
+    histogram.record(static_cast<double>(i % 128));
+  });
+  const auto shot = registry.snapshot().histograms.at("spread");
+  EXPECT_EQ(shot.stats.count(), 5000u);
+  EXPECT_DOUBLE_EQ(shot.stats.min(), 0.0);
+  EXPECT_DOUBLE_EQ(shot.stats.max(), 127.0);
+  std::uint64_t bucket_sum = 0;
+  for (std::uint64_t b : shot.buckets) bucket_sum += b;
+  EXPECT_EQ(bucket_sum, 5000u);
+}
+
+TEST(MetricsRegistry, InstrumentsAreStableReferences) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("same");
+  Counter& b = registry.counter("same");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(registry.snapshot().counters.at("same"), 3u);
+}
+
+TEST(MetricsRegistry, ConcurrentRegistrationAndUseFromPool) {
+  // Hammer create-or-get + record from many threads at once: the registry
+  // must never lose an increment or invalidate a reference. (The sanitized
+  // duplicate of this suite runs the same pattern under ASan/UBSan.)
+  MetricsRegistry registry;
+  util::ThreadPool pool(8);
+  pool.parallel_for(4000, [&](std::size_t i) {
+    registry.counter("shared." + std::to_string(i % 7)).add(1);
+    registry.histogram("hist." + std::to_string(i % 3)).record(static_cast<double>(i));
+    registry.gauge("gauge").set(static_cast<double>(i));
+  });
+  const MetricsSnapshot snapshot = registry.snapshot();
+  std::uint64_t counter_total = 0;
+  for (const auto& [name, value] : snapshot.counters) counter_total += value;
+  EXPECT_EQ(counter_total, 4000u);
+  std::uint64_t histogram_total = 0;
+  for (const auto& [name, shot] : snapshot.histograms) {
+    histogram_total += shot.stats.count();
+  }
+  EXPECT_EQ(histogram_total, 4000u);
+}
+
+TEST(MetricsSnapshot, MergeAddsCountersAndCombinesHistograms) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.counter("shared").add(5);
+  b.counter("shared").add(7);
+  a.counter("only_a").add(1);
+  b.gauge("g").set(4.5);
+  util::RunningStats truth;
+  for (int i = 0; i < 10; ++i) {
+    a.histogram("h").record(static_cast<double>(i));
+    truth.add(static_cast<double>(i));
+  }
+  for (int i = 10; i < 30; ++i) {
+    b.histogram("h").record(static_cast<double>(i));
+    truth.add(static_cast<double>(i));
+  }
+  MetricsSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  EXPECT_EQ(merged.counters.at("shared"), 12u);
+  EXPECT_EQ(merged.counters.at("only_a"), 1u);
+  EXPECT_DOUBLE_EQ(merged.gauges.at("g"), 4.5);
+  const auto& h = merged.histograms.at("h");
+  EXPECT_EQ(h.stats.count(), truth.count());
+  EXPECT_DOUBLE_EQ(h.stats.min(), truth.min());
+  EXPECT_DOUBLE_EQ(h.stats.max(), truth.max());
+  EXPECT_NEAR(h.stats.mean(), truth.mean(), 1e-12);
+  EXPECT_NEAR(h.stats.variance(), truth.variance(), 1e-9);
+}
+
+TEST(MetricsSnapshot, JsonRoundTripIsExact) {
+  MetricsRegistry registry;
+  // A value above 2^53 would be silently rounded as a JSON number; the
+  // decimal-string convention must carry it bit-exact.
+  registry.counter("big").add((1ull << 60) + 12345);
+  registry.gauge("ratio").set(0.1);  // not exactly representable in decimal
+  for (int i = 0; i < 5; ++i) registry.histogram("h").record(1.5 * i);
+  const MetricsSnapshot before = registry.snapshot();
+  const MetricsSnapshot after =
+      MetricsSnapshot::from_json(Json::parse(before.to_json().dump()));
+  EXPECT_EQ(after.counters, before.counters);
+  ASSERT_EQ(after.gauges.size(), before.gauges.size());
+  EXPECT_EQ(after.gauges.at("ratio"), before.gauges.at("ratio"));  // bit-exact
+  const auto& ha = after.histograms.at("h");
+  const auto& hb = before.histograms.at("h");
+  EXPECT_EQ(ha.stats.count(), hb.stats.count());
+  EXPECT_EQ(ha.stats.mean(), hb.stats.mean());
+  EXPECT_EQ(ha.stats.m2(), hb.stats.m2());
+  EXPECT_EQ(ha.buckets, hb.buckets);
+}
+
+TEST(MetricsSnapshot, EmptyAndMergeIntoEmpty) {
+  MetricsSnapshot empty;
+  EXPECT_TRUE(empty.empty());
+  MetricsRegistry registry;
+  registry.counter("c").add(2);
+  MetricsSnapshot merged;
+  merged.merge(registry.snapshot());
+  EXPECT_FALSE(merged.empty());
+  EXPECT_EQ(merged.counters.at("c"), 2u);
+}
+
+// --- Tracer ---
+
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::instance().stop();
+    Tracer::instance().take_events();  // drain leftovers from other tests
+  }
+  void TearDown() override {
+    Tracer::instance().stop();
+    Tracer::instance().take_events();
+  }
+};
+
+TEST_F(TracerTest, DisabledTracerEmitsNothingAndSpansAreInactive) {
+  EXPECT_FALSE(Tracer::instance().enabled());
+  {
+    Span span("ignored");
+    EXPECT_FALSE(span.active());
+    span.arg("k", Json(1));  // must be a safe no-op
+  }
+  Tracer::instance().instant("ignored");
+  Tracer::instance().counter("ignored", 1.0);
+  EXPECT_EQ(Tracer::instance().take_events().size(), 0u);
+}
+
+TEST_F(TracerTest, MemoryModeCollectsSchemaValidEvents) {
+  Tracer::instance().start_memory();
+  EXPECT_TRUE(Tracer::instance().enabled());
+  {
+    Span outer("outer");
+    EXPECT_TRUE(outer.active());
+    outer.arg("chargers", Json(3));
+    {
+      Span inner("inner");
+      EXPECT_TRUE(inner.active());
+    }
+  }
+  Tracer::instance().instant("tick");
+  Tracer::instance().counter("depth", 2.0);
+  Tracer::instance().process_name("unit test");
+  const Json events = Tracer::instance().take_events();
+  ASSERT_EQ(events.size(), 5u);
+
+  // Spans close inner-first, so "inner" precedes "outer" in the buffer.
+  const Json& inner = events.at(0);
+  EXPECT_EQ(inner.at("ph").as_string(), "X");
+  EXPECT_EQ(inner.at("name").as_string(), "inner");
+  EXPECT_GE(inner.at("dur").as_int(), 0);
+  const Json& outer = events.at(1);
+  EXPECT_EQ(outer.at("name").as_string(), "outer");
+  EXPECT_EQ(outer.at("args").at("chargers").as_int(), 3);
+  // Proper nesting: outer starts no later and ends no earlier than inner.
+  EXPECT_LE(outer.at("ts").as_int(), inner.at("ts").as_int());
+  EXPECT_GE(outer.at("ts").as_int() + outer.at("dur").as_int(),
+            inner.at("ts").as_int() + inner.at("dur").as_int());
+  for (const char* key : {"ph", "name", "ts", "pid", "tid"}) {
+    EXPECT_TRUE(inner.contains(key)) << key;
+  }
+
+  const Json& instant = events.at(2);
+  EXPECT_EQ(instant.at("ph").as_string(), "i");
+  EXPECT_EQ(instant.at("s").as_string(), "t");
+  const Json& counter = events.at(3);
+  EXPECT_EQ(counter.at("ph").as_string(), "C");
+  EXPECT_DOUBLE_EQ(counter.at("args").at("value").as_number(), 2.0);
+  const Json& meta = events.at(4);
+  EXPECT_EQ(meta.at("ph").as_string(), "M");
+  EXPECT_EQ(meta.at("name").as_string(), "process_name");
+
+  // take_events drained the buffer.
+  EXPECT_EQ(Tracer::instance().take_events().size(), 0u);
+}
+
+TEST_F(TracerTest, InjectAppendsForeignEvents) {
+  Tracer::instance().start_memory();
+  Json foreign = Json::array();
+  Json event = Json::object();
+  event.set("ph", Json("X"));
+  event.set("name", Json("worker.span"));
+  event.set("ts", Json(1.0));
+  event.set("dur", Json(2.0));
+  event.set("pid", Json(99999));
+  event.set("tid", Json(0));
+  foreign.push_back(std::move(event));
+  Tracer::instance().inject(foreign);
+  const Json events = Tracer::instance().take_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events.at(0).at("name").as_string(), "worker.span");
+  EXPECT_EQ(events.at(0).at("pid").as_int(), 99999);
+}
+
+TEST_F(TracerTest, FileModeWritesTraceEventsObject) {
+  const std::string path = testing::TempDir() + "haste_obs_trace_test.json";
+  std::remove(path.c_str());
+  Tracer::instance().start_file(path);
+  { Span span("file.span"); }
+  Tracer::instance().stop();
+  EXPECT_FALSE(Tracer::instance().enabled());
+  const Json root = util::load_json_file(path);
+  ASSERT_TRUE(root.contains("traceEvents"));
+  ASSERT_EQ(root.at("traceEvents").size(), 1u);
+  EXPECT_EQ(root.at("traceEvents").at(0).at("name").as_string(), "file.span");
+  std::remove(path.c_str());
+}
+
+TEST_F(TracerTest, ConcurrentSpansFromPoolAllRecorded) {
+  Tracer::instance().start_memory();
+  util::ThreadPool pool(8);
+  pool.parallel_for(200, [&](std::size_t i) {
+    Span span("parallel.span");
+    span.arg("i", Json(static_cast<int>(i)));
+    HASTE_OBS_COUNTER_ADD("obs_test.parallel", 1);
+  });
+  const Json events = Tracer::instance().take_events();
+  EXPECT_EQ(events.size(), 200u);
+#ifdef HASTE_OBS
+  EXPECT_GE(MetricsRegistry::instance().counter("obs_test.parallel").value(), 200u);
+#endif
+}
+
+TEST_F(TracerTest, ScopedTimerFeedsHistogram) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.histogram("timer_us");
+  { ScopedTimer timer(histogram); }
+  { ScopedTimer timer(histogram); }
+  const auto shot = registry.snapshot().histograms.at("timer_us");
+  EXPECT_EQ(shot.stats.count(), 2u);
+  EXPECT_GE(shot.stats.min(), 0.0);
+}
+
+}  // namespace
+}  // namespace haste::obs

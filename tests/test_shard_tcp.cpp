@@ -11,14 +11,19 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 #include <iostream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/shard.hpp"
 #include "util/json.hpp"
+#include "util/socket.hpp"
+#include "util/subprocess.hpp"
 
 namespace haste::sim {
 namespace {
@@ -215,6 +220,139 @@ TEST(ShardTcp, ManifestRecordsKilledTcpWorker) {
   EXPECT_TRUE(found);
 }
 
+// --- Satellite: per-run shared-secret handshake on the TCP transport. ---
+
+/// Reads the current value of a named counter; 0 when it was never touched.
+std::uint64_t counter_value(const std::string& name) {
+  return obs::MetricsRegistry::instance().counter(name).value();
+}
+
+TEST(ShardTcpAuth, MatchingTokenAdmitsWorkersBitIdentical) {
+  ShardOptions options = tcp_options(2);
+  options.auth_token = "per-run-secret";
+  options.tcp_spawn_argv = {self_exe(), "--token", "per-run-secret", "--connect"};
+  const TrialResults reference = run_trials(tiny_config(), tiny_variants(), 6, 41);
+  const TrialResults sharded =
+      run_trials_sharded(tiny_config(), tiny_variants(), 6, 41, options);
+  expect_results_equal(sharded, reference);
+}
+
+TEST(ShardTcpAuth, WrongTokenWorkersAreRejectedAndPoolStarves) {
+  const std::uint64_t rejects_before = counter_value("shard.auth_reject");
+  ShardOptions options = tcp_options(1);
+  options.auth_token = "right-secret";
+  options.tcp_spawn_argv = {self_exe(), "--token", "wrong-secret", "--connect"};
+  options.connect_wait_seconds = 1.0;
+  EXPECT_THROW(run_trials_sharded(tiny_config(), tiny_variants(), 2, 42, options),
+               std::runtime_error);
+#ifdef HASTE_OBS
+  EXPECT_GT(counter_value("shard.auth_reject"), rejects_before);
+#else
+  (void)rejects_before;
+#endif
+}
+
+TEST(ShardTcpAuth, SilentWorkerIsRejectedNotAdmitted) {
+  // A peer that connects but never sends the token line must be dropped at
+  // the handshake deadline instead of occupying a pool slot. --worker mode
+  // ignores its (closed) stdin here and just holds the socket open silently.
+  const std::uint64_t rejects_before = counter_value("shard.auth_reject");
+  ShardOptions options = tcp_options(1);
+  options.auth_token = "required-secret";
+  options.tcp_spawn_argv = {self_exe(), "--silent-connect"};
+  options.connect_wait_seconds = 0.5;
+  EXPECT_THROW(run_trials_sharded(tiny_config(), tiny_variants(), 2, 43, options),
+               std::runtime_error);
+#ifdef HASTE_OBS
+  EXPECT_GT(counter_value("shard.auth_reject"), rejects_before);
+#else
+  (void)rejects_before;
+#endif
+}
+
+TEST(ShardTcpAuth, RejectedTcpWorkersDoNotPoisonAHybridPool) {
+  // Wrong-token TCP spawns keep getting rejected, but a pipe worker in the
+  // same pool completes every shard: rejection starves only the bad
+  // transport, never corrupts the run.
+  const std::uint64_t rejects_before = counter_value("shard.auth_reject");
+  ShardOptions options = tcp_options(1);
+  options.auth_token = "right-secret";
+  options.tcp_spawn_argv = {self_exe(), "--token", "wrong-secret", "--connect"};
+  options.worker_argv = {self_exe(), "--worker"};
+  options.workers = 1;
+  const TrialResults reference = run_trials(tiny_config(), tiny_variants(), 6, 44);
+  const TrialResults sharded =
+      run_trials_sharded(tiny_config(), tiny_variants(), 6, 44, options);
+  expect_results_equal(sharded, reference);
+#ifdef HASTE_OBS
+  EXPECT_GT(counter_value("shard.auth_reject"), rejects_before);
+#else
+  (void)rejects_before;
+#endif
+}
+
+// --- Tentpole: worker observability payloads over the wire protocol. ---
+
+TEST(ShardTcpObs, WorkerMetricsAndTraceMergeIntoDriver) {
+  obs::Tracer::instance().start_memory();
+  obs::MetricsSnapshot worker_metrics;
+  ShardOptions options = tcp_options(2);
+  options.collect_obs = true;
+  options.worker_metrics_out = &worker_metrics;
+  const TrialResults reference = run_trials(tiny_config(), tiny_variants(), 6, 45);
+  const TrialResults sharded =
+      run_trials_sharded(tiny_config(), tiny_variants(), 6, 45, options);
+  const util::Json events = obs::Tracer::instance().take_events();
+  obs::Tracer::instance().stop();
+  expect_results_equal(sharded, reference);
+
+  // Every worker ships a cumulative snapshot; merged totals must cover every
+  // shard exactly once (shard.served is bumped once per served request).
+#ifdef HASTE_OBS
+  ASSERT_TRUE(worker_metrics.counters.count("shard.served"));
+  EXPECT_EQ(worker_metrics.counters.at("shard.served"), 3u);  // 6 trials / 2 per shard
+#endif
+
+  // The driver's trace now holds worker-side spans under the workers' own
+  // pids (distinct processes) next to its own shard.attempt spans.
+  const auto driver_pid = static_cast<std::int64_t>(::getpid());
+  bool saw_worker_span = false;
+  bool saw_attempt_span = false;
+  for (std::size_t e = 0; e < events.size(); ++e) {
+    const util::Json& event = events.at(e);
+    const std::string name = event.at("name").as_string();
+    if (name == "shard.run" && event.at("pid").as_int() != driver_pid) {
+      saw_worker_span = true;
+    }
+    if (name == "shard.attempt" && event.at("pid").as_int() == driver_pid) {
+      saw_attempt_span = true;
+    }
+  }
+  EXPECT_TRUE(saw_worker_span);
+  EXPECT_TRUE(saw_attempt_span);
+}
+
+TEST(ShardTcpObs, CumulativeSnapshotsSurviveRetriesWithoutDoubleCounting) {
+  // A killed worker forces a retry; the merged worker metrics must still
+  // count each *served* shard exactly once per serving, with the replacement
+  // worker's cumulative snapshot folded in alongside the survivor's.
+  obs::MetricsSnapshot worker_metrics;
+  ShardOptions options = tcp_options(2);
+  options.collect_obs = true;
+  options.worker_metrics_out = &worker_metrics;
+  options.inject_first_attempt[1] = "kill-self";
+  const TrialResults reference = run_trials(tiny_config(), tiny_variants(), 6, 46);
+  const TrialResults sharded =
+      run_trials_sharded(tiny_config(), tiny_variants(), 6, 46, options);
+  expect_results_equal(sharded, reference);
+#ifdef HASTE_OBS
+  ASSERT_TRUE(worker_metrics.counters.count("shard.served"));
+  EXPECT_EQ(worker_metrics.counters.at("shard.served"), 3u);
+#else
+  (void)worker_metrics;
+#endif
+}
+
 TEST(ShardTcp, EmptyPoolTimesOutWhenNoWorkerConnects) {
   ShardOptions options = tcp_options(1);
   options.tcp_spawn_argv.clear();       // external workers... that never dial in
@@ -233,15 +371,37 @@ TEST(ShardTcp, RejectsTcpOptionsWithoutWorkerBudget) {
 }  // namespace haste::sim
 
 // Custom main: `--worker` serves shards on stdin, `--connect HOST:PORT`
-// serves them over TCP — the two worker modes the tests pit against each
-// other and against the in-process reference.
+// serves them over TCP (presenting the `--token` shared secret first, when
+// given), and `--silent-connect HOST:PORT` dials in but never authenticates
+// — the misbehaving peer the handshake deadline must evict.
 int main(int argc, char** argv) {
+  std::string token;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--token") == 0) token = argv[i + 1];
+  }
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--worker") == 0) {
       return haste::sim::shard_worker_main(std::cin, std::cout);
     }
     if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
-      return haste::sim::shard_worker_connect(argv[i + 1]);
+      return haste::sim::shard_worker_connect(argv[i + 1], token);
+    }
+    if (std::strcmp(argv[i], "--silent-connect") == 0 && i + 1 < argc) {
+      try {
+        haste::util::TcpSocket socket = haste::util::TcpSocket::connect(argv[i + 1]);
+        // Hold the connection open without ever sending the token line; the
+        // driver's handshake deadline closes it, which we observe as EOF.
+        for (;;) {
+          if (haste::util::poll_readable({socket.fd()}, 1000).empty()) continue;
+          char byte = 0;
+          const ssize_t n = ::read(socket.fd(), &byte, 1);
+          if (n == 0) break;  // driver dropped us, as it should
+          if (n < 0 && errno != EINTR && errno != EAGAIN) break;
+        }
+      } catch (const std::exception&) {
+        return 4;
+      }
+      return 0;
     }
   }
   ::testing::InitGoogleTest(&argc, argv);

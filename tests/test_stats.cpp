@@ -159,6 +159,88 @@ TEST(RunningStats, EmptyIsZero) {
   EXPECT_EQ(running.count(), 0u);
 }
 
+TEST(RunningStats, MergeMatchesSingleStream) {
+  Rng rng(11);
+  RunningStats single;
+  std::vector<RunningStats> parts(4);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.uniform(-100.0, 100.0);
+    single.add(x);
+    parts[i % parts.size()].add(x);
+  }
+  RunningStats merged;
+  for (const RunningStats& part : parts) merged.merge(part);
+  EXPECT_EQ(merged.count(), single.count());
+  EXPECT_NEAR(merged.mean(), single.mean(), 1e-10);
+  EXPECT_NEAR(merged.variance(), single.variance(), 1e-7);
+  EXPECT_DOUBLE_EQ(merged.min(), single.min());
+  EXPECT_DOUBLE_EQ(merged.max(), single.max());
+}
+
+TEST(RunningStats, MergeWithEmptyOperands) {
+  RunningStats filled;
+  filled.add(2.0);
+  filled.add(4.0);
+  RunningStats empty;
+
+  RunningStats a = filled;
+  a.merge(empty);  // no-op: an empty operand must not disturb the moments
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 4.0);
+
+  RunningStats b;
+  b.merge(filled);  // empty target adopts the operand exactly
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(b.m2(), filled.m2());
+
+  RunningStats c;
+  c.merge(empty);
+  EXPECT_EQ(c.count(), 0u);
+}
+
+TEST(RunningStats, MergeSingletons) {
+  // Two one-observation accumulators: the combine's between-group term is
+  // the entire variance, so this pins the delta^2 * na*nb/(na+nb) algebra.
+  RunningStats a;
+  a.add(1.0);
+  RunningStats b;
+  b.add(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(a.m2(), 8.0);  // (1-3)^2 + (5-3)^2
+  EXPECT_DOUBLE_EQ(a.variance(), 8.0);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+}
+
+TEST(RunningStats, FromMomentsRoundTrip) {
+  Rng rng(13);
+  RunningStats original;
+  for (int i = 0; i < 50; ++i) original.add(rng.uniform(0.0, 10.0));
+  const RunningStats rebuilt =
+      RunningStats::from_moments(original.count(), original.mean(),
+                                 original.m2(), original.min(), original.max());
+  EXPECT_EQ(rebuilt.count(), original.count());
+  EXPECT_DOUBLE_EQ(rebuilt.mean(), original.mean());
+  EXPECT_DOUBLE_EQ(rebuilt.m2(), original.m2());
+  EXPECT_DOUBLE_EQ(rebuilt.min(), original.min());
+  EXPECT_DOUBLE_EQ(rebuilt.max(), original.max());
+
+  // A rebuilt accumulator must keep accepting observations and merges.
+  RunningStats resumed = rebuilt;
+  resumed.add(original.mean());
+  EXPECT_EQ(resumed.count(), original.count() + 1);
+  EXPECT_NEAR(resumed.mean(), original.mean(), 1e-12);
+
+  const RunningStats zero = RunningStats::from_moments(0, 9.0, 9.0, 9.0, 9.0);
+  EXPECT_EQ(zero.count(), 0u);
+  EXPECT_DOUBLE_EQ(zero.mean(), 0.0);
+}
+
 class QuantileAgainstSorted : public ::testing::TestWithParam<double> {};
 
 TEST_P(QuantileAgainstSorted, WithinSampleRange) {

@@ -22,9 +22,17 @@
 //   info      --in FILE
 //       Prints instance statistics (coverage, neighbors, horizon).
 //
+// Every subcommand additionally accepts:
+//   --trace FILE        write a Chrome trace-event JSON of the run (load in
+//                       Perfetto / chrome://tracing); HASTE_TRACE=FILE is
+//                       the env equivalent
+//   --metrics-out FILE  write the process metric registry (counters, gauges,
+//                       histograms) as JSON
+//
 // Algorithms for --algorithm: offline-haste (default), offline-greedy-utility,
 // offline-greedy-cover, offline-random, offline-optimal, online-haste,
 // online-greedy-utility, online-greedy-cover, global-greedy.
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -33,6 +41,8 @@
 #include "core/local_search.hpp"
 #include "core/offline.hpp"
 #include "io/scenario_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/experiment.hpp"
 #include "sim/field_map.hpp"
 #include "sim/render.hpp"
@@ -286,23 +296,52 @@ int cmd_info(const util::Flags& flags) {
   return 0;
 }
 
+int run_command(const std::string& command, const util::Flags& flags) {
+  obs::Span span("cli." + command);
+  if (command == "generate") return cmd_generate(flags);
+  if (command == "solve") return cmd_solve(flags);
+  if (command == "eval") return cmd_eval(flags);
+  if (command == "testbed") return cmd_testbed(flags);
+  if (command == "render") return cmd_render(flags);
+  if (command == "heatmap") return cmd_heatmap(flags);
+  if (command == "info") return cmd_info(flags);
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const util::Flags flags = util::Flags::parse(argc - 1, argv + 1);
+
+  std::string trace_path = flags.get("trace");
+  if (trace_path.empty()) {
+    if (const char* env_trace = std::getenv("HASTE_TRACE")) trace_path = env_trace;
+  }
+  if (!trace_path.empty()) {
+    obs::Tracer::instance().start_file(trace_path);
+    obs::Tracer::instance().process_name("haste_cli " + command);
+  }
+
+  int code = 0;
   try {
-    if (command == "generate") return cmd_generate(flags);
-    if (command == "solve") return cmd_solve(flags);
-    if (command == "eval") return cmd_eval(flags);
-    if (command == "testbed") return cmd_testbed(flags);
-    if (command == "render") return cmd_render(flags);
-    if (command == "heatmap") return cmd_heatmap(flags);
-    if (command == "info") return cmd_info(flags);
+    code = run_command(command, flags);
   } catch (const std::exception& error) {
     std::cerr << "haste_cli " << command << ": " << error.what() << "\n";
-    return 1;
+    code = 1;
   }
-  return usage();
+
+  if (!trace_path.empty()) {
+    obs::Tracer::instance().stop();
+    std::cout << "trace written to " << trace_path << "\n";
+  }
+  const std::string metrics_path = flags.get("metrics-out");
+  if (!metrics_path.empty()) {
+    util::Json metrics_json = util::Json::object();
+    metrics_json.set("driver", obs::MetricsRegistry::instance().snapshot().to_json());
+    util::save_json_file(metrics_path, metrics_json);
+    std::cout << "metrics written to " << metrics_path << "\n";
+  }
+  return code;
 }

@@ -29,7 +29,16 @@
 //                            "0:crash,2:garbage,3:hang" (first attempt only)
 //   --worker-bin PATH        worker executable (default: this binary)
 //
-// TCP transport (multi-host; unauthenticated — trusted networks only):
+// Observability:
+//   --trace FILE             write a Chrome trace-event JSON of the run
+//                            (load in Perfetto / chrome://tracing). Worker
+//                            spans are collected over the wire and merged,
+//                            so each worker shows up as its own process.
+//                            HASTE_TRACE=FILE is the env equivalent.
+//   --metrics-out FILE       write the driver's metric registry plus the
+//                            merged worker metrics as JSON
+//
+// TCP transport (multi-host):
 //   --serve HOST:PORT        listen for TCP workers and add them to the pool
 //                            (PORT 0 picks an ephemeral port; the bound
 //                            address is logged). Defaults --workers to 0.
@@ -39,19 +48,29 @@
 //                            locally as `--connect` subprocesses aimed at
 //                            the bound port
 //   --connect-wait SEC       give up if no worker joins in time (default 30)
+//   --token SECRET           per-run shared secret: every TCP worker must
+//                            present it as its first line or the connection
+//                            is dropped before any shard flows. Defaults to
+//                            $HASTE_SHARD_TOKEN; empty = accept anyone
+//                            (trusted networks only). --tcp-spawn forwards
+//                            the token to the workers it spawns.
 //
 // Worker modes:
 //   `haste_shard --worker` serves shard requests on stdin until EOF;
-//   `haste_shard --connect HOST:PORT` dials a `--serve` driver and serves
-//   the same protocol over the socket. See src/sim/shard.hpp.
+//   `haste_shard --connect HOST:PORT [--token SECRET]` dials a `--serve`
+//   driver and serves the same protocol over the socket ($HASTE_SHARD_TOKEN
+//   is honored there too). See src/sim/shard.hpp.
 #include <unistd.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/shard.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
@@ -135,14 +154,25 @@ int usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Worker fast paths: serve shard requests, no driver flags parsed.
+  // Worker fast paths: serve shard requests, no driver flags parsed. The
+  // auth token is scanned first (it may precede or follow --connect; spawned
+  // workers also inherit it via HASTE_SHARD_TOKEN). Workers never read
+  // HASTE_TRACE: tracing there is driven by the wire protocol, so a driver
+  // tracing to a file cannot make its spawned workers clobber that file.
+  std::string worker_token;
+  if (const char* env_token = std::getenv("HASTE_SHARD_TOKEN")) {
+    worker_token = env_token;
+  }
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--token") == 0) worker_token = argv[i + 1];
+  }
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--worker") == 0) {
       return sim::shard_worker_main(std::cin, std::cout);
     }
     if (std::strcmp(argv[i], "--connect") == 0) {
       if (i + 1 >= argc) return usage();
-      return sim::shard_worker_connect(argv[i + 1]);
+      return sim::shard_worker_connect(argv[i + 1], worker_token);
     }
   }
 
@@ -175,8 +205,15 @@ int main(int argc, char** argv) {
     options.workers = static_cast<int>(flags.get_int("workers", serving ? 0 : 2));
     options.worker_argv = {worker_bin, "--worker"};
     options.tcp_workers = static_cast<int>(flags.get_int("tcp-workers", serving ? 2 : 0));
+    options.auth_token = worker_token;  // --token / $HASTE_SHARD_TOKEN
     if (flags.get_bool("tcp-spawn")) {
-      options.tcp_spawn_argv = {worker_bin, "--connect"};
+      // The token rides ahead of --connect so the worker fast path has it
+      // before dialing (the transport appends the bound address last).
+      if (!options.auth_token.empty()) {
+        options.tcp_spawn_argv = {worker_bin, "--token", options.auth_token, "--connect"};
+      } else {
+        options.tcp_spawn_argv = {worker_bin, "--connect"};
+      }
     }
     options.connect_wait_seconds = flags.get_double("connect-wait", 30.0);
     options.trials_per_shard = static_cast<int>(flags.get_int("shard-trials", 0));
@@ -184,6 +221,19 @@ int main(int argc, char** argv) {
     options.manifest_path = flags.get("manifest");
     if (flags.has("inject")) {
       options.inject_first_attempt = parse_inject(flags.get("inject"));
+    }
+
+    std::string trace_path = flags.get("trace");
+    if (trace_path.empty()) {
+      if (const char* env_trace = std::getenv("HASTE_TRACE")) trace_path = env_trace;
+    }
+    const std::string metrics_path = flags.get("metrics-out");
+    obs::MetricsSnapshot worker_metrics;
+    options.collect_obs = !trace_path.empty() || !metrics_path.empty();
+    if (options.collect_obs) options.worker_metrics_out = &worker_metrics;
+    if (!trace_path.empty()) {
+      obs::Tracer::instance().start_file(trace_path);
+      obs::Tracer::instance().process_name("haste_shard driver");
     }
 
     util::Table table({"x", "variant", "mean_utility", "ci95"});
@@ -250,6 +300,17 @@ int main(int argc, char** argv) {
     }
 
     table.print(std::cout);
+    if (!trace_path.empty()) {
+      obs::Tracer::instance().stop();
+      std::cout << "trace written to " << trace_path << "\n";
+    }
+    if (!metrics_path.empty()) {
+      util::Json metrics_json = util::Json::object();
+      metrics_json.set("driver", obs::MetricsRegistry::instance().snapshot().to_json());
+      metrics_json.set("workers", worker_metrics.to_json());
+      util::save_json_file(metrics_path, metrics_json);
+      std::cout << "metrics written to " << metrics_path << "\n";
+    }
     if (!options.manifest_path.empty()) {
       std::cout << "manifest written to " << options.manifest_path << "\n";
     }

@@ -1,0 +1,184 @@
+// trace_check — structural validator for the observability artifacts the
+// tools emit (--trace / --metrics-out). Used by the tier-1 ctest chain to
+// prove a captured run produced a well-formed, Perfetto-loadable trace.
+//
+// Usage: trace_check TRACE.json [flags]
+//   TRACE.json            a {"traceEvents": [...]} object or a bare event
+//                         array (both forms load in Perfetto)
+//   --min-pids N          require at least N distinct process ids among the
+//                         events (a merged driver+workers trace has >= 3)
+//   --require-name NAME   require at least one event with this name
+//   --metrics FILE        also validate a metrics JSON: either one registry
+//                         snapshot ({"counters": ..., "gauges": ...,
+//                         "histograms": ...}) or an object of named
+//                         snapshots (haste_shard writes {"driver": ...,
+//                         "workers": ...})
+//
+// Checks, beyond per-event schema: within every (pid, tid) track the "X"
+// spans must properly nest (partial overlap would render as a corrupted
+// track); histogram bucket counts must sum to the stats count and
+// min <= mean <= max must hold.
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using haste::util::Json;
+
+int fail(const std::string& message) {
+  std::cerr << "trace_check: " << message << "\n";
+  return 1;
+}
+
+bool is_u64_string(const std::string& text) {
+  if (text.empty()) return false;
+  return std::all_of(text.begin(), text.end(),
+                     [](unsigned char c) { return c >= '0' && c <= '9'; });
+}
+
+struct SpanInterval {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  std::string name;
+};
+
+/// Validates one registry snapshot; returns "" when well-formed.
+std::string check_snapshot(const std::string& label, const Json& snapshot) {
+  if (!snapshot.contains("counters") || !snapshot.contains("gauges") ||
+      !snapshot.contains("histograms")) {
+    return label + ": missing counters/gauges/histograms";
+  }
+  for (const auto& [name, value] : snapshot.at("counters").items()) {
+    if (!is_u64_string(value.as_string())) {
+      return label + ": counter " + name + " is not a decimal u64 string";
+    }
+  }
+  for (const auto& [name, histogram] : snapshot.at("histograms").items()) {
+    const auto count = static_cast<std::uint64_t>(
+        std::stoull(histogram.at("count").as_string()));
+    const Json& buckets = histogram.at("buckets");
+    std::uint64_t bucket_sum = 0;
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      bucket_sum += static_cast<std::uint64_t>(std::stoull(buckets.at(b).as_string()));
+    }
+    if (bucket_sum != count) {
+      return label + ": histogram " + name + " buckets sum to " +
+             std::to_string(bucket_sum) + " but count is " + std::to_string(count);
+    }
+    if (count > 0) {
+      const double min = histogram.at("min").as_number();
+      const double mean = histogram.at("mean").as_number();
+      const double max = histogram.at("max").as_number();
+      if (!(min <= mean && mean <= max)) {
+        return label + ": histogram " + name + " violates min <= mean <= max";
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const haste::util::Flags flags = haste::util::Flags::parse(argc, argv);
+  if (flags.positional().size() != 1) {
+    std::cerr << "usage: trace_check TRACE.json [--min-pids N] "
+                 "[--require-name NAME] [--metrics FILE]\n";
+    return 2;
+  }
+
+  try {
+    const Json root = haste::util::load_json_file(flags.positional()[0]);
+    const Json& events = root.is_array() ? root : root.at("traceEvents");
+    if (!events.is_array()) return fail("traceEvents is not an array");
+
+    std::vector<std::int64_t> pids;
+    std::map<std::pair<std::int64_t, std::int64_t>, std::vector<SpanInterval>> tracks;
+    std::size_t named_hits = 0;
+    const std::string required_name = flags.get("require-name");
+
+    for (std::size_t e = 0; e < events.size(); ++e) {
+      const Json& event = events.at(e);
+      const std::string where = "event " + std::to_string(e);
+      if (!event.is_object()) return fail(where + " is not an object");
+      const std::string ph = event.at("ph").as_string();
+      if (ph != "X" && ph != "C" && ph != "i" && ph != "M") {
+        return fail(where + " has unknown ph \"" + ph + "\"");
+      }
+      const std::string name = event.at("name").as_string();
+      if (name.empty()) return fail(where + " has an empty name");
+      if (name == required_name) ++named_hits;
+      if (event.at("ts").as_number() < 0) return fail(where + " has negative ts");
+      const std::int64_t pid = event.at("pid").as_int();
+      const std::int64_t tid = event.at("tid").as_int();
+      pids.push_back(pid);
+      if (ph == "X") {
+        const std::int64_t dur = event.at("dur").as_int();
+        if (dur < 0) return fail(where + " has negative dur");
+        const auto begin = static_cast<std::int64_t>(event.at("ts").as_number());
+        tracks[{pid, tid}].push_back(SpanInterval{begin, begin + dur, name});
+      }
+      if (ph == "i" && event.at("s").as_string().empty()) {
+        return fail(where + " instant lacks a scope");
+      }
+    }
+
+    // Spans on one (pid, tid) track must properly nest: sort by (start asc,
+    // longer first) and sweep with a stack of open intervals.
+    for (const auto& [track, unsorted] : tracks) {
+      std::vector<SpanInterval> spans = unsorted;
+      std::sort(spans.begin(), spans.end(), [](const SpanInterval& a, const SpanInterval& b) {
+        if (a.begin != b.begin) return a.begin < b.begin;
+        return a.end > b.end;
+      });
+      std::vector<SpanInterval> open;
+      for (const SpanInterval& span : spans) {
+        while (!open.empty() && open.back().end <= span.begin) open.pop_back();
+        if (!open.empty() && span.end > open.back().end) {
+          return fail("track pid " + std::to_string(track.first) + " tid " +
+                      std::to_string(track.second) + ": span \"" + span.name +
+                      "\" partially overlaps \"" + open.back().name + "\"");
+        }
+        open.push_back(span);
+      }
+    }
+
+    std::sort(pids.begin(), pids.end());
+    pids.erase(std::unique(pids.begin(), pids.end()), pids.end());
+    const auto min_pids = flags.get_int("min-pids", 1);
+    if (static_cast<std::int64_t>(pids.size()) < min_pids) {
+      return fail("only " + std::to_string(pids.size()) + " distinct pids, need " +
+                  std::to_string(min_pids));
+    }
+    if (!required_name.empty() && named_hits == 0) {
+      return fail("no event named \"" + required_name + "\"");
+    }
+
+    if (flags.has("metrics")) {
+      const Json metrics = haste::util::load_json_file(flags.get("metrics"));
+      if (metrics.contains("counters")) {
+        const std::string error = check_snapshot("snapshot", metrics);
+        if (!error.empty()) return fail(error);
+      } else {
+        for (const auto& [label, snapshot] : metrics.items()) {
+          const std::string error = check_snapshot(label, snapshot);
+          if (!error.empty()) return fail(error);
+        }
+      }
+    }
+
+    std::cout << "trace_check: " << events.size() << " events, " << pids.size()
+              << " pids, " << tracks.size() << " span tracks: OK\n";
+    return 0;
+  } catch (const std::exception& error) {
+    return fail(error.what());
+  }
+}
