@@ -181,152 +181,203 @@ void negotiate_haste(const model::Network& net, const OnlineConfig& config,
 
 }  // namespace
 
-OnlineResult run_online(const model::Network& net, const OnlineConfig& config) {
-  OnlineResult result;
-  result.schedule = model::Schedule(net.charger_count(), net.horizon());
-  if (net.horizon() == 0) {
-    result.evaluation = core::evaluate_schedule(net, result.schedule);
-    return result;
+OnlineSession::OnlineSession(const model::Network& net, const OnlineConfig& config)
+    : net_(net),
+      config_(config),
+      alive_(static_cast<std::size_t>(net.charger_count()), true) {
+  result_.schedule = model::Schedule(net.charger_count(), net.horizon());
+}
+
+OnlineSession::~OnlineSession() = default;  // ChargerNode is complete here
+
+std::size_t OnlineSession::alive_chargers() const {
+  return static_cast<std::size_t>(std::count(alive_.begin(), alive_.end(), true));
+}
+
+void OnlineSession::check_event(model::SlotIndex slot) const {
+  if (finished_) {
+    throw std::logic_error("OnlineSession: event after finish()");
+  }
+  if (slot < last_event_slot_) {
+    throw std::invalid_argument(
+        "OnlineSession: event slot " + std::to_string(slot) +
+        " regresses behind slot " + std::to_string(last_event_slot_));
+  }
+}
+
+const NegotiationRecord* OnlineSession::on_arrival(
+    model::SlotIndex slot, const std::vector<model::TaskIndex>& tasks) {
+  check_event(slot);
+  for (model::TaskIndex j : tasks) {
+    if (j < 0 || j >= net_.task_count()) {
+      throw std::invalid_argument("OnlineSession: task index " + std::to_string(j) +
+                                  " out of range");
+    }
+    if (std::binary_search(known_.begin(), known_.end(), j)) {
+      throw std::invalid_argument("OnlineSession: task " + std::to_string(j) +
+                                  " released twice");
+    }
+  }
+  last_event_slot_ = slot;
+  known_.insert(known_.end(), tasks.begin(), tasks.end());
+  std::sort(known_.begin(), known_.end());
+  return replan(slot, ReplanTrigger::kArrival);
+}
+
+const NegotiationRecord* OnlineSession::on_failure(model::ChargerIndex charger,
+                                                   model::SlotIndex slot) {
+  check_event(slot);
+  if (charger < 0 || charger >= net_.charger_count()) {
+    throw std::invalid_argument("OnlineSession: charger index " +
+                                std::to_string(charger) + " out of range");
+  }
+  last_event_slot_ = slot;
+  if (!alive_[static_cast<std::size_t>(charger)]) return nullptr;
+  alive_[static_cast<std::size_t>(charger)] = false;
+  result_.schedule.disable_from(charger, slot);
+  // Survivors re-plan to cover for the lost charger.
+  return replan(slot, ReplanTrigger::kFailure);
+}
+
+OnlineResult OnlineSession::finish() {
+  if (finished_) throw std::logic_error("OnlineSession: finish() called twice");
+  finished_ = true;
+  result_.evaluation = core::evaluate_schedule(net_, result_.schedule);
+  return std::move(result_);
+}
+
+const NegotiationRecord* OnlineSession::replan(model::SlotIndex event_slot,
+                                               ReplanTrigger trigger) {
+  // Re-planning is modeled as instantaneous computation whose *effect* is
+  // delayed by tau slots (the rescheduling delay).
+  const model::SlotIndex plan_start =
+      std::min<model::SlotIndex>(event_slot + net_.time().tau, net_.horizon());
+  if (plan_start >= net_.horizon() || known_.empty()) return nullptr;
+  ++result_.negotiations;
+  const std::int64_t started_us = obs::Tracer::now_us();
+
+  NegotiationRecord record;
+  record.trigger = trigger;
+  record.event_slot = event_slot;
+  record.plan_start = plan_start;
+  record.known_tasks = known_.size();
+  record.alive_chargers = alive_chargers();
+  const std::uint64_t messages_before = result_.messages;
+  const std::uint64_t rounds_before = result_.rounds;
+  const std::uint64_t deliveries_before = result_.deliveries;
+  const std::uint64_t bytes_before = result_.message_bytes;
+
+  // Protocol-level span (like cli.solve and shard.run): the re-plan is the
+  // serving daemon's unit of work, so its span and latency histogram exist
+  // even in -DHASTE_OBS=OFF builds.
+  obs::Span replan_span("online.replan");
+  replan_span.arg("trigger", util::Json(trigger == ReplanTrigger::kArrival
+                                            ? "arrival"
+                                            : "failure"));
+  replan_span.arg("event_slot", util::Json(static_cast<std::int64_t>(event_slot)));
+  replan_span.arg("plan_start", util::Json(static_cast<std::int64_t>(plan_start)));
+  replan_span.arg("known_tasks", util::Json(static_cast<std::int64_t>(known_.size())));
+  replan_span.arg("alive", util::Json(static_cast<std::int64_t>(record.alive_chargers)));
+
+  // Energy already harvested (and committed to be harvested during the
+  // rescheduling window under the old plan).
+  const std::vector<double> harvested =
+      core::prefix_task_energy(net_, result_.schedule, plan_start);
+
+  const bool negotiated = config_.strategy == OnlineStrategy::kHaste ||
+                          config_.strategy == OnlineStrategy::kHasteSequential;
+  std::vector<std::unique_ptr<ChargerNode>> scratch_nodes;  // non-reuse fleet
+  std::vector<ChargerNode*> fleet;  // alive nodes, ascending id
+  if (negotiated) {
+    const core::MarginalEngine::Config engine_config{config_.colors, config_.samples,
+                                                     config_.seed};
+    if (config_.reuse_nodes) {
+      persistent_nodes_.resize(static_cast<std::size_t>(net_.charger_count()));
+      for (model::ChargerIndex i = 0; i < net_.charger_count(); ++i) {
+        if (!alive_[static_cast<std::size_t>(i)]) continue;
+        auto& slot = persistent_nodes_[static_cast<std::size_t>(i)];
+        if (slot == nullptr) {
+          slot = std::make_unique<ChargerNode>(net_, i, engine_config, config_.mode);
+        }
+        fleet.push_back(slot.get());
+      }
+    } else {
+      for (model::ChargerIndex i = 0; i < net_.charger_count(); ++i) {
+        if (!alive_[static_cast<std::size_t>(i)]) continue;
+        scratch_nodes.push_back(
+            std::make_unique<ChargerNode>(net_, i, engine_config, config_.mode));
+        fleet.push_back(scratch_nodes.back().get());
+      }
+    }
   }
 
-  // Arrival batches: tasks grouped by release slot. The event queue
-  // sequences the batches; re-planning is modeled as instantaneous
-  // computation whose *effect* is delayed by tau slots.
+  switch (config_.strategy) {
+    case OnlineStrategy::kHaste:
+      negotiate_haste(net_, config_, fleet, known_, harvested, plan_start, alive_,
+                      result_.schedule, result_);
+      break;
+    case OnlineStrategy::kHasteSequential:
+      negotiate_sequential(net_, config_, fleet, known_, harvested, plan_start, alive_,
+                           result_.schedule, result_);
+      break;
+    case OnlineStrategy::kGreedyUtility: {
+      const model::Schedule plan = baseline::schedule_greedy_utility_over(
+          net_, known_, plan_start, harvested);
+      splice_plan(result_.schedule, plan, plan_start, alive_);
+      break;
+    }
+    case OnlineStrategy::kGreedyCover: {
+      const model::Schedule plan =
+          baseline::schedule_greedy_cover_over(net_, known_, plan_start);
+      splice_plan(result_.schedule, plan, plan_start, alive_);
+      break;
+    }
+  }
+
+  record.messages = result_.messages - messages_before;
+  record.rounds = result_.rounds - rounds_before;
+  record.row_evals = fleet_row_evals(fleet);
+  result_.row_evaluations += record.row_evals;
+  replan_span.arg("row_evals",
+                  util::Json(static_cast<std::int64_t>(record.row_evals)));
+  HASTE_OBS_COUNTER_ADD("online.replans", 1);
+  HASTE_OBS_COUNTER_ADD("online.row_evals", record.row_evals);
+  HASTE_OBS_COUNTER_ADD("bus.broadcasts", record.messages);
+  HASTE_OBS_COUNTER_ADD("bus.deliveries", result_.deliveries - deliveries_before);
+  HASTE_OBS_COUNTER_ADD("bus.bytes", result_.message_bytes - bytes_before);
+  static obs::Histogram& replan_latency =
+      obs::MetricsRegistry::instance().histogram("online.replan.latency_us");
+  replan_latency.record(static_cast<double>(obs::Tracer::now_us() - started_us));
+  result_.log.push_back(record);
+  return &result_.log.back();
+}
+
+OnlineResult run_online(const model::Network& net, const OnlineConfig& config) {
+  OnlineSession session(net, config);
+
+  // Arrival batches: tasks grouped by release slot; the event queue
+  // sequences the batches (and injected failures, arrivals first on slot
+  // ties) exactly as a live caller would push them into the session.
   std::map<model::SlotIndex, std::vector<model::TaskIndex>> batches;
   for (model::TaskIndex j = 0; j < net.task_count(); ++j) {
     batches[net.tasks()[static_cast<std::size_t>(j)].release_slot].push_back(j);
   }
 
-  std::vector<model::TaskIndex> known;
-  std::vector<bool> alive(static_cast<std::size_t>(net.charger_count()), true);
-
-  // The charger fleet for the negotiation strategies. Under reuse_nodes each
-  // ChargerNode persists across re-plans (constructed lazily on the first
-  // negotiation it is alive for), carrying its plan-level column store and
-  // dominant-set caches between negotiations; otherwise the fleet is rebuilt
-  // from scratch per re-plan (the reference path).
-  std::vector<std::unique_ptr<ChargerNode>> persistent_nodes;
-
-  // Shared re-plan body for arrival and failure events.
-  const auto replan = [&](model::SlotIndex event_slot, ReplanTrigger trigger) {
-    const model::SlotIndex plan_start =
-        std::min<model::SlotIndex>(event_slot + net.time().tau, net.horizon());
-    if (plan_start >= net.horizon() || known.empty()) return;
-    ++result.negotiations;
-
-    NegotiationRecord record;
-    record.trigger = trigger;
-    record.event_slot = event_slot;
-    record.plan_start = plan_start;
-    record.known_tasks = known.size();
-    record.alive_chargers =
-        static_cast<std::size_t>(std::count(alive.begin(), alive.end(), true));
-    const std::uint64_t messages_before = result.messages;
-    const std::uint64_t rounds_before = result.rounds;
-    const std::uint64_t deliveries_before = result.deliveries;
-    const std::uint64_t bytes_before = result.message_bytes;
-
-    HASTE_OBS_SPAN(replan_span, "online.replan");
-    replan_span.arg("trigger", util::Json(trigger == ReplanTrigger::kArrival
-                                              ? "arrival"
-                                              : "failure"));
-    replan_span.arg("event_slot", util::Json(static_cast<std::int64_t>(event_slot)));
-    replan_span.arg("plan_start", util::Json(static_cast<std::int64_t>(plan_start)));
-    replan_span.arg("known_tasks", util::Json(static_cast<std::int64_t>(known.size())));
-    replan_span.arg("alive", util::Json(static_cast<std::int64_t>(record.alive_chargers)));
-
-    // Energy already harvested (and committed to be harvested during the
-    // rescheduling window under the old plan).
-    const std::vector<double> harvested =
-        core::prefix_task_energy(net, result.schedule, plan_start);
-
-    const bool negotiated = config.strategy == OnlineStrategy::kHaste ||
-                            config.strategy == OnlineStrategy::kHasteSequential;
-    std::vector<std::unique_ptr<ChargerNode>> scratch_nodes;  // non-reuse fleet
-    std::vector<ChargerNode*> fleet;  // alive nodes, ascending id
-    if (negotiated) {
-      const core::MarginalEngine::Config engine_config{config.colors, config.samples,
-                                                       config.seed};
-      if (config.reuse_nodes) {
-        persistent_nodes.resize(static_cast<std::size_t>(net.charger_count()));
-        for (model::ChargerIndex i = 0; i < net.charger_count(); ++i) {
-          if (!alive[static_cast<std::size_t>(i)]) continue;
-          auto& slot = persistent_nodes[static_cast<std::size_t>(i)];
-          if (slot == nullptr) {
-            slot = std::make_unique<ChargerNode>(net, i, engine_config, config.mode);
-          }
-          fleet.push_back(slot.get());
-        }
-      } else {
-        for (model::ChargerIndex i = 0; i < net.charger_count(); ++i) {
-          if (!alive[static_cast<std::size_t>(i)]) continue;
-          scratch_nodes.push_back(
-              std::make_unique<ChargerNode>(net, i, engine_config, config.mode));
-          fleet.push_back(scratch_nodes.back().get());
-        }
-      }
-    }
-
-    switch (config.strategy) {
-      case OnlineStrategy::kHaste:
-        negotiate_haste(net, config, fleet, known, harvested, plan_start, alive,
-                        result.schedule, result);
-        break;
-      case OnlineStrategy::kHasteSequential:
-        negotiate_sequential(net, config, fleet, known, harvested, plan_start, alive,
-                             result.schedule, result);
-        break;
-      case OnlineStrategy::kGreedyUtility: {
-        const model::Schedule plan = baseline::schedule_greedy_utility_over(
-            net, known, plan_start, harvested);
-        splice_plan(result.schedule, plan, plan_start, alive);
-        break;
-      }
-      case OnlineStrategy::kGreedyCover: {
-        const model::Schedule plan =
-            baseline::schedule_greedy_cover_over(net, known, plan_start);
-        splice_plan(result.schedule, plan, plan_start, alive);
-        break;
-      }
-    }
-
-    record.messages = result.messages - messages_before;
-    record.rounds = result.rounds - rounds_before;
-    record.row_evals = fleet_row_evals(fleet);
-    result.row_evaluations += record.row_evals;
-    replan_span.arg("row_evals",
-                    util::Json(static_cast<std::int64_t>(record.row_evals)));
-    HASTE_OBS_COUNTER_ADD("online.replans", 1);
-    HASTE_OBS_COUNTER_ADD("online.row_evals", record.row_evals);
-    HASTE_OBS_COUNTER_ADD("bus.broadcasts", record.messages);
-    HASTE_OBS_COUNTER_ADD("bus.deliveries", result.deliveries - deliveries_before);
-    HASTE_OBS_COUNTER_ADD("bus.bytes", result.message_bytes - bytes_before);
-    result.log.push_back(record);
-  };
-
   EventQueue queue;
   for (const auto& [release_slot, batch] : batches) {
     queue.schedule(static_cast<double>(release_slot), [&, release_slot] {
-      const auto& arriving = batches.at(release_slot);
-      known.insert(known.end(), arriving.begin(), arriving.end());
-      std::sort(known.begin(), known.end());
-      replan(release_slot, ReplanTrigger::kArrival);
+      session.on_arrival(release_slot, batches.at(release_slot));
     });
   }
   for (const ChargerFailure& failure : config.failures) {
     if (failure.charger < 0 || failure.charger >= net.charger_count()) continue;
     queue.schedule(static_cast<double>(failure.slot), [&, failure] {
-      if (!alive[static_cast<std::size_t>(failure.charger)]) return;
-      alive[static_cast<std::size_t>(failure.charger)] = false;
-      result.schedule.disable_from(failure.charger, failure.slot);
-      // Survivors re-plan to cover for the lost charger.
-      replan(failure.slot, ReplanTrigger::kFailure);
+      session.on_failure(failure.charger, failure.slot);
     });
   }
   queue.run_all();
 
-  result.evaluation = core::evaluate_schedule(net, result.schedule);
-  return result;
+  return session.finish();
 }
 
 }  // namespace haste::dist

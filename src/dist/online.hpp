@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "core/evaluate.hpp"
 #include "core/objective.hpp"
@@ -17,6 +19,8 @@
 #include "model/schedule.hpp"
 
 namespace haste::dist {
+
+class ChargerNode;
 
 /// Which per-charger policy rule the online driver runs.
 enum class OnlineStrategy {
@@ -87,6 +91,66 @@ struct OnlineResult {
   std::uint64_t negotiations = 0;      ///< re-plans triggered (arrivals/failures)
   std::uint64_t row_evaluations = 0;   ///< engine row_term evaluations, all re-plans
   std::vector<NegotiationRecord> log;  ///< per-re-plan telemetry, in time order
+};
+
+/// Incremental form of the online driver: one live scheduling session whose
+/// events are pushed in by the caller instead of drained from a pre-built
+/// event queue. `run_online` is a thin wrapper over this class, so a session
+/// fed the same event sequence produces a bit-identical OnlineResult — the
+/// invariant the `haste_serve` daemon's differential tests pin down.
+///
+/// Events must arrive in non-decreasing slot order, with same-slot arrivals
+/// pushed before same-slot failures (the tie-break the event queue applies).
+/// Each event triggers at most one re-plan, whose effect is delayed by tau
+/// slots exactly as in the batch driver. Under OnlineConfig::reuse_nodes the
+/// per-charger negotiation state stays warm across events — the property
+/// that makes a long-lived serving session incremental rather than a replay.
+class OnlineSession {
+ public:
+  /// Binds to `net`, which must outlive the session. `config.failures` is
+  /// ignored here — failures are injected via on_failure.
+  OnlineSession(const model::Network& net, const OnlineConfig& config = {});
+  ~OnlineSession();
+  OnlineSession(const OnlineSession&) = delete;
+  OnlineSession& operator=(const OnlineSession&) = delete;
+
+  /// Releases `tasks` at `slot` and re-plans. Returns the record of the
+  /// re-plan, or nullptr when none ran (nothing known yet or the plan would
+  /// start past the horizon). The pointer is valid until the next event.
+  /// Throws std::invalid_argument on a slot regression, an out-of-range
+  /// task index, or a task released twice; std::logic_error after finish().
+  const NegotiationRecord* on_arrival(model::SlotIndex slot,
+                                      const std::vector<model::TaskIndex>& tasks);
+
+  /// Fails `charger` at the start of `slot`: its plan is disabled from
+  /// `slot` on and survivors re-plan. A charger already dead is a no-op
+  /// (nullptr). Same return/throw contract as on_arrival.
+  const NegotiationRecord* on_failure(model::ChargerIndex charger,
+                                      model::SlotIndex slot);
+
+  /// Evaluates the executed schedule and returns the accumulated result.
+  /// The session is consumed: further events or a second finish() throw.
+  OnlineResult finish();
+
+  std::size_t known_tasks() const { return known_.size(); }
+  std::size_t alive_chargers() const;
+  bool finished() const { return finished_; }
+  const model::Network& network() const { return net_; }
+
+ private:
+  const NegotiationRecord* replan(model::SlotIndex event_slot, ReplanTrigger trigger);
+  void check_event(model::SlotIndex slot) const;
+
+  const model::Network& net_;
+  OnlineConfig config_;
+  std::vector<model::TaskIndex> known_;
+  std::vector<bool> alive_;
+  /// Per-charger negotiation state under reuse_nodes (lazily constructed on
+  /// the first re-plan a charger is alive for); unused otherwise.
+  std::vector<std::unique_ptr<ChargerNode>> persistent_nodes_;
+  OnlineResult result_;
+  model::SlotIndex last_event_slot_ = 0;
+  bool finished_ = false;
 };
 
 /// Runs the online scenario on `net`: tasks become known at their release

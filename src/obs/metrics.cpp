@@ -1,5 +1,6 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <stdexcept>
@@ -65,6 +66,29 @@ void Histogram::record(double value) {
   ++cell.buckets[bucket_index(value)];
 }
 
+double MetricsSnapshot::HistogramSnapshot::quantile_upper(double q) const {
+  std::uint64_t total = 0;
+  for (std::uint64_t b : buckets) total += b;
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // The rank is ceil(q * total) so q = 1 targets the last observation and
+  // q = 0 the first.
+  const std::uint64_t rank =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::ceil(q * total)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      // Bucket 0 holds values < 1; bucket i >= 1 holds [2^(i-1), 2^i).
+      const double upper = i == 0 ? 1.0 : std::ldexp(1.0, static_cast<int>(i));
+      // The exact max is known from the moments; never report past it.
+      return stats.count() > 0 ? std::min(upper, stats.max()) : upper;
+    }
+  }
+  return stats.count() > 0 ? stats.max() : 0.0;
+}
+
 void MetricsSnapshot::merge(const MetricsSnapshot& other) {
   for (const auto& [name, value] : other.counters) counters[name] += value;
   for (const auto& [name, value] : other.gauges) gauges[name] = value;
@@ -98,6 +122,10 @@ util::Json MetricsSnapshot::to_json() const {
     h.set("m2", util::Json(hist.stats.m2()));
     h.set("min", util::Json(hist.stats.min()));
     h.set("max", util::Json(hist.stats.max()));
+    // Derived convenience fields for dashboards and SLO checks; from_json
+    // ignores them (count/mean/m2/min/max/buckets stay the round-trip truth).
+    h.set("p50", util::Json(hist.quantile_upper(0.50)));
+    h.set("p99", util::Json(hist.quantile_upper(0.99)));
     util::Json buckets = util::Json::array();
     for (std::uint64_t b : hist.buckets) buckets.push_back(u64_json(b));
     h.set("buckets", std::move(buckets));

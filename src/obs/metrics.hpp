@@ -102,6 +102,13 @@ struct MetricsSnapshot {
   struct HistogramSnapshot {
     util::RunningStats stats;
     std::vector<std::uint64_t> buckets;  // empty means all-zero
+
+    /// Upper bound of the value at quantile `q` in [0, 1] under the log2
+    /// bucket layout: the smallest bucket upper edge whose cumulative count
+    /// reaches q * count, clamped to the exact observed max. Returns 0 for
+    /// an empty histogram. Conservative (an upper bound, never an
+    /// underestimate), which is the right bias for latency SLO reporting.
+    double quantile_upper(double q) const;
   };
 
   std::map<std::string, std::uint64_t> counters;

@@ -1,0 +1,222 @@
+#include "serve/client.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <stdexcept>
+#include <thread>
+
+#include "io/scenario_io.hpp"
+#include "serve/session.hpp"
+
+namespace haste::serve {
+
+namespace {
+
+using util::Json;
+
+std::string u64_text(const Json& json) {
+  return json.is_number() ? std::to_string(json.as_int()) : json.as_string();
+}
+
+}  // namespace
+
+Client::Client(const std::string& address, const std::string& token)
+    : socket_(util::TcpSocket::connect(address)) {
+  if (!token.empty() && !socket_.write_all(token + "\n")) {
+    throw std::runtime_error("haste_serve client: failed to send auth token");
+  }
+}
+
+Json Client::read_reply() {
+  for (;;) {
+    if (!ready_.empty()) {
+      const std::string line = ready_.front();
+      ready_.erase(ready_.begin());
+      if (line.empty()) continue;
+      return Json::parse(line);
+    }
+    if (!socket_.valid()) return Json();
+    char buffer[65536];
+    const ssize_t n = ::read(socket_.fd(), buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      socket_.close();
+      return Json();
+    }
+    if (n == 0) {
+      socket_.close();
+      return Json();
+    }
+    for (std::string& line : lines_.feed(buffer, static_cast<std::size_t>(n))) {
+      ready_.push_back(std::move(line));
+    }
+  }
+}
+
+Json Client::call(const Json& request) {
+  if (!socket_.valid() || !socket_.write_all(request.dump() + "\n")) return Json();
+  return read_reply();
+}
+
+Json Client::open(const model::Network& net, const dist::OnlineConfig& config) {
+  Json request = Json::object();
+  request.set("op", "open");
+  request.set("scenario", io::network_to_json(net));
+  request.set("config", online_config_to_json(config));
+  return call(request);
+}
+
+Json Client::arrive(model::SlotIndex slot, const std::vector<model::TaskIndex>& tasks) {
+  Json request = Json::object();
+  request.set("op", "arrive");
+  request.set("slot", static_cast<int>(slot));
+  Json array = Json::array();
+  for (model::TaskIndex j : tasks) array.push_back(static_cast<int>(j));
+  request.set("tasks", std::move(array));
+  return call(request);
+}
+
+Json Client::fail(model::ChargerIndex charger, model::SlotIndex slot) {
+  Json request = Json::object();
+  request.set("op", "fail");
+  request.set("charger", static_cast<int>(charger));
+  request.set("slot", static_cast<int>(slot));
+  return call(request);
+}
+
+Json Client::finish() {
+  Json request = Json::object();
+  request.set("op", "finish");
+  return call(request);
+}
+
+std::vector<ReplayEvent> build_replay_events(
+    const model::Network& net, const std::vector<dist::ChargerFailure>& failures) {
+  std::map<model::SlotIndex, std::vector<model::TaskIndex>> batches;
+  for (model::TaskIndex j = 0; j < net.task_count(); ++j) {
+    batches[net.tasks()[static_cast<std::size_t>(j)].release_slot].push_back(j);
+  }
+  std::vector<dist::ChargerFailure> valid;
+  for (const dist::ChargerFailure& failure : failures) {
+    if (failure.charger >= 0 && failure.charger < net.charger_count()) {
+      valid.push_back(failure);
+    }
+  }
+  // The event queue orders by time with FIFO ties, and run_online inserts
+  // every arrival before any failure: merged order is ascending slot,
+  // arrivals first on a tie, failures keeping their injection order.
+  std::stable_sort(valid.begin(), valid.end(),
+                   [](const dist::ChargerFailure& a, const dist::ChargerFailure& b) {
+                     return a.slot < b.slot;
+                   });
+  std::vector<ReplayEvent> events;
+  auto failure_it = valid.begin();
+  for (const auto& [slot, batch] : batches) {
+    while (failure_it != valid.end() && failure_it->slot < slot) {
+      events.push_back(ReplayEvent{true, failure_it->slot, {}, failure_it->charger});
+      ++failure_it;
+    }
+    events.push_back(ReplayEvent{false, slot, batch, 0});
+  }
+  while (failure_it != valid.end()) {
+    events.push_back(ReplayEvent{true, failure_it->slot, {}, failure_it->charger});
+    ++failure_it;
+  }
+  return events;
+}
+
+ReplayOutcome replay_online(const std::string& address, const std::string& token,
+                            const model::Network& net,
+                            const dist::OnlineConfig& config,
+                            const std::vector<ReplayEvent>& events,
+                            int inter_event_sleep_ms) {
+  ReplayOutcome outcome;
+  Client client(address, token);
+  const Json opened = client.open(net, config);
+  if (opened.is_null() || !opened.bool_or("ok", false)) return outcome;
+
+  for (const ReplayEvent& event : events) {
+    if (inter_event_sleep_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(inter_event_sleep_ms));
+    }
+    const Json reply = event.is_failure ? client.fail(event.charger, event.slot)
+                                        : client.arrive(event.slot, event.tasks);
+    if (reply.is_null()) return outcome;  // daemon gone mid-stream
+    const std::string op = reply.string_or("op", "");
+    if (op == "result") {
+      // Unsolicited drain result: the event we just sent was NOT applied.
+      outcome.result = reply;
+      outcome.finished = true;
+      return outcome;
+    }
+    if (!reply.bool_or("ok", false)) {
+      ++outcome.rejected;
+      if (op != "reject") return outcome;  // protocol error closed the session
+      continue;
+    }
+    outcome.acked.push_back(event);
+  }
+
+  Json reply = client.finish();
+  while (!reply.is_null() && reply.string_or("op", "") != "result") {
+    // Skip any reject that raced our finish (e.g. the drain cut in).
+    if (!reply.bool_or("ok", false) && reply.string_or("op", "") != "reject") break;
+    reply = client.read_reply();
+  }
+  if (!reply.is_null() && reply.string_or("op", "") == "result") {
+    outcome.result = reply;
+    outcome.finished = true;
+  }
+  return outcome;
+}
+
+dist::OnlineResult replay_locally(const model::Network& net,
+                                  const dist::OnlineConfig& config,
+                                  const std::vector<ReplayEvent>& events) {
+  dist::OnlineSession session(net, config);
+  for (const ReplayEvent& event : events) {
+    if (event.is_failure) {
+      session.on_failure(event.charger, event.slot);
+    } else {
+      session.on_arrival(event.slot, event.tasks);
+    }
+  }
+  return session.finish();
+}
+
+std::string diff_result(const Json& result, const dist::OnlineResult& reference) {
+  if (result.is_null()) return "no result reply";
+  if (!result.bool_or("ok", false)) return "result reply is not ok";
+  const std::string got_schedule = result.at("schedule").dump();
+  const std::string want_schedule = io::schedule_to_json(reference.schedule).dump();
+  if (got_schedule != want_schedule) return "schedule differs";
+  if (result.at("weighted_utility").as_number() !=
+      reference.evaluation.weighted_utility) {
+    return "weighted_utility differs";
+  }
+  if (result.at("relaxed_weighted_utility").as_number() !=
+      reference.evaluation.relaxed_weighted_utility) {
+    return "relaxed_weighted_utility differs";
+  }
+  const struct {
+    const char* key;
+    std::uint64_t want;
+  } counters[] = {
+      {"messages", reference.messages},     {"deliveries", reference.deliveries},
+      {"message_bytes", reference.message_bytes}, {"rounds", reference.rounds},
+      {"negotiations", reference.negotiations},
+      {"row_evals", reference.row_evaluations},
+  };
+  for (const auto& counter : counters) {
+    if (u64_text(result.at(counter.key)) != std::to_string(counter.want)) {
+      return std::string(counter.key) + " differs (" + u64_text(result.at(counter.key)) +
+             " vs " + std::to_string(counter.want) + ")";
+    }
+  }
+  return "";
+}
+
+}  // namespace haste::serve

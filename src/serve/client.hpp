@@ -1,0 +1,91 @@
+// Blocking client for the haste_serve wire protocol, plus the replay/verify
+// helpers the tool and the lifecycle tests share: stream a scenario's
+// arrival trace into a daemon, collect what was acknowledged, and diff the
+// daemon's result against the in-process driver bit for bit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dist/online.hpp"
+#include "model/network.hpp"
+#include "util/json.hpp"
+#include "util/socket.hpp"
+#include "util/subprocess.hpp"
+
+namespace haste::serve {
+
+/// One connection speaking the session protocol in lock-step (one reply read
+/// per request sent). Blocking; intended for clients and tests, never for
+/// the daemon's own loop.
+class Client {
+ public:
+  /// Connects and, when `token` is non-empty, sends it as the first line.
+  explicit Client(const std::string& address, const std::string& token = "");
+
+  /// Sends `request` and returns the next reply line, parsed. A null Json
+  /// means the connection died (EOF) before a reply arrived.
+  util::Json call(const util::Json& request);
+
+  /// Reads one reply line without sending anything (drain results arrive
+  /// unsolicited). Null Json on EOF.
+  util::Json read_reply();
+
+  util::Json open(const model::Network& net, const dist::OnlineConfig& config);
+  util::Json arrive(model::SlotIndex slot, const std::vector<model::TaskIndex>& tasks);
+  util::Json fail(model::ChargerIndex charger, model::SlotIndex slot);
+  util::Json finish();
+
+  bool connected() const { return socket_.valid(); }
+
+ private:
+  util::TcpSocket socket_;
+  util::LineBuffer lines_;
+  std::vector<std::string> ready_;  ///< completed lines not yet consumed
+};
+
+/// One event of an online trace, in the order the session must see it.
+struct ReplayEvent {
+  bool is_failure = false;
+  model::SlotIndex slot = 0;
+  std::vector<model::TaskIndex> tasks;  ///< arrival batch (is_failure false)
+  model::ChargerIndex charger = 0;      ///< failed charger (is_failure true)
+};
+
+/// The event sequence run_online would derive from `net` and `failures`:
+/// arrival batches per release slot in ascending slot order, failures merged
+/// in by slot with arrivals first on ties (the event queue's FIFO tie-break).
+std::vector<ReplayEvent> build_replay_events(
+    const model::Network& net, const std::vector<dist::ChargerFailure>& failures = {});
+
+/// What a replay achieved against a live daemon.
+struct ReplayOutcome {
+  util::Json result;                ///< the "result" reply; null if none came
+  std::vector<ReplayEvent> acked;   ///< events acknowledged with ok replies
+  std::size_t rejected = 0;         ///< reject replies observed
+  bool finished = false;            ///< a "result" reply arrived
+};
+
+/// Streams `events` into a daemon at `address`: open, then one event per
+/// request line (sleeping `inter_event_sleep_ms` before each when > 0 — the
+/// knob drain tests use to catch the daemon mid-stream), then finish. Stops
+/// early on disconnect or an unsolicited drain result; rejected events are
+/// counted but not retried.
+ReplayOutcome replay_online(const std::string& address, const std::string& token,
+                            const model::Network& net,
+                            const dist::OnlineConfig& config,
+                            const std::vector<ReplayEvent>& events,
+                            int inter_event_sleep_ms = 0);
+
+/// Replays `events` through a local OnlineSession — the reference a daemon
+/// result (or an acked prefix of one) must match bit for bit.
+dist::OnlineResult replay_locally(const model::Network& net,
+                                  const dist::OnlineConfig& config,
+                                  const std::vector<ReplayEvent>& events);
+
+/// "" when the daemon's "result" reply is bit-identical to `reference`
+/// (schedule JSON, exact utility doubles, exact counters); otherwise a
+/// human-readable description of the first mismatch.
+std::string diff_result(const util::Json& result, const dist::OnlineResult& reference);
+
+}  // namespace haste::serve

@@ -1,0 +1,357 @@
+#include "serve/server.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "util/log.hpp"
+#include "util/subprocess.hpp"
+
+namespace haste::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+util::Json reject_json(const char* reason) {
+  util::Json reply = util::Json::object();
+  reply.set("ok", false);
+  reply.set("op", "reject");
+  reply.set("reason", reason);
+  return reply;
+}
+
+std::atomic<Server*> g_signal_server{nullptr};
+
+void drain_signal_handler(int) {
+  // First signal: hand the server to its drain path. A second signal means
+  // the operator is done waiting — hard-exit with the conventional 128+2.
+  Server* server = g_signal_server.exchange(nullptr);
+  if (server == nullptr) ::_exit(130);
+  server->request_drain();
+}
+
+}  // namespace
+
+struct Server::Connection {
+  std::uint64_t id = 0;
+  util::TcpSocket socket;
+  util::LineBuffer lines;
+  Session session;
+  std::deque<std::string> queue;  ///< authed request lines awaiting dispatch
+  bool authed = false;
+  Clock::time_point auth_deadline{};
+  bool busy = false;          ///< one handle_line job in flight on the pool
+  bool disconnected = false;  ///< socket gone; reap once no job is in flight
+  bool close_after_send = false;  ///< close once the outbox drains
+  Clock::time_point close_deadline{};
+};
+
+Server::Server(const ServerOptions& options)
+    : options_(options),
+      // The listener's default backlog (16, sized for the shard pool's
+      // handful of workers) overflows under a thundering herd of sessions:
+      // the kernel drops the excess handshakes and clients see a reset
+      // after connect(). Size it to admit a simultaneous burst of
+      // max_sessions (the kernel clamps to net.core.somaxconn).
+      listener_(util::TcpListener::listen(
+          options.listen_address,
+          static_cast<int>(std::min<std::size_t>(options.max_sessions + 16, 4096)))) {
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    throw std::runtime_error("haste_serve: self-pipe failed");
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  for (int fd : pipe_fds) {
+    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+    // Non-blocking on both ends: a full pipe means a wake-up is already
+    // pending, and the signal handler must never block on it.
+    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+  }
+  pool_ = std::make_unique<util::ThreadPool>(options_.threads);
+}
+
+Server::~Server() {
+  // The pool (declared last) is destroyed first, joining in-flight jobs
+  // before connections_ and done_ go away; here we only close the pipe.
+  if (g_signal_server.load() == this) g_signal_server.store(nullptr);
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+}
+
+std::string Server::address() const { return listener_.local_address(); }
+
+void Server::request_drain() {
+  // Async-signal-safe: one relaxed store plus a non-blocking pipe write.
+  drain_requested_.store(true, std::memory_order_relaxed);
+  request_wake();
+}
+
+void Server::install_signal_drain(Server* server) {
+  g_signal_server.store(server);
+  struct sigaction action {};
+  action.sa_handler = drain_signal_handler;
+  ::sigemptyset(&action.sa_mask);
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+}
+
+void Server::run() {
+  HASTE_LOG_INFO << "haste_serve: listening on " << address();
+  for (;;) {
+    drain_done_replies();
+    if (draining() && !drain_started_) {
+      drain_started_ = true;
+      listener_ = util::TcpListener();  // refuse new sessions from here on
+      HASTE_LOG_INFO << "haste_serve: draining " << connections_.size()
+                     << " session(s)";
+    }
+    if (drain_started_) start_drain_finishes();
+    flush_and_reap();
+    if (drain_started_ && connections_.empty()) break;
+
+    std::vector<int> fds;
+    std::vector<std::uint64_t> conn_ids;
+    fds.push_back(wake_read_fd_);
+    fds.push_back(listener_.valid() ? listener_.fd() : -1);
+    for (const auto& [id, conn] : connections_) {
+      fds.push_back(conn->disconnected ? -1 : conn->socket.fd());
+      conn_ids.push_back(id);
+    }
+    const std::vector<std::size_t> ready = util::poll_readable(fds, poll_timeout_ms());
+    for (std::size_t index : ready) {
+      if (index == 0) {
+        char scratch[256];
+        while (::read(wake_read_fd_, scratch, sizeof(scratch)) > 0) {
+        }
+      } else if (index == 1) {
+        accept_pending();
+      } else {
+        const auto it = connections_.find(conn_ids[index - 2]);
+        if (it != connections_.end()) read_connection(*it->second);
+      }
+    }
+    drain_done_replies();
+    for (const auto& [id, conn] : connections_) dispatch(*conn);
+  }
+  pool_->wait_idle();
+  HASTE_LOG_INFO << "haste_serve: drained";
+}
+
+int Server::poll_timeout_ms() const {
+  // 200ms keeps auth deadlines, close deadlines, and drain progress checked
+  // at a coarse-but-cheap cadence; jobs wake the loop instantly via the pipe.
+  return 200;
+}
+
+void Server::accept_pending() {
+  for (;;) {
+    std::optional<util::TcpSocket> socket = listener_.accept(0);
+    if (!socket) return;
+    if (connections_.size() >= options_.max_sessions) {
+      HASTE_OBS_COUNTER_ADD("serve.reject.session_limit", 1);
+      socket->write_all(reject_json("session-limit").dump() + "\n");
+      continue;  // socket destructor closes
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->id = next_conn_id_++;
+    conn->socket = std::move(*socket);
+    conn->socket.set_max_outbox_bytes(options_.max_outbox_bytes);
+    conn->lines.set_max_line_bytes(options_.max_line_bytes);
+    conn->authed = options_.auth_token.empty();
+    conn->auth_deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(options_.auth_timeout_seconds));
+    HASTE_OBS_COUNTER_ADD("serve.accepted", 1);
+    connections_[conn->id] = std::move(conn);
+    HASTE_OBS_GAUGE_SET("serve.sessions.active",
+                        static_cast<double>(connections_.size()));
+  }
+}
+
+void Server::read_connection(Connection& conn) {
+  if (conn.disconnected) return;
+  char buffer[65536];
+  const ssize_t n = ::read(conn.socket.fd(), buffer, sizeof(buffer));
+  if (n < 0) {
+    if (errno == EINTR || errno == EAGAIN) return;
+    remove_connection(conn.id);  // marks disconnected; reaped when idle
+    return;
+  }
+  if (n == 0) {
+    remove_connection(conn.id);
+    return;
+  }
+  for (const std::string& line : conn.lines.feed(buffer, static_cast<std::size_t>(n))) {
+    if (conn.disconnected) return;
+    if (!line.empty()) ingest_line(conn, line);
+  }
+  if (conn.lines.overflowed()) {
+    // LineBuffer already bumped net.overflow; the framing is unrecoverable.
+    remove_connection(conn.id);
+  }
+}
+
+void Server::ingest_line(Connection& conn, const std::string& line) {
+  HASTE_OBS_COUNTER_ADD("serve.lines", 1);
+  if (!conn.authed) {
+    std::string token = line;
+    if (!token.empty() && token.back() == '\r') token.pop_back();
+    if (token == options_.auth_token) {
+      conn.authed = true;
+      return;
+    }
+    HASTE_OBS_COUNTER_ADD("serve.auth_reject", 1);
+    remove_connection(conn.id);
+    return;
+  }
+  if (drain_started_) {
+    HASTE_OBS_COUNTER_ADD("serve.reject.draining", 1);
+    send_reject(conn, "draining");
+    return;
+  }
+  // Admission: 1 executing + arrival_quota queued lines per session. The
+  // reject is a reply, not a close — a client pacing itself off replies
+  // never trips this, and one that floods learns which lines were dropped.
+  const std::size_t pending = conn.queue.size() + (conn.busy ? 1 : 0);
+  if (pending > options_.arrival_quota) {
+    HASTE_OBS_COUNTER_ADD("serve.reject.arrival_quota", 1);
+    send_reject(conn, "arrival-quota");
+    return;
+  }
+  conn.queue.push_back(line);
+}
+
+void Server::send_reject(Connection& conn, const char* reason) {
+  if (!conn.socket.send_line(reject_json(reason).dump())) remove_connection(conn.id);
+}
+
+void Server::dispatch(Connection& conn) {
+  if (conn.busy || conn.disconnected || conn.queue.empty()) return;
+  conn.busy = true;
+  std::string line = std::move(conn.queue.front());
+  conn.queue.pop_front();
+  Connection* raw = &conn;  // stable: busy connections are never destroyed
+  pool_->submit([this, raw, line = std::move(line)] {
+    DoneReply done;
+    done.conn_id = raw->id;
+    done.reply = raw->session.handle_line(line);
+    {
+      const std::lock_guard<std::mutex> lock(done_mutex_);
+      done_.push_back(std::move(done));
+    }
+    request_wake();
+  });
+}
+
+void Server::start_drain_finishes() {
+  for (const auto& [id, conn] : connections_) {
+    if (conn->busy || conn->disconnected || !conn->queue.empty()) continue;
+    if (conn->close_after_send) continue;  // result already on its way out
+    if (!conn->session.opened()) {
+      // Nothing to finish (never opened, or already finished): let the
+      // flush/reap pass close it.
+      conn->close_after_send = true;
+      conn->close_deadline = Clock::now() + std::chrono::seconds(5);
+      continue;
+    }
+    // Finish the session as if the client had asked: the unsolicited result
+    // line is what "drain without dropping an in-flight re-plan" means.
+    conn->busy = true;
+    Connection* raw = conn.get();
+    pool_->submit([this, raw] {
+      DoneReply done;
+      done.conn_id = raw->id;
+      std::optional<Reply> reply = raw->session.drain_finish();
+      done.reply = reply ? std::move(*reply) : Reply{"", true};
+      {
+        const std::lock_guard<std::mutex> lock(done_mutex_);
+        done_.push_back(std::move(done));
+      }
+      request_wake();
+    });
+  }
+}
+
+void Server::drain_done_replies() {
+  std::deque<DoneReply> batch;
+  {
+    const std::lock_guard<std::mutex> lock(done_mutex_);
+    batch.swap(done_);
+  }
+  for (DoneReply& done : batch) {
+    const auto it = connections_.find(done.conn_id);
+    if (it == connections_.end()) continue;
+    Connection& conn = *it->second;
+    conn.busy = false;
+    if (conn.disconnected) continue;  // client left mid-re-plan; drop the reply
+    if (!done.reply.line.empty() && !conn.socket.send_line(done.reply.line)) {
+      remove_connection(conn.id);
+      continue;
+    }
+    if (done.reply.close) {
+      conn.close_after_send = true;
+      conn.close_deadline = Clock::now() + std::chrono::seconds(5);
+    }
+  }
+}
+
+void Server::flush_and_reap() {
+  const Clock::time_point now = Clock::now();
+  std::vector<std::uint64_t> finished;
+  for (const auto& [id, conn] : connections_) {
+    if (!conn->disconnected) {
+      if (!conn->socket.flush(0)) {
+        remove_connection(id);
+      } else if (!conn->authed && now >= conn->auth_deadline) {
+        HASTE_OBS_COUNTER_ADD("serve.auth_reject", 1);
+        remove_connection(id);
+      } else if (conn->close_after_send && !conn->busy && conn->queue.empty() &&
+                 (conn->socket.pending_bytes() == 0 || now >= conn->close_deadline)) {
+        remove_connection(id);
+      }
+    }
+    if (conn->disconnected && !conn->busy) finished.push_back(id);
+  }
+  for (std::uint64_t id : finished) {
+    // A session destroyed while still opened never delivered its result.
+    if (connections_.at(id)->session.opened()) {
+      HASTE_OBS_COUNTER_ADD("serve.sessions.aborted", 1);
+    }
+    connections_.erase(id);
+  }
+  HASTE_OBS_GAUGE_SET("serve.sessions.active",
+                      static_cast<double>(connections_.size()));
+}
+
+void Server::remove_connection(std::uint64_t id) {
+  const auto it = connections_.find(id);
+  if (it == connections_.end()) return;
+  Connection& conn = *it->second;
+  if (conn.disconnected) return;
+  conn.disconnected = true;
+  conn.queue.clear();
+  if (conn.socket.valid()) {
+    if (conn.socket.pending_bytes() > 0) conn.socket.flush(100);
+    conn.socket.close();
+  }
+  // The map entry itself is erased by flush_and_reap once no job is in
+  // flight — pool jobs hold a raw pointer to this Connection.
+}
+
+void Server::request_wake() {
+  if (wake_write_fd_ >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
+  }
+}
+
+}  // namespace haste::serve

@@ -1,0 +1,124 @@
+// The haste_serve daemon driver: a poll-driven loop that multiplexes many
+// scheduling sessions (one per TCP connection, protocol in session.hpp)
+// and pipelines their re-plans across a thread pool.
+//
+// Concurrency model: the driver thread owns every socket and LineBuffer and
+// is the only thread that reads, writes, or (dis)connects. A session's
+// request line is handed to the pool as a job (at most ONE in flight per
+// connection, so a session's events stay strictly ordered); the job runs the
+// pure-compute Session::handle_line and pushes its reply onto a
+// mutex-protected done queue, waking the driver through a self-pipe. Replies
+// leave through the per-connection outbox, which never blocks the driver.
+//
+// Admission control: at most `max_sessions` concurrent connections (excess
+// accepts get a "session-limit" reject line and an immediate close), at most
+// 1 executing + `arrival_quota` queued request lines per session (excess
+// lines get an "arrival-quota" reject, the connection stays up — note the
+// reject is emitted at ingest, so a pipelining client may see it overtake
+// the reply of a still-executing earlier line), and the
+// PR-5 token handshake (first line must match `auth_token` within
+// `auth_timeout_seconds`; a mismatch or a silent peer is closed and counted
+// under serve.auth_reject).
+//
+// Graceful drain (request_drain, typically wired to SIGTERM via
+// install_signal_drain): the listener closes, request lines already queued
+// still execute, lines arriving afterwards are rejected with "draining",
+// and every opened session is finished as if the client had sent
+// {"op":"finish"} — the unsolicited result line is flushed before the close,
+// so no in-flight re-plan is dropped. run() returns once every connection
+// is gone; the caller then flushes metrics/trace.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "serve/session.hpp"
+#include "util/socket.hpp"
+#include "util/thread_pool.hpp"
+
+namespace haste::serve {
+
+struct ServerOptions {
+  std::string listen_address = "127.0.0.1:0";  ///< ":0" = ephemeral port
+  /// Shared secret each connection must present as its first line; "" =
+  /// accept anyone (trusted-network mode, matching the shard runner).
+  std::string auth_token;
+  std::size_t max_sessions = 256;    ///< concurrent connections admitted
+  std::size_t arrival_quota = 1024;  ///< queued request lines per session
+  std::size_t threads = 0;           ///< re-plan pool size; 0 = hardware
+  /// Per-connection buffering bounds (see ShardOptions): breaching either
+  /// kills the connection and bumps `net.overflow`. 0 = unbounded.
+  std::size_t max_line_bytes = 8ull << 20;
+  std::size_t max_outbox_bytes = 8ull << 20;
+  double auth_timeout_seconds = 2.0;  ///< token must arrive within this
+};
+
+/// The daemon. Construct (binds the listener), then run() on the driver
+/// thread; request_drain() from any thread or a signal handler stops it.
+class Server {
+ public:
+  explicit Server(const ServerOptions& options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// "host:port" with the actually bound port (resolves ":0").
+  std::string address() const;
+
+  /// Serves until drained. Call once, from the thread that owns the server.
+  void run();
+
+  /// Initiates graceful drain. Async-signal-safe (an atomic store plus a
+  /// self-pipe write), so it may be called from a signal handler.
+  void request_drain();
+
+  /// True once request_drain has been called.
+  bool draining() const { return drain_requested_.load(std::memory_order_relaxed); }
+
+  /// Routes SIGTERM/SIGINT to `server`->request_drain(). One server at a
+  /// time; a second signal after the drain started hard-exits (130).
+  static void install_signal_drain(Server* server);
+
+ private:
+  struct Connection;
+  struct DoneReply {
+    std::uint64_t conn_id = 0;
+    Reply reply;
+  };
+
+  void accept_pending();
+  void read_connection(Connection& conn);
+  void ingest_line(Connection& conn, const std::string& line);
+  void dispatch(Connection& conn);
+  void drain_done_replies();
+  void send_reject(Connection& conn, const char* reason);
+  void start_drain_finishes();
+  void flush_and_reap();
+  void remove_connection(std::uint64_t id);
+  void request_wake();
+  int poll_timeout_ms() const;
+
+  ServerOptions options_;
+  util::TcpListener listener_;
+  int wake_read_fd_ = -1;   ///< self-pipe: jobs and signals wake the poll
+  int wake_write_fd_ = -1;
+  std::atomic<bool> drain_requested_{false};
+  bool drain_started_ = false;
+
+  std::uint64_t next_conn_id_ = 1;
+  std::map<std::uint64_t, std::unique_ptr<Connection>> connections_;
+
+  std::mutex done_mutex_;
+  std::deque<DoneReply> done_;
+
+  /// Declared last so it is destroyed FIRST: in-flight jobs hold pointers
+  /// into connections_ and push onto done_, which must outlive them.
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace haste::serve

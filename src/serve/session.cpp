@@ -1,0 +1,213 @@
+#include "serve/session.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "io/scenario_io.hpp"
+#include "obs/obs.hpp"
+
+namespace haste::serve {
+
+namespace {
+
+using util::Json;
+
+// 64-bit counters ride as decimal strings (the shard wire convention):
+// JSON numbers are doubles and silently round above 2^53.
+Json u64_json(std::uint64_t value) { return Json(std::to_string(value)); }
+
+std::uint64_t u64_from(const Json& json) {
+  if (json.is_number()) {
+    // Accept small numeric seeds for hand-written requests; exact up to 2^53.
+    const double value = json.as_number();
+    if (value < 0 || value != static_cast<double>(static_cast<std::uint64_t>(value))) {
+      throw util::JsonError("u64 field is not a non-negative integer");
+    }
+    return static_cast<std::uint64_t>(value);
+  }
+  const std::string& text = json.as_string();
+  std::size_t consumed = 0;
+  const std::uint64_t value = std::stoull(text, &consumed, 10);
+  if (consumed != text.size()) throw util::JsonError("malformed u64: " + text);
+  return value;
+}
+
+const char* strategy_name(dist::OnlineStrategy strategy) {
+  switch (strategy) {
+    case dist::OnlineStrategy::kHaste: return "haste";
+    case dist::OnlineStrategy::kHasteSequential: return "haste-seq";
+    case dist::OnlineStrategy::kGreedyUtility: return "greedy-utility";
+    case dist::OnlineStrategy::kGreedyCover: return "greedy-cover";
+  }
+  return "haste";
+}
+
+dist::OnlineStrategy parse_strategy(const std::string& name) {
+  if (name == "haste") return dist::OnlineStrategy::kHaste;
+  if (name == "haste-seq") return dist::OnlineStrategy::kHasteSequential;
+  if (name == "greedy-utility") return dist::OnlineStrategy::kGreedyUtility;
+  if (name == "greedy-cover") return dist::OnlineStrategy::kGreedyCover;
+  throw util::JsonError("unknown online strategy: " + name);
+}
+
+const char* tabular_mode_name(core::TabularMode mode) {
+  return mode == core::TabularMode::kRebuild ? "rebuild" : "incremental";
+}
+
+core::TabularMode parse_tabular_mode(const std::string& name) {
+  if (name == "incremental") return core::TabularMode::kIncremental;
+  if (name == "rebuild") return core::TabularMode::kRebuild;
+  throw util::JsonError("unknown tabular mode: " + name);
+}
+
+// The session lifecycle counters are the daemon's operational surface, so
+// like the online.replan span they bypass the HASTE_OBS gate and exist even
+// in -DHASTE_OBS=OFF builds (the per-request counters in server.cpp stay
+// gated — they are diagnostics, not contract).
+obs::Counter& lifecycle_counter(const char* name) {
+  return obs::MetricsRegistry::instance().counter(name);
+}
+
+Json error_reply(const std::string& message) {
+  Json reply = Json::object();
+  reply.set("ok", false);
+  reply.set("op", "error");
+  reply.set("message", message);
+  return reply;
+}
+
+}  // namespace
+
+Json online_config_to_json(const dist::OnlineConfig& config) {
+  Json json = Json::object();
+  json.set("strategy", strategy_name(config.strategy));
+  json.set("colors", config.colors);
+  json.set("samples", config.samples);
+  json.set("seed", u64_json(config.seed));
+  json.set("mode", tabular_mode_name(config.mode));
+  json.set("reuse_nodes", config.reuse_nodes);
+  return json;
+}
+
+dist::OnlineConfig online_config_from_json(const Json& json) {
+  dist::OnlineConfig config;
+  config.strategy = parse_strategy(json.string_or("strategy", "haste"));
+  config.colors = static_cast<int>(json.number_or("colors", config.colors));
+  config.samples = static_cast<int>(json.number_or("samples", config.samples));
+  if (json.contains("seed")) config.seed = u64_from(json.at("seed"));
+  config.mode = parse_tabular_mode(json.string_or("mode", "incremental"));
+  config.reuse_nodes = json.bool_or("reuse_nodes", config.reuse_nodes);
+  return config;
+}
+
+Session::Session() = default;
+Session::~Session() = default;
+
+Reply Session::handle_line(const std::string& line) {
+  try {
+    return handle_request(Json::parse(line));
+  } catch (const std::exception& error) {
+    // Parse errors, protocol violations, and scheduler exceptions all land
+    // here: the session is in an unknown state, so the connection closes.
+    static obs::Counter& errors = lifecycle_counter("serve.errors");
+    errors.add(1);
+    return Reply{error_reply(error.what()).dump(), /*close=*/true};
+  }
+}
+
+Reply Session::handle_request(const Json& request) {
+  const std::string op = request.at("op").as_string();
+
+  if (op == "open") {
+    if (opened()) throw std::logic_error("session already open");
+    auto net = std::make_unique<model::Network>(
+        io::network_from_json(request.at("scenario")));
+    dist::OnlineConfig config;
+    if (request.contains("config")) {
+      config = online_config_from_json(request.at("config"));
+    }
+    online_ = std::make_unique<dist::OnlineSession>(*net, config);
+    net_ = std::move(net);
+    static obs::Counter& opened_sessions = lifecycle_counter("serve.sessions.opened");
+    opened_sessions.add(1);
+    Json reply = Json::object();
+    reply.set("ok", true);
+    reply.set("op", "opened");
+    reply.set("chargers", static_cast<int>(net_->charger_count()));
+    reply.set("tasks", static_cast<int>(net_->task_count()));
+    reply.set("horizon", static_cast<int>(net_->horizon()));
+    return Reply{reply.dump(), false};
+  }
+
+  if (op == "arrive" || op == "fail") {
+    if (!opened()) throw std::logic_error("no open session");
+    const model::SlotIndex slot =
+        static_cast<model::SlotIndex>(request.at("slot").as_int());
+    const dist::NegotiationRecord* record = nullptr;
+    if (op == "arrive") {
+      const Json& tasks_json = request.at("tasks");
+      std::vector<model::TaskIndex> tasks;
+      tasks.reserve(tasks_json.size());
+      for (std::size_t t = 0; t < tasks_json.size(); ++t) {
+        tasks.push_back(static_cast<model::TaskIndex>(tasks_json.at(t).as_int()));
+      }
+      record = online_->on_arrival(slot, tasks);
+    } else {
+      const model::ChargerIndex charger =
+          static_cast<model::ChargerIndex>(request.at("charger").as_int());
+      record = online_->on_failure(charger, slot);
+    }
+    Json reply = Json::object();
+    reply.set("ok", true);
+    reply.set("op", "replanned");
+    reply.set("slot", static_cast<int>(slot));
+    reply.set("trigger", op == "arrive" ? "arrival" : "failure");
+    reply.set("replanned", record != nullptr);
+    reply.set("known_tasks", static_cast<std::int64_t>(online_->known_tasks()));
+    if (record != nullptr) {
+      reply.set("plan_start", static_cast<int>(record->plan_start));
+      reply.set("messages", u64_json(record->messages));
+      reply.set("rounds", u64_json(record->rounds));
+      reply.set("row_evals", u64_json(record->row_evals));
+    }
+    return Reply{reply.dump(), false};
+  }
+
+  if (op == "finish") {
+    if (!opened()) throw std::logic_error("no open session");
+    return finish_reply();
+  }
+
+  throw std::invalid_argument("unknown op: " + op);
+}
+
+Reply Session::finish_reply() {
+  const dist::OnlineResult result = online_->finish();
+  online_.reset();
+  net_.reset();
+  Json reply = Json::object();
+  reply.set("ok", true);
+  reply.set("op", "result");
+  reply.set("schedule", io::schedule_to_json(result.schedule));
+  reply.set("weighted_utility", result.evaluation.weighted_utility);
+  reply.set("relaxed_weighted_utility", result.evaluation.relaxed_weighted_utility);
+  reply.set("switches", result.evaluation.switches);
+  reply.set("messages", u64_json(result.messages));
+  reply.set("deliveries", u64_json(result.deliveries));
+  reply.set("message_bytes", u64_json(result.message_bytes));
+  reply.set("rounds", u64_json(result.rounds));
+  reply.set("negotiations", u64_json(result.negotiations));
+  reply.set("row_evals", u64_json(result.row_evaluations));
+  static obs::Counter& finished_sessions = lifecycle_counter("serve.sessions.finished");
+  finished_sessions.add(1);
+  // The result is the session's terminal reply: one run per connection keeps
+  // the protocol state machine trivially restartable (reconnect to re-open).
+  return Reply{reply.dump(), /*close=*/true};
+}
+
+std::optional<Reply> Session::drain_finish() {
+  if (!opened()) return std::nullopt;
+  return finish_reply();
+}
+
+}  // namespace haste::serve

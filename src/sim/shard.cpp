@@ -603,11 +603,13 @@ class SubprocessTransport : public Transport {
 class TcpTransport : public Transport {
  public:
   TcpTransport(const std::string& address, int capacity,
-               std::vector<std::string> spawn_argv, std::string auth_token)
+               std::vector<std::string> spawn_argv, std::string auth_token,
+               std::size_t max_outbox_bytes)
       : listener_(util::TcpListener::listen(address)),
         capacity_(capacity),
         spawn_argv_(std::move(spawn_argv)),
-        auth_token_(std::move(auth_token)) {
+        auth_token_(std::move(auth_token)),
+        max_outbox_bytes_(max_outbox_bytes) {
     if (!spawn_argv_.empty()) spawn_argv_.push_back(listener_.local_address());
     HASTE_LOG_INFO << "shard runner: listening for TCP workers on "
                    << listener_.local_address()
@@ -645,6 +647,9 @@ class TcpTransport : public Transport {
       HASTE_OBS_COUNTER_ADD("shard.auth_reject", 1);
       return nullptr;
     }
+    // A stalled worker must cost its shard attempt, not driver memory: cap
+    // how many unsent request bytes may queue toward it.
+    socket->set_max_outbox_bytes(max_outbox_bytes_);
     return std::make_unique<TcpLink>(std::move(*socket));
   }
 
@@ -653,6 +658,7 @@ class TcpTransport : public Transport {
   int capacity_;
   std::vector<std::string> spawn_argv_;
   std::string auth_token_;                 ///< "" = accept anyone
+  std::size_t max_outbox_bytes_ = 0;       ///< 0 = unbounded
   std::vector<util::Subprocess> spawned_;  ///< destructor reaps leftovers
 };
 
@@ -689,7 +695,7 @@ class ShardRunner {
     if (tcp_enabled) {
       transports_.push_back(std::make_unique<TcpTransport>(
           options_.listen_address, options_.tcp_workers, options_.tcp_spawn_argv,
-          options_.auth_token));
+          options_.auth_token, options_.max_outbox_bytes));
     }
     shards_.reserve(specs.size());
     for (ShardSpec& spec : specs) {
@@ -778,6 +784,7 @@ class ShardRunner {
         if (!link) break;
         workers_.push_back(WorkerSlot{std::move(link), transport.get(), {}, -1, {},
                                       false, ++worker_serial_});
+        workers_.back().lines.set_max_line_bytes(options_.max_line_bytes);
         ++from_this;
         ++idle;
       }
@@ -800,9 +807,11 @@ class ShardRunner {
       worker.shard = static_cast<long>(s);
       worker.started = Clock::now();
       if (!worker.link->send_line(request.dump())) {
-        // The worker died before we could feed it; its exit will also surface
-        // via EOF, but handle it now so the shard is not stranded.
-        fail_worker(worker, "write to worker failed");
+        // The worker died before we could feed it (EPIPE). Diagnose it the
+        // same way the EOF path does — whether the write or the EOF notices
+        // the death first is a race, and an exec failure must read
+        // "exec failure (exit 127)" in the manifest either way.
+        fail_worker(worker, "write to worker failed: " + worker.link->fate());
       }
     }
   }
@@ -864,6 +873,11 @@ class ShardRunner {
         fail_worker(worker, "malformed output");
         return;
       }
+    }
+    if (worker.lines.overflowed()) {
+      // The worker blew past max_line_bytes (LineBuffer already bumped
+      // net.overflow); its shard requeues like any other worker failure.
+      fail_worker(worker, "line overflow");
     }
   }
 
@@ -1012,6 +1026,12 @@ class ShardRunner {
     }
     manifest.set("max_attempts", options_.max_attempts);
     manifest.set("timeout_seconds", options_.shard_timeout_seconds);
+    manifest.set("max_line_bytes", u64_json(options_.max_line_bytes));
+    manifest.set("max_outbox_bytes", u64_json(options_.max_outbox_bytes));
+    // Overflow kills observed by this driver (line-length or outbox-bound
+    // breaches); the counter reads zero when the obs macros are compiled out.
+    manifest.set("net_overflow",
+                 u64_json(obs::MetricsRegistry::instance().counter("net.overflow").value()));
     Json shards = Json::array();
     for (const ShardState& shard : shards_) {
       Json entry = Json::object();

@@ -135,6 +135,16 @@ struct ShardOptions {
   /// (trusted-network mode, the pre-token behavior).
   std::string auth_token;
 
+  /// Bounds on per-worker buffering, both enforced by killing the offending
+  /// link (the shard requeues like any other worker failure) and bumping the
+  /// `net.overflow` counter, which the manifest surfaces alongside the
+  /// limits. 0 = unbounded. `max_line_bytes` caps a single result line (a
+  /// garbage-spewing worker that never sends '\n' otherwise balloons driver
+  /// memory); `max_outbox_bytes` caps unsent request bytes queued toward a
+  /// stalled TCP worker.
+  std::size_t max_line_bytes = 64ull << 20;
+  std::size_t max_outbox_bytes = 64ull << 20;
+
   /// Ask workers for observability payloads: every shard request carries
   /// "obs": true, and workers attach their cumulative metrics snapshot plus
   /// drained trace events to each response. The driver merges the per-worker

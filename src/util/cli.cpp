@@ -1,5 +1,7 @@
 #include "util/cli.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -41,10 +43,15 @@ std::int64_t Flags::get_int(const std::string& name, std::int64_t fallback) cons
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
   char* end = nullptr;
+  errno = 0;  // strtoll only ever sets errno, so stale values must be cleared
   const std::int64_t value = std::strtoll(it->second.c_str(), &end, 10);
   if (end == it->second.c_str() || *end != '\0') {
     throw std::invalid_argument("flag --" + name + " expects an integer, got '" +
                                 it->second + "'");
+  }
+  if (errno == ERANGE) {
+    throw std::out_of_range("flag --" + name + " value '" + it->second +
+                            "' is out of the 64-bit integer range");
   }
   return value;
 }
@@ -53,10 +60,18 @@ double Flags::get_double(const std::string& name, double fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
   char* end = nullptr;
+  errno = 0;
   const double value = std::strtod(it->second.c_str(), &end);
   if (end == it->second.c_str() || *end != '\0') {
     throw std::invalid_argument("flag --" + name + " expects a number, got '" +
                                 it->second + "'");
+  }
+  // Overflow clamps to +-HUGE_VAL with ERANGE — reject it instead of letting
+  // an absurd magnitude flow into a scheduler knob. Underflow (a subnormal
+  // rounding toward zero) also reports ERANGE but is harmless; keep it.
+  if (errno == ERANGE && std::abs(value) == HUGE_VAL) {
+    throw std::out_of_range("flag --" + name + " value '" + it->second +
+                            "' overflows a double");
   }
   return value;
 }

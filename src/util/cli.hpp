@@ -27,10 +27,13 @@ class Flags {
   std::string get(const std::string& name, const std::string& fallback = "") const;
 
   /// Integer value, or `fallback` if absent. Throws std::invalid_argument on
-  /// a malformed number.
+  /// a malformed number and std::out_of_range when the value does not fit in
+  /// 64 bits (instead of silently clamping to INT64_MIN/MAX).
   std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
 
-  /// Floating-point value, or `fallback` if absent.
+  /// Floating-point value, or `fallback` if absent. Throws
+  /// std::invalid_argument on a malformed number and std::out_of_range when
+  /// the magnitude overflows a double (instead of clamping to +-HUGE_VAL).
   double get_double(const std::string& name, double fallback) const;
 
   /// Boolean: `--flag`, `--flag=true/1/yes` are true; `--flag=false/0/no`

@@ -13,6 +13,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace haste::util {
 
 namespace {
@@ -101,6 +103,7 @@ TcpSocket& TcpSocket::operator=(TcpSocket&& other) noexcept {
     fd_ = other.fd_;
     peer_ = std::move(other.peer_);
     outbox_ = std::move(other.outbox_);
+    max_outbox_bytes_ = other.max_outbox_bytes_;
     other.fd_ = -1;
   }
   return *this;
@@ -156,7 +159,20 @@ bool TcpSocket::send_line(const std::string& line) {
   if (fd_ < 0) return false;
   outbox_.append(line);
   outbox_.push_back('\n');
-  return flush(0);
+  if (!flush(0)) return false;
+  if (max_outbox_bytes_ > 0 && outbox_.size() > max_outbox_bytes_) {
+    // The peer stopped draining its socket; an unbounded backlog here is
+    // driver memory held hostage by one stalled worker. Kill the connection.
+    // Ungated (like the serve lifecycle counters): the overflow kill is
+    // contract — surfaced in shard manifests — so the counter must exist
+    // even in -DHASTE_OBS=OFF builds.
+    static obs::Counter& overflow_counter =
+        obs::MetricsRegistry::instance().counter("net.overflow");
+    overflow_counter.add(1);
+    close();
+    return false;
+  }
+  return true;
 }
 
 bool TcpSocket::flush(int timeout_ms) {

@@ -53,7 +53,13 @@ class TcpSocket {
   /// accepts without blocking. Returns false once the connection is dead;
   /// true with unsent bytes left just means the peer is slow — keep calling
   /// flush(). The driver's request lines therefore never block its loop.
+  /// If the queued backlog would exceed the outbox bound (a stalled peer),
+  /// the connection is closed, `net.overflow` is bumped, and false returns.
   bool send_line(const std::string& line);
+
+  /// Bounds the unsent-byte backlog a stalled peer may accumulate; 0 (the
+  /// default) means unbounded. Exceeding the bound kills the connection.
+  void set_max_outbox_bytes(std::size_t max_bytes) { max_outbox_bytes_ = max_bytes; }
 
   /// Writes pending outbox bytes, polling writability up to `timeout_ms`
   /// (0 = only what fits right now). False once the connection is dead.
@@ -81,6 +87,7 @@ class TcpSocket {
   int fd_ = -1;
   std::string peer_;
   std::string outbox_;
+  std::size_t max_outbox_bytes_ = 0;
 };
 
 /// A listening TCP socket (SO_REUSEADDR). Move-only; closes on destruction.

@@ -11,6 +11,8 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace haste::util {
 
 namespace {
@@ -155,8 +157,19 @@ void Subprocess::kill(int sig) {
 bool Subprocess::try_wait() {
   if (reaped_) return true;
   int raw = 0;
-  const pid_t r = ::waitpid(pid_, &raw, WNOHANG);
-  if (r != pid_) return false;  // still running (or EINTR/ECHILD)
+  pid_t r;
+  do {
+    r = ::waitpid(pid_, &raw, WNOHANG);
+  } while (r < 0 && errno == EINTR);
+  if (r < 0 && errno == ECHILD) {
+    // The child no longer exists as our waitable zombie: it was already
+    // reaped elsewhere, or SIGCHLD is SIG_IGN so the kernel auto-reaps.
+    // Report it as reaped with an unknown status — returning false here
+    // would have callers poll the pid forever.
+    reaped_ = true;
+    return true;
+  }
+  if (r != pid_) return false;  // still running
   reaped_ = true;
   if (WIFEXITED(raw)) {
     status_.exited = true;
@@ -211,17 +224,37 @@ std::vector<std::size_t> poll_readable(const std::vector<int>& fds, int timeout_
 }
 
 std::vector<std::string> LineBuffer::feed(const char* data, std::size_t size) {
-  buffer_.append(data, size);
   std::vector<std::string> lines;
+  if (overflowed_) return lines;  // connection is doomed; stop buffering
+  buffer_.append(data, size);
   std::size_t start = 0;
   for (;;) {
     const std::size_t nl = buffer_.find('\n', start);
     if (nl == std::string::npos) break;
+    if (max_line_bytes_ > 0 && nl - start > max_line_bytes_) {
+      overflow();
+      return lines;
+    }
     lines.push_back(buffer_.substr(start, nl - start));
     start = nl + 1;
   }
   buffer_.erase(0, start);
+  if (max_line_bytes_ > 0 && buffer_.size() > max_line_bytes_) {
+    overflow();
+  }
   return lines;
+}
+
+void LineBuffer::overflow() {
+  overflowed_ = true;
+  buffer_.clear();
+  buffer_.shrink_to_fit();  // a ballooned partial line is why the cap exists
+  // Ungated (like the serve lifecycle counters): the overflow kill is
+  // contract — surfaced in shard manifests — so the counter must exist
+  // even in -DHASTE_OBS=OFF builds.
+  static obs::Counter& overflow_counter =
+      obs::MetricsRegistry::instance().counter("net.overflow");
+  overflow_counter.add(1);
 }
 
 }  // namespace haste::util

@@ -84,16 +84,34 @@ class Subprocess {
 std::vector<std::size_t> poll_readable(const std::vector<int>& fds, int timeout_ms);
 
 /// Reassembles '\n'-terminated lines from arbitrary read chunks.
+///
+/// An optional line-length bound protects long-lived drivers from a peer
+/// that streams bytes without ever sending '\n' (or ships one absurd line):
+/// once any completed or partial line exceeds the bound, the buffer is
+/// discarded, `overflowed()` latches true, further feeds are ignored, and
+/// the process-wide `net.overflow` counter is bumped. Callers are expected
+/// to kill the connection of an overflowed buffer.
 class LineBuffer {
  public:
   /// Appends a chunk; returns every newly completed line (without '\n').
+  /// Returns nothing once the buffer has overflowed.
   std::vector<std::string> feed(const char* data, std::size_t size);
 
   /// Unterminated trailing data (non-empty at EOF means a truncated line).
   const std::string& partial() const { return buffer_; }
 
+  /// Bounds line length; 0 (the default) means unlimited.
+  void set_max_line_bytes(std::size_t max_bytes) { max_line_bytes_ = max_bytes; }
+
+  /// True once a line exceeded max_line_bytes; latched until destruction.
+  bool overflowed() const { return overflowed_; }
+
  private:
+  void overflow();
+
   std::string buffer_;
+  std::size_t max_line_bytes_ = 0;
+  bool overflowed_ = false;
 };
 
 }  // namespace haste::util

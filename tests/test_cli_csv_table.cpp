@@ -63,6 +63,30 @@ TEST(Cli, PositionalArguments) {
   EXPECT_EQ(flags.positional()[1], "second");
 }
 
+TEST(Cli, IntOutOfRangeThrowsInsteadOfClamping) {
+  // Pre-fix, strtoll clamped to INT64_MAX and the bogus value flowed on.
+  const Flags flags = parse({"--big", "99999999999999999999999"});
+  EXPECT_THROW(flags.get_int("big", 0), std::out_of_range);
+  const Flags negative = parse({"--big", "-99999999999999999999999"});
+  EXPECT_THROW(negative.get_int("big", 0), std::out_of_range);
+}
+
+TEST(Cli, DoubleOverflowThrowsInsteadOfClampingToInfinity) {
+  const Flags flags = parse({"--huge", "1e400"});
+  EXPECT_THROW(flags.get_double("huge", 0.0), std::out_of_range);
+  const Flags negative = parse({"--huge", "-1e400"});
+  EXPECT_THROW(negative.get_double("huge", 0.0), std::out_of_range);
+}
+
+TEST(Cli, DoubleUnderflowIsNotAnError) {
+  // ERANGE also fires for denormal underflow; a tiny-but-representable
+  // value is valid input, not an error.
+  const Flags flags = parse({"--tiny", "1e-320"});
+  const double value = flags.get_double("tiny", 1.0);
+  EXPECT_GT(value, 0.0);
+  EXPECT_LT(value, 1e-300);
+}
+
 TEST(Cli, DoubleValue) {
   EXPECT_DOUBLE_EQ(parse({"--rho=0.0833"}).get_double("rho", 0), 0.0833);
 }

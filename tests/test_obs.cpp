@@ -126,6 +126,47 @@ TEST(Histogram, ConcurrentRecordsAggregateAllObservations) {
   EXPECT_EQ(bucket_sum, 5000u);
 }
 
+TEST(Histogram, QuantileUpperBoundsFollowTheLog2Buckets) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.histogram("q");
+  for (int i = 1; i <= 1000; ++i) histogram.record(static_cast<double>(i));
+  const auto shot = registry.snapshot().histograms.at("q");
+  // rank 500 lands in bucket [256, 512) -> upper edge 512.
+  EXPECT_DOUBLE_EQ(shot.quantile_upper(0.5), 512.0);
+  // rank 990 lands in bucket [512, 1024) -> edge 1024, clamped to max 1000.
+  EXPECT_DOUBLE_EQ(shot.quantile_upper(0.99), 1000.0);
+  // q = 0 still means "the smallest bucket with any mass" (rank >= 1):
+  // value 1 lives in bucket [1, 2), so the conservative upper edge is 2.
+  EXPECT_DOUBLE_EQ(shot.quantile_upper(0.0), 2.0);
+}
+
+TEST(Histogram, QuantileUpperEdgeCases) {
+  const MetricsSnapshot::HistogramSnapshot empty;
+  EXPECT_DOUBLE_EQ(empty.quantile_upper(0.99), 0.0);
+  MetricsRegistry registry;
+  Histogram& single = registry.histogram("single");
+  single.record(5.0);
+  const auto shot = registry.snapshot().histograms.at("single");
+  // Bucket edge would be 8; the exact observed max (5) is tighter.
+  EXPECT_DOUBLE_EQ(shot.quantile_upper(0.99), 5.0);
+  EXPECT_DOUBLE_EQ(shot.quantile_upper(0.5), 5.0);
+}
+
+TEST(MetricsSnapshot, JsonCarriesDerivedQuantilesButRoundTripIgnoresThem) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.histogram("latency");
+  for (int i = 1; i <= 100; ++i) histogram.record(static_cast<double>(i));
+  const MetricsSnapshot snapshot = registry.snapshot();
+  const Json json = snapshot.to_json();
+  const Json& h = json.at("histograms").at("latency");
+  EXPECT_DOUBLE_EQ(h.at("p50").as_number(), snapshot.histograms.at("latency").quantile_upper(0.5));
+  EXPECT_DOUBLE_EQ(h.at("p99").as_number(), snapshot.histograms.at("latency").quantile_upper(0.99));
+  // p50/p99 are derived presentation keys: the round trip reconstructs them
+  // from the buckets rather than trusting (or requiring) them in the input.
+  const MetricsSnapshot round = MetricsSnapshot::from_json(json);
+  EXPECT_EQ(round.to_json().dump(), json.dump());
+}
+
 TEST(MetricsRegistry, InstrumentsAreStableReferences) {
   MetricsRegistry registry;
   Counter& a = registry.counter("same");

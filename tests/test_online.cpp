@@ -7,9 +7,13 @@
 #include <algorithm>
 #include <set>
 
+#include <stdexcept>
+
 #include "baseline/brute_force.hpp"
 #include "core/evaluate.hpp"
 #include "core/offline.hpp"
+#include "io/scenario_io.hpp"
+#include "serve/client.hpp"
 #include "test_helpers.hpp"
 
 namespace haste::dist {
@@ -246,6 +250,77 @@ TEST(Online, NodeReuseIsBitIdenticalAndCheaper) {
       EXPECT_EQ(reuse.row_evaluations, rebuild.row_evaluations) << "seed " << seed;
     }
   }
+}
+
+// --- OnlineSession: the streaming (push-event) form of run_online ------------
+
+TEST(OnlineSession, StreamingEventsMatchRunOnlineBitForBit) {
+  // run_online is a thin event-queue wrapper over OnlineSession, so pushing
+  // the same event sequence by hand must reproduce the result bit for bit —
+  // the invariant the haste_serve daemon's correctness rests on. Exercised
+  // with failures so the arrival/failure merge order is pinned too.
+  for (std::uint64_t trial = 0; trial < 3; ++trial) {
+    util::Rng rng(400 + trial);
+    const model::Network net = random_network(rng, 4, 8, 5);
+    OnlineConfig config;
+    config.colors = 2;
+    config.samples = 4;
+    config.seed = 77 + trial;
+    config.failures = {{static_cast<model::ChargerIndex>(trial % 4),
+                        static_cast<model::SlotIndex>(2)}};
+    const OnlineResult reference = run_online(net, config);
+
+    const auto events = serve::build_replay_events(net, config.failures);
+    const OnlineResult streamed = serve::replay_locally(net, config, events);
+
+    EXPECT_EQ(io::schedule_to_json(streamed.schedule).dump(),
+              io::schedule_to_json(reference.schedule).dump());
+    EXPECT_EQ(streamed.evaluation.weighted_utility,
+              reference.evaluation.weighted_utility);
+    EXPECT_EQ(streamed.evaluation.relaxed_weighted_utility,
+              reference.evaluation.relaxed_weighted_utility);
+    EXPECT_EQ(streamed.messages, reference.messages);
+    EXPECT_EQ(streamed.deliveries, reference.deliveries);
+    EXPECT_EQ(streamed.message_bytes, reference.message_bytes);
+    EXPECT_EQ(streamed.rounds, reference.rounds);
+    EXPECT_EQ(streamed.negotiations, reference.negotiations);
+    EXPECT_EQ(streamed.row_evaluations, reference.row_evaluations);
+    EXPECT_EQ(streamed.log.size(), reference.log.size());
+  }
+}
+
+TEST(OnlineSession, ValidatesEventOrderAndIndices) {
+  util::Rng rng(401);
+  const model::Network net = random_network(rng, 2, 4, 4);
+  OnlineSession session(net, OnlineConfig{});
+
+  session.on_arrival(2, {0});
+  EXPECT_THROW(session.on_arrival(1, {1}), std::invalid_argument);  // regression
+  EXPECT_THROW(session.on_arrival(2, {0}), std::invalid_argument);  // duplicate
+  EXPECT_THROW(session.on_arrival(2, {99}), std::invalid_argument);  // range
+  EXPECT_THROW(session.on_failure(99, 2), std::invalid_argument);    // range
+
+  (void)session.finish();
+  EXPECT_TRUE(session.finished());
+  EXPECT_THROW(session.on_arrival(3, {1}), std::logic_error);
+  EXPECT_THROW(session.finish(), std::logic_error);
+}
+
+TEST(OnlineSession, RepeatedFailureOfADeadChargerIsANoOp) {
+  util::Rng rng(402);
+  const model::Network net = random_network(rng, 3, 5, 4);
+  OnlineConfig config;
+  config.colors = 2;
+  config.samples = 4;
+  OnlineSession session(net, config);
+  session.on_arrival(0, {0, 1, 2, 3, 4});
+  EXPECT_EQ(session.alive_chargers(), 3u);
+  session.on_failure(1, 1);
+  EXPECT_EQ(session.alive_chargers(), 2u);
+  EXPECT_EQ(session.on_failure(1, 2), nullptr);  // already dead: no re-plan
+  EXPECT_EQ(session.alive_chargers(), 2u);
+  const OnlineResult result = session.finish();
+  EXPECT_GE(result.evaluation.weighted_utility, 0.0);
 }
 
 TEST(Online, CompetitiveAgainstRelaxedOptimum) {

@@ -1,0 +1,359 @@
+// Lifecycle battery for the haste_serve daemon (src/serve): session open and
+// admission control, many concurrent sessions bit-identical to the one-shot
+// driver, abrupt client death, and graceful drain. The Server runs in-process
+// on its own driver thread with an ephemeral loopback port, so the suite
+// cannot collide with other processes or itself under ctest -j; the
+// process-boundary variant (spawned child daemon + SIGTERM) lives in the
+// haste_serve --self-test tier-1 ctests.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/online.hpp"
+#include "io/scenario_io.hpp"
+#include "obs/metrics.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/session.hpp"
+#include "test_helpers.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/socket.hpp"
+
+namespace haste::serve {
+namespace {
+
+using util::Json;
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t counter_value(const char* name) {
+  return obs::MetricsRegistry::instance().counter(name).value();
+}
+
+/// A small per-session config: tiny color panel so 100 sessions re-plan in
+/// seconds, seeded per session so no two sessions share a sampling stream.
+dist::OnlineConfig small_config(std::uint64_t seed) {
+  dist::OnlineConfig config;
+  config.colors = 2;
+  config.samples = 4;
+  config.seed = seed;
+  return config;
+}
+
+/// In-process daemon on an ephemeral port with its own driver thread.
+struct TestServer {
+  explicit TestServer(ServerOptions options) : server(new Server(options)) {
+    driver = std::thread([this] { server->run(); });
+  }
+  ~TestServer() {
+    if (driver.joinable()) {
+      server->request_drain();
+      driver.join();
+    }
+  }
+  std::string address() const { return server->address(); }
+  void drain_and_join() {
+    server->request_drain();
+    driver.join();
+  }
+
+  std::unique_ptr<Server> server;
+  std::thread driver;
+};
+
+/// Polls a process-global counter until it grows past `at_least` (counters
+/// are cumulative across tests, so every expectation is a delta).
+bool wait_for_counter(const char* name, std::uint64_t at_least, int timeout_ms = 5000) {
+  const Clock::time_point start = Clock::now();
+  while (counter_value(name) < at_least) {
+    if (std::chrono::duration<double, std::milli>(Clock::now() - start).count() >
+        timeout_ms) {
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return true;
+}
+
+TEST(Serve, SessionOpensReplansAndFinishesBitIdentical) {
+  TestServer daemon{ServerOptions{}};
+  util::Rng rng(101);
+  const model::Network net = testing_helpers::random_network(rng, 3, 6);
+  const dist::OnlineConfig config = small_config(7);
+  const std::vector<ReplayEvent> events = build_replay_events(net);
+  ASSERT_FALSE(events.empty());
+
+  const ReplayOutcome outcome = replay_online(daemon.address(), "", net, config, events);
+  EXPECT_TRUE(outcome.finished);
+  EXPECT_EQ(outcome.acked.size(), events.size());
+  EXPECT_EQ(outcome.rejected, 0u);
+  EXPECT_EQ(diff_result(outcome.result, dist::run_online(net, config)), "");
+}
+
+TEST(Serve, OpenedReplyEchoesInstanceDimensions) {
+  TestServer daemon{ServerOptions{}};
+  util::Rng rng(102);
+  const model::Network net = testing_helpers::random_network(rng, 4, 5);
+
+  Client client(daemon.address());
+  const Json opened = client.open(net, small_config(1));
+  ASSERT_TRUE(opened.bool_or("ok", false));
+  EXPECT_EQ(opened.string_or("op", ""), "opened");
+  EXPECT_EQ(opened.at("chargers").as_int(), 4);
+  EXPECT_EQ(opened.at("tasks").as_int(), 5);
+  EXPECT_EQ(opened.at("horizon").as_int(), static_cast<std::int64_t>(net.horizon()));
+}
+
+TEST(Serve, WrongTokenIsRejectedAndCounted) {
+  ServerOptions options;
+  options.auth_token = "right-token";
+  TestServer daemon{options};
+  const std::uint64_t rejects_before = counter_value("serve.auth_reject");
+
+  Client client(daemon.address(), "wrong-token");
+  // The first protocol reply never comes: the daemon closes on the bad line.
+  util::Rng rng(103);
+  const model::Network net = testing_helpers::random_network(rng, 2, 3);
+  EXPECT_TRUE(client.open(net, small_config(1)).is_null());
+  EXPECT_TRUE(wait_for_counter("serve.auth_reject", rejects_before + 1));
+
+  // The right token still works — the reject only killed that connection.
+  const ReplayOutcome outcome = replay_online(daemon.address(), "right-token", net,
+                                              small_config(1), build_replay_events(net));
+  EXPECT_TRUE(outcome.finished);
+}
+
+TEST(Serve, SilentPeerTripsTheAuthDeadline) {
+  ServerOptions options;
+  options.auth_token = "secret";
+  options.auth_timeout_seconds = 0.2;
+  TestServer daemon{options};
+  const std::uint64_t rejects_before = counter_value("serve.auth_reject");
+
+  util::TcpSocket mute = util::TcpSocket::connect(daemon.address());
+  EXPECT_TRUE(wait_for_counter("serve.auth_reject", rejects_before + 1));
+}
+
+TEST(Serve, SessionLimitRejectsTheExtraConnection) {
+  ServerOptions options;
+  options.max_sessions = 1;
+  TestServer daemon{options};
+  util::Rng rng(104);
+  const model::Network net = testing_helpers::random_network(rng, 2, 3);
+
+  Client first(daemon.address());
+  ASSERT_TRUE(first.open(net, small_config(1)).bool_or("ok", false));
+
+  Client second(daemon.address());
+  const Json reject = second.read_reply();  // arrives unsolicited, then EOF
+  ASSERT_FALSE(reject.is_null());
+  EXPECT_FALSE(reject.bool_or("ok", true));
+  EXPECT_EQ(reject.string_or("op", ""), "reject");
+  EXPECT_EQ(reject.string_or("reason", ""), "session-limit");
+  EXPECT_TRUE(second.read_reply().is_null());
+
+  // Finishing the first session frees the slot.
+  ASSERT_TRUE(first.finish().bool_or("ok", false));
+  const ReplayOutcome outcome = replay_online(daemon.address(), "", net, small_config(1),
+                                              build_replay_events(net));
+  EXPECT_TRUE(outcome.finished);
+}
+
+TEST(Serve, ArrivalQuotaRejectsPipelinedLinesDeterministically) {
+  ServerOptions options;
+  options.arrival_quota = 0;  // 1 executing, 0 queued
+  TestServer daemon{options};
+  util::Rng rng(105);
+  const model::Network net = testing_helpers::random_network(rng, 2, 4);
+
+  util::TcpSocket raw = util::TcpSocket::connect(daemon.address());
+  Json open_request = Json::object();
+  open_request.set("op", "open");
+  open_request.set("scenario", io::network_to_json(net));
+  open_request.set("config", online_config_to_json(small_config(1)));
+  Json finish_request = Json::object();
+  finish_request.set("op", "finish");
+  // Two requests in one write: the first is admitted (the session is idle),
+  // the second finds pending = 1 > quota and must be rejected — the daemon
+  // never buffers more than the quota allows, however fast the peer sends.
+  ASSERT_TRUE(raw.write_all(open_request.dump() + "\n" + finish_request.dump() + "\n"));
+
+  util::LineBuffer lines;
+  std::vector<Json> replies;
+  char chunk[4096];
+  const Clock::time_point start = Clock::now();
+  while (replies.size() < 2 &&
+         std::chrono::duration<double>(Clock::now() - start).count() < 5.0) {
+    if (util::poll_readable({raw.fd()}, 50).empty()) continue;
+    const ssize_t n = ::read(raw.fd(), chunk, sizeof(chunk));
+    if (n <= 0) break;
+    for (const std::string& line : lines.feed(chunk, static_cast<std::size_t>(n))) {
+      if (!line.empty()) replies.push_back(Json::parse(line));
+    }
+  }
+  ASSERT_EQ(replies.size(), 2u);
+  // Rejects are emitted at ingest (bounding the queue is the whole point),
+  // so the reject may overtake the admitted line's pool-produced reply.
+  const Json& rejected = replies[0].string_or("op", "") == "reject" ? replies[0]
+                                                                    : replies[1];
+  const Json& opened = &rejected == &replies[0] ? replies[1] : replies[0];
+  EXPECT_EQ(opened.string_or("op", ""), "opened");
+  EXPECT_TRUE(opened.bool_or("ok", false));
+  EXPECT_EQ(rejected.string_or("op", ""), "reject");
+  EXPECT_FALSE(rejected.bool_or("ok", true));
+  EXPECT_EQ(rejected.string_or("reason", ""), "arrival-quota");
+}
+
+TEST(Serve, HundredConcurrentSessionsBitIdenticalToOneShotDriver) {
+  ServerOptions options;
+  options.auth_token = "many";
+  TestServer daemon{options};
+  constexpr std::size_t kSessions = 100;
+
+  std::vector<std::string> errors(kSessions);
+  std::vector<std::thread> clients;
+  clients.reserve(kSessions);
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    clients.emplace_back([&, i] {
+      try {
+        util::Rng rng(9000 + i);
+        const model::Network net = testing_helpers::random_network(rng, 3, 6);
+        const dist::OnlineConfig config = small_config(500 + i);
+        const std::vector<ReplayEvent> events = build_replay_events(net);
+        const ReplayOutcome outcome =
+            replay_online(daemon.address(), "many", net, config, events);
+        if (!outcome.finished) {
+          errors[i] = "no result";
+          return;
+        }
+        if (outcome.acked.size() != events.size()) {
+          errors[i] = "events rejected";
+          return;
+        }
+        errors[i] = diff_result(outcome.result, dist::run_online(net, config));
+      } catch (const std::exception& error) {
+        errors[i] = error.what();
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    EXPECT_EQ(errors[i], "") << "session " << i;
+  }
+}
+
+TEST(Serve, KilledClientMidSessionIsReapedAndCountedAborted) {
+  TestServer daemon{ServerOptions{}};
+  util::Rng rng(106);
+  const model::Network net = testing_helpers::random_network(rng, 3, 6);
+  const std::uint64_t aborted_before = counter_value("serve.sessions.aborted");
+
+  {
+    Client client(daemon.address());
+    ASSERT_TRUE(client.open(net, small_config(3)).bool_or("ok", false));
+    const std::vector<ReplayEvent> events = build_replay_events(net);
+    ASSERT_FALSE(events.empty());
+    ASSERT_TRUE(client.arrive(events[0].slot, events[0].tasks).bool_or("ok", false));
+  }  // ~Client closes the socket with the session still open
+
+  EXPECT_TRUE(wait_for_counter("serve.sessions.aborted", aborted_before + 1));
+
+  // The daemon survives the abort and keeps serving.
+  const ReplayOutcome outcome = replay_online(daemon.address(), "", net, small_config(3),
+                                              build_replay_events(net));
+  EXPECT_TRUE(outcome.finished);
+}
+
+TEST(Serve, DrainFinishesInFlightSessionsWithPrefixIdenticalResults) {
+  TestServer daemon{ServerOptions{}};
+  util::Rng rng(107);
+  const model::Network net = testing_helpers::random_network(rng, 3, 8, /*max_slots=*/6);
+  const dist::OnlineConfig config = small_config(11);
+  const std::vector<ReplayEvent> events = build_replay_events(net);
+  ASSERT_GE(events.size(), 2u);
+
+  ReplayOutcome outcome;
+  std::thread client([&] {
+    // Slow stream so the drain lands mid-session (benign if it lands after).
+    outcome = replay_online(daemon.address(), "", net, config, events,
+                            /*inter_event_sleep_ms=*/50);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  daemon.drain_and_join();  // run() returns only once every session got its result
+  client.join();
+
+  ASSERT_TRUE(outcome.finished);
+  // Whatever prefix was acknowledged, the result must match the in-process
+  // driver fed exactly that prefix — a drain never drops an in-flight
+  // re-plan or ships a half-applied one.
+  EXPECT_EQ(diff_result(outcome.result, replay_locally(net, config, outcome.acked)), "");
+
+  // The listener is gone: new connections are refused outright.
+  EXPECT_THROW(util::TcpSocket::connect(daemon.address()), std::exception);
+}
+
+TEST(Serve, MalformedLineGetsErrorReplyAndClose) {
+  TestServer daemon{ServerOptions{}};
+  util::TcpSocket raw = util::TcpSocket::connect(daemon.address());
+  ASSERT_TRUE(raw.write_all("this is not json\n"));
+
+  util::LineBuffer lines;
+  std::string first_line;
+  char chunk[4096];
+  const Clock::time_point start = Clock::now();
+  bool eof = false;
+  while (!eof && std::chrono::duration<double>(Clock::now() - start).count() < 5.0) {
+    if (util::poll_readable({raw.fd()}, 50).empty()) continue;
+    const ssize_t n = ::read(raw.fd(), chunk, sizeof(chunk));
+    if (n <= 0) {
+      eof = true;
+      break;
+    }
+    for (const std::string& line : lines.feed(chunk, static_cast<std::size_t>(n))) {
+      if (first_line.empty()) first_line = line;
+    }
+    if (!first_line.empty()) break;
+  }
+  ASSERT_FALSE(first_line.empty());
+  const Json reply = Json::parse(first_line);
+  EXPECT_FALSE(reply.bool_or("ok", true));
+  EXPECT_EQ(reply.string_or("op", ""), "error");
+}
+
+TEST(Serve, EventBeforeOpenIsAProtocolError) {
+  TestServer daemon{ServerOptions{}};
+  Client client(daemon.address());
+  const Json reply = client.arrive(0, {0});
+  ASSERT_FALSE(reply.is_null());
+  EXPECT_FALSE(reply.bool_or("ok", true));
+  EXPECT_EQ(reply.string_or("op", ""), "error");
+  EXPECT_TRUE(client.read_reply().is_null());  // the error closed the session
+}
+
+TEST(ServeConfig, OnlineConfigJsonRoundTripsExactly) {
+  dist::OnlineConfig config;
+  config.strategy = dist::OnlineStrategy::kHasteSequential;
+  config.colors = 3;
+  config.samples = 9;
+  config.seed = 0xFFFFFFFFFFFFFFFFULL;  // above 2^53: must survive as a string
+  config.mode = core::TabularMode::kRebuild;
+  config.reuse_nodes = false;
+
+  const dist::OnlineConfig round = online_config_from_json(online_config_to_json(config));
+  EXPECT_EQ(round.strategy, config.strategy);
+  EXPECT_EQ(round.colors, config.colors);
+  EXPECT_EQ(round.samples, config.samples);
+  EXPECT_EQ(round.seed, config.seed);
+  EXPECT_EQ(round.mode, config.mode);
+  EXPECT_EQ(round.reuse_nodes, config.reuse_nodes);
+
+  EXPECT_THROW(online_config_from_json(Json::parse(R"({"strategy":"nope"})")),
+               util::JsonError);
+}
+
+}  // namespace
+}  // namespace haste::serve

@@ -4,14 +4,17 @@
 // suite cannot collide with other processes or itself under ctest -j.
 #include <gtest/gtest.h>
 #include <errno.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <thread>
 
+#include "obs/metrics.hpp"
 #include "util/socket.hpp"
 #include "util/subprocess.hpp"
 
@@ -236,6 +239,85 @@ TEST(LineBufferEdge, FeedOfZeroBytesIsANoOp) {
   LineBuffer buffer;
   EXPECT_TRUE(buffer.feed("", 0).empty());
   EXPECT_TRUE(buffer.partial().empty());
+}
+
+// --- buffering bounds (overflow kill + counter) ------------------------------
+
+std::uint64_t net_overflow_count() {
+  return haste::obs::MetricsRegistry::instance().counter("net.overflow").value();
+}
+
+TEST(LineBufferEdge, CompletedLineOverTheBoundLatchesOverflow) {
+  const std::uint64_t overflows_before = net_overflow_count();
+  LineBuffer buffer;
+  buffer.set_max_line_bytes(8);
+  EXPECT_TRUE(buffer.feed("tiny\n", 5).size() == 1);  // under the bound: fine
+  const std::string big = "0123456789abcdef\n";
+  EXPECT_TRUE(buffer.feed(big.data(), big.size()).empty());
+  EXPECT_TRUE(buffer.overflowed());
+  EXPECT_TRUE(buffer.partial().empty());  // discarded, not retained
+  EXPECT_EQ(net_overflow_count(), overflows_before + 1);
+  // Latched: even well-formed lines are ignored afterwards — the caller is
+  // expected to kill the connection, never to resynchronize mid-stream.
+  EXPECT_TRUE(buffer.feed("ok\n", 3).empty());
+  EXPECT_EQ(net_overflow_count(), overflows_before + 1);  // counted once
+}
+
+TEST(LineBufferEdge, NewlineLessStreamOverTheBoundLatchesOverflow) {
+  LineBuffer buffer;
+  buffer.set_max_line_bytes(16);
+  const std::string chunk(10, 'x');  // no '\n' ever arrives
+  EXPECT_TRUE(buffer.feed(chunk.data(), chunk.size()).empty());
+  EXPECT_FALSE(buffer.overflowed());
+  EXPECT_TRUE(buffer.feed(chunk.data(), chunk.size()).empty());
+  EXPECT_TRUE(buffer.overflowed());
+  EXPECT_TRUE(buffer.partial().empty());
+}
+
+TEST(LineBufferEdge, UnboundedByDefault) {
+  LineBuffer buffer;
+  const std::string big(1 << 20, 'y');
+  EXPECT_TRUE(buffer.feed(big.data(), big.size()).empty());
+  EXPECT_FALSE(buffer.overflowed());
+  EXPECT_EQ(buffer.partial().size(), big.size());
+}
+
+TEST(TcpSocket, OutboxCapKillsTheConnectionAndCountsOverflow) {
+  const std::uint64_t overflows_before = net_overflow_count();
+  LoopbackPair pair = make_pair_over_loopback();
+  pair.server.set_max_outbox_bytes(64 << 10);
+  // The client never reads, so once the kernel buffers fill the outbox
+  // grows past the cap and send_line must kill the socket instead of
+  // buffering without bound.
+  const std::string line(64 << 10, 'z');
+  bool killed = false;
+  for (int i = 0; i < 400 && !killed; ++i) killed = !pair.server.send_line(line);
+  EXPECT_TRUE(killed);
+  EXPECT_FALSE(pair.server.valid());
+  EXPECT_EQ(net_overflow_count(), overflows_before + 1);
+}
+
+// --- Subprocess::try_wait vs ECHILD ------------------------------------------
+
+TEST(Subprocess, TryWaitReportsReapedWhenSigchldIsIgnored) {
+  // With SIGCHLD set to SIG_IGN the kernel auto-reaps children, so waitpid
+  // fails with ECHILD. Pre-fix, try_wait returned false forever and pollers
+  // spun on a pid that would never become waitable.
+  struct sigaction ignore_action {};
+  ignore_action.sa_handler = SIG_IGN;
+  struct sigaction previous_action {};
+  ASSERT_EQ(::sigaction(SIGCHLD, &ignore_action, &previous_action), 0);
+
+  Subprocess child = Subprocess::spawn({"/bin/sh", "-c", "exit 0"});
+  const Clock::time_point start = Clock::now();
+  bool reaped = false;
+  while (!reaped && ms_since(start) < 10'000) {
+    reaped = child.try_wait();
+    if (!reaped) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ::sigaction(SIGCHLD, &previous_action, nullptr);
+  EXPECT_TRUE(reaped);
+  EXPECT_TRUE(child.reaped());
 }
 
 // --- poll_readable edge cases ------------------------------------------------

@@ -8,6 +8,9 @@
 //   --min-pids N          require at least N distinct process ids among the
 //                         events (a merged driver+workers trace has >= 3)
 //   --require-name NAME   require at least one event with this name
+//   --min-count N         require at least N events with that name (default
+//                         1; a daemon trace serving S sessions must carry
+//                         >= S online.replan spans, not just one)
 //   --metrics FILE        also validate a metrics JSON: either one registry
 //                         snapshot ({"counters": ..., "gauges": ...,
 //                         "histograms": ...}) or an object of named
@@ -91,7 +94,7 @@ int main(int argc, char** argv) {
   const haste::util::Flags flags = haste::util::Flags::parse(argc, argv);
   if (flags.positional().size() != 1) {
     std::cerr << "usage: trace_check TRACE.json [--min-pids N] "
-                 "[--require-name NAME] [--metrics FILE]\n";
+                 "[--require-name NAME] [--min-count N] [--metrics FILE]\n";
     return 2;
   }
 
@@ -158,8 +161,10 @@ int main(int argc, char** argv) {
       return fail("only " + std::to_string(pids.size()) + " distinct pids, need " +
                   std::to_string(min_pids));
     }
-    if (!required_name.empty() && named_hits == 0) {
-      return fail("no event named \"" + required_name + "\"");
+    const auto min_count = static_cast<std::size_t>(flags.get_int("min-count", 1));
+    if (!required_name.empty() && named_hits < min_count) {
+      return fail("only " + std::to_string(named_hits) + " event(s) named \"" +
+                  required_name + "\", need " + std::to_string(min_count));
     }
 
     if (flags.has("metrics")) {
