@@ -3,6 +3,8 @@
 // full offline scheduling, schedule evaluation, and the DES/bus substrate.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "baseline/greedy_utility.hpp"
 #include "core/evaluate.hpp"
 #include "core/global_greedy.hpp"
@@ -12,6 +14,7 @@
 #include "dist/online.hpp"
 #include "sim/scenario.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace {
 
@@ -121,11 +124,15 @@ BENCHMARK(BM_GlobalGreedyMode)->Apply(GlobalGreedyModeArgs);
 
 void BM_OfflineTabular(benchmark::State& state) {
   // TabularGreedy (Algorithm 2) at the paper's C = 4 / S = 16 panel across
-  // instance scales, incremental vs rebuild marginal evaluation. `row_evals`
-  // counts per-(row, sample) utility-delta evaluations, `marginal_evals`
-  // full oracle calls, and `matches_rebuild` is 1 when the schedule is
-  // bit-identical to the rebuild reference (it must always be).
+  // instance scales, incremental vs rebuild marginal evaluation, with the
+  // data-oriented kernel layer toggled per config. `row_evals` counts
+  // per-(row, sample) utility-delta evaluations, `marginal_evals` full
+  // oracle calls, and `matches_rebuild` is 1 when the schedule is
+  // bit-identical to the rebuild reference (it must always be). The
+  // reference is always computed with the kernels OFF, so kernels:1 rows
+  // certify the kernel path against the scalar rebuild path directly.
   const int n = static_cast<int>(state.range(0));
+  const bool kernels = state.range(2) != 0;
   const model::Network net = make_network(n, 4 * n);
   const auto partitions = core::build_partitions(net);
   core::OfflineConfig config;
@@ -134,8 +141,12 @@ void BM_OfflineTabular(benchmark::State& state) {
   config.mode = static_cast<core::TabularMode>(state.range(1));
   core::OfflineConfig reference_config = config;
   reference_config.mode = core::TabularMode::kRebuild;
-  const core::OfflineResult reference =
-      core::schedule_offline_over(net, partitions, reference_config, {});
+  core::OfflineResult reference;
+  {
+    util::ScopedKernelToggle scalar_reference(false);
+    reference = core::schedule_offline_over(net, partitions, reference_config, {});
+  }
+  util::ScopedKernelToggle toggle(kernels);
   core::OfflineResult result;
   for (auto _ : state) {
     result = core::schedule_offline_over(net, partitions, config, {});
@@ -156,11 +167,13 @@ void BM_OfflineTabular(benchmark::State& state) {
   state.counters["matches_rebuild"] = matches ? 1.0 : 0.0;
 }
 void OfflineTabularArgs(benchmark::internal::Benchmark* bench) {
-  bench->ArgNames({"n", "mode"});
+  bench->ArgNames({"n", "mode", "kernels"});
   for (const int n : {10, 25, 50, 100}) {
     for (const core::TabularMode mode :
          {core::TabularMode::kRebuild, core::TabularMode::kIncremental}) {
-      bench->Args({n, static_cast<int>(mode)});
+      for (const int kernels : {0, 1}) {
+        bench->Args({n, static_cast<int>(mode), kernels});
+      }
     }
   }
 }
@@ -235,4 +248,28 @@ BENCHMARK(BM_BusBroadcast);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): stamp the *harness* build type
+// into the JSON context. The google-benchmark "library_build_type" context
+// key reports how the benchmark LIBRARY was compiled (on this image: a debug
+// system package), which says nothing about our code — BENCH_micro.json was
+// once captured from a debug harness build and nothing caught it. A
+// "haste_build_type" of anything but "release" makes bench_compare --check
+// fail, and the warning below makes an interactive run impossible to misread.
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("haste_build_type", "release");
+#else
+  benchmark::AddCustomContext("haste_build_type", "debug");
+  std::fprintf(stderr,
+               "***WARNING*** haste bench harness compiled WITHOUT NDEBUG "
+               "(debug/assert build).\n***WARNING*** Timings are meaningless; "
+               "do not commit this output to BENCH_micro.json.\n");
+#endif
+  benchmark::AddCustomContext(
+      "haste_kernels", haste::util::kernels_compiled() ? "compiled" : "disabled");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/thread_pool.hpp"
 
 namespace haste::core {
@@ -55,8 +56,7 @@ GlobalGreedyResult schedule_global_greedy_over(
     const Element& el = elements[static_cast<std::size_t>(e)];
     const PolicyPartition& partition = partitions[static_cast<std::size_t>(el.partition)];
     const auto q = static_cast<std::size_t>(el.policy);
-    return engine.marginal(partition.charger, partition.slot, partition.policy_tasks(q),
-                           partition.policy_energy(q), 0);
+    return engine.marginal(partition.charger, partition.slot, partition.policy_rows(q), 0);
   };
 
   // Incremental mode: a per-row term cache. term_cache/term_version hold, per
@@ -114,12 +114,29 @@ GlobalGreedyResult schedule_global_greedy_over(
   // Initial heap build: before the first commit every marginal is independent
   // of the others, so evaluate them in parallel and heapify sequentially
   // (the comparator is a strict total order, so pop order is deterministic
-  // regardless of construction order).
+  // regardless of construction order). In incremental mode every row is
+  // stale, so the term cache is filled with one batched pricing call per
+  // element instead of refresh()'s per-row version-check-and-recompute —
+  // same terms, same ordered fold, a fraction of the oracle round-trips.
   std::vector<double> initial_gain(elements.size());
   util::parallel_for(elements.size(), [&](std::size_t e) {
-    initial_gain[e] = config.mode == GreedyMode::kIncremental
-                          ? refresh(static_cast<std::int32_t>(e), nullptr)
-                          : evaluate(static_cast<std::int32_t>(e));
+    if (config.mode == GreedyMode::kIncremental) {
+      const Element& el = elements[e];
+      const PolicyPartition& partition =
+          partitions[static_cast<std::size_t>(el.partition)];
+      const auto rows = partition.policy_rows(static_cast<std::size_t>(el.policy));
+      double* terms = term_cache.data() + term_offset[e];
+      std::uint64_t* versions = term_version.data() + term_offset[e];
+      engine.row_terms(0, rows, terms);
+      double gain = 0.0;
+      for (std::size_t t = 0; t < rows.size(); ++t) {
+        versions[t] = engine.task_version(rows.tasks[t]);
+        gain += terms[t];
+      }
+      initial_gain[e] = gain;
+    } else {
+      initial_gain[e] = evaluate(static_cast<std::int32_t>(e));
+    }
   });
   result.evaluations += elements.size();
 
@@ -198,6 +215,15 @@ GlobalGreedyResult schedule_global_greedy_over(
   }
 
   result.planned_relaxed_utility = engine.expected_value();
+  // Same registry mirror as the offline scheduler: greedy's row-eval effort
+  // was previously invisible to profiles unless the caller plumbed
+  // GlobalGreedyResult through by hand.
+  const MarginalEngine::Stats stats = engine.stats();
+  HASTE_OBS_COUNTER_ADD("greedy.row_evals", stats.row_terms);
+  HASTE_OBS_COUNTER_ADD("greedy.marginal_evals", stats.marginals);
+  HASTE_OBS_COUNTER_ADD("greedy.commits", stats.commits);
+  HASTE_OBS_COUNTER_ADD("greedy.row_corrections", result.row_corrections);
+  HASTE_OBS_COUNTER_ADD("greedy.schedules", 1);
   return result;
 }
 

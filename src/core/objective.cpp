@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace haste::core {
 
@@ -10,6 +11,13 @@ void PolicyPartition::finalize() {
   row_offsets.clear();
   flat_tasks.clear();
   flat_energy.clear();
+  flat_weight.clear();
+  flat_required.clear();
+  flat_col.clear();
+  col_task.clear();
+  col_delta.clear();
+  col_weight.clear();
+  col_required.clear();
   row_offsets.reserve(policies.size() + 1);
   std::size_t rows = 0;
   for (const Policy& policy : policies) rows += policy.tasks.size();
@@ -24,18 +32,40 @@ void PolicyPartition::finalize() {
   }
 }
 
-std::span<const model::TaskIndex> PolicyPartition::policy_tasks(std::size_t q) const {
-  if (!finalized()) return policies[q].tasks;
-  const auto begin = static_cast<std::size_t>(row_offsets[q]);
-  const auto end = static_cast<std::size_t>(row_offsets[q + 1]);
-  return {flat_tasks.data() + begin, end - begin};
-}
-
-std::span<const double> PolicyPartition::policy_energy(std::size_t q) const {
-  if (!finalized()) return policies[q].slot_energy;
-  const auto begin = static_cast<std::size_t>(row_offsets[q]);
-  const auto end = static_cast<std::size_t>(row_offsets[q + 1]);
-  return {flat_energy.data() + begin, end - begin};
+void PolicyPartition::finalize(const model::Network& net) {
+  finalize();
+  const auto& tasks = net.tasks();
+  flat_weight.reserve(flat_tasks.size());
+  flat_required.reserve(flat_tasks.size());
+  for (model::TaskIndex j : flat_tasks) {
+    const model::Task& task = tasks[static_cast<std::size_t>(j)];
+    flat_weight.push_back(task.weight);
+    flat_required.push_back(task.required_energy);
+  }
+  // Column index: dedup the flat rows on exact (task, delta) equality. The
+  // linear scan is fine — partitions hold a handful of distinct columns. Keyed
+  // on both fields for safety even though delta is task-determined here; a
+  // row whose delta is NaN never matches and simply gets its own column.
+  flat_col.reserve(flat_tasks.size());
+  for (std::size_t t = 0; t < flat_tasks.size(); ++t) {
+    const model::TaskIndex j = flat_tasks[t];
+    const double d = flat_energy[t];
+    std::int32_t col = -1;
+    for (std::size_t cidx = 0; cidx < col_task.size(); ++cidx) {
+      if (col_task[cidx] == j && col_delta[cidx] == d) {
+        col = static_cast<std::int32_t>(cidx);
+        break;
+      }
+    }
+    if (col < 0) {
+      col = static_cast<std::int32_t>(col_task.size());
+      col_task.push_back(j);
+      col_delta.push_back(d);
+      col_weight.push_back(flat_weight[t]);
+      col_required.push_back(flat_required[t]);
+    }
+    flat_col.push_back(col);
+  }
 }
 
 std::vector<Policy> make_slot_policies(const model::Network& net, model::ChargerIndex i,
@@ -137,7 +167,7 @@ std::vector<PolicyPartition> build_partitions_impl(
         if (!duplicate) partition.policies.push_back(std::move(policy));
       }
       if (!partition.policies.empty()) {
-        partition.finalize();
+        partition.finalize(net);
         partitions.push_back(std::move(partition));
       }
     }
@@ -175,7 +205,13 @@ std::vector<PolicyPartition> build_partitions(const model::Network& net,
 
 MarginalEngine::MarginalEngine(const model::Network& net, Config config,
                                std::span<const double> initial_energy)
-    : net_(&net), config_(config) {
+    : net_(&net),
+      config_(config),
+      table_(kernels::UtilityTable::from(net)),
+      // Latched once: a long-lived engine must not change evaluation path
+      // mid-run under a concurrent toggle flip (results are bit-identical
+      // either way, but the latch keeps the choice observable and stable).
+      use_kernels_(util::kernels_enabled()) {
   if (config_.colors < 1) config_.colors = 1;
   if (config_.samples < 1) config_.samples = 1;
   if (config_.colors == 1) config_.samples = 1;  // expectation is exact
@@ -215,16 +251,20 @@ int MarginalEngine::final_color(std::uint64_t seed, model::ChargerIndex i,
   return static_cast<int>(hashed % static_cast<std::uint64_t>(colors));
 }
 
-double MarginalEngine::gain_in_sample(int s, std::span<const model::TaskIndex> tasks,
-                                      std::span<const double> slot_energy) const {
+double MarginalEngine::gain_in_sample(int s, const kernels::RowView& rows) const {
   const auto m = static_cast<std::size_t>(net_->task_count());
   const double* energy = energy_.data() + static_cast<std::size_t>(s) * m;
-  row_term_count_.fetch_add(tasks.size(), std::memory_order_relaxed);
+  row_term_count_.fetch_add(rows.size(), std::memory_order_relaxed);
+  if (use_kernels_) {
+    // Compute-wide / reduce-in-order kernel; bit-identical to the reference
+    // fold below (see core/kernels.hpp).
+    return kernels::row_term_sum(table_, energy, rows);
+  }
   double gain = 0.0;
-  for (std::size_t t = 0; t < tasks.size(); ++t) {
-    const auto j = static_cast<std::size_t>(tasks[t]);
+  for (std::size_t t = 0; t < rows.size(); ++t) {
+    const auto j = static_cast<std::size_t>(rows.tasks[t]);
     const double before = energy[j];
-    const double after = before + slot_energy[t];
+    const double after = before + rows.delta[t];
     gain += net_->weighted_task_utility(static_cast<model::TaskIndex>(j), after) -
             net_->weighted_task_utility(static_cast<model::TaskIndex>(j), before);
   }
@@ -232,15 +272,88 @@ double MarginalEngine::gain_in_sample(int s, std::span<const model::TaskIndex> t
 }
 
 double MarginalEngine::marginal(model::ChargerIndex i, model::SlotIndex k,
-                                std::span<const model::TaskIndex> tasks,
-                                std::span<const double> slot_energy, int c) const {
+                                const kernels::RowView& rows, int c) const {
   marginal_count_.fetch_add(1, std::memory_order_relaxed);
   double total = 0.0;
   for (int s = 0; s < config_.samples; ++s) {
     if (panel_color(config_.seed, s, i, k, config_.colors) != c) continue;
-    total += gain_in_sample(s, tasks, slot_energy);
+    total += gain_in_sample(s, rows);
   }
   return total / static_cast<double>(config_.samples);
+}
+
+void MarginalEngine::partition_marginals(const PolicyPartition& partition, int c,
+                                         double* out) const {
+  thread_local std::vector<int> colors_buf;
+  colors_buf.resize(static_cast<std::size_t>(config_.samples));
+  for (int s = 0; s < config_.samples; ++s) {
+    colors_buf[static_cast<std::size_t>(s)] =
+        panel_color(config_.seed, s, partition.charger, partition.slot, config_.colors);
+  }
+  partition_marginals(partition, c, colors_buf, out);
+}
+
+void MarginalEngine::partition_marginals(const PolicyPartition& partition, int c,
+                                         std::span<const int> sample_colors,
+                                         double* out) const {
+  const std::size_t count = partition.policies.size();
+  const std::size_t rows = partition.flat_tasks.size();
+  if (!use_kernels_ || !partition.has_column_index() || rows == 0) {
+    // Scalar reference path (and degenerate partitions): the per-policy
+    // oracle loop, each call counting itself (and re-deriving its panel
+    // colors — this path is not performance-relevant).
+    for (std::size_t q = 0; q < count; ++q) {
+      out[q] = marginal(partition.charger, partition.slot, partition.policy_rows(q), c);
+    }
+    return;
+  }
+  marginal_count_.fetch_add(count, std::memory_order_relaxed);
+  for (std::size_t q = 0; q < count; ++q) out[q] = 0.0;
+  const auto m = static_cast<std::size_t>(net_->task_count());
+  // Resolve the matching panel samples, then price the partition's
+  // deduplicated (task, delta) columns for all of them in one panel sweep.
+  // Scratch is thread_local rather than a member: the engine's const oracle
+  // surface is documented concurrency-safe (the parallel panel builds rely
+  // on it).
+  thread_local std::vector<int> matching;
+  matching.clear();
+  for (int s = 0; s < config_.samples; ++s) {
+    if (sample_colors[static_cast<std::size_t>(s)] == c) matching.push_back(s);
+  }
+  if (!matching.empty()) {
+    // Counter semantics match the scalar path, which prices every flat row
+    // once per matching sample — the column dedup only removes redundant
+    // arithmetic, not evaluations.
+    row_term_count_.fetch_add(static_cast<std::uint64_t>(rows) * matching.size(),
+                              std::memory_order_relaxed);
+    const std::size_t cols = partition.col_task.size();
+    const kernels::RowView column_rows{partition.col_task, partition.col_delta,
+                                       partition.col_weight, partition.col_required};
+    thread_local std::vector<double> col_terms;
+    col_terms.resize(matching.size() * cols);
+    kernels::row_terms_panel(table_, energy_.data(), m, matching, column_rows,
+                             col_terms.data());
+    // Segmented gather-fold: policy q's inner sum visits its rows in row
+    // order (each row's term read through the column map — bit-identical,
+    // since rows sharing a column share their inputs), and out[q]
+    // accumulates inners in ascending sample order — exactly the
+    // marginal()/gain_in_sample() accumulation trajectory per policy.
+    const std::int32_t* offsets = partition.row_offsets.data();
+    const std::int32_t* col_of = partition.flat_col.data();
+    for (std::size_t i = 0; i < matching.size(); ++i) {
+      const double* terms = col_terms.data() + i * cols;
+      for (std::size_t q = 0; q < count; ++q) {
+        double inner = 0.0;
+        for (std::int32_t t = offsets[q]; t < offsets[q + 1]; ++t) {
+          inner += terms[static_cast<std::size_t>(col_of[t])];
+        }
+        out[q] += inner;
+      }
+    }
+  }
+  for (std::size_t q = 0; q < count; ++q) {
+    out[q] /= static_cast<double>(config_.samples);
+  }
 }
 
 double MarginalEngine::commit(model::ChargerIndex i, model::SlotIndex k,
@@ -251,7 +364,7 @@ double MarginalEngine::commit(model::ChargerIndex i, model::SlotIndex k,
   bool applied = false;
   for (int s = 0; s < config_.samples; ++s) {
     if (panel_color(config_.seed, s, i, k, config_.colors) != c) continue;
-    total += gain_in_sample(s, tasks, slot_energy);
+    total += gain_in_sample(s, kernels::RowView{tasks, slot_energy, {}, {}});
     double* energy = energy_.data() + static_cast<std::size_t>(s) * m;
     std::uint64_t* versions = sample_version_.data() + static_cast<std::size_t>(s) * m;
     for (std::size_t t = 0; t < tasks.size(); ++t) {
@@ -265,8 +378,7 @@ double MarginalEngine::commit(model::ChargerIndex i, model::SlotIndex k,
       // evaluated at an energy >= before — is provably unchanged, and stays
       // unchanged for the rest of the run. In practice this means commits
       // into saturated tasks dirty nothing.
-      if (net_->weighted_task_utility(tasks[t], after) !=
-          net_->weighted_task_utility(tasks[t], before)) {
+      if (weighted_utility(tasks[t], after) != weighted_utility(tasks[t], before)) {
         ++versions[j];
         ++task_version_[j];
       }
@@ -292,8 +404,7 @@ void MarginalEngine::commit_no_gain(model::ChargerIndex i, model::SlotIndex k,
       const double before = energy[j];
       const double after = before + slot_energy[t];
       // Same utility-filtered bump rule as commit(); see the comment there.
-      if (net_->weighted_task_utility(tasks[t], after) !=
-          net_->weighted_task_utility(tasks[t], before)) {
+      if (weighted_utility(tasks[t], after) != weighted_utility(tasks[t], before)) {
         ++versions[j];
         ++task_version_[j];
       }
@@ -309,8 +420,23 @@ double MarginalEngine::row_term(int s, model::TaskIndex j, double delta) const {
   const auto m = static_cast<std::size_t>(net_->task_count());
   const double before =
       energy_[static_cast<std::size_t>(s) * m + static_cast<std::size_t>(j)];
-  return net_->weighted_task_utility(j, before + delta) -
-         net_->weighted_task_utility(j, before);
+  return weighted_utility(j, before + delta) - weighted_utility(j, before);
+}
+
+void MarginalEngine::row_terms(int s, const kernels::RowView& rows, double* out) const {
+  row_term_count_.fetch_add(rows.size(), std::memory_order_relaxed);
+  const auto m = static_cast<std::size_t>(net_->task_count());
+  const double* energy = energy_.data() + static_cast<std::size_t>(s) * m;
+  if (use_kernels_) {
+    kernels::row_terms(table_, energy, rows, out);
+    return;
+  }
+  for (std::size_t t = 0; t < rows.size(); ++t) {
+    const auto j = static_cast<std::size_t>(rows.tasks[t]);
+    const double before = energy[j];
+    out[t] = net_->weighted_task_utility(rows.tasks[t], before + rows.delta[t]) -
+             net_->weighted_task_utility(rows.tasks[t], before);
+  }
 }
 
 std::uint64_t MarginalEngine::version_sum(std::span<const model::TaskIndex> tasks) const {
@@ -325,7 +451,7 @@ double MarginalEngine::expected_value() const {
   for (int s = 0; s < config_.samples; ++s) {
     const double* energy = energy_.data() + static_cast<std::size_t>(s) * m;
     for (std::size_t j = 0; j < m; ++j) {
-      total += net_->weighted_task_utility(static_cast<model::TaskIndex>(j), energy[j]);
+      total += weighted_utility(static_cast<model::TaskIndex>(j), energy[j]);
     }
   }
   return total / static_cast<double>(config_.samples);

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/dominant_sets.hpp"
+#include "core/kernels.hpp"
 #include "model/network.hpp"
 
 namespace haste::core {
@@ -57,18 +58,82 @@ struct PolicyPartition {
   std::vector<std::int32_t> row_offsets;
   std::vector<model::TaskIndex> flat_tasks;
   std::vector<double> flat_energy;
+  // Optional precomputed row columns (parallel to flat_tasks): each row's
+  // task weight and required energy, gathered once at finalize(net) so the
+  // evaluation kernels read them contiguously instead of re-gathering
+  // per (row, sample) forever after. Empty when finalize() ran without a
+  // network (protocol-shipped partitions).
+  std::vector<double> flat_weight;
+  std::vector<double> flat_required;
+  // Optional partition-local column index, also built by finalize(net).
+  // Within a partition every row of the same task carries the same energy
+  // delta — potential_power(i, j) * slot_seconds does not depend on the
+  // policy — so the flat rows collapse to the partition's distinct
+  // (task, delta) columns. flat_col maps each flat row to its column; the
+  // col_* arrays are the deduplicated SoA columns. partition_marginals
+  // prices the (2-3x smaller) column set once per sample and gathers per
+  // policy; bit-identical because rows sharing a column have identical
+  // inputs and therefore identical terms.
+  std::vector<std::int32_t> flat_col;
+  std::vector<model::TaskIndex> col_task;
+  std::vector<double> col_delta;
+  std::vector<double> col_weight;
+  std::vector<double> col_required;
 
   /// (Re)builds the CSR arrays from `policies`. build_partitions() finalizes
   /// every partition it returns; call this after mutating `policies` by hand.
+  /// The network overload additionally fills the per-row weight/required
+  /// columns.
   void finalize();
+  void finalize(const model::Network& net);
 
   /// True once the CSR arrays mirror `policies`.
   bool finalized() const { return row_offsets.size() == policies.size() + 1; }
 
   /// Contiguous (task, energy) rows of policy `q`; falls back to the
-  /// policy's own vectors when the partition was never finalized.
-  std::span<const model::TaskIndex> policy_tasks(std::size_t q) const;
-  std::span<const double> policy_energy(std::size_t q) const;
+  /// policy's own vectors when the partition was never finalized. Inline:
+  /// the evaluation loops call these per candidate, so an out-of-line hop
+  /// per accessor is measurable at scale.
+  std::span<const model::TaskIndex> policy_tasks(std::size_t q) const {
+    if (!finalized()) return policies[q].tasks;
+    const auto begin = static_cast<std::size_t>(row_offsets[q]);
+    const auto end = static_cast<std::size_t>(row_offsets[q + 1]);
+    return {flat_tasks.data() + begin, end - begin};
+  }
+  std::span<const double> policy_energy(std::size_t q) const {
+    if (!finalized()) return policies[q].slot_energy;
+    const auto begin = static_cast<std::size_t>(row_offsets[q]);
+    const auto end = static_cast<std::size_t>(row_offsets[q + 1]);
+    return {flat_energy.data() + begin, end - begin};
+  }
+
+  /// True when finalize(net) filled the per-row weight/required columns.
+  bool has_row_columns() const {
+    return finalized() && flat_weight.size() == flat_tasks.size() &&
+           flat_required.size() == flat_tasks.size();
+  }
+
+  /// True when finalize(net) also built the deduplicated column index.
+  bool has_column_index() const {
+    return has_row_columns() && flat_col.size() == flat_tasks.size() &&
+           col_task.size() == col_delta.size() &&
+           col_task.size() == col_weight.size() &&
+           col_task.size() == col_required.size();
+  }
+
+  /// Policy `q` as a kernel row batch, with the weight/required columns
+  /// attached when finalize(net) precomputed them.
+  kernels::RowView policy_rows(std::size_t q) const {
+    if (has_row_columns()) {
+      const auto begin = static_cast<std::size_t>(row_offsets[q]);
+      const auto count = static_cast<std::size_t>(row_offsets[q + 1]) - begin;
+      return kernels::RowView{{flat_tasks.data() + begin, count},
+                              {flat_energy.data() + begin, count},
+                              {flat_weight.data() + begin, count},
+                              {flat_required.data() + begin, count}};
+    }
+    return kernels::RowView{policy_tasks(q), policy_energy(q), {}, {}};
+  }
 };
 
 /// Builds the ground set over slots [first_slot, net.horizon()) for all
@@ -130,7 +195,34 @@ class MarginalEngine {
   /// (task, energy) rows — e.g. one CSR row range of a PolicyPartition.
   double marginal(model::ChargerIndex i, model::SlotIndex k,
                   std::span<const model::TaskIndex> tasks,
-                  std::span<const double> slot_energy, int c) const;
+                  std::span<const double> slot_energy, int c) const {
+    return marginal(i, k, kernels::RowView{tasks, slot_energy, {}, {}}, c);
+  }
+
+  /// RowView core of `marginal`; PolicyPartition::policy_rows attaches the
+  /// precomputed weight/required columns, which is the fastest entry.
+  double marginal(model::ChargerIndex i, model::SlotIndex k,
+                  const kernels::RowView& rows, int c) const;
+
+  /// Marginals of EVERY policy of `partition` for color `c` in one call:
+  /// out[q] = marginal(partition.charger, partition.slot, policy q, c), bit
+  /// for bit. With the kernel path latched this hashes the color panel once,
+  /// prices the partition's deduplicated (task, delta) columns across all
+  /// matching samples in one panel sweep (the unit the rebuild loop actually
+  /// consumes), then gather-folds each policy's row segment in row order —
+  /// same per-policy accumulation order, same counter totals, a fraction of
+  /// the per-call overhead and of the arithmetic. Falls back to per-policy
+  /// marginal() calls when the kernel path is off or the partition carries
+  /// no column index (finalize() without a network).
+  void partition_marginals(const PolicyPartition& partition, int c, double* out) const;
+
+  /// As above with the partition's panel colors precomputed by the caller:
+  /// sample_colors[s] must equal panel_color(seed(), s, partition.charger,
+  /// partition.slot, colors()). The rebuild scheduler visits every partition
+  /// once per color stage, so hoisting the (pure) per-sample hashes out of
+  /// the visit loop removes a colors()-fold recompute.
+  void partition_marginals(const PolicyPartition& partition, int c,
+                           std::span<const int> sample_colors, double* out) const;
 
   /// Commits the S-C tuple; returns the realized marginal.
   double commit(model::ChargerIndex i, model::SlotIndex k, const Policy& policy, int c) {
@@ -206,6 +298,16 @@ class MarginalEngine {
   /// rows whose task version moved.
   double row_term(int s, model::TaskIndex j, double delta) const;
 
+  /// Batched row_term: out[t] = row_term(s, rows.tasks[t], rows.delta[t])
+  /// for every row, evaluated through the kernel layer when enabled
+  /// (bit-identical either way). This is how cache builds price whole
+  /// term panels in one call instead of one oracle round-trip per row.
+  void row_terms(int s, const kernels::RowView& rows, double* out) const;
+
+  /// Whether this engine latched the data-oriented kernel path at
+  /// construction (util::kernels_enabled() at that moment).
+  bool using_kernels() const { return use_kernels_; }
+
   /// Evaluation-effort counters, updated by the const oracle methods (thread
   /// safe: the initial panel builds evaluate rows in parallel).
   struct Stats {
@@ -219,11 +321,19 @@ class MarginalEngine {
   }
 
  private:
-  double gain_in_sample(int s, std::span<const model::TaskIndex> tasks,
-                        std::span<const double> slot_energy) const;
+  double gain_in_sample(int s, const kernels::RowView& rows) const;
+
+  /// Network::weighted_task_utility through the SoA table when the kernel
+  /// path is latched; bit-identical by the UtilityTable contract.
+  double weighted_utility(model::TaskIndex j, double x) const {
+    return use_kernels_ ? table_.weighted_utility(j, x)
+                        : net_->weighted_task_utility(j, x);
+  }
 
   const model::Network* net_;
   Config config_;
+  kernels::UtilityTable table_;  // SoA utility columns for the kernel path
+  bool use_kernels_ = false;     // latched once at construction
   // energy_[s * m + j]: accumulated relaxed energy of task j in sample s.
   std::vector<double> energy_;
   std::vector<std::uint64_t> sample_version_;  // [s * m + j] dirty counters

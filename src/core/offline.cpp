@@ -98,11 +98,18 @@ TabularCache build_tabular_cache(const model::Network& net, const MarginalEngine
   // the first commit (a warm start seeds energies without bumping), so a zero
   // stamp certifies the replicated initial values below.
   cache.stamps.assign(cache.values.size(), 0);
-  util::parallel_for(col_task.size(), [&](std::size_t col) {
-    const double base = engine.row_term(0, col_task[col], col_delta[col]);
+  // Price every column of the panel with one batched oracle call — the
+  // columns are exactly a RowView (parallel task/delta arrays), so this is
+  // the kernel layer's natural unit. The replication across samples is plain
+  // memory traffic; fanning it out per column through parallel_for's
+  // std::function was costing more than the pricing itself.
+  std::vector<double> base_terms(col_task.size());
+  engine.row_terms(0, kernels::RowView{col_task, col_delta, {}, {}},
+                   base_terms.data());
+  for (std::size_t col = 0; col < col_task.size(); ++col) {
     double* terms = cache.terms.data() + col * static_cast<std::size_t>(samples);
-    for (int s = 0; s < samples; ++s) terms[s] = base;
-  });
+    for (int s = 0; s < samples; ++s) terms[s] = base_terms[col];
+  }
   util::parallel_for(partitions.size(), [&](std::size_t p) {
     const PolicyPartition& partition = partitions[p];
     int* colors_of = cache.sample_color.data() + p * static_cast<std::size_t>(samples);
@@ -125,13 +132,13 @@ TabularCache build_tabular_cache(const model::Network& net, const MarginalEngine
       }
       double* values =
           cache.values.data() + (cache.policy_offset[p] + q) * static_cast<std::size_t>(colors);
-      for (int c = 0; c < colors; ++c) {
-        double total = 0.0;
-        for (int s = 0; s < samples; ++s) {
-          if (colors_of[s] == c) total += inner;
-        }
-        values[c] = total / static_cast<double>(samples);
-      }
+      // Scatter by sample color instead of scanning all samples per color:
+      // for each color the additions still land in ascending sample order,
+      // so the fold is bit-identical to the color-major double loop at a
+      // quarter of the iterations.
+      for (int c = 0; c < colors; ++c) values[c] = 0.0;
+      for (int s = 0; s < samples; ++s) values[colors_of[s]] += inner;
+      for (int c = 0; c < colors; ++c) values[c] /= static_cast<double>(samples);
     }
   });
   return cache;
@@ -216,6 +223,27 @@ OfflineResult schedule_offline_over(const model::Network& net,
     cache = build_tabular_cache(net, engine, partitions);
   }
   std::vector<char> fresh;  // per-(partition, color) scratch: bound is exact
+  // Rebuild mode with the kernel path latched prices each partition's whole
+  // policy set through one batched oracle call; the scalar reference path
+  // keeps the historical per-policy marginal() loop.
+  const bool batch_rebuild = !incremental && engine.using_kernels();
+  std::vector<double> batched;  // per-partition scratch for batch_rebuild
+  // Rebuild mode skips the tabular cache, so hoist the (pure) per-partition
+  // color panel out of the visit loop here: every partition is visited once
+  // per color stage, and rehashing its `samples` panel colors on each visit
+  // is measurable at scale. panel[p * samples + s] = color of sample s.
+  const int samples = engine.samples();
+  std::vector<int> panel;
+  if (batch_rebuild) {
+    panel.resize(partitions.size() * static_cast<std::size_t>(samples));
+    util::parallel_for(partitions.size(), [&](std::size_t p) {
+      int* colors_of = panel.data() + p * static_cast<std::size_t>(samples);
+      for (int s = 0; s < samples; ++s) {
+        colors_of[s] = MarginalEngine::panel_color(
+            engine.seed(), s, partitions[p].charger, partitions[p].slot, colors);
+      }
+    });
+  }
 
   for (int c = 0; c < colors; ++c) {
     // One span per color stage: coarse enough to stay invisible in the
@@ -279,10 +307,16 @@ OfflineResult schedule_offline_over(const model::Network& net,
           (((vstar - kTieSlack) / (1.0 + kTieSlack)) * (1.0 - kTieSlack) - kTieSlack) *
               (1.0 - kTieSlack) -
           kTieSlack;
+      if (batch_rebuild) {
+        batched.resize(partition.policies.size());
+        engine.partition_marginals(
+            partition, c,
+            {panel.data() + p * static_cast<std::size_t>(samples),
+             static_cast<std::size_t>(samples)},
+            batched.data());
+      }
       for (std::size_t q = 0; q < partition.policies.size(); ++q) {
         const Policy& policy = partition.policies[q];
-        const auto tasks = partition.policy_tasks(q);
-        const auto slot_energy = partition.policy_energy(q);
         if (incremental) {
           // Phase B: the cached value is an upper bound on the current
           // marginal (terms only shrink), so a policy that can neither beat
@@ -302,8 +336,11 @@ OfflineResult schedule_offline_over(const model::Network& net,
                 ? refresh_marginal(engine, cache, p, c, col_of,
                                    (cache.policy_offset[p] + q) * static_cast<std::size_t>(colors) +
                                        static_cast<std::size_t>(c),
-                                   tasks, slot_energy)
-                : engine.marginal(partition.charger, partition.slot, tasks, slot_energy, c);
+                                   partition.policy_tasks(q), partition.policy_energy(q))
+            : batch_rebuild
+                ? batched[q]
+                : engine.marginal(partition.charger, partition.slot,
+                                  partition.policy_rows(q), c);
         if (incremental) bounds[q * static_cast<std::size_t>(colors) + c] = m;
         const bool is_previous =
             config.switch_avoiding_tiebreak && policy.orientation == prev;

@@ -37,9 +37,14 @@ void splice_plan(model::Schedule& target, const model::Schedule& source,
 
 /// Sums the per-plan engine evaluation counters over a fleet (each node's
 /// engine is rebuilt at begin_plan, so the totals are this re-plan's cost).
-std::uint64_t fleet_row_evals(const std::vector<ChargerNode*>& nodes) {
-  std::uint64_t total = 0;
-  for (const ChargerNode* node : nodes) total += node->engine_stats().row_terms;
+core::MarginalEngine::Stats fleet_engine_stats(const std::vector<ChargerNode*>& nodes) {
+  core::MarginalEngine::Stats total;
+  for (const ChargerNode* node : nodes) {
+    const core::MarginalEngine::Stats stats = node->engine_stats();
+    total.row_terms += stats.row_terms;
+    total.marginals += stats.marginals;
+    total.commits += stats.commits;
+  }
   return total;
 }
 
@@ -336,12 +341,17 @@ const NegotiationRecord* OnlineSession::replan(model::SlotIndex event_slot,
 
   record.messages = result_.messages - messages_before;
   record.rounds = result_.rounds - rounds_before;
-  record.row_evals = fleet_row_evals(fleet);
+  const core::MarginalEngine::Stats plan_stats = fleet_engine_stats(fleet);
+  record.row_evals = plan_stats.row_terms;
   result_.row_evaluations += record.row_evals;
   replan_span.arg("row_evals",
                   util::Json(static_cast<std::int64_t>(record.row_evals)));
   HASTE_OBS_COUNTER_ADD("online.replans", 1);
   HASTE_OBS_COUNTER_ADD("online.row_evals", record.row_evals);
+  // Counter parity with the offline/greedy schedulers, so profiles can
+  // compare oracle effort across all three scheduling paths.
+  HASTE_OBS_COUNTER_ADD("online.marginal_evals", plan_stats.marginals);
+  HASTE_OBS_COUNTER_ADD("online.commits", plan_stats.commits);
   HASTE_OBS_COUNTER_ADD("bus.broadcasts", record.messages);
   HASTE_OBS_COUNTER_ADD("bus.deliveries", result_.deliveries - deliveries_before);
   HASTE_OBS_COUNTER_ADD("bus.bytes", result_.message_bytes - bytes_before);

@@ -1,0 +1,13 @@
+#include "geom/kernel.hpp"
+
+namespace haste::geom {
+
+void SectorKernel::classify(std::span<const Vec2> points, std::uint8_t* out) const {
+  // Straight-line body (no early returns, conditions combined with &) so the
+  // compiler can unroll and vectorize; sqrt maps to the hardware instruction.
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    out[i] = static_cast<std::uint8_t>(contains(points[i]));
+  }
+}
+
+}  // namespace haste::geom

@@ -1,0 +1,64 @@
+// Branch-free sector-membership kernel: classify many points against one
+// sector with the trigonometry hoisted out of the loop.
+//
+// Sector::contains computes cos(angle / 2) and the facing unit vector per
+// call and takes an early-return branch per condition. When one sector is
+// tested against many points — the Network constructor classifies every
+// charger against every task's receiving sector to build the coverage
+// tables — that is redundant per-point work and a branchy loop the compiler
+// cannot vectorize. SectorKernel precomputes the sector constants once and
+// evaluates the range and cone conditions as straight-line arithmetic, so
+// classify() is a flat loop over contiguous points.
+//
+// Bit-compatibility contract: contains(p) returns exactly the same boolean
+// as Sector::contains(p) for every input, including the boundary-inclusive
+// relative tolerance, the apex point, full-circle sectors, and non-finite
+// coordinates. The scalar path special-cases the apex (dist2 == 0) with an
+// early return; here the cone test subsumes it — at the apex the dot product
+// and the distance are both exactly 0, so 0 >= 0 - tolerance holds. The
+// differential suite (test_geom_kernel) sweeps randomized clouds plus the
+// edge-point cases to enforce this.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "geom/sector.hpp"
+#include "geom/vec2.hpp"
+
+namespace haste::geom {
+
+/// One sector with its containment constants precomputed.
+class SectorKernel {
+ public:
+  explicit SectorKernel(const Sector& sector)
+      : apex_(sector.apex),
+        facing_unit_(unit_vector(sector.facing)),
+        radius2_(sector.radius * sector.radius),
+        cos_half_(std::cos(sector.angle / 2.0)) {}
+
+  /// Branch-free equivalent of Sector::contains (see the contract above).
+  bool contains(Vec2 point) const {
+    const Vec2 delta = point - apex_;
+    const double dist2 = delta.norm2();
+    const double dist = std::sqrt(dist2);
+    // Same relative tolerance as the scalar test: boundary inclusive, never
+    // optimistic in the planner.
+    const double tolerance = 1e-9 * (1.0 + dist);
+    const bool in_range = !(dist2 > radius2_);
+    const bool in_cone = delta.dot(facing_unit_) >= dist * cos_half_ - tolerance;
+    return in_range & in_cone;
+  }
+
+  /// Classifies every point: out[i] = 1 when points[i] is contained, else 0.
+  /// `out` must have room for points.size() entries.
+  void classify(std::span<const Vec2> points, std::uint8_t* out) const;
+
+ private:
+  Vec2 apex_;
+  Vec2 facing_unit_;
+  double radius2_;
+  double cos_half_;
+};
+
+}  // namespace haste::geom

@@ -43,6 +43,14 @@ bool PowerModel::task_covers_charger(geom::Vec2 charger_pos, const Task& task) c
                                        charger_pos, radius);
 }
 
+geom::Sector PowerModel::receiving_sector(geom::Vec2 device_pos,
+                                          double device_phi) const {
+  // Must mirror geom::device_can_receive_from's sector construction exactly:
+  // batched classification through this sector is bit-compatible with
+  // task_covers_charger only because the two build the same object.
+  return geom::Sector{device_pos, device_phi, receiving_angle, radius};
+}
+
 void PowerModel::validate() const {
   if (!(alpha > 0.0) || !std::isfinite(alpha)) {
     throw std::invalid_argument("PowerModel: alpha must be positive");

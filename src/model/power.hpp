@@ -8,6 +8,7 @@
 #pragma once
 
 #include "geom/angle.hpp"
+#include "geom/sector.hpp"
 #include "geom/vec2.hpp"
 #include "model/anisotropy.hpp"
 #include "model/charger.hpp"
@@ -53,6 +54,12 @@ struct PowerModel {
   /// The "task covers charger" relation of the paper: some charger
   /// orientation charges the task.
   bool task_covers_charger(geom::Vec2 charger_pos, const Task& task) const;
+
+  /// The device's receiving sector as a geometry object — the region whose
+  /// membership task_covers_charger tests. Exposed so batched classification
+  /// (geom::SectorKernel over all charger positions at once) can reuse the
+  /// exact same sector the scalar predicate builds.
+  geom::Sector receiving_sector(geom::Vec2 device_pos, double device_phi) const;
 
   /// Validates parameter sanity (positive alpha/radius, angles in (0, 2*pi]);
   /// throws std::invalid_argument otherwise.

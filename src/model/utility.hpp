@@ -14,6 +14,12 @@
 
 namespace haste::model {
 
+/// Identifies the built-in shapes so data-oriented hot loops (core/kernels)
+/// can evaluate them without virtual dispatch. A shape must only report a
+/// built-in kind when its value() is bit-identical to that built-in's;
+/// anything else reports kCustom and the kernels fall back to value().
+enum class UtilityShapeKind { kLinear, kSqrt, kLog, kCustom };
+
 /// Interface for a normalized concave utility shape.
 class UtilityShape {
  public:
@@ -25,6 +31,10 @@ class UtilityShape {
 
   /// Name for reports ("linear", "sqrt", ...).
   virtual std::string name() const = 0;
+
+  /// Vectorization hint for the kernel layer; kCustom forces the virtual
+  /// value() path.
+  virtual UtilityShapeKind kind() const { return UtilityShapeKind::kCustom; }
 };
 
 /// The paper's linear-and-bounded utility: min(1, r).
@@ -32,6 +42,7 @@ class LinearBoundedShape final : public UtilityShape {
  public:
   double value(double r) const override;
   std::string name() const override { return "linear"; }
+  UtilityShapeKind kind() const override { return UtilityShapeKind::kLinear; }
 };
 
 /// Concave extension example: min(1, sqrt(r)). Rewards early energy more,
@@ -40,6 +51,7 @@ class SqrtBoundedShape final : public UtilityShape {
  public:
   double value(double r) const override;
   std::string name() const override { return "sqrt"; }
+  UtilityShapeKind kind() const override { return UtilityShapeKind::kSqrt; }
 };
 
 /// Concave extension example: log1p(k*r)/log1p(k) capped at 1. `k` tunes the
@@ -49,6 +61,12 @@ class LogBoundedShape final : public UtilityShape {
   explicit LogBoundedShape(double k = 4.0);
   double value(double r) const override;
   std::string name() const override { return "log"; }
+  UtilityShapeKind kind() const override { return UtilityShapeKind::kLog; }
+
+  /// The curvature and normalization constants, exposed so the kernel layer
+  /// can reproduce value() without dispatching through it.
+  double curvature() const { return k_; }
+  double norm() const { return norm_; }
 
  private:
   double k_;

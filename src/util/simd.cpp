@@ -1,0 +1,43 @@
+#include "util/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace haste::util {
+
+namespace {
+
+bool env_default() {
+  const char* env = std::getenv("HASTE_KERNELS");
+  if (env == nullptr) return true;
+  return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+           std::strcmp(env, "OFF") == 0 || std::strcmp(env, "false") == 0);
+}
+
+std::atomic<bool>& flag() {
+  // First touch reads the environment; later set_kernels_enabled() calls
+  // override. Function-local so static init order cannot bite library users.
+  static std::atomic<bool> enabled{env_default()};
+  return enabled;
+}
+
+}  // namespace
+
+bool kernels_enabled() {
+  if constexpr (!kernels_compiled()) return false;
+  return flag().load(std::memory_order_relaxed);
+}
+
+void set_kernels_enabled(bool on) {
+  if constexpr (!kernels_compiled()) return;
+  flag().store(on, std::memory_order_relaxed);
+}
+
+ScopedKernelToggle::ScopedKernelToggle(bool on) : previous_(kernels_enabled()) {
+  set_kernels_enabled(on);
+}
+
+ScopedKernelToggle::~ScopedKernelToggle() { set_kernels_enabled(previous_); }
+
+}  // namespace haste::util

@@ -1,0 +1,49 @@
+// Runtime switch for the data-oriented kernel layer (core/kernels,
+// geom/kernel). The kernels are bit-identical to the scalar reference paths
+// by construction, so the toggle exists for differential testing (the tier-1
+// suite runs the full differential battery with the kernels forced on AND
+// off) and for bisecting a miscompilation to one path.
+//
+// Three layers of control, strongest first:
+//  * -DHASTE_SIMD=OFF at configure time compiles the kernels out entirely:
+//    kernels_enabled() is constantly false and the setters are no-ops.
+//  * set_kernels_enabled() / ScopedKernelToggle override at runtime.
+//  * The HASTE_KERNELS environment variable ("0"/"off"/"false" disables)
+//    sets the process default, read once on first query.
+//
+// Hot-path objects (MarginalEngine, Network) latch the flag at construction,
+// so a toggle mid-object never mixes paths within one evaluation chain.
+#pragma once
+
+namespace haste::util {
+
+/// True when the kernel fast paths should be used. Compiled-out builds
+/// (-DHASTE_SIMD=OFF) always return false.
+bool kernels_enabled();
+
+/// Overrides the process-wide kernel flag (no-op when compiled out).
+void set_kernels_enabled(bool on);
+
+/// True when the kernels are compiled in (-DHASTE_SIMD=ON, the default).
+constexpr bool kernels_compiled() {
+#if defined(HASTE_SIMD) && HASTE_SIMD
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// RAII override of the kernel flag; restores the previous value on scope
+/// exit. Used by the differential tests and the kernel-axis benchmarks.
+class ScopedKernelToggle {
+ public:
+  explicit ScopedKernelToggle(bool on);
+  ~ScopedKernelToggle();
+  ScopedKernelToggle(const ScopedKernelToggle&) = delete;
+  ScopedKernelToggle& operator=(const ScopedKernelToggle&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace haste::util

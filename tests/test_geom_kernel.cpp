@@ -1,0 +1,172 @@
+// Differential tests for geom::SectorKernel: the branch-free batched
+// membership test must return exactly the same boolean as Sector::contains
+// for every input — randomized clouds, the boundary-inclusive tolerance
+// cases, the apex special case the kernel folds into its cone test,
+// degenerate sectors, and non-finite coordinates.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "geom/angle.hpp"
+#include "geom/kernel.hpp"
+#include "geom/sector.hpp"
+#include "geom/vec2.hpp"
+#include "util/rng.hpp"
+
+namespace haste::geom {
+namespace {
+
+/// Asserts classify() and per-point contains() both agree with the scalar
+/// Sector::contains over a point set, bit for bit.
+void expect_bit_equal(const Sector& sector, const std::vector<Vec2>& points) {
+  const SectorKernel kernel(sector);
+  std::vector<std::uint8_t> classified(points.size(), 0xAA);
+  kernel.classify(points, classified.data());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const bool scalar = sector.contains(points[i]);
+    EXPECT_EQ(kernel.contains(points[i]), scalar)
+        << "point (" << points[i].x << ", " << points[i].y << ") apex ("
+        << sector.apex.x << ", " << sector.apex.y << ") facing " << sector.facing
+        << " angle " << sector.angle << " radius " << sector.radius;
+    EXPECT_EQ(classified[i], scalar ? 1 : 0) << "classify mismatch at " << i;
+  }
+}
+
+TEST(SectorKernel, RandomCloudsMatchScalar) {
+  util::Rng rng(2026);
+  for (int trial = 0; trial < 50; ++trial) {
+    Sector sector;
+    sector.apex = {rng.uniform(-10.0, 10.0), rng.uniform(-10.0, 10.0)};
+    sector.facing = rng.uniform(0.0, kTwoPi);
+    sector.angle = rng.uniform(0.05, kTwoPi);
+    sector.radius = rng.uniform(0.5, 30.0);
+    std::vector<Vec2> points;
+    points.reserve(200);
+    for (int i = 0; i < 200; ++i) {
+      // Mix of far-field and near-radius points so both conditions carry.
+      const double span = (i % 2 == 0) ? 40.0 : sector.radius * 1.2;
+      points.push_back({sector.apex.x + rng.uniform(-span, span),
+                        sector.apex.y + rng.uniform(-span, span)});
+    }
+    expect_bit_equal(sector, points);
+  }
+}
+
+TEST(SectorKernel, EdgePointsOnSectorBoundary) {
+  // Points exactly on the cone edges (facing +- angle/2) and exactly at the
+  // radius: the scalar test admits them through its relative tolerance, and
+  // the kernel must reproduce that tolerance to the bit.
+  util::Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    Sector sector;
+    sector.apex = {rng.uniform(-5.0, 5.0), rng.uniform(-5.0, 5.0)};
+    sector.facing = rng.uniform(0.0, kTwoPi);
+    sector.angle = rng.uniform(0.1, kPi);
+    sector.radius = rng.uniform(1.0, 20.0);
+    std::vector<Vec2> points;
+    for (const double side : {-0.5, 0.5}) {
+      const double edge = sector.facing + side * sector.angle;
+      for (const double r : {0.25 * sector.radius, sector.radius,
+                             std::nextafter(sector.radius, 2.0 * sector.radius)}) {
+        points.push_back(sector.apex + r * unit_vector(edge));
+      }
+    }
+    // The bisector at exactly the radius, and just beyond.
+    points.push_back(sector.apex + sector.radius * unit_vector(sector.facing));
+    points.push_back(sector.apex +
+                     std::nextafter(sector.radius, 100.0) * unit_vector(sector.facing));
+    expect_bit_equal(sector, points);
+  }
+}
+
+TEST(SectorKernel, ApexIsContainedWithoutSpecialCase) {
+  // The scalar path early-returns true at dist2 == 0; the kernel has no such
+  // branch and must still contain the apex (0 >= 0 - tolerance) for any
+  // facing — including one whose unit vector is arbitrary.
+  util::Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    Sector sector;
+    sector.apex = {rng.uniform(-5.0, 5.0), rng.uniform(-5.0, 5.0)};
+    sector.facing = rng.uniform(0.0, kTwoPi);
+    sector.angle = rng.uniform(0.01, kTwoPi);
+    sector.radius = rng.uniform(0.5, 10.0);
+    expect_bit_equal(sector, {sector.apex});
+    EXPECT_TRUE(SectorKernel(sector).contains(sector.apex));
+  }
+}
+
+TEST(SectorKernel, ZeroRadiusSector) {
+  // A zero-radius sector contains only its apex (dist2 > 0 fails the range
+  // test in both paths).
+  const Sector sector{{2.0, -3.0}, 1.0, kPi / 3.0, 0.0};
+  expect_bit_equal(sector, {{2.0, -3.0},
+                            {2.0 + 1e-12, -3.0},
+                            {2.0, -3.0 + 1e-9},
+                            {3.0, -3.0}});
+}
+
+TEST(SectorKernel, FullCircleSector) {
+  // angle == 2*pi: cos(angle / 2) == cos(pi) == -1, so the cone condition is
+  // dot >= -dist - tolerance, true for every in-range point. Membership
+  // degenerates to the disc test in both paths.
+  util::Rng rng(13);
+  Sector sector;
+  sector.apex = {1.0, 2.0};
+  sector.facing = 0.7;
+  sector.angle = kTwoPi;
+  sector.radius = 5.0;
+  std::vector<Vec2> points;
+  for (int i = 0; i < 300; ++i) {
+    points.push_back({rng.uniform(-6.0, 8.0), rng.uniform(-5.0, 9.0)});
+  }
+  points.push_back(sector.apex + 5.0 * unit_vector(3.9));  // exactly at radius
+  expect_bit_equal(sector, points);
+  for (const Vec2& p : points) {
+    EXPECT_EQ(SectorKernel(sector).contains(p), distance(p, sector.apex) <= 5.0 + 1e-9);
+  }
+}
+
+TEST(SectorKernel, NonFiniteCoordinatesMatchScalar) {
+  // NaN/inf points must classify identically (the scalar path returns false
+  // for NaN through ordered comparisons; the kernel's combined conditions
+  // must land on the same result rather than, say, letting !(NaN > r2)
+  // admit the point).
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const Sector sector{{0.0, 0.0}, 0.5, kPi / 2.0, 10.0};
+  expect_bit_equal(sector, {{nan, 0.0},
+                            {0.0, nan},
+                            {nan, nan},
+                            {inf, 0.0},
+                            {-inf, 0.0},
+                            {0.0, inf},
+                            {inf, inf}});
+}
+
+TEST(SectorKernel, MutuallyCoveredEquivalence) {
+  // mutually_covered == charging-kernel(device) && receiving-kernel(charger):
+  // the exact decomposition the Network constructor's batched coverage build
+  // relies on.
+  util::Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Vec2 charger{rng.uniform(-10.0, 10.0), rng.uniform(-10.0, 10.0)};
+    const Vec2 device{rng.uniform(-10.0, 10.0), rng.uniform(-10.0, 10.0)};
+    const double theta = rng.uniform(0.0, kTwoPi);
+    const double phi = rng.uniform(0.0, kTwoPi);
+    const double charging_angle = rng.uniform(0.1, kTwoPi);
+    const double receiving_angle = rng.uniform(0.1, kTwoPi);
+    const double radius = rng.uniform(1.0, 25.0);
+    const SectorKernel charging(Sector{charger, theta, charging_angle, radius});
+    const SectorKernel receiving(Sector{device, phi, receiving_angle, radius});
+    EXPECT_EQ(charging.contains(device) && receiving.contains(charger),
+              mutually_covered(charger, theta, charging_angle, device, phi,
+                               receiving_angle, radius));
+    EXPECT_EQ(receiving.contains(charger),
+              device_can_receive_from(device, phi, receiving_angle, charger, radius));
+  }
+}
+
+}  // namespace
+}  // namespace haste::geom
