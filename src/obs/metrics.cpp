@@ -106,6 +106,71 @@ void MetricsSnapshot::merge(const MetricsSnapshot& other) {
   }
 }
 
+MetricsSnapshot MetricsSnapshot::delta(const MetricsSnapshot& prev) const {
+  MetricsSnapshot out;
+  for (const auto& [name, value] : counters) {
+    const auto it = prev.counters.find(name);
+    const std::uint64_t before = it == prev.counters.end() ? 0 : it->second;
+    out.counters[name] = value >= before ? value - before : 0;
+  }
+  out.gauges = gauges;
+  for (const auto& [name, hist] : histograms) {
+    const auto it = prev.histograms.find(name);
+    if (it == prev.histograms.end()) {
+      out.histograms[name] = hist;
+      continue;
+    }
+    const HistogramSnapshot& before = it->second;
+    HistogramSnapshot window;
+    const std::size_t width = std::max(hist.buckets.size(), before.buckets.size());
+    window.buckets.assign(width, 0);
+    for (std::size_t b = 0; b < width; ++b) {
+      const std::uint64_t cur = b < hist.buckets.size() ? hist.buckets[b] : 0;
+      const std::uint64_t old = b < before.buckets.size() ? before.buckets[b] : 0;
+      window.buckets[b] = cur >= old ? cur - old : 0;
+    }
+    const std::size_t n_cur = hist.stats.count();
+    const std::size_t n_old = before.stats.count();
+    if (n_cur > n_old) {
+      const std::size_t n_win = n_cur - n_old;
+      // Invert Chan's combine (cumulative = prev ⊕ window):
+      //   mean_win = (n_cur·mean_cur − n_old·mean_old) / n_win
+      //   m2_win = m2_cur − m2_old − δ²·n_old·n_win/n_cur, δ = mean_win − mean_old
+      const double mean_win =
+          (static_cast<double>(n_cur) * hist.stats.mean() -
+           static_cast<double>(n_old) * before.stats.mean()) /
+          static_cast<double>(n_win);
+      const double shift = mean_win - before.stats.mean();
+      double m2_win = hist.stats.m2() - before.stats.m2() -
+                      shift * shift * static_cast<double>(n_old) *
+                          static_cast<double>(n_win) / static_cast<double>(n_cur);
+      if (m2_win < 0.0) m2_win = 0.0;  // floating-point noise floor
+      window.stats = util::RunningStats::from_moments(
+          n_win, mean_win, m2_win, hist.stats.min(), hist.stats.max());
+    }
+    out.histograms[name] = std::move(window);
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::text_exposition() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    out += name + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    out += name + " " + util::Json(value).dump() + "\n";
+  }
+  for (const auto& [name, hist] : histograms) {
+    out += name + ".count " + std::to_string(hist.stats.count()) + "\n";
+    out += name + ".mean " + util::Json(hist.stats.mean()).dump() + "\n";
+    out += name + ".p50 " + util::Json(hist.quantile_upper(0.50)).dump() + "\n";
+    out += name + ".p99 " + util::Json(hist.quantile_upper(0.99)).dump() + "\n";
+    out += name + ".max " + util::Json(hist.stats.max()).dump() + "\n";
+  }
+  return out;
+}
+
 util::Json MetricsSnapshot::to_json() const {
   util::Json out = util::Json::object();
   util::Json counters_json = util::Json::object();

@@ -123,6 +123,27 @@ struct MetricsSnapshot {
   /// combine via RunningStats::merge, gauges are last-write-wins.
   void merge(const MetricsSnapshot& other);
 
+  /// Windowed difference of two cumulative snapshots (`this` the later one):
+  ///   - counters subtract, clamped at 0 (a counter that went backwards —
+  ///     e.g. a restarted worker — contributes nothing to the window);
+  ///   - gauges carry the CURRENT absolute value (a gauge is a level, not a
+  ///     rate; windowing a level is not meaningful);
+  ///   - histogram buckets subtract, and the window's count/mean/M2 are
+  ///     reconstructed exactly by inverting the parallel (Chan) merge that
+  ///     merge() applies. min/max keep the cumulative envelope — the
+  ///     window-exact extrema are not recoverable from moments, so the
+  ///     bound is conservative (never narrower than the truth).
+  /// Instruments missing from `prev` count as all-zero there, so a freshly
+  /// created instrument surfaces with its full value in the first window.
+  MetricsSnapshot delta(const MetricsSnapshot& prev) const;
+
+  /// Plain-text scrape format: one `name value` line per counter and gauge,
+  /// and `<name>.count`, `<name>.mean`, `<name>.p50`, `<name>.p99`,
+  /// `<name>.max` lines per histogram (quantiles via quantile_upper). This
+  /// is what the haste_serve metrics endpoint returns to `watch curl`-style
+  /// scrape loops.
+  std::string text_exposition() const;
+
   /// Exact JSON round-trip (u64s as decimal strings, doubles as numbers).
   util::Json to_json() const;
   static MetricsSnapshot from_json(const util::Json& json);

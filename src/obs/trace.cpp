@@ -28,6 +28,9 @@ void Tracer::start_file(std::string path) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     path_ = std::move(path);
+    events_.clear();  // fresh session: never duplicate a previous one
+    session_.store(session_.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_relaxed);
   }
   enabled_.store(true, std::memory_order_relaxed);
 }
@@ -36,6 +39,9 @@ void Tracer::start_memory() {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     path_.clear();
+    events_.clear();
+    session_.store(session_.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_relaxed);
   }
   enabled_.store(true, std::memory_order_relaxed);
 }
@@ -45,19 +51,53 @@ void Tracer::stop() {
   std::string path;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    path = path_;
+    path = std::move(path_);
+    // Forget the path: a second stop(), or a later session's stop, must not
+    // overwrite this session's file with stale or empty contents.
+    path_.clear();
   }
   if (!path.empty()) write(path);
 }
 
-void Tracer::push(util::Json event) {
+void Tracer::set_ring_capacity(std::size_t capacity) {
   const std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity < 1 ? 1 : capacity;
+  while (events_.size() > capacity_) {
+    events_.pop_front();
+    if (dropped_ == nullptr) {
+      dropped_ = &MetricsRegistry::instance().counter("trace.dropped");
+    }
+    dropped_->add(1);
+  }
+}
+
+std::size_t Tracer::ring_capacity() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
+}
+
+void Tracer::push_locked(util::Json event) {
+  if (events_.size() >= capacity_) {
+    events_.pop_front();  // drop-oldest: the recent window is the useful one
+    if (dropped_ == nullptr) {
+      dropped_ = &MetricsRegistry::instance().counter("trace.dropped");
+    }
+    dropped_->add(1);
+  }
   events_.push_back(std::move(event));
+}
+
+void Tracer::push(util::Json event, std::uint64_t session) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (session != 0 && session != session_.load(std::memory_order_relaxed)) {
+    return;  // the emitter outlived its session; never contaminate this one
+  }
+  push_locked(std::move(event));
 }
 
 void Tracer::complete(const std::string& name, std::int64_t ts_us,
                       std::int64_t dur_us, util::Json args, std::int64_t pid,
-                      std::int64_t tid) {
+                      std::int64_t tid, std::uint64_t session) {
   if (!enabled()) return;
   util::Json event = util::Json::object();
   event.set("name", util::Json(name));
@@ -68,7 +108,7 @@ void Tracer::complete(const std::string& name, std::int64_t ts_us,
   event.set("tid", util::Json(
       tid < 0 ? static_cast<std::int64_t>(thread_slot()) : tid));
   if (args.is_object()) event.set("args", std::move(args));
-  push(std::move(event));
+  push(std::move(event), session);
 }
 
 void Tracer::instant(const std::string& name, util::Json args) {
@@ -112,34 +152,90 @@ void Tracer::process_name(const std::string& name) {
   push(std::move(event));
 }
 
-util::Json Tracer::take_events() {
-  std::vector<util::Json> drained;
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    drained.swap(events_);
-  }
+util::Json Tracer::drain_locked() {
   util::Json out = util::Json::array();
-  for (auto& event : drained) out.push_back(std::move(event));
+  for (auto& event : events_) out.push_back(std::move(event));
+  events_.clear();
   return out;
+}
+
+util::Json Tracer::take_events() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return drain_locked();
 }
 
 void Tracer::inject(const util::Json& events) {
   if (!events.is_array()) return;
   const std::lock_guard<std::mutex> lock(mutex_);
   for (std::size_t i = 0; i < events.size(); ++i) {
-    events_.push_back(events.at(i));
+    push_locked(events.at(i));
   }
 }
 
 void Tracer::write(const std::string& path) {
   util::Json doc = util::Json::object();
-  util::Json array = util::Json::array();
+  util::Json array;
   {
+    // Draining on write is what makes repeated writes (and back-to-back
+    // sessions) duplication-free: each write holds exactly the window since
+    // the previous drain.
     const std::lock_guard<std::mutex> lock(mutex_);
-    for (const auto& event : events_) array.push_back(event);
+    array = drain_locked();
   }
   doc.set("traceEvents", std::move(array));
   util::save_json_file(path, doc);
+}
+
+MetricsFlusher::MetricsFlusher(int period_ms) {
+  const auto period = std::chrono::milliseconds(period_ms < 1 ? 1 : period_ms);
+  thread_ = std::thread([this, period] {
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    while (!stopping_) {
+      if (wake_.wait_for(lock, period, [this] { return stopping_; })) break;
+      lock.unlock();
+      flush_now();
+      lock.lock();
+    }
+  });
+}
+
+MetricsFlusher::~MetricsFlusher() { stop(); }
+
+void MetricsFlusher::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(wake_mutex_);
+    if (stopping_) return;  // already stopped; the final flush already ran
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // One final window so even a run shorter than the period samples every
+  // instrument at least once.
+  flush_now();
+}
+
+void MetricsFlusher::flush_now() {
+  const std::lock_guard<std::mutex> lock(flush_mutex_);
+  Tracer& tracer = Tracer::instance();
+  MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
+  const MetricsSnapshot window = snap.delta(prev_);
+  for (const auto& [name, value] : window.counters) {
+    if (name == "trace.dropped") {
+      // Cumulative on purpose: the emitted series is then non-decreasing,
+      // which trace_check --check-counters verifies against the registry.
+      tracer.counter(name, static_cast<double>(snap.counters.at(name)));
+    } else {
+      tracer.counter(name, static_cast<double>(value));
+    }
+  }
+  for (const auto& [name, value] : window.gauges) tracer.counter(name, value);
+  for (const auto& [name, hist] : window.histograms) {
+    tracer.counter(name + ".count", static_cast<double>(hist.stats.count()));
+    if (hist.stats.count() > 0) {
+      tracer.counter(name + ".p99", hist.quantile_upper(0.99));
+    }
+  }
+  prev_ = std::move(snap);
 }
 
 }  // namespace haste::obs

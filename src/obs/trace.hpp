@@ -4,16 +4,30 @@
 // the enabled check is one relaxed atomic load, so instrumentation sites are
 // near-free when tracing is off.
 //
+// The event buffer is a bounded drop-oldest ring (set_ring_capacity): a
+// long-running daemon left tracing keeps the most recent window instead of
+// growing without bound, and every dropped event is latched to the
+// `trace.dropped` registry counter. start_file/start_memory begin a fresh
+// session — the buffer is cleared and the session epoch advances, so
+// back-to-back sessions in one process can never duplicate events (writes
+// also drain the buffer). A Span that outlives its session (constructed
+// before stop(), destroyed after a later start) is dropped cleanly: its
+// destructor carries the epoch it was born under and the tracer refuses
+// events from stale epochs.
+//
 // Timestamps are microseconds on the steady (monotonic) clock, which Linux
 // shares across processes on a host — a driver that injects events collected
 // by its worker processes gets a naturally aligned multi-process timeline,
 // with each process a distinct pid track.
 #pragma once
 
+#include <condition_variable>
+#include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <string>
-#include <vector>
+#include <thread>
 
 #include "obs/metrics.hpp"
 #include "util/json.hpp"
@@ -22,21 +36,42 @@ namespace haste::obs {
 
 class Tracer {
  public:
+  /// Default ring capacity: generous enough that a bounded experiment run
+  /// keeps every event, small enough that an always-on daemon cannot grow
+  /// without bound (~1M events).
+  static constexpr std::size_t kDefaultRingCapacity = 1u << 20;
+
   /// The process-wide tracer used by all instrumentation.
   static Tracer& instance();
 
   /// Enables tracing and remembers `path`; stop() writes the collected
-  /// events there as {"traceEvents": [...]}.
+  /// events there as {"traceEvents": [...]}. Begins a fresh session: any
+  /// buffered events from a previous session are discarded and the session
+  /// epoch advances.
   void start_file(std::string path);
 
   /// Enables tracing with no output file: events accumulate in memory until
   /// drained with take_events() (how shard workers ship spans to the driver).
+  /// Begins a fresh session like start_file.
   void start_memory();
 
-  /// Disables tracing; in file mode, writes the buffered events first.
+  /// Disables tracing; in file mode, writes the buffered events first (the
+  /// write drains the buffer) and forgets the path, so a later session
+  /// cannot re-write the file with unrelated events. Memory-mode events stay
+  /// buffered for a post-stop take_events().
   void stop();
 
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Caps the event buffer: once full, pushing a new event drops the OLDEST
+  /// buffered one and bumps the `trace.dropped` registry counter. Takes
+  /// effect immediately (an over-full buffer is trimmed). Clamped to >= 1.
+  void set_ring_capacity(std::size_t capacity);
+  std::size_t ring_capacity() const;
+
+  /// The current session epoch: advanced by every start_file/start_memory.
+  /// 0 means tracing has never been started in this process.
+  std::uint64_t session() const { return session_.load(std::memory_order_relaxed); }
 
   /// Microseconds on the steady clock (shared timebase across processes on
   /// one host). Valid whether or not tracing is enabled.
@@ -45,10 +80,14 @@ class Tracer {
   /// Emits a complete span. `args` may be a Json object or null. No-op when
   /// disabled. `pid`/`tid` default to the calling process/thread; pass
   /// explicit values to record events on behalf of another process (the
-  /// shard driver's per-attempt spans, attributed to the worker).
+  /// shard driver's per-attempt spans, attributed to the worker). A non-zero
+  /// `session` restricts the event to that epoch: if the tracer has since
+  /// been restarted the event is silently dropped (how Span avoids
+  /// contaminating a later session).
   void complete(const std::string& name, std::int64_t ts_us,
                 std::int64_t dur_us, util::Json args = util::Json(),
-                std::int64_t pid = -1, std::int64_t tid = -1);
+                std::int64_t pid = -1, std::int64_t tid = -1,
+                std::uint64_t session = 0);
 
   /// Emits a thread-scoped instant event. No-op when disabled.
   void instant(const std::string& name, util::Json args = util::Json());
@@ -65,35 +104,48 @@ class Tracer {
   util::Json take_events();
 
   /// Appends externally collected events (a worker's take_events payload).
-  /// Works even when the tracer is enabled in file mode only.
+  /// Works even when the tracer is enabled in file mode only. Subject to the
+  /// ring cap like locally emitted events.
   void inject(const util::Json& events);
 
-  /// Writes {"traceEvents": buffer} to `path` without disabling.
+  /// Writes {"traceEvents": buffer} to `path` without disabling, then clears
+  /// the buffer — repeated writes never duplicate events (each write holds
+  /// the window since the previous one).
   void write(const std::string& path);
 
  private:
-  void push(util::Json event);
+  void push(util::Json event, std::uint64_t session = 0);
+  // Both require mutex_ held.
+  void push_locked(util::Json event);
+  util::Json drain_locked();
 
   std::atomic<bool> enabled_{false};
-  std::mutex mutex_;
+  std::atomic<std::uint64_t> session_{0};  ///< modified only under mutex_
+  mutable std::mutex mutex_;
   std::string path_;
-  std::vector<util::Json> events_;
+  std::deque<util::Json> events_;
+  std::size_t capacity_ = kDefaultRingCapacity;
+  Counter* dropped_ = nullptr;  ///< lazy handle to `trace.dropped`
 };
 
-/// RAII complete-span helper: captures the start time if tracing is enabled
-/// at construction, emits an "X" event on destruction. arg() attaches
-/// argument fields (ignored while disabled, so callers need no guards).
+/// RAII complete-span helper: captures the start time (and session epoch) if
+/// tracing is enabled at construction, emits an "X" event on destruction.
+/// A span destroyed after its session ended — tracing stopped, or stopped
+/// and restarted — emits nothing. arg() attaches argument fields (ignored
+/// while disabled, so callers need no guards).
 class Span {
  public:
   explicit Span(std::string name)
       : name_(std::move(name)),
-        start_(Tracer::instance().enabled() ? Tracer::now_us() : -1) {}
+        start_(Tracer::instance().enabled() ? Tracer::now_us() : -1),
+        session_(start_ >= 0 ? Tracer::instance().session() : 0) {}
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
   ~Span() {
     if (start_ < 0) return;
     Tracer::instance().complete(name_, start_, Tracer::now_us() - start_,
-                                std::move(args_));
+                                std::move(args_), /*pid=*/-1, /*tid=*/-1,
+                                session_);
   }
 
   bool active() const { return start_ >= 0; }
@@ -106,6 +158,7 @@ class Span {
  private:
   std::string name_;
   std::int64_t start_;
+  std::uint64_t session_;
   util::Json args_;
 };
 
@@ -124,6 +177,43 @@ class ScopedTimer {
  private:
   Histogram& histogram_;
   std::int64_t start_;
+};
+
+/// Background thread that periodically converts registry deltas into
+/// Tracer::counter samples, so Perfetto counter tracks show per-window rates
+/// instead of monotone process totals. Each tick snapshots the registry,
+/// diffs it against the previous tick (MetricsSnapshot::delta), and emits:
+///   - one sample per counter with its windowed delta (`trace.dropped` is
+///     the exception: it is emitted cumulatively, so a validator can check
+///     the series is non-decreasing and consistent with the registry),
+///   - one sample per gauge with its absolute value,
+///   - `<name>.count` (windowed) and `<name>.p99` (of the window) per
+///     histogram.
+/// stop() — also run by the destructor — joins the thread and performs one
+/// final flush, so short runs still get at least one sample of every
+/// instrument. Samples are no-ops while the tracer is disabled.
+class MetricsFlusher {
+ public:
+  explicit MetricsFlusher(int period_ms = 500);
+  ~MetricsFlusher();
+  MetricsFlusher(const MetricsFlusher&) = delete;
+  MetricsFlusher& operator=(const MetricsFlusher&) = delete;
+
+  /// Joins the flusher thread after one final flush. Idempotent.
+  void stop();
+
+  /// Emits one windowed flush immediately (thread-safe; the periodic thread
+  /// and callers serialize on an internal mutex). Exposed for deterministic
+  /// tests and for callers that want a sample at a known point.
+  void flush_now();
+
+ private:
+  std::mutex flush_mutex_;        ///< serializes flushes; guards prev_
+  MetricsSnapshot prev_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+  std::thread thread_;
 };
 
 }  // namespace haste::obs

@@ -68,6 +68,11 @@ Server::Server(const ServerOptions& options)
   if (::pipe(pipe_fds) != 0) {
     throw std::runtime_error("haste_serve: self-pipe failed");
   }
+  if (!options_.metrics_address.empty()) {
+    metrics_listener_ = util::TcpListener::listen(options_.metrics_address);
+    HASTE_LOG_INFO << "haste_serve: metrics scrapes on "
+                   << metrics_listener_.local_address();
+  }
   wake_read_fd_ = pipe_fds[0];
   wake_write_fd_ = pipe_fds[1];
   for (int fd : pipe_fds) {
@@ -88,6 +93,10 @@ Server::~Server() {
 }
 
 std::string Server::address() const { return listener_.local_address(); }
+
+std::string Server::metrics_address() const {
+  return metrics_listener_.valid() ? metrics_listener_.local_address() : "";
+}
 
 void Server::request_drain() {
   // Async-signal-safe: one relaxed store plus a non-blocking pipe write.
@@ -122,6 +131,9 @@ void Server::run() {
     std::vector<std::uint64_t> conn_ids;
     fds.push_back(wake_read_fd_);
     fds.push_back(listener_.valid() ? listener_.fd() : -1);
+    // The metrics listener outlives the session listener: it keeps
+    // answering scrapes through the drain so the drain itself is observable.
+    fds.push_back(metrics_listener_.valid() ? metrics_listener_.fd() : -1);
     for (const auto& [id, conn] : connections_) {
       fds.push_back(conn->disconnected ? -1 : conn->socket.fd());
       conn_ids.push_back(id);
@@ -134,8 +146,10 @@ void Server::run() {
         }
       } else if (index == 1) {
         accept_pending();
+      } else if (index == 2) {
+        serve_metrics_scrapes();
       } else {
-        const auto it = connections_.find(conn_ids[index - 2]);
+        const auto it = connections_.find(conn_ids[index - 3]);
         if (it != connections_.end()) read_connection(*it->second);
       }
     }
@@ -174,6 +188,29 @@ void Server::accept_pending() {
     connections_[conn->id] = std::move(conn);
     HASTE_OBS_GAUGE_SET("serve.sessions.active",
                         static_cast<double>(connections_.size()));
+  }
+}
+
+void Server::serve_metrics_scrapes() {
+  for (;;) {
+    std::optional<util::TcpSocket> socket = metrics_listener_.accept(0);
+    if (!socket) return;
+    // One response per connection, whatever the client sent (an HTTP GET
+    // line, or nothing at all for a bare TCP reader). Reading the request
+    // bytes before closing keeps the close orderly — closing with unread
+    // input would RST and could discard the response in flight.
+    if (!util::poll_readable({socket->fd()}, 100).empty()) {
+      char scratch[4096];
+      [[maybe_unused]] const ssize_t n =
+          ::read(socket->fd(), scratch, sizeof(scratch));
+    }
+    const std::string body =
+        obs::MetricsRegistry::instance().snapshot().text_exposition();
+    const std::string response =
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain\r\nContent-Length: " +
+        std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" + body;
+    socket->write_all(response);
+    HASTE_OBS_COUNTER_ADD("serve.metrics.scrapes", 1);
   }
 }
 

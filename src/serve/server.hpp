@@ -56,6 +56,14 @@ struct ServerOptions {
   std::size_t max_line_bytes = 8ull << 20;
   std::size_t max_outbox_bytes = 8ull << 20;
   double auth_timeout_seconds = 2.0;  ///< token must arrive within this
+  /// Second listener serving plain-text metric scrapes ("host:port", ":0" =
+  /// ephemeral; "" = disabled). Each accepted connection gets one HTTP/1.0
+  /// response carrying MetricsSnapshot::text_exposition() of the live
+  /// registry, then the connection closes — curl, wget, or a bare TCP read
+  /// all work as scrapers. Unauthenticated by design (expose it on loopback
+  /// or a trusted interface only); it keeps answering during drain so an
+  /// operator can watch the drain make progress.
+  std::string metrics_address;
 };
 
 /// The daemon. Construct (binds the listener), then run() on the driver
@@ -69,6 +77,9 @@ class Server {
 
   /// "host:port" with the actually bound port (resolves ":0").
   std::string address() const;
+
+  /// Bound address of the metrics scrape listener; "" when disabled.
+  std::string metrics_address() const;
 
   /// Serves until drained. Call once, from the thread that owns the server.
   void run();
@@ -92,6 +103,7 @@ class Server {
   };
 
   void accept_pending();
+  void serve_metrics_scrapes();
   void read_connection(Connection& conn);
   void ingest_line(Connection& conn, const std::string& line);
   void dispatch(Connection& conn);
@@ -105,6 +117,7 @@ class Server {
 
   ServerOptions options_;
   util::TcpListener listener_;
+  util::TcpListener metrics_listener_;  ///< invalid when scrapes are disabled
   int wake_read_fd_ = -1;   ///< self-pipe: jobs and signals wake the poll
   int wake_write_fd_ = -1;
   std::atomic<bool> drain_requested_{false};

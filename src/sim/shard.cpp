@@ -4,6 +4,7 @@
 #include <string.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <deque>
 #include <istream>
@@ -11,6 +12,7 @@
 #include <ostream>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
 #include "core/objective.hpp"
 #include "obs/obs.hpp"
@@ -476,6 +478,7 @@ struct ShardState {
   bool done = false;
   std::map<std::string, std::vector<RunMetrics>> metrics;
   std::vector<AttemptRecord> history;
+  int split_from = -1;  ///< shard id this one was carved from, -1 if planned
 };
 
 /// One worker connection, whatever carries it. The runner only ever needs a
@@ -701,10 +704,17 @@ class ShardRunner {
     for (ShardSpec& spec : specs) {
       shards_.push_back(ShardState{std::move(spec), 0, false, {}, {}});
     }
+    planned_count_ = shards_.size();
+    for (const ShardState& shard : shards_) {
+      next_shard_id_ = std::max(next_shard_id_, shard.spec.shard_id + 1);
+    }
   }
 
-  /// Runs every shard to completion; returns metrics in shard order.
-  std::vector<std::map<std::string, std::vector<RunMetrics>>> run() {
+  /// Runs every shard to completion. Returns (spec, metrics) pairs — with
+  /// adaptive splitting the final shard list is not the planned one, so each
+  /// result carries the trial range it actually covers.
+  std::vector<std::pair<ShardSpec, std::map<std::string, std::vector<RunMetrics>>>>
+  run() {
     try {
       for (std::size_t s = 0; s < shards_.size(); ++s) pending_.push_back(s);
       drive();
@@ -717,9 +727,12 @@ class ShardRunner {
     }
     export_worker_metrics();
     write_manifest();
-    std::vector<std::map<std::string, std::vector<RunMetrics>>> results;
+    std::vector<std::pair<ShardSpec, std::map<std::string, std::vector<RunMetrics>>>>
+        results;
     results.reserve(shards_.size());
-    for (ShardState& shard : shards_) results.push_back(std::move(shard.metrics));
+    for (ShardState& shard : shards_) {
+      results.emplace_back(shard.spec, std::move(shard.metrics));
+    }
     return results;
   }
 
@@ -791,11 +804,58 @@ class ShardRunner {
     }
   }
 
+  /// Total link slots across every transport — the denominator of the
+  /// adaptive split target.
+  long pool_capacity() const {
+    long pool = 0;
+    for (const std::unique_ptr<Transport>& transport : transports_) {
+      pool += transport->capacity();
+    }
+    return std::max<long>(1, pool);
+  }
+
+  /// Work-stealing shard sizing, applied as shard `s` is about to be
+  /// assigned: if its trial range is wide relative to the remaining pending
+  /// work, carve off a right-sized chunk and requeue the rest as a new
+  /// shard. Late in a run this shrinks the long pole so idle workers steal
+  /// from it instead of waiting it out. Results stay bit-identical: a
+  /// trial's RNG derives from its global index, never from shard
+  /// boundaries. Retried shards are never split — their attempt history and
+  /// fault-injection directives stay attached to one id.
+  void maybe_split(std::size_t s) {
+    if (!options_.adaptive_shards) return;
+    if (shards_[s].attempts > 0) return;
+    const int begin = shards_[s].spec.trial_begin;
+    const long width = shards_[s].spec.trial_end - begin;
+    long remaining = width;
+    for (std::size_t p : pending_) {
+      remaining += shards_[p].spec.trial_end - shards_[p].spec.trial_begin;
+    }
+    const long divisor = 2 * pool_capacity();
+    const long floor_trials = std::max(1, options_.min_steal_trials);
+    const long target =
+        std::max(floor_trials, (remaining + divisor - 1) / divisor);
+    // Splitting below 2x the target would leave a remainder smaller than a
+    // freshly planned chunk; keep the shard whole instead.
+    if (width < 2 * target) return;
+    ShardState rest;
+    rest.spec = shards_[s].spec;
+    rest.spec.shard_id = next_shard_id_++;
+    rest.spec.trial_begin = begin + static_cast<int>(target);
+    rest.split_from = shards_[s].spec.shard_id;
+    shards_[s].spec.trial_end = begin + static_cast<int>(target);
+    ++splits_;
+    HASTE_OBS_COUNTER_ADD("shard.split", 1);
+    shards_.push_back(std::move(rest));  // invalidates ShardState references
+    pending_.push_back(shards_.size() - 1);
+  }
+
   void assign_pending() {
     for (WorkerSlot& worker : workers_) {
       if (worker.dead || worker.shard >= 0 || pending_.empty()) continue;
       const std::size_t s = pending_.front();
       pending_.pop_front();
+      maybe_split(s);  // may grow shards_; take the reference only after
       ShardState& shard = shards_[s];
       Json request = shard_spec_to_json(shard.spec);
       const auto inject = options_.inject_first_attempt.find(shard.spec.shard_id);
@@ -921,7 +981,7 @@ class ShardRunner {
   /// separate process track in the merged trace.
   void absorb_worker_obs(const WorkerSlot& worker, const Json& payload) {
     if (payload.contains("metrics")) {
-      worker_metrics_[worker.link->peer()] =
+      worker_metrics_[worker.serial] =
           obs::MetricsSnapshot::from_json(payload.at("metrics"));
     }
     if (payload.contains("trace") && obs::Tracer::instance().enabled()) {
@@ -1005,9 +1065,7 @@ class ShardRunner {
   }
 
   obs::MetricsSnapshot merged_worker_metrics() const {
-    obs::MetricsSnapshot merged;
-    for (const auto& [peer, snapshot] : worker_metrics_) merged.merge(snapshot);
-    return merged;
+    return merge_worker_snapshots(worker_metrics_);
   }
 
   void export_worker_metrics() const {
@@ -1026,6 +1084,12 @@ class ShardRunner {
     }
     manifest.set("max_attempts", options_.max_attempts);
     manifest.set("timeout_seconds", options_.shard_timeout_seconds);
+    // Adaptive (work-stealing) shard sizing telemetry: how much the planned
+    // shard list grew at run time.
+    manifest.set("adaptive_shards", options_.adaptive_shards);
+    manifest.set("planned_shards", static_cast<int>(planned_count_));
+    manifest.set("final_shards", static_cast<int>(shards_.size()));
+    manifest.set("splits", splits_);
     manifest.set("max_line_bytes", u64_json(options_.max_line_bytes));
     manifest.set("max_outbox_bytes", u64_json(options_.max_outbox_bytes));
     // Overflow kills observed by this driver (line-length or outbox-bound
@@ -1040,6 +1104,7 @@ class ShardRunner {
       entry.set("trial_begin", shard.spec.trial_begin);
       entry.set("trial_end", shard.spec.trial_end);
       entry.set("done", shard.done);
+      if (shard.split_from >= 0) entry.set("split_from", shard.split_from);
       Json attempts = Json::array();
       for (const AttemptRecord& attempt : shard.history) {
         Json record = Json::object();
@@ -1070,9 +1135,14 @@ class ShardRunner {
   std::size_t completed_ = 0;
   bool failed_workers_ = false;
   long worker_serial_ = 0;  ///< admission counter; the per-link trace tid
+  std::size_t planned_count_ = 0;  ///< shard count before any adaptive split
+  int next_shard_id_ = 0;          ///< ids for split-off shards
+  int splits_ = 0;
   /// Latest cumulative metrics snapshot each worker attached to a response,
-  /// keyed by peer ("pid 1234" / "ip:port" — unique per worker process).
-  std::map<std::string, obs::MetricsSnapshot> worker_metrics_;
+  /// keyed by pool admission serial — unique per link, and an ORDERED key,
+  /// so merging (gauges are last-write-wins) is deterministic regardless of
+  /// which worker answered last.
+  std::map<long, obs::MetricsSnapshot> worker_metrics_;
 };
 
 int effective_trials_per_shard(const ShardOptions& options, int trials) {
@@ -1085,6 +1155,15 @@ int effective_trials_per_shard(const ShardOptions& options, int trials) {
 }
 
 }  // namespace
+
+obs::MetricsSnapshot merge_worker_snapshots(
+    const std::map<long, obs::MetricsSnapshot>& by_worker) {
+  obs::MetricsSnapshot merged;
+  // std::map iterates in ascending key (admission) order: deterministic
+  // last-write-wins resolution for gauges, no matter who answered last.
+  for (const auto& [serial, snapshot] : by_worker) merged.merge(snapshot);
+  return merged;
+}
 
 TrialResults run_trials_sharded(const ScenarioConfig& config,
                                 const std::vector<Variant>& variants, int trials,
@@ -1099,11 +1178,13 @@ TrialResults run_trials_sharded(const ScenarioConfig& config,
   for (const Variant& variant : variants) {
     results[variant.label].resize(static_cast<std::size_t>(trials));
   }
-  for (std::size_t s = 0; s < specs.size(); ++s) {
-    for (const auto& [label, runs] : shard_results[s]) {
+  // Merge by each result's own spec: adaptive splitting means the final
+  // shard list (and each shard's trial range) can differ from the plan.
+  for (const auto& [spec, metrics] : shard_results) {
+    for (const auto& [label, runs] : metrics) {
       std::vector<RunMetrics>& merged = results.at(label);
       for (std::size_t r = 0; r < runs.size(); ++r) {
-        merged[static_cast<std::size_t>(specs[s].trial_begin) + r] = runs[r];
+        merged[static_cast<std::size_t>(spec.trial_begin) + r] = runs[r];
       }
     }
   }
@@ -1137,12 +1218,12 @@ SweepSeries sweep_sharded(const std::vector<double>& xs,
       per_x[x][variant.label].resize(static_cast<std::size_t>(trials));
     }
   }
-  for (std::size_t s = 0; s < specs.size(); ++s) {
-    TrialResults& results = per_x[static_cast<std::size_t>(specs[s].x_index)];
-    for (const auto& [label, runs] : shard_results[s]) {
+  for (const auto& [spec, metrics] : shard_results) {
+    TrialResults& results = per_x[static_cast<std::size_t>(spec.x_index)];
+    for (const auto& [label, runs] : metrics) {
       std::vector<RunMetrics>& merged = results.at(label);
       for (std::size_t r = 0; r < runs.size(); ++r) {
-        merged[static_cast<std::size_t>(specs[s].trial_begin) + r] = runs[r];
+        merged[static_cast<std::size_t>(spec.trial_begin) + r] = runs[r];
       }
     }
   }

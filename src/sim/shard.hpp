@@ -145,6 +145,23 @@ struct ShardOptions {
   std::size_t max_line_bytes = 64ull << 20;
   std::size_t max_outbox_bytes = 64ull << 20;
 
+  /// Work-stealing shard sizing. When assigning a never-attempted shard, the
+  /// runner may split it: it carves off a chunk sized to the remaining
+  /// pending work (~remaining / (2 * pool capacity), never below
+  /// `min_steal_trials`) and requeues the rest as a new shard — so late in a
+  /// run wide shards shrink and idle workers steal from a slow host instead
+  /// of waiting out its long pole. Merged results are bit-identical either
+  /// way: a trial's RNG derives from its global index, never from shard
+  /// boundaries. Retried shards are never split (their attempt history and
+  /// fault-injection directives stay attached to one id). The manifest
+  /// reports `planned_shards` / `final_shards` / `splits`, and each
+  /// split-off entry carries the id it was carved from (`split_from`).
+  bool adaptive_shards = true;
+  /// Smallest chunk adaptive splitting may carve off (>= 1). The default of
+  /// 2 keeps explicitly planned small shards (trials_per_shard <= 2) exactly
+  /// as planned.
+  int min_steal_trials = 2;
+
   /// Ask workers for observability payloads: every shard request carries
   /// "obs": true, and workers attach their cumulative metrics snapshot plus
   /// drained trace events to each response. The driver merges the per-worker
@@ -155,6 +172,14 @@ struct ShardOptions {
   /// the run (also on the failure path, with whatever was collected).
   obs::MetricsSnapshot* worker_metrics_out = nullptr;
 };
+
+/// Merges per-worker cumulative metrics snapshots in ascending worker-id
+/// order (the pool admission serial). Counters and histograms are
+/// commutative under merge, but gauges are last-write-wins — merging in a
+/// fixed worker order is what makes manifest gauge values deterministic
+/// instead of dependent on response arrival order.
+obs::MetricsSnapshot merge_worker_snapshots(
+    const std::map<long, obs::MetricsSnapshot>& by_worker);
 
 /// Process-sharded equivalent of run_trials: same signature semantics, and
 /// the merged TrialResults is bit-identical to the in-process path. Throws

@@ -5,9 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <string>
@@ -388,6 +391,297 @@ TEST_F(TracerTest, ScopedTimerFeedsHistogram) {
   const auto shot = registry.snapshot().histograms.at("timer_us");
   EXPECT_EQ(shot.stats.count(), 2u);
   EXPECT_GE(shot.stats.min(), 0.0);
+}
+
+// Regression: stop()/write() used to leave events_ populated, so a second
+// trace session in the same process re-emitted every event of the first.
+// Back-to-back file sessions must yield disjoint event sets.
+TEST_F(TracerTest, BackToBackFileSessionsNeverDuplicateEvents) {
+  const std::string first_path = testing::TempDir() + "haste_obs_session1.json";
+  const std::string second_path = testing::TempDir() + "haste_obs_session2.json";
+  std::remove(first_path.c_str());
+  std::remove(second_path.c_str());
+
+  Tracer::instance().start_file(first_path);
+  Tracer::instance().instant("first.only");
+  Tracer::instance().stop();
+  Tracer::instance().start_file(second_path);
+  Tracer::instance().instant("second.only");
+  Tracer::instance().stop();
+
+  const auto names_of = [](const std::string& path) {
+    std::set<std::string> names;
+    const Json events = util::load_json_file(path).at("traceEvents");
+    for (std::size_t e = 0; e < events.size(); ++e) {
+      names.insert(events.at(e).at("name").as_string());
+    }
+    return names;
+  };
+  const std::set<std::string> first = names_of(first_path);
+  const std::set<std::string> second = names_of(second_path);
+  EXPECT_TRUE(first.count("first.only"));
+  EXPECT_FALSE(first.count("second.only"));
+  EXPECT_TRUE(second.count("second.only"));
+  EXPECT_FALSE(second.count("first.only"));  // the duplication bug
+  std::remove(first_path.c_str());
+  std::remove(second_path.c_str());
+}
+
+// Repeated write() calls must each hold only the window since the previous
+// drain — never a re-emission of already-written events.
+TEST_F(TracerTest, RepeatedWritesDrainTheBuffer) {
+  const std::string path = testing::TempDir() + "haste_obs_rewrite.json";
+  Tracer::instance().start_memory();
+  Tracer::instance().instant("window.one");
+  Tracer::instance().write(path);
+  EXPECT_EQ(util::load_json_file(path).at("traceEvents").size(), 1u);
+  Tracer::instance().instant("window.two");
+  Tracer::instance().write(path);
+  const Json second = util::load_json_file(path).at("traceEvents");
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second.at(0).at("name").as_string(), "window.two");
+  std::remove(path.c_str());
+}
+
+// A Span that outlives its session must emit nothing: neither after a plain
+// stop() (tracing disabled) nor after a stop()+restart (stale epoch must not
+// contaminate the new session).
+TEST_F(TracerTest, SpanOutlivingItsSessionEmitsNothing) {
+  Tracer::instance().start_memory();
+  auto stopped_span = std::make_unique<Span>("born.before.stop");
+  EXPECT_TRUE(stopped_span->active());
+  Tracer::instance().stop();
+  stopped_span.reset();  // destroyed while tracing is off: dropped
+  Tracer::instance().start_memory();
+  EXPECT_EQ(Tracer::instance().take_events().size(), 0u);
+
+  auto stale_span = std::make_unique<Span>("born.in.old.session");
+  EXPECT_TRUE(stale_span->active());
+  Tracer::instance().stop();
+  Tracer::instance().take_events();
+  Tracer::instance().start_memory();  // NEW session while the span is alive
+  stale_span.reset();  // enabled again, but the span's epoch is stale
+  Tracer::instance().instant("fresh");
+  const Json events = Tracer::instance().take_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events.at(0).at("name").as_string(), "fresh");
+}
+
+TEST_F(TracerTest, RingDropsOldestAndLatchesDroppedCounter) {
+  const std::uint64_t dropped_before =
+      MetricsRegistry::instance().counter("trace.dropped").value();
+  Tracer::instance().set_ring_capacity(4);
+  Tracer::instance().start_memory();
+  for (int i = 0; i < 10; ++i) {
+    Tracer::instance().instant("ring." + std::to_string(i));
+  }
+  const Json events = Tracer::instance().take_events();
+  Tracer::instance().set_ring_capacity(Tracer::kDefaultRingCapacity);
+  ASSERT_EQ(events.size(), 4u);
+  // Drop-oldest: the survivors are the most recent four, in order.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(events.at(i).at("name").as_string(), "ring." + std::to_string(6 + i));
+  }
+  EXPECT_EQ(MetricsRegistry::instance().counter("trace.dropped").value(),
+            dropped_before + 6);
+}
+
+TEST_F(TracerTest, ShrinkingRingCapacityTrimsAndCountsDrops) {
+  const std::uint64_t dropped_before =
+      MetricsRegistry::instance().counter("trace.dropped").value();
+  Tracer::instance().start_memory();
+  for (int i = 0; i < 6; ++i) {
+    Tracer::instance().instant("trim." + std::to_string(i));
+  }
+  Tracer::instance().set_ring_capacity(2);  // trims 4 immediately
+  const Json events = Tracer::instance().take_events();
+  Tracer::instance().set_ring_capacity(Tracer::kDefaultRingCapacity);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events.at(0).at("name").as_string(), "trim.4");
+  EXPECT_EQ(events.at(1).at("name").as_string(), "trim.5");
+  EXPECT_EQ(MetricsRegistry::instance().counter("trace.dropped").value(),
+            dropped_before + 4);
+}
+
+// --- windowed deltas + text exposition ---
+
+TEST(MetricsSnapshot, DeltaWindowsCountersGaugesAndHistograms) {
+  MetricsRegistry registry;
+  registry.counter("c").add(5);
+  registry.gauge("g").set(1.0);
+  util::RunningStats window_truth;
+  for (int i = 0; i < 10; ++i) registry.histogram("h").record(static_cast<double>(i));
+  const MetricsSnapshot before = registry.snapshot();
+
+  registry.counter("c").add(3);
+  registry.counter("fresh").add(2);  // born after `before`
+  registry.gauge("g").set(7.5);
+  for (int i = 100; i < 130; ++i) {
+    registry.histogram("h").record(static_cast<double>(i));
+    window_truth.add(static_cast<double>(i));
+  }
+  const MetricsSnapshot after = registry.snapshot();
+
+  const MetricsSnapshot window = after.delta(before);
+  EXPECT_EQ(window.counters.at("c"), 3u);
+  EXPECT_EQ(window.counters.at("fresh"), 2u);  // all-zero prev: full value
+  EXPECT_DOUBLE_EQ(window.gauges.at("g"), 7.5);  // gauges carry the level
+
+  const auto& h = window.histograms.at("h");
+  EXPECT_EQ(h.stats.count(), window_truth.count());
+  EXPECT_NEAR(h.stats.mean(), window_truth.mean(), 1e-9);
+  EXPECT_NEAR(h.stats.variance(), window_truth.variance(), 1e-6);
+  std::uint64_t bucket_sum = 0;
+  for (std::uint64_t b : h.buckets) bucket_sum += b;
+  EXPECT_EQ(bucket_sum, window_truth.count());
+  // min/max keep the cumulative envelope (conservative, never narrower).
+  EXPECT_DOUBLE_EQ(h.stats.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.stats.max(), 129.0);
+}
+
+TEST(MetricsSnapshot, DeltaOfIdenticalSnapshotsIsEmptyWindow) {
+  MetricsRegistry registry;
+  registry.counter("c").add(4);
+  for (int i = 0; i < 7; ++i) registry.histogram("h").record(2.0 * i);
+  const MetricsSnapshot snap = registry.snapshot();
+  const MetricsSnapshot window = snap.delta(snap);
+  EXPECT_EQ(window.counters.at("c"), 0u);
+  EXPECT_EQ(window.histograms.at("h").stats.count(), 0u);
+  std::uint64_t bucket_sum = 0;
+  for (std::uint64_t b : window.histograms.at("h").buckets) bucket_sum += b;
+  EXPECT_EQ(bucket_sum, 0u);
+}
+
+TEST(MetricsSnapshot, DeltaClampsBackwardCountersToZero) {
+  MetricsSnapshot before;
+  before.counters["c"] = 10;
+  MetricsSnapshot after;
+  after.counters["c"] = 4;  // e.g. a restarted worker re-reported totals
+  EXPECT_EQ(after.delta(before).counters.at("c"), 0u);
+}
+
+TEST(MetricsSnapshot, TextExpositionOneLinePerValue) {
+  MetricsRegistry registry;
+  registry.counter("jobs.done").add(3);
+  registry.gauge("pool.size").set(8.0);
+  for (int i = 1; i <= 100; ++i) {
+    registry.histogram("latency_us").record(static_cast<double>(i));
+  }
+  const MetricsSnapshot snap = registry.snapshot();
+  const std::string text = snap.text_exposition();
+  EXPECT_NE(text.find("jobs.done 3\n"), std::string::npos);
+  EXPECT_NE(text.find("pool.size 8\n"), std::string::npos);
+  EXPECT_NE(text.find("latency_us.count 100\n"), std::string::npos);
+  EXPECT_NE(text.find("latency_us.p50 "), std::string::npos);
+  EXPECT_NE(text.find("latency_us.p99 "), std::string::npos);
+  EXPECT_NE(text.find("latency_us.max 100\n"), std::string::npos);
+  // Every line is "name value": two fields, space-separated.
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t eol = text.find('\n', start);
+    ASSERT_NE(eol, std::string::npos);
+    const std::string line = text.substr(start, eol - start);
+    EXPECT_EQ(std::count(line.begin(), line.end(), ' '), 1) << line;
+    start = eol + 1;
+  }
+}
+
+// --- quantile_upper edge cases ---
+
+TEST(Histogram, QuantileUpperAtExtremesAndSubUnitValues) {
+  MetricsRegistry registry;
+  Histogram& sub = registry.histogram("sub_unit");
+  sub.record(0.25);
+  sub.record(0.5);  // everything in bucket 0 (values < 1)
+  const auto all_zero = registry.snapshot().histograms.at("sub_unit");
+  // Bucket 0's upper edge is 1, clamped to the exact observed max.
+  EXPECT_DOUBLE_EQ(all_zero.quantile_upper(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(all_zero.quantile_upper(1.0), 0.5);
+  // Out-of-range q clamps rather than throwing.
+  EXPECT_DOUBLE_EQ(all_zero.quantile_upper(-3.0), 0.5);
+  EXPECT_DOUBLE_EQ(all_zero.quantile_upper(2.0), 0.5);
+}
+
+TEST(Histogram, QuantileUpperWithInfinityAndNaN) {
+  MetricsRegistry registry;
+  Histogram& hist = registry.histogram("weird");
+  hist.record(std::numeric_limits<double>::quiet_NaN());  // bucket 0
+  hist.record(std::numeric_limits<double>::infinity());   // top bucket
+  const auto shot = registry.snapshot().histograms.at("weird");
+  std::uint64_t bucket_sum = 0;
+  for (std::uint64_t b : shot.buckets) bucket_sum += b;
+  EXPECT_EQ(bucket_sum, 2u);
+  EXPECT_EQ(shot.buckets[0], 1u);
+  EXPECT_EQ(shot.buckets[Histogram::kBucketCount - 1], 1u);
+  // q=1 targets the +inf observation: the top bucket's finite upper edge is
+  // the conservative bound (min(2^63, max=inf)).
+  EXPECT_DOUBLE_EQ(shot.quantile_upper(1.0),
+                   std::ldexp(1.0, static_cast<int>(Histogram::kBucketCount) - 1));
+}
+
+TEST(Histogram, QuantileUpperOnMergedWorkerSnapshots) {
+  MetricsRegistry worker_a;
+  MetricsRegistry worker_b;
+  for (int i = 1; i <= 50; ++i) worker_a.histogram("h").record(2.0);   // [2,4)
+  for (int i = 1; i <= 50; ++i) worker_b.histogram("h").record(100.0);  // [64,128)
+  MetricsSnapshot merged = worker_a.snapshot();
+  merged.merge(worker_b.snapshot());
+  const auto& h = merged.histograms.at("h");
+  EXPECT_EQ(h.stats.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.quantile_upper(0.5), 4.0);    // rank 50: still bucket [2,4)
+  EXPECT_DOUBLE_EQ(h.quantile_upper(0.99), 100.0);  // edge 128 clamped to max
+}
+
+// --- MetricsFlusher ---
+
+TEST(MetricsFlusher, FlushNowSamplesWindowedDeltas) {
+  Tracer::instance().stop();
+  Tracer::instance().take_events();
+  Tracer::instance().start_memory();
+  // Period far beyond the test's lifetime: only explicit flushes sample.
+  MetricsFlusher flusher(600000);
+  Counter& counter = MetricsRegistry::instance().counter("flusher_test.jobs");
+  const std::uint64_t base = counter.value();
+  counter.add(3);
+  flusher.flush_now();
+  counter.add(2);
+  flusher.flush_now();
+  flusher.stop();  // joins + one more (empty for this counter) window
+  const Json events = Tracer::instance().take_events();
+  Tracer::instance().stop();
+
+  std::vector<double> samples;
+  for (std::size_t e = 0; e < events.size(); ++e) {
+    const Json& event = events.at(e);
+    if (event.at("ph").as_string() == "C" &&
+        event.at("name").as_string() == "flusher_test.jobs") {
+      samples.push_back(event.at("args").at("value").as_number());
+    }
+  }
+  ASSERT_EQ(samples.size(), 3u);
+  // First window carries the whole history (prev_ starts empty), the second
+  // the delta since, the final stop() window nothing new.
+  EXPECT_DOUBLE_EQ(samples[0], static_cast<double>(base) + 3.0);
+  EXPECT_DOUBLE_EQ(samples[1], 2.0);
+  EXPECT_DOUBLE_EQ(samples[2], 0.0);
+}
+
+TEST(MetricsFlusher, PeriodicThreadSamplesWithoutExplicitFlushes) {
+  Tracer::instance().stop();
+  Tracer::instance().take_events();
+  Tracer::instance().start_memory();
+  MetricsRegistry::instance().counter("flusher_test.periodic").add(1);
+  {
+    MetricsFlusher flusher(5);
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  }  // destructor stops + final flush
+  const Json events = Tracer::instance().take_events();
+  Tracer::instance().stop();
+  std::size_t samples = 0;
+  for (std::size_t e = 0; e < events.size(); ++e) {
+    if (events.at(e).at("name").as_string() == "flusher_test.periodic") ++samples;
+  }
+  EXPECT_GE(samples, 2u);
 }
 
 }  // namespace

@@ -334,6 +334,56 @@ TEST(Serve, EventBeforeOpenIsAProtocolError) {
   EXPECT_TRUE(client.read_reply().is_null());  // the error closed the session
 }
 
+/// One HTTP/1.0 GET against the daemon's metrics listener, read to EOF.
+std::string scrape_metrics(const std::string& address) {
+  util::TcpSocket socket = util::TcpSocket::connect(address);
+  if (!socket.write_all("GET /metrics HTTP/1.0\r\n\r\n")) return "";
+  std::string response;
+  char chunk[4096];
+  const Clock::time_point start = Clock::now();
+  while (std::chrono::duration<double>(Clock::now() - start).count() < 10.0) {
+    if (util::poll_readable({socket.fd()}, 100).empty()) continue;
+    const ssize_t n = ::read(socket.fd(), chunk, sizeof(chunk));
+    if (n < 0) return response;
+    if (n == 0) break;  // EOF: the daemon closes after the body
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  return response;
+}
+
+TEST(Serve, MetricsEndpointExposesLiveRegistry) {
+  ServerOptions options;
+  options.metrics_address = "127.0.0.1:0";
+  TestServer daemon{options};
+  const std::string metrics_address = daemon.server->metrics_address();
+  ASSERT_FALSE(metrics_address.empty());
+
+  // Drive one full session first so the replan-latency histogram and the
+  // session lifecycle counters have data to expose.
+  util::Rng rng(108);
+  const model::Network net = testing_helpers::random_network(rng, 3, 6);
+  const ReplayOutcome outcome = replay_online(daemon.address(), "", net,
+                                              small_config(5), build_replay_events(net));
+  ASSERT_TRUE(outcome.finished);
+
+  const std::string response = scrape_metrics(metrics_address);
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: text/plain"), std::string::npos);
+  EXPECT_NE(response.find("online.replan.latency_us.p50 "), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("online.replan.latency_us.p99 "), std::string::npos);
+  EXPECT_NE(response.find("serve.sessions.finished "), std::string::npos);
+
+  // One connection per scrape: a second GET must work just as well.
+  EXPECT_NE(scrape_metrics(metrics_address).find("HTTP/1.0 200 OK"),
+            std::string::npos);
+}
+
+TEST(Serve, MetricsListenerIsOffByDefault) {
+  TestServer daemon{ServerOptions{}};
+  EXPECT_TRUE(daemon.server->metrics_address().empty());
+}
+
 TEST(ServeConfig, OnlineConfigJsonRoundTripsExactly) {
   dist::OnlineConfig config;
   config.strategy = dist::OnlineStrategy::kHasteSequential;

@@ -7,11 +7,15 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "sim/shard.hpp"
 #include "util/subprocess.hpp"
@@ -399,6 +403,88 @@ TEST(ShardRunner, ManifestDistinguishesExecFailure) {
   const std::string status =
       manifest.at("shards").at(0).at("attempts").at(0).at("status").as_string();
   EXPECT_NE(status.find("exec failure (exit 127)"), std::string::npos) << status;
+}
+
+TEST(ShardMerge, WorkerSnapshotsMergeInNumericSerialOrder) {
+  // Worker metrics are keyed by pool admission serial (a number, not a
+  // string): serial 10 must merge AFTER serial 2, so its gauges win
+  // last-write-wins deterministically. A string-keyed map would order
+  // "10" < "2" and flip the result.
+  std::map<long, obs::MetricsSnapshot> by_worker;
+  by_worker[10].counters["shards.done"] = 7;
+  by_worker[10].gauges["worker.serial"] = 10.0;
+  by_worker[2].counters["shards.done"] = 3;
+  by_worker[2].gauges["worker.serial"] = 2.0;
+  by_worker[2].histograms["lat"].stats.add(4.0);
+  by_worker[2].histograms["lat"].buckets.assign(obs::Histogram::kBucketCount, 0);
+  by_worker[2].histograms["lat"].buckets[obs::Histogram::bucket_index(4.0)] = 1;
+
+  const obs::MetricsSnapshot merged = merge_worker_snapshots(by_worker);
+  EXPECT_EQ(merged.counters.at("shards.done"), 10u);
+  EXPECT_DOUBLE_EQ(merged.gauges.at("worker.serial"), 10.0);
+  EXPECT_EQ(merged.histograms.at("lat").stats.count(), 1u);
+}
+
+TEST(ShardRunner, AdaptiveSplitIsBitIdenticalAndRecordedInManifest) {
+  const std::string manifest_path =
+      testing::TempDir() + "haste_shard_split_manifest.json";
+  ShardOptions options = self_options(2);
+  // One wide shard covering every trial: without work stealing one worker
+  // would run the whole sweep while the other idles.
+  options.trials_per_shard = 12;
+  options.manifest_path = manifest_path;
+
+  const TrialResults reference = run_trials(tiny_config(), tiny_variants(), 12, 404);
+  const TrialResults sharded =
+      run_trials_sharded(tiny_config(), tiny_variants(), 12, 404, options);
+  expect_results_equal(sharded, reference);
+
+  const util::Json manifest = util::load_json_file(manifest_path);
+  EXPECT_TRUE(manifest.at("adaptive_shards").as_bool());
+  EXPECT_EQ(manifest.at("planned_shards").as_int(), 1);
+  EXPECT_GE(manifest.at("splits").as_int(), 1);
+  EXPECT_EQ(manifest.at("final_shards").as_int(),
+            manifest.at("planned_shards").as_int() + manifest.at("splits").as_int());
+  const util::Json& shards = manifest.at("shards");
+  EXPECT_EQ(static_cast<std::int64_t>(shards.size()),
+            manifest.at("final_shards").as_int());
+  // Stolen shards carry their lineage; together the entries must still tile
+  // [0, trials) disjointly.
+  std::vector<std::pair<int, int>> ranges;
+  int split_children = 0;
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const util::Json& entry = shards.at(s);
+    EXPECT_TRUE(entry.at("done").as_bool());
+    ranges.emplace_back(static_cast<int>(entry.at("trial_begin").as_int()),
+                        static_cast<int>(entry.at("trial_end").as_int()));
+    if (entry.contains("split_from")) ++split_children;
+  }
+  EXPECT_EQ(split_children, static_cast<int>(manifest.at("splits").as_int()));
+  std::sort(ranges.begin(), ranges.end());
+  int expected_begin = 0;
+  for (const auto& [begin, end] : ranges) {
+    EXPECT_EQ(begin, expected_begin);
+    EXPECT_LT(begin, end);
+    expected_begin = end;
+  }
+  EXPECT_EQ(expected_begin, 12);
+}
+
+TEST(ShardRunner, AdaptiveSplitsCanBeDisabled) {
+  const std::string manifest_path =
+      testing::TempDir() + "haste_shard_no_split_manifest.json";
+  ShardOptions options = self_options(2);
+  options.trials_per_shard = 12;
+  options.adaptive_shards = false;
+  options.manifest_path = manifest_path;
+  const TrialResults reference = run_trials(tiny_config(), tiny_variants(), 12, 404);
+  const TrialResults sharded =
+      run_trials_sharded(tiny_config(), tiny_variants(), 12, 404, options);
+  expect_results_equal(sharded, reference);
+  const util::Json manifest = util::load_json_file(manifest_path);
+  EXPECT_FALSE(manifest.at("adaptive_shards").as_bool());
+  EXPECT_EQ(manifest.at("splits").as_int(), 0);
+  EXPECT_EQ(manifest.at("shards").size(), 1u);
 }
 
 TEST(ShardRunner, ManifestRecordsSignalDeathByName) {

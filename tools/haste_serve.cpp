@@ -5,6 +5,7 @@
 //   haste_serve [--listen ADDR] [--token SECRET] [--max-sessions N]
 //               [--quota N] [--threads N] [--auth-wait SECONDS]
 //               [--trace FILE] [--metrics-out FILE]
+//               [--metrics-listen ADDR] [--trace-ring N] [--flush-ms MS]
 //     Binds ADDR (default 127.0.0.1:0 — an ephemeral loopback port), prints
 //     "haste_serve: listening on HOST:PORT" to stdout (the line spawners
 //     scrape for the bound port), and serves scheduling sessions until
@@ -12,6 +13,18 @@
 //     every opened session receives its result, then metrics and trace are
 //     flushed. $HASTE_SERVE_TOKEN and $HASTE_TRACE are the env equivalents
 //     of --token and --trace.
+//
+//     --metrics-listen opens a second (unauthenticated, loopback-intended)
+//     listener answering every connection with one HTTP/1.0 plain-text dump
+//     of the live metric registry — `curl http://HOST:PORT/metrics` or a
+//     bare TCP read both work, including while the daemon drains. The bound
+//     address is printed as "haste_serve: metrics on HOST:PORT".
+//     --trace-ring caps the tracer's in-memory event buffer at N events
+//     (drop-oldest; drops are counted under trace.dropped), and --flush-ms
+//     starts a background flusher that samples windowed registry deltas
+//     into trace counter tracks every MS milliseconds — together they make
+//     an always-on trace safe for long runs and give Perfetto rates instead
+//     of monotone totals.
 //
 // Replay mode (a client):
 //   haste_serve --connect HOST:PORT --replay SCENARIO.json [--verify]
@@ -38,6 +51,7 @@
 #include <chrono>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -105,7 +119,12 @@ int serve_main(const util::Flags& flags) {
   options.arrival_quota = static_cast<std::size_t>(flags.get_int("quota", 1024));
   options.threads = static_cast<std::size_t>(flags.get_int("threads", 0));
   options.auth_timeout_seconds = flags.get_double("auth-wait", 2.0);
+  options.metrics_address = flags.get("metrics-listen");
 
+  const long ring = flags.get_int("trace-ring", 0);
+  if (ring > 0) {
+    obs::Tracer::instance().set_ring_capacity(static_cast<std::size_t>(ring));
+  }
   std::string trace_path = flags.get("trace");
   if (trace_path.empty()) {
     if (const char* env_trace = std::getenv("HASTE_TRACE")) trace_path = env_trace;
@@ -117,12 +136,25 @@ int serve_main(const util::Flags& flags) {
 
   serve::Server server(options);
   serve::Server::install_signal_drain(&server);
-  // The spawn contract: the bound address is the first stdout line, flushed
-  // before serving so a parent scraping the pipe never blocks.
+  // The spawn contract: the bound addresses are flushed to stdout before
+  // serving, so a parent scraping the pipe never blocks (the metrics line,
+  // when present, precedes the "listening on" line spawners key on).
+  if (!server.metrics_address().empty()) {
+    std::cout << "haste_serve: metrics on " << server.metrics_address() << std::endl;
+  }
   std::cout << "haste_serve: listening on " << server.address() << std::endl;
+
+  // The flusher samples windowed registry deltas into trace counter tracks
+  // while the daemon serves; its samples are no-ops unless tracing is on.
+  std::unique_ptr<obs::MetricsFlusher> flusher;
+  const long flush_ms = flags.get_int("flush-ms", 0);
+  if (!trace_path.empty() && flush_ms > 0) {
+    flusher = std::make_unique<obs::MetricsFlusher>(static_cast<int>(flush_ms));
+  }
 
   server.run();
 
+  if (flusher) flusher->stop();  // final window before the trace is written
   if (!trace_path.empty()) {
     obs::Tracer::instance().stop();
     std::cout << "trace written to " << trace_path << "\n";
@@ -195,8 +227,13 @@ int replay_main(const util::Flags& flags) {
 // ------------------------------------------------------------ self-test mode
 
 /// Reads the child daemon's stdout until the "listening on" line appears.
-std::string wait_for_address(util::Subprocess& child, double timeout_seconds) {
+/// The metrics listener's address line precedes it; when `metrics_address`
+/// is non-null, it receives that address (or stays empty if the child has
+/// no metrics listener).
+std::string wait_for_address(util::Subprocess& child, double timeout_seconds,
+                             std::string* metrics_address = nullptr) {
   static const std::string kPrefix = "haste_serve: listening on ";
+  static const std::string kMetricsPrefix = "haste_serve: metrics on ";
   util::LineBuffer lines;
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration<double>(timeout_seconds);
@@ -212,8 +249,32 @@ std::string wait_for_address(util::Subprocess& child, double timeout_seconds) {
       throw std::runtime_error("child daemon exited before reporting its address");
     }
     for (const std::string& line : lines.feed(buffer, static_cast<std::size_t>(n))) {
+      if (metrics_address != nullptr && line.rfind(kMetricsPrefix, 0) == 0) {
+        *metrics_address = line.substr(kMetricsPrefix.size());
+      }
       if (line.rfind(kPrefix, 0) == 0) return line.substr(kPrefix.size());
     }
+  }
+}
+
+/// One metrics scrape over raw TCP: sends an HTTP GET line and reads the
+/// response to EOF. Returns the full response (headers + body).
+std::string scrape_metrics(const std::string& address) {
+  util::TcpSocket socket = util::TcpSocket::connect(address);
+  socket.write_all("GET /metrics HTTP/1.0\r\n\r\n");
+  std::string response;
+  char buffer[4096];
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  for (;;) {
+    if (std::chrono::steady_clock::now() > deadline) {
+      throw std::runtime_error("metrics scrape timed out");
+    }
+    if (util::poll_readable({socket.fd()}, 200).empty()) continue;
+    const ssize_t n = ::read(socket.fd(), buffer, sizeof(buffer));
+    if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+    if (n <= 0) return response;  // server closed: the response is complete
+    response.append(buffer, static_cast<std::size_t>(n));
   }
 }
 
@@ -283,14 +344,17 @@ int self_test_main(const util::Flags& flags, const std::string& self) {
                                    "--max-sessions",
                                    std::to_string(sessions + 8),
                                    "--metrics-out",
-                                   metrics_path};
+                                   metrics_path,
+                                   "--metrics-listen",
+                                   "127.0.0.1:0"};
   const std::string trace_path = flags.get("trace");
   if (!trace_path.empty()) {
     argv.push_back("--trace");
     argv.push_back(trace_path);
   }
   util::Subprocess child = util::Subprocess::spawn(argv);
-  const std::string address = wait_for_address(child, 30.0);
+  std::string metrics_address;
+  const std::string address = wait_for_address(child, 30.0, &metrics_address);
   std::cout << "self-test: child daemon pid " << child.pid() << " on " << address
             << ", " << sessions << " concurrent session(s)"
             << (drain ? ", drained mid-stream" : "") << "\n";
@@ -335,6 +399,31 @@ int self_test_main(const util::Flags& flags, const std::string& self) {
     child.kill(SIGTERM);
   }
   for (std::thread& client : clients) client.join();
+
+  // Scrape the live daemon's metrics endpoint before asking it to exit: the
+  // text exposition must carry the replan-latency quantiles. (Skipped in the
+  // drain variant — the daemon is already on its way down there.)
+  std::string scrape_error;
+  if (!drain) {
+    try {
+      if (metrics_address.empty()) {
+        scrape_error = "child daemon never reported its metrics address";
+      } else {
+        const std::string response = scrape_metrics(metrics_address);
+        for (const char* needle :
+             {"online.replan.latency_us.p50 ", "online.replan.latency_us.p99 ",
+              "serve.sessions.finished "}) {
+          if (response.find(needle) == std::string::npos) {
+            scrape_error = std::string("metrics scrape lacks \"") + needle + "\"";
+            break;
+          }
+        }
+      }
+    } catch (const std::exception& error) {
+      scrape_error = error.what();
+    }
+  }
+
   if (!drain) child.kill(SIGTERM);
 
   const util::ExitStatus status = child.wait();
@@ -348,6 +437,10 @@ int self_test_main(const util::Flags& flags, const std::string& self) {
   if (!(status.exited && status.exit_code == 0)) {
     std::cerr << "SELF-TEST FAILED: child daemon " << status.describe()
               << " (want exit 0 after drain)\n";
+    ++failures;
+  }
+  if (!scrape_error.empty()) {
+    std::cerr << "SELF-TEST FAILED: live metrics scrape: " << scrape_error << "\n";
     ++failures;
   }
   const std::string metrics_error = check_metrics(metrics_path, drain ? 0 : sessions);

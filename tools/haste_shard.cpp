@@ -20,6 +20,10 @@
 //   --workers W              local worker processes (default 2;
 //                            0 with --serve)
 //   --shard-trials K         trials per shard (default: ~4 shards/worker)
+//   --no-adaptive            disable work-stealing shard splitting (wide
+//                            shards are split at assignment time to keep the
+//                            pool busy; results are bit-identical either way)
+//   --min-steal-trials K     smallest chunk a split may carve off (default 2)
 //   --shard-timeout SEC      kill + requeue a shard past this (default 300)
 //   --manifest PATH          write per-shard attempt telemetry JSON
 //   --out PATH               write the merged summary JSON
@@ -37,6 +41,10 @@
 //                            HASTE_TRACE=FILE is the env equivalent.
 //   --metrics-out FILE       write the driver's metric registry plus the
 //                            merged worker metrics as JSON
+//   --trace-ring N           cap the tracer's event buffer at N events
+//                            (drop-oldest; drops count under trace.dropped)
+//   --flush-ms MS            sample windowed registry deltas into trace
+//                            counter tracks every MS milliseconds
 //
 // TCP transport (multi-host):
 //   --serve HOST:PORT        listen for TCP workers and add them to the pool
@@ -65,6 +73,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -217,12 +226,18 @@ int main(int argc, char** argv) {
     }
     options.connect_wait_seconds = flags.get_double("connect-wait", 30.0);
     options.trials_per_shard = static_cast<int>(flags.get_int("shard-trials", 0));
+    options.adaptive_shards = !flags.get_bool("no-adaptive");
+    options.min_steal_trials = static_cast<int>(flags.get_int("min-steal-trials", 2));
     options.shard_timeout_seconds = flags.get_double("shard-timeout", 300.0);
     options.manifest_path = flags.get("manifest");
     if (flags.has("inject")) {
       options.inject_first_attempt = parse_inject(flags.get("inject"));
     }
 
+    const long ring = flags.get_int("trace-ring", 0);
+    if (ring > 0) {
+      obs::Tracer::instance().set_ring_capacity(static_cast<std::size_t>(ring));
+    }
     std::string trace_path = flags.get("trace");
     if (trace_path.empty()) {
       if (const char* env_trace = std::getenv("HASTE_TRACE")) trace_path = env_trace;
@@ -234,6 +249,14 @@ int main(int argc, char** argv) {
     if (!trace_path.empty()) {
       obs::Tracer::instance().start_file(trace_path);
       obs::Tracer::instance().process_name("haste_shard driver");
+    }
+    // Periodic counter sampling while the run is in flight (no-op samples
+    // unless the tracer is on); stopped — with one final window — before
+    // the trace file is written.
+    std::unique_ptr<obs::MetricsFlusher> flusher;
+    const long flush_ms = flags.get_int("flush-ms", 0);
+    if (!trace_path.empty() && flush_ms > 0) {
+      flusher = std::make_unique<obs::MetricsFlusher>(static_cast<int>(flush_ms));
     }
 
     util::Table table({"x", "variant", "mean_utility", "ci95"});
@@ -300,6 +323,7 @@ int main(int argc, char** argv) {
     }
 
     table.print(std::cout);
+    if (flusher) flusher->stop();
     if (!trace_path.empty()) {
       obs::Tracer::instance().stop();
       std::cout << "trace written to " << trace_path << "\n";

@@ -16,6 +16,16 @@
 //                         "histograms": ...}) or an object of named
 //                         snapshots (haste_shard writes {"driver": ...,
 //                         "workers": ...})
+//   --check-counters      validate every "C" (counter-sample) series: within
+//                         one (pid, name) series, timestamps must be
+//                         non-decreasing in file order; the trace.dropped
+//                         series must additionally be non-decreasing in
+//                         value (it is emitted cumulatively by the metrics
+//                         flusher) and, when --metrics is given, its final
+//                         sample must not exceed the registry's trace.dropped
+//                         total
+//   --require-counter NAME  require the --metrics file to carry counter NAME
+//                         with a value >= 1 in some snapshot
 //
 // Checks, beyond per-event schema: within every (pid, tid) track the "X"
 // spans must properly nest (partial overlap would render as a corrupted
@@ -94,7 +104,8 @@ int main(int argc, char** argv) {
   const haste::util::Flags flags = haste::util::Flags::parse(argc, argv);
   if (flags.positional().size() != 1) {
     std::cerr << "usage: trace_check TRACE.json [--min-pids N] "
-                 "[--require-name NAME] [--min-count N] [--metrics FILE]\n";
+                 "[--require-name NAME] [--min-count N] [--metrics FILE] "
+                 "[--check-counters] [--require-counter NAME]\n";
     return 2;
   }
 
@@ -107,6 +118,17 @@ int main(int argc, char** argv) {
     std::map<std::pair<std::int64_t, std::int64_t>, std::vector<SpanInterval>> tracks;
     std::size_t named_hits = 0;
     const std::string required_name = flags.get("require-name");
+    const bool check_counters = flags.get_bool("check-counters");
+    // Per (pid, counter-name) series state, in file order: last timestamp
+    // (all series), last value (trace.dropped only — the one emitted
+    // cumulatively, so non-decreasing is a hard invariant).
+    struct CounterSeries {
+      std::int64_t last_ts = -1;
+      double last_value = -1.0;
+      std::size_t samples = 0;
+    };
+    std::map<std::pair<std::int64_t, std::string>, CounterSeries> counter_series;
+    double max_dropped_sampled = -1.0;
 
     for (std::size_t e = 0; e < events.size(); ++e) {
       const Json& event = events.at(e);
@@ -131,6 +153,28 @@ int main(int argc, char** argv) {
       }
       if (ph == "i" && event.at("s").as_string().empty()) {
         return fail(where + " instant lacks a scope");
+      }
+      if (ph == "C" && check_counters) {
+        const std::int64_t ts = event.at("ts").as_int();
+        const double value = event.at("args").at("value").as_number();
+        CounterSeries& series = counter_series[{pid, name}];
+        if (series.samples > 0 && ts < series.last_ts) {
+          return fail(where + ": counter \"" + name + "\" (pid " +
+                      std::to_string(pid) + ") went back in time: ts " +
+                      std::to_string(ts) + " after " +
+                      std::to_string(series.last_ts));
+        }
+        if (name == "trace.dropped") {
+          if (series.samples > 0 && value < series.last_value) {
+            return fail(where + ": trace.dropped decreased from " +
+                        std::to_string(series.last_value) + " to " +
+                        std::to_string(value) + " (must be cumulative)");
+          }
+          max_dropped_sampled = std::max(max_dropped_sampled, value);
+        }
+        series.last_ts = ts;
+        series.last_value = value;
+        ++series.samples;
       }
     }
 
@@ -167,16 +211,48 @@ int main(int argc, char** argv) {
                   required_name + "\", need " + std::to_string(min_count));
     }
 
+    const std::string required_counter = flags.get("require-counter");
+    if (!required_counter.empty() && !flags.has("metrics")) {
+      return fail("--require-counter needs --metrics to inspect");
+    }
     if (flags.has("metrics")) {
       const Json metrics = haste::util::load_json_file(flags.get("metrics"));
+      bool counter_found = false;
+      std::uint64_t registry_dropped = 0;
+      const auto inspect = [&](const std::string& label,
+                               const Json& snapshot) -> std::string {
+        const std::string error = check_snapshot(label, snapshot);
+        if (!error.empty()) return error;
+        const Json& counters = snapshot.at("counters");
+        if (!required_counter.empty() && counters.contains(required_counter) &&
+            std::stoull(counters.at(required_counter).as_string()) >= 1) {
+          counter_found = true;
+        }
+        if (counters.contains("trace.dropped")) {
+          registry_dropped = std::max<std::uint64_t>(
+              registry_dropped,
+              std::stoull(counters.at("trace.dropped").as_string()));
+        }
+        return "";
+      };
       if (metrics.contains("counters")) {
-        const std::string error = check_snapshot("snapshot", metrics);
+        const std::string error = inspect("snapshot", metrics);
         if (!error.empty()) return fail(error);
       } else {
         for (const auto& [label, snapshot] : metrics.items()) {
-          const std::string error = check_snapshot(label, snapshot);
+          const std::string error = inspect(label, snapshot);
           if (!error.empty()) return fail(error);
         }
+      }
+      if (!required_counter.empty() && !counter_found) {
+        return fail("no snapshot carries counter \"" + required_counter +
+                    "\" with a value >= 1");
+      }
+      // The flusher emits trace.dropped cumulatively, so no sample can ever
+      // exceed what the registry accumulated by the end of the run.
+      if (check_counters && max_dropped_sampled > static_cast<double>(registry_dropped)) {
+        return fail("sampled trace.dropped " + std::to_string(max_dropped_sampled) +
+                    " exceeds the registry total " + std::to_string(registry_dropped));
       }
     }
 
