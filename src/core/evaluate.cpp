@@ -9,8 +9,10 @@ namespace haste::core {
 
 namespace {
 
-/// Shared slot-playback loop. Calls `deposit(task, joules_real, joules_relaxed)`
-/// for every (charger, slot, task) power contribution.
+/// Shared slot-playback loop. Calls
+/// `deposit(slot, task, joules_real, joules_relaxed)` for every
+/// (charger, slot, task) power contribution; the slot lets deadline-aware
+/// callers apply the per-(task, slot) tardiness discount.
 template <typename Deposit>
 int play_schedule(const model::Network& net, const model::Schedule& schedule,
                   model::SlotIndex slots, Deposit&& deposit) {
@@ -53,7 +55,7 @@ int play_schedule(const model::Network& net, const model::Schedule& schedule,
         if (!net.tasks()[static_cast<std::size_t>(j)].active(k)) continue;
         if (!charger_arcs[t].contains(*orientation)) continue;
         const double watts = net.potential_power(i, j);
-        deposit(j, watts * real_seconds, watts * slot_seconds);
+        deposit(k, j, watts * real_seconds, watts * slot_seconds);
       }
     }
   }
@@ -65,22 +67,37 @@ int play_schedule(const model::Network& net, const model::Schedule& schedule,
 EvaluationResult evaluate_schedule(const model::Network& net,
                                    const model::Schedule& schedule) {
   const auto m = static_cast<std::size_t>(net.task_count());
+  const bool deadlines = net.has_deadlines();
   EvaluationResult result;
   result.task_energy.assign(m, 0.0);
+  result.task_effective_energy.assign(m, 0.0);
   std::vector<double> relaxed_energy(m, 0.0);
 
   result.switches = play_schedule(
       net, schedule, schedule.horizon(),
-      [&](model::TaskIndex j, double joules_real, double joules_relaxed) {
-        result.task_energy[static_cast<std::size_t>(j)] += joules_real;
-        relaxed_energy[static_cast<std::size_t>(j)] += joules_relaxed;
+      [&](model::SlotIndex k, model::TaskIndex j, double joules_real,
+          double joules_relaxed) {
+        const auto idx = static_cast<std::size_t>(j);
+        result.task_energy[idx] += joules_real;
+        if (deadlines) {
+          // Tardy harvest counts at the discounted rate; factor == 1 skips
+          // the multiply so deadline-free deposits keep their exact bits.
+          const double factor = net.tardiness_factor(j, k);
+          if (factor == 0.0) return;
+          if (factor != 1.0) {
+            joules_real *= factor;
+            joules_relaxed *= factor;
+          }
+        }
+        result.task_effective_energy[idx] += joules_real;
+        relaxed_energy[idx] += joules_relaxed;
       });
 
   result.task_utility.assign(m, 0.0);
   for (std::size_t j = 0; j < m; ++j) {
     const model::Task& task = net.tasks()[j];
-    result.task_utility[j] =
-        model::task_utility(net.utility_shape(), result.task_energy[j], task.required_energy);
+    result.task_utility[j] = model::task_utility(
+        net.utility_shape(), result.task_effective_energy[j], task.required_energy);
     result.weighted_utility += task.weight * result.task_utility[j];
     result.relaxed_weighted_utility +=
         net.weighted_task_utility(static_cast<model::TaskIndex>(j), relaxed_energy[j]);
@@ -92,9 +109,16 @@ std::vector<double> prefix_task_energy(const model::Network& net,
                                        const model::Schedule& schedule,
                                        model::SlotIndex slots) {
   std::vector<double> energy(static_cast<std::size_t>(net.task_count()), 0.0);
+  const bool deadlines = net.has_deadlines();
   slots = std::min(slots, schedule.horizon());
   play_schedule(net, schedule, slots,
-                [&](model::TaskIndex j, double joules_real, double) {
+                [&](model::SlotIndex k, model::TaskIndex j, double joules_real,
+                    double) {
+                  if (deadlines) {
+                    const double factor = net.tardiness_factor(j, k);
+                    if (factor == 0.0) return;
+                    if (factor != 1.0) joules_real *= factor;
+                  }
                   energy[static_cast<std::size_t>(j)] += joules_real;
                 });
   return energy;

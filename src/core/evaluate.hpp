@@ -13,8 +13,14 @@
 namespace haste::core {
 
 /// Outcome of playing a schedule.
+///
+/// On a deadline-driven instance (Network::has_deadlines()), utilities are
+/// computed on *effective* energy — each slot's harvest discounted by the
+/// task's tardiness factor — while task_energy keeps reporting the physical
+/// (undiscounted) joules. On a deadline-free instance the two coincide.
 struct EvaluationResult {
   std::vector<double> task_energy;    ///< harvested J per task (switching-aware)
+  std::vector<double> task_effective_energy;  ///< deadline-discounted J per task
   std::vector<double> task_utility;   ///< unweighted U_j in [0, 1]
   double weighted_utility = 0.0;      ///< the paper's overall charging utility
   double relaxed_weighted_utility = 0.0;  ///< same schedule, rho treated as 0
@@ -25,9 +31,11 @@ struct EvaluationResult {
 EvaluationResult evaluate_schedule(const model::Network& net,
                                    const model::Schedule& schedule);
 
-/// Per-task harvested energy of the first `slots` slots only (prefix
-/// evaluation; used by the online simulator to snapshot "energy so far"
-/// before a re-plan). Switching-aware.
+/// Per-task *effective* harvested energy of the first `slots` slots only
+/// (prefix evaluation; used by the online simulator to snapshot "energy so
+/// far" before a re-plan). Switching-aware, deadline-discounted — the value
+/// a re-planning MarginalEngine must be seeded with so its utilities agree
+/// with the evaluator's.
 std::vector<double> prefix_task_energy(const model::Network& net,
                                        const model::Schedule& schedule,
                                        model::SlotIndex slots);

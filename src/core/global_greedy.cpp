@@ -1,5 +1,6 @@
 #include "core/global_greedy.hpp"
 
+#include <algorithm>
 #include <queue>
 #include <vector>
 
@@ -20,15 +21,23 @@ struct Element {
 
 /// Heap entry: a cached gain for one element. `stamp` is the engine's commit
 /// count when the gain was evaluated; whether the cached value is still
-/// trustworthy depends on the evaluation mode (see header).
+/// trustworthy depends on the evaluation mode (see header). `urgency` is the
+/// element's earliest task deadline (Task::kNoDeadline without deadlines), a
+/// static per-element property used only to break exact gain ties.
 struct HeapEntry {
   double bound;
+  model::SlotIndex urgency;
   std::int32_t element;
   std::uint64_t stamp;
 
   bool operator<(const HeapEntry& other) const {
     if (bound != other.bound) return bound < other.bound;
-    // Deterministic tie order: the lower element id — i.e. the lower
+    // EDF-biased tie order: among equal gains, the element serving the most
+    // urgent deadline wins. On a deadline-free instance every urgency is the
+    // kNoDeadline sentinel, so this clause is inert and the historical order
+    // is preserved.
+    if (urgency != other.urgency) return urgency > other.urgency;
+    // Deterministic final tie order: the lower element id — i.e. the lower
     // (partition, policy) pair — wins.
     return element > other.element;
   }
@@ -49,6 +58,21 @@ GlobalGreedyResult schedule_global_greedy_over(
     for (std::size_t q = 0; q < partitions[p].policies.size(); ++q) {
       elements.push_back(
           Element{static_cast<std::int32_t>(p), static_cast<std::int32_t>(q)});
+    }
+  }
+
+  // Per-element urgency for the EDF tie-break: the earliest deadline among
+  // the policy's tasks. Static (deadlines never move), so computed once.
+  std::vector<model::SlotIndex> urgency(elements.size(), model::Task::kNoDeadline);
+  if (net.has_deadlines()) {
+    for (std::size_t e = 0; e < elements.size(); ++e) {
+      const Element& el = elements[e];
+      const PolicyPartition& partition =
+          partitions[static_cast<std::size_t>(el.partition)];
+      for (model::TaskIndex j : partition.policy_tasks(static_cast<std::size_t>(el.policy))) {
+        urgency[e] = std::min(urgency[e],
+                              net.tasks()[static_cast<std::size_t>(j)].deadline_slot);
+      }
     }
   }
 
@@ -142,7 +166,7 @@ GlobalGreedyResult schedule_global_greedy_over(
 
   std::priority_queue<HeapEntry> heap;
   for (std::size_t e = 0; e < elements.size(); ++e) {
-    heap.push(HeapEntry{initial_gain[e], static_cast<std::int32_t>(e), 0});
+    heap.push(HeapEntry{initial_gain[e], urgency[e], static_cast<std::int32_t>(e), 0});
   }
 
   std::vector<bool> partition_filled(partitions.size(), false);

@@ -39,6 +39,12 @@
 // of re-queueing it). Evaluation counts are ordered incremental <= lazy <=
 // eager. The initial heap build is evaluated in parallel (all marginals are
 // independent before the first commit).
+//
+// On deadline-driven instances (Network::has_deadlines()) exact gain ties
+// break EDF-first: among equal marginals, the element whose policy serves
+// the earliest task deadline commits first. Deadline-free instances keep the
+// historical lower-element-id tie order (the urgency key is the kNoDeadline
+// sentinel everywhere, so the clause is inert).
 #pragma once
 
 #include "core/objective.hpp"

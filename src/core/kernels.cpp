@@ -113,6 +113,17 @@ UtilityTable UtilityTable::from(const model::Network& net) {
     table.weight.push_back(task.weight);
     table.required.push_back(task.required_energy);
   }
+  table.deadline_policy = net.deadline_policy();
+  table.has_deadlines = net.has_deadlines();
+  if (table.has_deadlines) {
+    table.deadline.reserve(tasks.size());
+    table.infeasible.reserve(tasks.size());
+    for (std::size_t j = 0; j < tasks.size(); ++j) {
+      table.deadline.push_back(tasks[j].deadline_slot);
+      table.infeasible.push_back(
+          net.deadline_infeasible(static_cast<model::TaskIndex>(j)) ? 1 : 0);
+    }
+  }
   return table;
 }
 
@@ -174,6 +185,23 @@ void row_terms_panel(const UtilityTable& table, const double* energy,
       row_terms_panel_impl(CustomShapeOp{table.shape}, table, energy, stride,
                            samples, rows, out);
       break;
+  }
+}
+
+void tardiness_factors(const UtilityTable& table,
+                       std::span<const model::TaskIndex> tasks, model::SlotIndex k,
+                       double* out) {
+  const std::size_t n = tasks.size();
+  if (!table.has_deadlines) {
+    for (std::size_t t = 0; t < n; ++t) out[t] = 1.0;
+    return;
+  }
+  const model::SlotIndex* deadline = table.deadline.data();
+  const std::uint8_t* infeasible = table.infeasible.data();
+  for (std::size_t t = 0; t < n; ++t) {
+    const std::size_t j = static_cast<std::size_t>(tasks[t]);
+    out[t] = infeasible[j] != 0 ? 0.0
+                                : table.deadline_policy.slot_factor(k, deadline[j]);
   }
 }
 

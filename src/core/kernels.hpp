@@ -47,6 +47,15 @@ struct UtilityTable {
   std::vector<double> required;  ///< per task: required energy E_j
   const model::UtilityShape* shape = nullptr;  ///< fallback for kCustom
 
+  // Deadline columns (scenario diversity: deadline-driven tasks). Rows are
+  // discounted at partition-construction time, so the marginal kernels above
+  // never touch these; they exist so batch builders can price a whole row
+  // batch's tardiness factors in one flat sweep (tardiness_factors below).
+  model::DeadlinePolicy deadline_policy;
+  bool has_deadlines = false;                ///< Network::has_deadlines()
+  std::vector<model::SlotIndex> deadline;    ///< per task; kNoDeadline if free
+  std::vector<std::uint8_t> infeasible;      ///< per task: hard-mode pruned
+
   /// Builds the columns from the network (one gather per task).
   static UtilityTable from(const model::Network& net);
 
@@ -57,6 +66,16 @@ struct UtilityTable {
   /// Weighted utility of task `j` at energy `x`; bit-identical to
   /// Network::weighted_task_utility(j, x).
   double weighted_utility(model::TaskIndex j, double x) const;
+
+  /// Deadline discount of task `j` in slot `k`; bit-identical to
+  /// Network::tardiness_factor(j, k) (both reduce to
+  /// model::DeadlinePolicy::slot_factor on the same inputs).
+  double tardiness_factor(model::TaskIndex j, model::SlotIndex k) const {
+    if (!has_deadlines) return 1.0;
+    const std::size_t idx = static_cast<std::size_t>(j);
+    if (infeasible[idx] != 0) return 0.0;
+    return deadline_policy.slot_factor(k, deadline[idx]);
+  }
 };
 
 /// One batch of policy rows in SoA form. `weight`/`required` are either
@@ -98,5 +117,16 @@ double row_term_sum(const UtilityTable& table, const double* energy,
 void row_terms_panel(const UtilityTable& table, const double* energy,
                      std::size_t stride, std::span<const int> samples,
                      const RowView& rows, double* out);
+
+/// Batched deadline discounts: out[t] = table.tardiness_factor(tasks[t], k)
+/// for every row — one flat sweep over the SoA deadline columns. The
+/// partition builders instead test `k >= deadline` per row and call
+/// DeadlinePolicy::slot_factor only on binding rows (the common all-inert
+/// case must price nothing); this batched form stays for consumers that
+/// want a whole row batch per slot, and is pinned bit-equal to the scalar
+/// Network::tardiness_factor by the deadline test battery.
+void tardiness_factors(const UtilityTable& table,
+                       std::span<const model::TaskIndex> tasks, model::SlotIndex k,
+                       double* out);
 
 }  // namespace haste::core::kernels

@@ -72,6 +72,7 @@ std::vector<Policy> make_slot_policies(const model::Network& net, model::Charger
                                        const std::vector<DominantTaskSet>& dominant,
                                        model::SlotIndex slot) {
   const double slot_seconds = net.time().slot_seconds;
+  const bool deadlines = net.has_deadlines();
   std::vector<Policy> policies;
   policies.reserve(dominant.size());
   for (const DominantTaskSet& set : dominant) {
@@ -79,8 +80,20 @@ std::vector<Policy> make_slot_policies(const model::Network& net, model::Charger
     policy.orientation = set.orientation;
     for (model::TaskIndex j : set.tasks) {
       if (net.tasks()[static_cast<std::size_t>(j)].active(slot)) {
+        double energy = net.potential_power(i, j) * slot_seconds;
+        if (deadlines) {
+          // Deadline discount, applied at row construction so every consumer
+          // (greedy, kernels, brute force, the message protocol) prices the
+          // same effective energy. A zero factor (hard-tardy or infeasible
+          // row) drops the row before it enters the partition; a unit factor
+          // skips the multiply so pre-deadline rows stay bit-identical to
+          // the deadline-free expression.
+          const double factor = net.tardiness_factor(j, slot);
+          if (factor == 0.0) continue;
+          if (factor != 1.0) energy *= factor;
+        }
         policy.tasks.push_back(j);
-        policy.slot_energy.push_back(net.potential_power(i, j) * slot_seconds);
+        policy.slot_energy.push_back(energy);
       }
     }
     if (policy.tasks.empty()) continue;
@@ -101,18 +114,26 @@ std::vector<PolicyPartition> build_partitions_impl(
     const std::vector<std::vector<model::TaskIndex>>& candidates_per_charger) {
   const model::ChargerIndex n = net.charger_count();
   const double slot_seconds = net.time().slot_seconds;
+  const bool deadlines = net.has_deadlines();
   // A dominant set pre-resolved once per charger: its covered rows with the
   // slot-invariant per-slot energy (the power law is fixed per (charger,
   // task)) and each row's activity window. The slot loop below then only
   // window-filters these rows instead of re-deriving power and activity per
   // (slot, charger, row) the way make_slot_policies does — same policies,
-  // bit-identical energies, a fraction of the work.
+  // bit-identical energies, a fraction of the work. Deadline discounts are
+  // slot-dependent and applied inside the slot loop.
   struct ResolvedSet {
     double orientation = 0.0;
     std::vector<model::TaskIndex> tasks;
     std::vector<double> energy;
     std::vector<model::SlotIndex> release;
     std::vector<model::SlotIndex> end;
+    // Deadline columns, filled only when the network carries deadlines: the
+    // row's deadline_slot (kNoDeadline when free — slot_factor treats that
+    // as never binding) with infeasible hard-mode rows pre-collapsed to a
+    // deadline of 0 so the slot loop's single `k >= deadline` test covers
+    // both "tardy" and "never worth a row".
+    std::vector<model::SlotIndex> deadline;
   };
   std::vector<std::vector<ResolvedSet>> resolved(static_cast<std::size_t>(n));
   for (model::ChargerIndex i = 0; i < n; ++i) {
@@ -127,16 +148,21 @@ std::vector<PolicyPartition> build_partitions_impl(
       rows.energy.reserve(set.tasks.size());
       rows.release.reserve(set.tasks.size());
       rows.end.reserve(set.tasks.size());
+      if (deadlines) rows.deadline.reserve(set.tasks.size());
       for (model::TaskIndex j : set.tasks) {
         const model::Task& task = net.tasks()[static_cast<std::size_t>(j)];
         rows.tasks.push_back(j);
         rows.energy.push_back(net.potential_power(i, j) * slot_seconds);
         rows.release.push_back(task.release_slot);
         rows.end.push_back(task.end_slot);
+        if (deadlines) {
+          rows.deadline.push_back(net.deadline_infeasible(j) ? 0 : task.deadline_slot);
+        }
       }
       sets.push_back(std::move(rows));
     }
   }
+  const model::DeadlinePolicy& deadline_policy = net.deadline_policy();
   std::vector<PolicyPartition> partitions;
   partitions.reserve(static_cast<std::size_t>(net.horizon() - first_slot) *
                      static_cast<std::size_t>(n));
@@ -154,8 +180,23 @@ std::vector<PolicyPartition> build_partitions_impl(
         policy.slot_energy.reserve(rows.tasks.size());
         for (std::size_t r = 0; r < rows.tasks.size(); ++r) {
           if (rows.release[r] <= k && k < rows.end[r]) {
+            double energy = rows.energy[r];
+            // Same discount rule (and bit pattern) as make_slot_policies:
+            // both reduce to DeadlinePolicy::slot_factor, rows.energy holds
+            // the undiscounted potential * T_s product, factor == 1 rows
+            // reuse it untouched, and factor == 0 rows (hard-tardy or
+            // infeasible) never enter the partition. The `k >= deadline`
+            // pre-test keeps rows whose deadline never binds — including
+            // every row of a deadline-free or inert-deadline instance — on
+            // the exact deadline-free fast path: no factor arithmetic at
+            // all, just this one comparison.
+            if (deadlines && k >= rows.deadline[r]) {
+              const double factor = deadline_policy.slot_factor(k, rows.deadline[r]);
+              if (factor == 0.0) continue;
+              if (factor != 1.0) energy *= factor;
+            }
             policy.tasks.push_back(rows.tasks[r]);
-            policy.slot_energy.push_back(rows.energy[r]);
+            policy.slot_energy.push_back(energy);
           }
         }
         if (policy.tasks.empty()) continue;

@@ -46,6 +46,13 @@ struct TabularCache {
   // of any per-row work (columns and their deltas derive from the network's
   // coverable-task lists, not from walking the ground set).
   std::vector<std::ptrdiff_t> col_of;
+  // Per column: the base (undiscounted) delta the shared term was priced at.
+  // Deadline-driven instances break the slot-invariance premise above for
+  // tardy rows — their slot_energy carries a tardiness discount — so any row
+  // whose delta mismatches its column's is priced fresh per refresh and
+  // never reads or writes the shared term (see refresh_marginal). The
+  // deadline-free overhead is one load-and-compare per row.
+  std::vector<double> col_delta;
   std::vector<double> terms;               // [col * samples + s]
   std::vector<std::uint64_t> versions;     // same layout as `terms`
   std::vector<double> values;              // [(policy_offset[p] + q) * colors + c]
@@ -79,7 +86,6 @@ TabularCache build_tabular_cache(const model::Network& net, const MarginalEngine
   }
   cache.col_of.assign(static_cast<std::size_t>(net.charger_count()) * task_count, -1);
   std::vector<model::TaskIndex> col_task;
-  std::vector<double> col_delta;
   const double slot_seconds = net.time().slot_seconds;
   for (model::ChargerIndex i = 0; i < net.charger_count(); ++i) {
     const std::size_t charger_base = static_cast<std::size_t>(i) * task_count;
@@ -87,9 +93,10 @@ TabularCache build_tabular_cache(const model::Network& net, const MarginalEngine
       cache.col_of[charger_base + static_cast<std::size_t>(j)] =
           static_cast<std::ptrdiff_t>(col_task.size());
       col_task.push_back(j);
-      col_delta.push_back(net.potential_power(i, j) * slot_seconds);
+      cache.col_delta.push_back(net.potential_power(i, j) * slot_seconds);
     }
   }
+  const std::vector<double>& col_delta = cache.col_delta;
   cache.sample_color.assign(partitions.size() * static_cast<std::size_t>(samples), 0);
   cache.terms.assign(col_task.size() * static_cast<std::size_t>(samples), 0.0);
   cache.versions.assign(col_task.size() * static_cast<std::size_t>(samples), 0);
@@ -121,14 +128,22 @@ TabularCache build_tabular_cache(const model::Network& net, const MarginalEngine
         cache.col_of.data() + static_cast<std::size_t>(partition.charger) * task_count;
     for (std::size_t q = 0; q < partition.policies.size(); ++q) {
       const auto tasks = partition.policy_tasks(q);
+      const auto deltas = partition.policy_energy(q);
       // `inner` accumulates the shared terms in policy-row order — the same
       // fold a clean refresh performs per sample — and each matching sample
       // contributes the identical inner (replication), so the initial value
-      // is exactly what a first refresh would return.
+      // is exactly what a first refresh would return. Tardiness-discounted
+      // rows (delta mismatching the column's base delta) are priced fresh,
+      // exactly as refresh_marginal will do; with replicated start energies
+      // one sample-0 term is exact for all samples.
       double inner = 0.0;
       for (std::size_t t = 0; t < tasks.size(); ++t) {
         const auto col = static_cast<std::size_t>(col_of[tasks[t]]);
-        inner += cache.terms[col * static_cast<std::size_t>(samples)];
+        if (deltas[t] == col_delta[col]) {
+          inner += cache.terms[col * static_cast<std::size_t>(samples)];
+        } else {
+          inner += engine.row_term(0, tasks[t], deltas[t]);
+        }
       }
       double* values =
           cache.values.data() + (cache.policy_offset[p] + q) * static_cast<std::size_t>(colors);
@@ -169,9 +184,16 @@ double refresh_marginal(const MarginalEngine& engine, TabularCache& cache, std::
     if (colors_of[s] != c) continue;
     double inner = 0.0;
     for (std::size_t t = 0; t < tasks.size(); ++t) {
+      const auto col = static_cast<std::size_t>(col_of[tasks[t]]);
+      if (slot_energy[t] != cache.col_delta[col]) {
+        // Tardiness-discounted row: its delta deviates from the shared
+        // column's base delta, so price it fresh and leave the shared term
+        // (still valid for every base-delta row of the charger) untouched.
+        inner += engine.row_term(s, tasks[t], slot_energy[t]);
+        continue;
+      }
       const std::size_t idx =
-          static_cast<std::size_t>(col_of[tasks[t]]) * static_cast<std::size_t>(samples) +
-          static_cast<std::size_t>(s);
+          col * static_cast<std::size_t>(samples) + static_cast<std::size_t>(s);
       const std::uint64_t version = engine.sample_version(s, tasks[t]);
       if (cache.versions[idx] != version) {
         cache.terms[idx] = engine.row_term(s, tasks[t], slot_energy[t]);

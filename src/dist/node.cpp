@@ -116,11 +116,31 @@ bool ChargerNode::begin_stage(model::SlotIndex slot, int color) {
       stage_policy_row0_[q] = stage_policy_col_.size();
       const core::Policy& policy = stage_policies_[q];
       for (std::size_t t = 0; t < policy.tasks.size(); ++t) {
-        std::ptrdiff_t& col = plan_col_of_[static_cast<std::size_t>(policy.tasks[t])];
+        const model::TaskIndex task = policy.tasks[t];
+        const double delta = policy.slot_energy[t];
+        std::ptrdiff_t col = plan_col_of_[static_cast<std::size_t>(task)];
+        if (col >= 0 && plan_col_delta_[static_cast<std::size_t>(col)] != delta) {
+          // Tardy rows carry a deadline-discounted slot_energy that deviates
+          // from the HELLO column's base delta; a column's cached terms are
+          // only reusable at the delta they were priced with, so mismatched
+          // rows get overflow columns keyed (task, delta). Linear scan: only
+          // tardy rows reach here, and each tardy (task, slot) pair
+          // contributes at most one distinct delta per plan.
+          col = -1;
+          for (std::size_t c = 0; c < plan_col_task_.size(); ++c) {
+            if (plan_col_task_[c] == task && plan_col_delta_[c] == delta) {
+              col = static_cast<std::ptrdiff_t>(c);
+              break;
+            }
+          }
+        }
         if (col < 0) {
           col = static_cast<std::ptrdiff_t>(plan_col_task_.size());
-          plan_col_task_.push_back(policy.tasks[t]);
-          plan_col_delta_.push_back(policy.slot_energy[t]);
+          if (plan_col_of_[static_cast<std::size_t>(task)] < 0) {
+            plan_col_of_[static_cast<std::size_t>(task)] = col;
+          }
+          plan_col_task_.push_back(task);
+          plan_col_delta_.push_back(delta);
           plan_terms_.resize(plan_terms_.size() + samples, 0.0);
           plan_versions_.resize(plan_versions_.size() + samples, ~std::uint64_t{0});
         }
@@ -273,8 +293,15 @@ void ChargerNode::receive(const Message& message) {
 bool ChargerNode::neighbor_participates(model::ChargerIndex j, model::SlotIndex slot) const {
   const auto it = neighbor_tasks_.find(j);
   if (it == neighbor_tasks_.end()) return false;
+  // Mirror of the row-construction rule in make_slot_policies: a neighbor
+  // has a stage policy iff some coverable task is active AND not dropped by
+  // the deadline discount (zero tardiness factor = hard-tardy or
+  // infeasible). Waiting on an `active`-only basis deadlocked the stage on
+  // deadline instances — a fully-pruned neighbor never speaks, everyone
+  // else kept waiting for its value, and the round cap fired.
   return std::any_of(it->second.begin(), it->second.end(), [&](model::TaskIndex t) {
-    return net_->tasks()[static_cast<std::size_t>(t)].active(slot);
+    return net_->tasks()[static_cast<std::size_t>(t)].active(slot) &&
+           net_->tardiness_factor(t, slot) > 0.0;
   });
 }
 

@@ -27,6 +27,16 @@ Json network_to_json(const model::Network& net) {
 
   root.set("utility", net.utility_shape().name());
 
+  // Deadline policy: emitted only when set, so deadline-free scenarios keep
+  // the historical file shape (and stay loadable by older readers).
+  if (net.deadline_policy().decay != model::DeadlineDecay::kNone) {
+    Json deadline = Json::object();
+    deadline.set("decay",
+                 model::DeadlinePolicy::decay_name(net.deadline_policy().decay));
+    deadline.set("beta", net.deadline_policy().beta);
+    root.set("deadline", std::move(deadline));
+  }
+
   Json chargers = Json::array();
   for (const model::Charger& charger : net.chargers()) {
     Json entry = Json::object();
@@ -46,6 +56,9 @@ Json network_to_json(const model::Network& net) {
     entry.set("end_slot", static_cast<int>(task.end_slot));
     entry.set("required_energy_j", task.required_energy);
     entry.set("weight", task.weight);
+    if (task.has_deadline()) {
+      entry.set("deadline_slot", static_cast<int>(task.deadline_slot));
+    }
     tasks.push_back(std::move(entry));
   }
   root.set("tasks", std::move(tasks));
@@ -87,11 +100,23 @@ model::Network network_from_json(const Json& json) {
     task.end_slot = static_cast<model::SlotIndex>(entry.at("end_slot").as_int());
     task.required_energy = entry.at("required_energy_j").as_number();
     task.weight = entry.number_or("weight", 1.0);
+    if (entry.contains("deadline_slot")) {
+      task.deadline_slot =
+          static_cast<model::SlotIndex>(entry.at("deadline_slot").as_int());
+    }
     tasks.push_back(task);
   }
 
+  model::DeadlinePolicy deadline;
+  if (json.contains("deadline")) {
+    const Json& dj = json.at("deadline");
+    deadline.decay = model::DeadlinePolicy::parse_decay(dj.string_or("decay", "none"));
+    deadline.beta = dj.number_or("beta", deadline.beta);
+  }
+
   return model::Network(std::move(chargers), std::move(tasks), power, time,
-                        model::make_utility_shape(json.string_or("utility", "linear")));
+                        model::make_utility_shape(json.string_or("utility", "linear")),
+                        deadline);
 }
 
 Json schedule_to_json(const model::Schedule& schedule) {
@@ -108,6 +133,13 @@ Json schedule_to_json(const model::Schedule& schedule) {
         Json entry = Json::object();
         entry.set("charger", static_cast<int>(i));
         entry.set("slot", static_cast<int>(k));
+        // orientation_rad is the exact double (decimal text round-trips
+        // bit-for-bit); orientation_deg stays for human readability. The
+        // deg->rad conversion moves ~25% of values by an ulp, and dominant-set
+        // witnesses place a task exactly on the closed cone boundary, where
+        // one ulp flips coverage — a loaded schedule must evaluate
+        // bit-identically to the one that was saved.
+        entry.set("orientation_rad", *a);
         entry.set("orientation_deg", geom::rad_to_deg(*a));
         assignments.push_back(std::move(entry));
       }
@@ -132,9 +164,13 @@ model::Schedule schedule_from_json(const Json& json) {
   const Json& assignments = json.at("assignments");
   for (std::size_t idx = 0; idx < assignments.size(); ++idx) {
     const Json& entry = assignments.at(idx);
+    // Prefer the exact radian field; fall back to the legacy degree-only
+    // form for schedules written before orientation_rad existed.
+    const double theta = entry.contains("orientation_rad")
+                             ? entry.at("orientation_rad").as_number()
+                             : geom::deg_to_rad(entry.at("orientation_deg").as_number());
     schedule.assign(static_cast<model::ChargerIndex>(entry.at("charger").as_int()),
-                    static_cast<model::SlotIndex>(entry.at("slot").as_int()),
-                    geom::deg_to_rad(entry.at("orientation_deg").as_number()));
+                    static_cast<model::SlotIndex>(entry.at("slot").as_int()), theta);
   }
   if (json.contains("disabled")) {
     const Json& disabled = json.at("disabled");

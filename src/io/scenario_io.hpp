@@ -13,8 +13,12 @@
 // }
 //
 // Schedules serialize as {"horizon", "chargers", "assignments":
-// [{"charger", "slot", "orientation_deg"}, ...], "disabled":
-// [{"charger", "from_slot"}, ...]}.
+// [{"charger", "slot", "orientation_rad", "orientation_deg"}, ...],
+// "disabled": [{"charger", "from_slot"}, ...]}. orientation_rad is the
+// authoritative bit-exact value (the loader prefers it and falls back to
+// the legacy degree field): dominant-set witness orientations sit exactly
+// on a closed cone boundary, so the lossy deg<->rad conversion can flip a
+// task's coverage and change what a loaded schedule harvests.
 #pragma once
 
 #include <string>

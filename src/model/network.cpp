@@ -11,13 +11,15 @@
 namespace haste::model {
 
 Network::Network(std::vector<Charger> chargers, std::vector<Task> tasks, PowerModel power,
-                 TimeGrid time, std::shared_ptr<const UtilityShape> shape)
+                 TimeGrid time, std::shared_ptr<const UtilityShape> shape,
+                 DeadlinePolicy deadline)
     : chargers_(std::move(chargers)),
       tasks_(std::move(tasks)),
       power_(power),
       time_(time),
       shape_(shape != nullptr ? std::move(shape)
-                              : std::make_shared<const LinearBoundedShape>()) {
+                              : std::make_shared<const LinearBoundedShape>()),
+      deadline_(deadline) {
   power_.validate();
   time_.validate();
   for (const Task& task : tasks_) task.validate();
@@ -87,6 +89,40 @@ Network::Network(std::vector<Charger> chargers, std::vector<Task> tasks, PowerMo
   for (auto& list : neighbors_) {
     std::sort(list.begin(), list.end());
     list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+
+  for (const Task& task : tasks_) {
+    if (deadline_.active() && task.has_deadline()) {
+      has_deadlines_ = true;
+      break;
+    }
+  }
+
+  // Hard mode prunes provably-infeasible tasks up front: with every covering
+  // charger aimed straight at task j for its whole pre-deadline active
+  // window, the harvest is at most feasible_slots * sum_i P(i, j) * T_s. If
+  // even that optimistic bound falls short of E_j, no schedule can complete
+  // the task by its deadline. Hard mode treats such a task as not worth
+  // serving at all — its partial pre-deadline credit is deliberately
+  // forfeited (the device's requirement cannot be met in time) so the
+  // scheduler spends that capacity on tasks that can still finish.
+  // tardiness_factor reports 0 for every slot of the task, the partition
+  // builders drop its rows, and the evaluator applies the same factor, so
+  // planned and evaluated utilities stay consistent.
+  if (has_deadlines_ && deadline_.decay == DeadlineDecay::kHard) {
+    deadline_infeasible_.assign(m, 0);
+    for (std::size_t j = 0; j < m; ++j) {
+      const Task& task = tasks_[j];
+      if (!task.has_deadline()) continue;
+      const SlotIndex window_end = std::min(task.end_slot, task.deadline_slot);
+      const SlotIndex feasible_slots =
+          window_end > task.release_slot ? window_end - task.release_slot : 0;
+      double total_power = 0.0;
+      for (std::size_t i = 0; i < n; ++i) total_power += potential_flat_[i * m + j];
+      const double bound =
+          static_cast<double>(feasible_slots) * total_power * time_.slot_seconds;
+      if (bound < task.required_energy) deadline_infeasible_[j] = 1;
+    }
   }
 }
 

@@ -7,12 +7,14 @@
 // harness trivially thread-safe.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
 
 #include "geom/arc.hpp"
 #include "model/charger.hpp"
+#include "model/deadline.hpp"
 #include "model/power.hpp"
 #include "model/task.hpp"
 #include "model/timegrid.hpp"
@@ -24,15 +26,18 @@ namespace haste::model {
 class Network {
  public:
   /// Builds the instance and precomputes coverage. The utility shape
-  /// defaults to the paper's linear-bounded shape when null.
+  /// defaults to the paper's linear-bounded shape when null; the deadline
+  /// policy defaults to inert (deadline-free objective).
   Network(std::vector<Charger> chargers, std::vector<Task> tasks, PowerModel power,
-          TimeGrid time, std::shared_ptr<const UtilityShape> shape = nullptr);
+          TimeGrid time, std::shared_ptr<const UtilityShape> shape = nullptr,
+          DeadlinePolicy deadline = {});
 
   const std::vector<Charger>& chargers() const { return chargers_; }
   const std::vector<Task>& tasks() const { return tasks_; }
   const PowerModel& power_model() const { return power_; }
   const TimeGrid& time() const { return time_; }
   const UtilityShape& utility_shape() const { return *shape_; }
+  const DeadlinePolicy& deadline_policy() const { return deadline_; }
 
   ChargerIndex charger_count() const { return static_cast<ChargerIndex>(chargers_.size()); }
   TaskIndex task_count() const { return static_cast<TaskIndex>(tasks_.size()); }
@@ -64,8 +69,37 @@ class Network {
   double weighted_task_utility(TaskIndex j, double harvested_energy) const;
 
   /// Maximum achievable overall utility (every task saturated): sum of
-  /// weights. Useful for normalizing reports.
+  /// weights. Useful for normalizing reports. Hard-infeasible tasks are
+  /// deliberately still counted: the bound describes the instance, not the
+  /// scheduler's reachable set.
   double utility_upper_bound() const;
+
+  /// True when the deadline policy can discount anything on this instance
+  /// (an active decay AND at least one task with a deadline). When false,
+  /// tardiness_factor is the constant 1.0 and the objective is bit-identical
+  /// to the deadline-free base objective.
+  bool has_deadlines() const { return has_deadlines_; }
+
+  /// Discount applied to energy task `j` harvests in slot `k`. Exactly 1.0
+  /// for deadline-free instances/tasks and pre-deadline slots; 0.0 for
+  /// every slot of a hard-infeasible task (one whose required energy
+  /// provably cannot land by its deadline even with every covering charger
+  /// aimed at it for the whole pre-deadline window).
+  double tardiness_factor(TaskIndex j, SlotIndex k) const {
+    if (!has_deadlines_) return 1.0;
+    if (!deadline_infeasible_.empty() &&
+        deadline_infeasible_[static_cast<std::size_t>(j)] != 0) {
+      return 0.0;
+    }
+    return deadline_.slot_factor(k, tasks_[static_cast<std::size_t>(j)].deadline_slot);
+  }
+
+  /// True when hard mode proved task `j` cannot meet its deadline (see
+  /// tardiness_factor); always false outside hard mode.
+  bool deadline_infeasible(TaskIndex j) const {
+    return !deadline_infeasible_.empty() &&
+           deadline_infeasible_[static_cast<std::size_t>(j)] != 0;
+  }
 
  private:
   std::vector<Charger> chargers_;
@@ -73,6 +107,9 @@ class Network {
   PowerModel power_;
   TimeGrid time_;
   std::shared_ptr<const UtilityShape> shape_;
+  DeadlinePolicy deadline_;
+  bool has_deadlines_ = false;
+  std::vector<std::uint8_t> deadline_infeasible_;  // hard mode only, per task
   SlotIndex horizon_ = 0;
 
   std::vector<std::vector<TaskIndex>> coverable_;       // per charger

@@ -19,13 +19,18 @@ void Task::validate() const {
   if (!std::isfinite(position.x) || !std::isfinite(position.y)) {
     throw std::invalid_argument("Task: position must be finite");
   }
+  if (deadline_slot < 0) {
+    throw std::invalid_argument("Task: deadline_slot must be non-negative");
+  }
 }
 
 std::string Task::describe() const {
   std::ostringstream out;
   out << "Task(pos=(" << position.x << "," << position.y << "), phi=" << orientation
       << ", slots=[" << release_slot << "," << end_slot << "), E=" << required_energy
-      << "J, w=" << weight << ")";
+      << "J, w=" << weight;
+  if (has_deadline()) out << ", deadline=" << deadline_slot;
+  out << ")";
   return out.str();
 }
 

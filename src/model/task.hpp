@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <string>
 
 #include "geom/vec2.hpp"
@@ -17,6 +18,9 @@ using SlotIndex = std::int32_t;
 /// Paper slot indexing (1-based, k in [t_r/T_s + 1, t_e/T_s]) maps to the
 /// 0-based half-open range [release_slot, end_slot) used here.
 struct Task {
+  /// Sentinel deadline: the task has no deadline (never tardy).
+  static constexpr SlotIndex kNoDeadline = std::numeric_limits<SlotIndex>::max();
+
   geom::Vec2 position;          ///< o_j: device location (m)
   double orientation = 0.0;     ///< phi_j: device facing (rad)
   SlotIndex release_slot = 0;   ///< first slot of activity (inclusive)
@@ -24,8 +28,18 @@ struct Task {
   double required_energy = 1.0; ///< E_j (J); must be > 0
   double weight = 1.0;          ///< w_j
 
+  /// Deadline slot: energy harvested in slots k < deadline_slot counts at
+  /// full value; slots k >= deadline_slot are tardy and decay per the
+  /// network's DeadlinePolicy. kNoDeadline (the default) means the task is
+  /// deadline-free. A deadline at or before release_slot (zero or negative
+  /// slack) is legal: every active slot is then tardy.
+  SlotIndex deadline_slot = kNoDeadline;
+
   /// True while the task can harvest energy in slot `k`.
   constexpr bool active(SlotIndex k) const { return release_slot <= k && k < end_slot; }
+
+  /// True when the task carries a deadline.
+  constexpr bool has_deadline() const { return deadline_slot != kNoDeadline; }
 
   /// Number of active slots.
   constexpr SlotIndex duration_slots() const { return end_slot - release_slot; }

@@ -105,9 +105,16 @@ struct MetricsSnapshot {
 
     /// Upper bound of the value at quantile `q` in [0, 1] under the log2
     /// bucket layout: the smallest bucket upper edge whose cumulative count
-    /// reaches q * count, clamped to the exact observed max. Returns 0 for
-    /// an empty histogram. Conservative (an upper bound, never an
-    /// underestimate), which is the right bias for latency SLO reporting.
+    /// reaches q * count, clamped to the exact observed max. Conservative
+    /// (an upper bound, never an underestimate), which is the right bias
+    /// for latency SLO reporting.
+    ///
+    /// Sentinel: when every bucket is zero (default-constructed snapshot, or
+    /// a registered histogram that never recorded), returns exactly 0.0 for
+    /// every q — including q = 0. A populated histogram only reports 0.0
+    /// when its observed max is exactly 0.0 (the edge is clamped to the
+    /// max), so consumers that must tell "no data" from "all zeros" check
+    /// stats.count(), not the quantile.
     double quantile_upper(double q) const;
   };
 

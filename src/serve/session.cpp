@@ -76,6 +76,37 @@ Json error_reply(const std::string& message) {
   return reply;
 }
 
+// Returns an empty string when `deadlines` is a well-formed echo of the
+// batch's task deadlines (-1 = no deadline), else a description of the first
+// problem. Never throws: a malformed echo must soft-reject the one line, not
+// trip the catch-all that closes the whole session.
+std::string check_deadline_echo(const model::Network& net, const Json& deadlines,
+                                const std::vector<model::TaskIndex>& tasks) {
+  try {
+    if (deadlines.size() != tasks.size()) {
+      return "deadlines length " + std::to_string(deadlines.size()) +
+             " does not match tasks length " + std::to_string(tasks.size());
+    }
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      const auto echoed = static_cast<std::int64_t>(deadlines.at(t).as_int());
+      const model::TaskIndex j = tasks[t];
+      // Out-of-range ids fall through to on_arrival's own range check.
+      if (j < 0 || j >= net.task_count()) continue;
+      const model::Task& task = net.tasks()[static_cast<std::size_t>(j)];
+      const std::int64_t expected =
+          task.has_deadline() ? static_cast<std::int64_t>(task.deadline_slot) : -1;
+      if (echoed != expected) {
+        return "task " + std::to_string(j) + " deadline mismatch: scenario has " +
+               std::to_string(expected) + ", arrive line says " +
+               std::to_string(echoed);
+      }
+    }
+  } catch (const std::exception& error) {
+    return std::string("malformed deadlines field: ") + error.what();
+  }
+  return "";
+}
+
 }  // namespace
 
 Json online_config_to_json(const dist::OnlineConfig& config) {
@@ -150,6 +181,23 @@ Reply Session::handle_request(const Json& request) {
       tasks.reserve(tasks_json.size());
       for (std::size_t t = 0; t < tasks_json.size(); ++t) {
         tasks.push_back(static_cast<model::TaskIndex>(tasks_json.at(t).as_int()));
+      }
+      if (request.contains("deadlines")) {
+        // Optional deadline echo: an arriving batch may restate its tasks'
+        // deadlines so driver and daemon provably agree on the objective. A
+        // bad echo means the caller is working from a different scenario —
+        // reject the one batch without mutating or closing the session.
+        const std::string problem =
+            check_deadline_echo(*net_, request.at("deadlines"), tasks);
+        if (!problem.empty()) {
+          static obs::Counter& rejects = lifecycle_counter("serve.deadline_rejects");
+          rejects.add(1);
+          Json reply = Json::object();
+          reply.set("ok", false);
+          reply.set("op", "reject");
+          reply.set("message", problem);
+          return Reply{reply.dump(), false};
+        }
       }
       record = online_->on_arrival(slot, tasks);
     } else {

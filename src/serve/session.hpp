@@ -5,10 +5,16 @@
 //
 //   {"op":"open", "scenario": <network json>, "config": <online config>}
 //     -> {"ok":true, "op":"opened", "chargers":N, "tasks":M, "horizon":H}
-//   {"op":"arrive", "slot":K, "tasks":[j, ...]}
+//   {"op":"arrive", "slot":K, "tasks":[j, ...], "deadlines":[d, ...]?}
 //     -> {"ok":true, "op":"replanned", "slot":K, "trigger":"arrival",
 //         "replanned":bool, "plan_start":P, "known_tasks":T,
 //         "messages":"u64", "rounds":"u64", "row_evals":"u64"}
+//     The optional "deadlines" array echoes each batch task's deadline_slot
+//     (-1 = none) so driver and daemon provably agree on the objective. A
+//     wrong or malformed echo draws {"ok":false, "op":"reject",
+//     "message":"..."} WITHOUT applying the batch or closing the session
+//     (counted in serve.deadline_rejects) — the caller is on a different
+//     scenario, which is recoverable, unlike a protocol error.
 //   {"op":"fail", "charger":i, "slot":K}
 //     -> same reply shape with "trigger":"failure"
 //   {"op":"finish"}

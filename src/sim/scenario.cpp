@@ -45,6 +45,13 @@ void ScenarioConfig::validate() const {
   if (arrivals == ArrivalProcess::kPoisson && !(poisson_rate_per_slot > 0.0)) {
     throw std::invalid_argument("ScenarioConfig: poisson rate must be positive");
   }
+  model::DeadlinePolicy::parse_decay(deadline_decay);  // throws on unknown name
+  if (deadline_fraction < 0.0 || deadline_fraction > 1.0) {
+    throw std::invalid_argument("ScenarioConfig: deadline_fraction must be in [0, 1]");
+  }
+  if (deadline_slack_min < 0.0 || deadline_slack_max < deadline_slack_min) {
+    throw std::invalid_argument("ScenarioConfig: bad deadline slack range");
+  }
   power.validate();
   time.validate();
 }
@@ -80,6 +87,10 @@ model::Network generate_scenario(const ScenarioConfig& config, util::Rng& rng) {
     }
   }
 
+  const model::DeadlinePolicy deadline_policy{
+      model::DeadlinePolicy::parse_decay(config.deadline_decay), config.deadline_beta};
+  const bool draw_deadlines = deadline_policy.active();
+
   std::vector<model::Task> tasks;
   tasks.reserve(static_cast<std::size_t>(config.tasks));
   for (int j = 0; j < config.tasks; ++j) {
@@ -103,8 +114,27 @@ model::Network generate_scenario(const ScenarioConfig& config, util::Rng& rng) {
     tasks.push_back(task);
   }
 
+  if (draw_deadlines) {
+    // Deadlines come from a second pass so the geometry stream above is
+    // untouched: the same seed yields the same charger/task population with
+    // deadlines on or off, and (two draws per task regardless of the
+    // fraction) across deadline_fraction sweeps.
+    for (model::Task& task : tasks) {
+      const bool carries = rng.uniform() < config.deadline_fraction;
+      const double slack =
+          rng.uniform(config.deadline_slack_min, config.deadline_slack_max);
+      if (carries) {
+        const auto duration = task.end_slot - task.release_slot;
+        const auto grace = static_cast<model::SlotIndex>(
+            std::ceil(slack * static_cast<double>(duration)));
+        task.deadline_slot = task.release_slot + std::max<model::SlotIndex>(1, grace);
+      }
+    }
+  }
+
   return model::Network(std::move(chargers), std::move(tasks), config.power, config.time,
-                        model::make_utility_shape(config.utility_shape));
+                        model::make_utility_shape(config.utility_shape),
+                        draw_deadlines ? deadline_policy : model::DeadlinePolicy{});
 }
 
 }  // namespace haste::sim

@@ -57,6 +57,20 @@ struct ScenarioConfig {
 
   std::string utility_shape = "linear";  ///< "linear" | "sqrt" | "log"
 
+  /// Deadline scenario family (the deadline-driven objective's knobs). The
+  /// default "none" reproduces the historical deadline-free generator bit
+  /// for bit (no extra RNG draws). With any other decay, each task carries a
+  /// deadline with probability `deadline_fraction` (mixed populations), drawn
+  /// as release + max(1, ceil(slack * duration)) with
+  /// slack ~ U[deadline_slack_min, deadline_slack_max] — slack < 1 means the
+  /// task cannot finish its whole window before the deadline, so tightness is
+  /// controlled jointly by the slack range and the decay scale beta.
+  std::string deadline_decay = "none";  ///< "none"|"linear"|"exp"|"hard"
+  double deadline_beta = 8.0;           ///< decay scale (slots of grace)
+  double deadline_fraction = 1.0;       ///< P(task carries a deadline)
+  double deadline_slack_min = 0.25;     ///< slack lower bound (x duration)
+  double deadline_slack_max = 0.75;     ///< slack upper bound (x duration)
+
   /// The paper's large-scale default (Section 7.1).
   static ScenarioConfig paper_default() { return ScenarioConfig{}; }
 

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 namespace haste::util {
@@ -76,6 +77,20 @@ class Parser {
         fail("invalid literal");
       case 'n':
         if (consume_literal("null")) return Json(nullptr);
+        fail("invalid literal");
+      // Lenient extension: accept the non-finite literals google-benchmark
+      // writes into its JSON dumps (e.g. the cv aggregate of a zero-mean
+      // counter is NaN). Parse-only — the serializer still refuses to emit
+      // non-finite numbers, so documents we *write* stay strict JSON.
+      case 'N':
+        if (consume_literal("NaN")) {
+          return Json(std::numeric_limits<double>::quiet_NaN());
+        }
+        fail("invalid literal");
+      case 'I':
+        if (consume_literal("Infinity")) {
+          return Json(std::numeric_limits<double>::infinity());
+        }
         fail("invalid literal");
       default:
         return parse_number();
@@ -192,6 +207,10 @@ class Parser {
   Json parse_number() {
     const std::size_t start = pos_;
     if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (consume_literal("Infinity")) {
+      return Json(text_[start] == '-' ? -std::numeric_limits<double>::infinity()
+                                      : std::numeric_limits<double>::infinity());
+    }
     while (pos_ < text_.size() &&
            (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
             text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||

@@ -40,7 +40,11 @@ class Json {
   static Json array();
   static Json object();
 
-  /// Parses a complete JSON document; trailing garbage is an error.
+  /// Parses a complete JSON document; trailing garbage is an error. One
+  /// lenient extension: the non-finite literals `NaN`, `Infinity`, and
+  /// `-Infinity` parse as numbers (google-benchmark writes them into its
+  /// JSON dumps, which bench_compare consumes). dump() stays strict and
+  /// refuses to serialize non-finite numbers.
   static Json parse(std::string_view text);
 
   Type type() const { return type_; }

@@ -5,6 +5,7 @@
 
 #include "core/evaluate.hpp"
 #include "core/offline.hpp"
+#include "geom/angle.hpp"
 #include "io/scenario_io.hpp"
 #include "sim/render.hpp"
 #include "test_helpers.hpp"
@@ -93,6 +94,40 @@ TEST(ScenarioIo, ScheduleRoundTripIncludingOutages) {
       EXPECT_EQ(restored.disabled_at(i, k), schedule.disabled_at(i, k));
     }
   }
+}
+
+TEST(ScenarioIo, ScheduleOrientationsRoundTripBitExactly) {
+  // Dominant-set witness orientations place a task exactly on the closed
+  // cone boundary, so an ulp of orientation drift flips its coverage. The
+  // legacy degree-only serialization moved ~25% of radian values by an ulp
+  // (rad -> deg -> rad is not the identity); orientation_rad pins the exact
+  // bits. 0.003703701 is one such lossy value: deg_to_rad(rad_to_deg(x))
+  // != x for it, which is what this test would fail on without the field.
+  const double lossy = 0.003703701;
+  ASSERT_NE(geom::deg_to_rad(geom::rad_to_deg(lossy)), lossy)
+      << "constant no longer exercises the lossy path; pick another";
+  model::Schedule schedule(1, 2);
+  schedule.assign(0, 0, lossy);
+  schedule.assign(0, 1, 2.0 * lossy);
+  const model::Schedule restored = schedule_from_json(schedule_to_json(schedule));
+  EXPECT_EQ(*restored.assignment(0, 0), lossy);
+  EXPECT_EQ(*restored.assignment(0, 1), 2.0 * lossy);
+
+  // Degree-only documents (written before orientation_rad existed) still
+  // load through the legacy conversion.
+  util::Json json = schedule_to_json(schedule);
+  util::Json stripped = util::Json::array();
+  for (std::size_t idx = 0; idx < json.at("assignments").size(); ++idx) {
+    util::Json entry = util::Json::object();
+    const util::Json& original = json.at("assignments").at(idx);
+    entry.set("charger", original.at("charger"));
+    entry.set("slot", original.at("slot"));
+    entry.set("orientation_deg", original.at("orientation_deg"));
+    stripped.push_back(std::move(entry));
+  }
+  json.set("assignments", std::move(stripped));
+  const model::Schedule legacy = schedule_from_json(json);
+  EXPECT_NEAR(*legacy.assignment(0, 0), lossy, 1e-12);
 }
 
 TEST(ScenarioIo, FileHelpers) {

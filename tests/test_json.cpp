@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <limits>
@@ -125,6 +126,23 @@ TEST(Json, NestingDepthLimit) {
   std::string deep(200, '[');
   deep += std::string(200, ']');
   EXPECT_THROW(Json::parse(deep), JsonError);
+}
+
+TEST(Json, NonFiniteLiteralsParseButStayUnserializable) {
+  // google-benchmark emits bare NaN/Infinity in its JSON dumps (the cv
+  // aggregate of a zero-variance counter); bench_compare must be able to
+  // load such files, so the parser accepts the literals. dump() stays
+  // strict — see NonFiniteNumbersRejectedOnDump.
+  EXPECT_TRUE(std::isnan(Json::parse("NaN").as_number()));
+  EXPECT_EQ(Json::parse("Infinity").as_number(),
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(Json::parse("-Infinity").as_number(),
+            -std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(std::isnan(Json::parse(R"({"cv": NaN})").at("cv").as_number()));
+  // Prefixes and case variants are still errors, not silently-parsed junk.
+  EXPECT_THROW(Json::parse("Nan"), JsonError);
+  EXPECT_THROW(Json::parse("Inf"), JsonError);
+  EXPECT_THROW(Json::parse("-Inf"), JsonError);
 }
 
 TEST(Json, NonFiniteNumbersRejectedOnDump) {

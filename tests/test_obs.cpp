@@ -143,6 +143,33 @@ TEST(Histogram, QuantileUpperBoundsFollowTheLog2Buckets) {
   EXPECT_DOUBLE_EQ(shot.quantile_upper(0.0), 2.0);
 }
 
+TEST(Histogram, QuantileUpperAllZeroBucketsReturnsTheZeroSentinel) {
+  // Pins the total == 0 early-out in quantile_upper: every q — including the
+  // q = 0 "smallest bucket with mass" convention — reports exactly 0.0 when
+  // no bucket holds anything. Covers both shapes of "all zero": the
+  // default-constructed snapshot (empty bucket vector) and a registered
+  // histogram that never recorded (allocated bucket vector, all zeros).
+  const MetricsSnapshot::HistogramSnapshot defaulted;
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(defaulted.quantile_upper(q), 0.0) << "q=" << q;
+  }
+  MetricsRegistry registry;
+  registry.histogram("registered_but_silent");
+  const auto silent = registry.snapshot().histograms.at("registered_but_silent");
+  EXPECT_EQ(silent.stats.count(), 0u);
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(silent.quantile_upper(q), 0.0) << "q=" << q;
+  }
+  // The sentinel is ambiguous with a genuine all-zero population — a max of
+  // exactly 0.0 clamps the bucket edge to 0.0 — which is why consumers must
+  // discriminate via stats.count(), as documented on the declaration.
+  Histogram& zeros = registry.histogram("all_zero_values");
+  zeros.record(0.0);
+  const auto observed = registry.snapshot().histograms.at("all_zero_values");
+  EXPECT_EQ(observed.stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(observed.quantile_upper(0.99), 0.0);
+}
+
 TEST(Histogram, QuantileUpperEdgeCases) {
   const MetricsSnapshot::HistogramSnapshot empty;
   EXPECT_DOUBLE_EQ(empty.quantile_upper(0.99), 0.0);

@@ -15,6 +15,7 @@
 
 #include "dist/online.hpp"
 #include "io/scenario_io.hpp"
+#include "model/deadline.hpp"
 #include "obs/metrics.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
@@ -332,6 +333,109 @@ TEST(Serve, EventBeforeOpenIsAProtocolError) {
   EXPECT_FALSE(reply.bool_or("ok", true));
   EXPECT_EQ(reply.string_or("op", ""), "error");
   EXPECT_TRUE(client.read_reply().is_null());  // the error closed the session
+}
+
+/// `base` with a linear-decay deadline policy and a tight deadline on every
+/// even-indexed task (odd tasks stay deadline-free, exercising the -1 echo).
+model::Network tight_deadline_network(const model::Network& base) {
+  std::vector<model::Task> tasks = base.tasks();
+  for (std::size_t j = 0; j < tasks.size(); j += 2) {
+    tasks[j].deadline_slot = tasks[j].release_slot + 1;
+  }
+  return model::Network(base.chargers(), std::move(tasks), base.power_model(),
+                        base.time(), nullptr,
+                        model::DeadlinePolicy{model::DeadlineDecay::kLinear, 3.0});
+}
+
+/// The wire line `Client::arrive` would send, plus a "deadlines" echo array.
+Json arrive_with_deadlines(const ReplayEvent& event, const Json& deadlines) {
+  Json request = Json::object();
+  request.set("op", "arrive");
+  request.set("slot", static_cast<int>(event.slot));
+  Json array = Json::array();
+  for (model::TaskIndex j : event.tasks) array.push_back(static_cast<int>(j));
+  request.set("tasks", std::move(array));
+  request.set("deadlines", deadlines);
+  return request;
+}
+
+/// The correct echo for an arrival batch: deadline_slot, or -1 when none.
+Json correct_deadline_echo(const model::Network& net, const ReplayEvent& event) {
+  Json deadlines = Json::array();
+  for (model::TaskIndex j : event.tasks) {
+    const model::Task& task = net.tasks()[static_cast<std::size_t>(j)];
+    deadlines.push_back(
+        task.has_deadline() ? static_cast<std::int64_t>(task.deadline_slot)
+                            : std::int64_t{-1});
+  }
+  return deadlines;
+}
+
+TEST(Serve, DeadlineCarryingArriveLinesBitIdenticalToLocalReplay) {
+  TestServer daemon{ServerOptions{}};
+  util::Rng rng(109);
+  const model::Network net =
+      tight_deadline_network(testing_helpers::random_network(rng, 3, 6));
+  const dist::OnlineConfig config = small_config(11);
+  const std::vector<ReplayEvent> events = build_replay_events(net);
+  ASSERT_FALSE(events.empty());
+
+  Client client(daemon.address());
+  ASSERT_TRUE(client.open(net, config).bool_or("ok", false));
+  for (const ReplayEvent& event : events) {
+    const Json reply =
+        client.call(arrive_with_deadlines(event, correct_deadline_echo(net, event)));
+    ASSERT_TRUE(reply.bool_or("ok", false)) << reply.dump();
+    EXPECT_EQ(reply.string_or("op", ""), "replanned");
+  }
+  const Json result = client.finish();
+  EXPECT_EQ(diff_result(result, replay_locally(net, config, events)), "");
+  EXPECT_EQ(diff_result(result, dist::run_online(net, config)), "");
+}
+
+TEST(Serve, MalformedDeadlineEchoSoftRejectsWithoutKillingTheSession) {
+  TestServer daemon{ServerOptions{}};
+  util::Rng rng(110);
+  const model::Network net =
+      tight_deadline_network(testing_helpers::random_network(rng, 3, 6));
+  const dist::OnlineConfig config = small_config(13);
+  const std::vector<ReplayEvent> events = build_replay_events(net);
+  ASSERT_FALSE(events.empty());
+  const std::uint64_t rejects_before = counter_value("serve.deadline_rejects");
+
+  Client client(daemon.address());
+  ASSERT_TRUE(client.open(net, config).bool_or("ok", false));
+
+  // Three bad echoes for the first batch: wrong value, wrong length, and a
+  // non-numeric entry. Each must draw a soft reject that leaves the session
+  // open and the online state untouched.
+  const Json good = correct_deadline_echo(net, events[0]);
+  Json wrong_value = Json::array();
+  Json wrong_type = Json::array();
+  for (std::size_t t = 0; t < good.size(); ++t) {
+    wrong_value.push_back(t == 0 ? Json(good.at(0).as_int() + 5) : good.at(t));
+    wrong_type.push_back(t == 0 ? Json("soon") : good.at(t));
+  }
+  Json wrong_length = correct_deadline_echo(net, events[0]);
+  wrong_length.push_back(std::int64_t{4});
+  for (const Json& bad : {wrong_value, wrong_length, wrong_type}) {
+    const Json reply = client.call(arrive_with_deadlines(events[0], bad));
+    ASSERT_FALSE(reply.is_null());
+    EXPECT_FALSE(reply.bool_or("ok", true)) << reply.dump();
+    EXPECT_EQ(reply.string_or("op", ""), "reject") << reply.dump();
+    EXPECT_FALSE(reply.string_or("message", "").empty());
+  }
+  EXPECT_EQ(counter_value("serve.deadline_rejects"), rejects_before + 3);
+
+  // The session is still alive: the same batch with a correct echo (and the
+  // rest of the trace) replays to the bit-exact local result, proving the
+  // rejected lines never reached the online session.
+  for (const ReplayEvent& event : events) {
+    const Json reply =
+        client.call(arrive_with_deadlines(event, correct_deadline_echo(net, event)));
+    ASSERT_TRUE(reply.bool_or("ok", false)) << reply.dump();
+  }
+  EXPECT_EQ(diff_result(client.finish(), replay_locally(net, config, events)), "");
 }
 
 /// One HTTP/1.0 GET against the daemon's metrics listener, read to EOF.

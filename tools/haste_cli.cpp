@@ -3,6 +3,9 @@
 // Subcommands:
 //   generate  --out FILE [--preset paper|small] [--chargers N] [--tasks M]
 //             [--seed S] [--gaussian SIGMA] [--utility linear|sqrt|log]
+//             [--deadline-decay none|linear|exp|hard] [--deadline-beta B]
+//             [--deadline-fraction F] [--deadline-slack-min S]
+//             [--deadline-slack-max S]
 //       Draws a random scenario and writes it as JSON.
 //   solve     --in FILE [--algorithm NAME] [--colors C] [--samples S]
 //             [--seed S] [--mode incremental|rebuild] [--out SCHEDULE]
@@ -21,6 +24,14 @@
 //       ASCII power-intensity map (the EMR-style field) for one slot.
 //   info      --in FILE
 //       Prints instance statistics (coverage, neighbors, horizon).
+//   deadline-sweep  [--preset paper|small] [--chargers N] [--tasks M]
+//             [--decay linear|exp|hard] [--betas "1,2,4,8,16,32"]
+//             [--fraction F] [--slack-min S] [--slack-max S] [--trials T]
+//             [--seed S] [--csv FILE]
+//       Deadline tightness sweep: runs the offline comparison set over
+//       random deadline-driven instances for each decay scale beta and
+//       reports mean normalized utility with 95% CI half-widths (the
+//       utility-vs-tightness figure; --csv dumps the series for plotting).
 //
 // Every subcommand additionally accepts:
 //   --trace FILE        write a Chrome trace-event JSON of the run (load in
@@ -33,7 +44,9 @@
 // offline-greedy-cover, offline-random, offline-optimal, online-haste,
 // online-greedy-utility, online-greedy-cover, global-greedy.
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "core/evaluate.hpp"
@@ -48,6 +61,7 @@
 #include "sim/render.hpp"
 #include "sim/svg.hpp"
 #include "sim/scenario.hpp"
+#include "sim/sweep.hpp"
 #include "testbed/topologies.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -58,7 +72,8 @@ using namespace haste;
 
 int usage() {
   std::cerr << "usage: haste_cli "
-               "<generate|solve|eval|testbed|render|heatmap|info> [flags]\n"
+               "<generate|solve|eval|testbed|render|heatmap|info|deadline-sweep>"
+               " [flags]\n"
                "       see the header of tools/haste_cli.cpp for details\n";
   return 2;
 }
@@ -93,6 +108,14 @@ int cmd_generate(const util::Flags& flags) {
     config.gaussian_sigma_x = flags.get_double("gaussian", 10.0);
     config.gaussian_sigma_y = config.gaussian_sigma_x;
   }
+  config.deadline_decay = flags.get("deadline-decay", config.deadline_decay);
+  config.deadline_beta = flags.get_double("deadline-beta", config.deadline_beta);
+  config.deadline_fraction =
+      flags.get_double("deadline-fraction", config.deadline_fraction);
+  config.deadline_slack_min =
+      flags.get_double("deadline-slack-min", config.deadline_slack_min);
+  config.deadline_slack_max =
+      flags.get_double("deadline-slack-max", config.deadline_slack_max);
   util::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
   const model::Network net = sim::generate_scenario(config, rng);
   io::save_network(out, net);
@@ -293,6 +316,90 @@ int cmd_info(const util::Flags& flags) {
                                   2)
             << "\n"
             << "utility shape: " << net.utility_shape().name() << "\n";
+  if (net.deadline_policy().active()) {
+    int with_deadline = 0;
+    for (const model::Task& task : net.tasks()) {
+      if (task.has_deadline()) ++with_deadline;
+    }
+    std::cout << "deadline decay: "
+              << model::DeadlinePolicy::decay_name(net.deadline_policy().decay)
+              << " (beta " << util::format_fixed(net.deadline_policy().beta, 1)
+              << "), " << with_deadline << " tasks with deadlines\n";
+  }
+  return 0;
+}
+
+int cmd_deadline_sweep(const util::Flags& flags) {
+  sim::ScenarioConfig base = flags.get("preset", "paper") == "small"
+                                 ? sim::ScenarioConfig::small_scale()
+                                 : sim::ScenarioConfig::paper_default();
+  base.chargers = static_cast<int>(flags.get_int("chargers", base.chargers));
+  base.tasks = static_cast<int>(flags.get_int("tasks", base.tasks));
+  base.deadline_decay = flags.get("decay", "linear");
+  if (base.deadline_decay == "none") {
+    std::cerr << "deadline-sweep: --decay must be linear, exp, or hard\n";
+    return 2;
+  }
+  base.deadline_fraction = flags.get_double("fraction", base.deadline_fraction);
+  base.deadline_slack_min = flags.get_double("slack-min", base.deadline_slack_min);
+  base.deadline_slack_max = flags.get_double("slack-max", base.deadline_slack_max);
+  const int trials = static_cast<int>(flags.get_int("trials", 10));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+
+  std::vector<double> betas;
+  std::stringstream spec(flags.get("betas", "1,2,4,8,16,32"));
+  for (std::string item; std::getline(spec, item, ',');) {
+    if (!item.empty()) betas.push_back(std::stod(item));
+  }
+  if (betas.empty()) {
+    std::cerr << "deadline-sweep: --betas must list at least one decay scale\n";
+    return 2;
+  }
+
+  const std::vector<sim::Variant> variants = sim::offline_variants();
+  const sim::SweepSeries series = sim::sweep(
+      betas,
+      [&](double beta) {
+        sim::ScenarioConfig config = base;
+        config.deadline_beta = beta;
+        return config;
+      },
+      variants, trials, seed);
+
+  std::vector<std::string> header{"beta"};
+  for (const sim::Variant& variant : variants) header.push_back(variant.label);
+  util::Table table(header);
+  for (std::size_t x = 0; x < series.xs.size(); ++x) {
+    std::vector<std::string> row{util::format_fixed(series.xs[x], 1)};
+    for (const sim::Variant& variant : variants) {
+      row.push_back(util::format_fixed(series.series.at(variant.label)[x], 4) +
+                    " +/- " +
+                    util::format_fixed(series.ci95.at(variant.label)[x], 4));
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+  std::cout << "normalized utility, mean over " << trials << " trials per point"
+            << " (95% CI half-width), decay " << base.deadline_decay << "\n";
+
+  const std::string csv_path = flags.get("csv");
+  if (!csv_path.empty()) {
+    std::ofstream csv(csv_path);
+    csv << "beta";
+    for (const sim::Variant& variant : variants) {
+      csv << "," << variant.label << ",ci95";
+    }
+    csv << "\n";
+    for (std::size_t x = 0; x < series.xs.size(); ++x) {
+      csv << series.xs[x];
+      for (const sim::Variant& variant : variants) {
+        csv << "," << series.series.at(variant.label)[x] << ","
+            << series.ci95.at(variant.label)[x];
+      }
+      csv << "\n";
+    }
+    std::cout << "csv written to " << csv_path << "\n";
+  }
   return 0;
 }
 
@@ -305,6 +412,7 @@ int run_command(const std::string& command, const util::Flags& flags) {
   if (command == "render") return cmd_render(flags);
   if (command == "heatmap") return cmd_heatmap(flags);
   if (command == "info") return cmd_info(flags);
+  if (command == "deadline-sweep") return cmd_deadline_sweep(flags);
   return usage();
 }
 
