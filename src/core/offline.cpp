@@ -179,25 +179,60 @@ double refresh_marginal(const MarginalEngine& engine, TabularCache& cache, std::
   if (cache.stamps[value_idx] == vsum) return cache.values[value_idx];
   const int samples = cache.samples;
   const int* colors_of = cache.sample_color.data() + p * static_cast<std::size_t>(samples);
+  // Rows that need an oracle price this sample — tardy (delta-mismatch) rows
+  // always, shared columns only when their version moved — are gathered in
+  // row order and priced by one batched row_terms call (the kernel-layer
+  // blockwise path), then folded back in the identical row order, so both
+  // the bits and the row_term counter totals match the per-row loop this
+  // replaces. Thread-local scratch: the lazy loop runs under the pool.
+  enum : unsigned char { kRowCached = 0, kRowMismatch = 1, kRowStale = 2 };
+  thread_local std::vector<model::TaskIndex> batch_tasks;
+  thread_local std::vector<double> batch_delta;
+  thread_local std::vector<double> batch_terms;
+  thread_local std::vector<unsigned char> row_kind;
   double total = 0.0;
   for (int s = 0; s < samples; ++s) {
     if (colors_of[s] != c) continue;
-    double inner = 0.0;
+    batch_tasks.clear();
+    batch_delta.clear();
+    row_kind.assign(tasks.size(), kRowCached);
     for (std::size_t t = 0; t < tasks.size(); ++t) {
       const auto col = static_cast<std::size_t>(col_of[tasks[t]]);
       if (slot_energy[t] != cache.col_delta[col]) {
         // Tardiness-discounted row: its delta deviates from the shared
         // column's base delta, so price it fresh and leave the shared term
         // (still valid for every base-delta row of the charger) untouched.
-        inner += engine.row_term(s, tasks[t], slot_energy[t]);
+        row_kind[t] = kRowMismatch;
+        batch_tasks.push_back(tasks[t]);
+        batch_delta.push_back(slot_energy[t]);
         continue;
       }
       const std::size_t idx =
           col * static_cast<std::size_t>(samples) + static_cast<std::size_t>(s);
-      const std::uint64_t version = engine.sample_version(s, tasks[t]);
-      if (cache.versions[idx] != version) {
-        cache.terms[idx] = engine.row_term(s, tasks[t], slot_energy[t]);
-        cache.versions[idx] = version;
+      if (cache.versions[idx] != engine.sample_version(s, tasks[t])) {
+        row_kind[t] = kRowStale;
+        batch_tasks.push_back(tasks[t]);
+        batch_delta.push_back(slot_energy[t]);
+      }
+    }
+    if (!batch_tasks.empty()) {
+      batch_terms.resize(batch_tasks.size());
+      engine.row_terms(s, kernels::RowView{batch_tasks, batch_delta, {}, {}},
+                       batch_terms.data());
+    }
+    double inner = 0.0;
+    std::size_t b = 0;
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      if (row_kind[t] == kRowMismatch) {
+        inner += batch_terms[b++];
+        continue;
+      }
+      const auto col = static_cast<std::size_t>(col_of[tasks[t]]);
+      const std::size_t idx =
+          col * static_cast<std::size_t>(samples) + static_cast<std::size_t>(s);
+      if (row_kind[t] == kRowStale) {
+        cache.terms[idx] = batch_terms[b++];
+        cache.versions[idx] = engine.sample_version(s, tasks[t]);
       }
       inner += cache.terms[idx];
     }

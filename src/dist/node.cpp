@@ -93,6 +93,31 @@ Message ChargerNode::begin_plan(const std::vector<model::TaskIndex>& known_tasks
   return hello;
 }
 
+void ChargerNode::prewarm_columns(const std::vector<model::TaskIndex>& tasks) {
+  if (mode_ != core::TabularMode::kIncremental) return;
+  const auto m = static_cast<std::size_t>(net_->task_count());
+  if (term_cache_valid_.size() != m) {
+    term_cache_base_.assign(m, 0);
+    term_cache_term_.assign(m, 0.0);
+    term_cache_valid_.assign(m, 0);
+  }
+  for (model::TaskIndex task : tasks) {
+    const auto j = static_cast<std::size_t>(task);
+    if (term_cache_valid_[j] != 0) continue;  // real entries stay authoritative
+    const double p = net_->potential_power(id_, task);
+    if (p <= 0.0) continue;  // not coverable: never becomes a plan column
+    const double delta = p * net_->time().slot_seconds;
+    // Matches row_term(0, task, delta) on a fresh engine with zero base:
+    // weighted_utility(delta) - weighted_utility(0), computed through the
+    // scalar objective (bit-identical to the kernel table by contract).
+    const double term = net_->weighted_task_utility(task, delta) -
+                        net_->weighted_task_utility(task, 0.0);
+    term_cache_base_[j] = std::bit_cast<std::uint64_t>(0.0);
+    term_cache_term_[j] = term;
+    term_cache_valid_[j] = 1;
+  }
+}
+
 bool ChargerNode::begin_stage(model::SlotIndex slot, int color) {
   stage_slot_ = slot;
   stage_color_ = color;

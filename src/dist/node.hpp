@@ -87,6 +87,19 @@ class ChargerNode {
   /// The planner's local expected utility estimate (diagnostics).
   double local_expected_value() const;
 
+  /// Speculative pre-provisioning (predictive scheduling): prices the
+  /// initial plan-column term of each coverable task in `tasks` at the
+  /// zero-harvest base and deposits it into the cross-plan term cache, so a
+  /// later begin_plan over those tasks hits the cache instead of paying a
+  /// cold row_term. Entries already priced are never overwritten (they are
+  /// exact for their own base), and a speculative entry is consulted only
+  /// when the task's actual base energy is bitwise 0.0 — a wrong guess
+  /// costs nothing but the speculation. Terms are computed through the
+  /// network objective, which is bit-identical to the engine's row_term by
+  /// the UtilityTable contract, so hits never change schedule bits — only
+  /// row_eval counts. No-op under kRebuild (no term cache).
+  void prewarm_columns(const std::vector<model::TaskIndex>& tasks);
+
   /// Evaluation counters of the current plan's engine (zeroed at every
   /// begin_plan, since the engine is rebuilt per plan); all-zero before the
   /// first plan. Lets the online driver charge row_term work to re-plans.

@@ -1,6 +1,7 @@
 #include "dist/online.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <memory>
 #include <stdexcept>
@@ -191,6 +192,9 @@ OnlineSession::OnlineSession(const model::Network& net, const OnlineConfig& conf
       config_(config),
       alive_(static_cast<std::size_t>(net.charger_count()), true) {
   result_.schedule = model::Schedule(net.charger_count(), net.horizon());
+  if (config_.predictor.enabled) {
+    predictor_ = std::make_unique<predict::Predictor>(net_, config_.predictor);
+  }
 }
 
 OnlineSession::~OnlineSession() = default;  // ChargerNode is complete here
@@ -218,12 +222,25 @@ const NegotiationRecord* OnlineSession::on_arrival(
       throw std::invalid_argument("OnlineSession: task index " + std::to_string(j) +
                                   " out of range");
     }
-    if (std::binary_search(known_.begin(), known_.end(), j)) {
+    if (std::binary_search(known_.begin(), known_.end(), j) ||
+        std::find(pending_.begin(), pending_.end(), j) != pending_.end()) {
       throw std::invalid_argument("OnlineSession: task " + std::to_string(j) +
                                   " released twice");
     }
   }
   last_event_slot_ = slot;
+  if (predictor_ != nullptr &&
+      predictor_->on_arrival(slot, tasks) != predict::CadenceAction::kReplanNow) {
+    // Deferred: the batch joins the pending set and the negotiation it would
+    // have triggered is skipped. Speculatively price its plan columns (and
+    // those of any other predicted-hot unknown task) so the eventual re-plan
+    // starts warm.
+    pending_.insert(pending_.end(), tasks.begin(), tasks.end());
+    predictor_->note_skipped();
+    prewarm(tasks);
+    return nullptr;
+  }
+  flush_pending();
   known_.insert(known_.end(), tasks.begin(), tasks.end());
   std::sort(known_.begin(), known_.end());
   return replan(slot, ReplanTrigger::kArrival);
@@ -240,15 +257,65 @@ const NegotiationRecord* OnlineSession::on_failure(model::ChargerIndex charger,
   if (!alive_[static_cast<std::size_t>(charger)]) return nullptr;
   alive_[static_cast<std::size_t>(charger)] = false;
   result_.schedule.disable_from(charger, slot);
+  if (predictor_ != nullptr) {
+    // A failure is an unpredicted disruption: back to reactive cadence, and
+    // any deferred arrivals join the recovery negotiation.
+    predictor_->on_failure();
+    flush_pending();
+  }
   // Survivors re-plan to cover for the lost charger.
   return replan(slot, ReplanTrigger::kFailure);
 }
 
 OnlineResult OnlineSession::finish() {
   if (finished_) throw std::logic_error("OnlineSession: finish() called twice");
+  if (!pending_.empty()) {
+    // Deferred arrivals must still be scheduled: one final negotiation at
+    // the last event slot (same tau delay as any re-plan).
+    flush_pending();
+    replan(last_event_slot_, ReplanTrigger::kArrival);
+  }
   finished_ = true;
   result_.evaluation = core::evaluate_schedule(net_, result_.schedule);
+  if (predictor_ != nullptr) {
+    result_.predictor = predictor_->stats();
+    result_.replans_skipped = result_.predictor.replans_skipped;
+  }
   return std::move(result_);
+}
+
+void OnlineSession::flush_pending() {
+  if (pending_.empty()) return;
+  known_.insert(known_.end(), pending_.begin(), pending_.end());
+  pending_.clear();
+  std::sort(known_.begin(), known_.end());
+}
+
+void OnlineSession::prewarm(const std::vector<model::TaskIndex>& batch) {
+  if (predictor_ == nullptr || !config_.predictor.prewarm) return;
+  // Pre-provisioning targets the persistent fleet's plan-column caches;
+  // without node reuse (or with a non-negotiating strategy) there is no
+  // warm state to seed.
+  if (!config_.reuse_nodes) return;
+  if (config_.strategy != OnlineStrategy::kHaste &&
+      config_.strategy != OnlineStrategy::kHasteSequential) {
+    return;
+  }
+  std::vector<model::TaskIndex> unknown;
+  for (model::TaskIndex j = 0; j < net_.task_count(); ++j) {
+    if (!std::binary_search(known_.begin(), known_.end(), j)) unknown.push_back(j);
+  }
+  std::vector<model::TaskIndex> candidates = predictor_->hot_tasks(unknown);
+  candidates.insert(candidates.end(), batch.begin(), batch.end());
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
+  if (candidates.empty()) return;
+  for (std::size_t i = 0; i < persistent_nodes_.size(); ++i) {
+    if (!alive_[i]) continue;
+    if (persistent_nodes_[i] != nullptr) {
+      persistent_nodes_[i]->prewarm_columns(candidates);
+    }
+  }
 }
 
 const NegotiationRecord* OnlineSession::replan(model::SlotIndex event_slot,
@@ -358,6 +425,21 @@ const NegotiationRecord* OnlineSession::replan(model::SlotIndex event_slot,
   static obs::Histogram& replan_latency =
       obs::MetricsRegistry::instance().histogram("online.replan.latency_us");
   replan_latency.record(static_cast<double>(obs::Tracer::now_us() - started_us));
+  if (predictor_ != nullptr) {
+    // Feed the negotiated plan value back so the cadence controller can
+    // escalate (predictions held) or reset on a utility shortfall. The
+    // greedy strategies carry no negotiated value estimate — NaN skips the
+    // shortfall test while still advancing the cadence clock.
+    double plan_value = std::numeric_limits<double>::quiet_NaN();
+    if (negotiated) {
+      plan_value = 0.0;
+      for (const ChargerNode* node : fleet) plan_value += node->local_expected_value();
+    }
+    predictor_->on_replan(event_slot, plan_value, known_.size());
+    // With the fleet freshly priced, speculate on the next wave: warm plan
+    // columns for unknown tasks in predicted-hot cells.
+    prewarm({});
+  }
   result_.log.push_back(record);
   return &result_.log.back();
 }

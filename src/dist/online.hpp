@@ -17,6 +17,7 @@
 #include "core/objective.hpp"
 #include "model/network.hpp"
 #include "model/schedule.hpp"
+#include "predict/predictor.hpp"
 
 namespace haste::dist {
 
@@ -59,6 +60,12 @@ struct OnlineConfig {
   /// re-extraction. Bit-identical to rebuilding the fleet per re-plan (the
   /// reference path, `false`) — asserted by the differential tests.
   bool reuse_nodes = true;
+  /// Predictive cadence control (src/predict/): learn per-region arrival
+  /// rates online, defer re-plans while predictions hold, and speculatively
+  /// pre-provision plan columns for predicted-hot regions. Disabled by
+  /// default — the reactive path is bit-identical to a predictor-free
+  /// build, pinned by the online_predict_differential suite.
+  predict::PredictorConfig predictor;
 };
 
 /// What caused a re-plan.
@@ -90,6 +97,8 @@ struct OnlineResult {
   std::uint64_t rounds = 0;            ///< synchronous negotiation rounds
   std::uint64_t negotiations = 0;      ///< re-plans triggered (arrivals/failures)
   std::uint64_t row_evaluations = 0;   ///< engine row_term evaluations, all re-plans
+  std::uint64_t replans_skipped = 0;   ///< arrival events deferred by the predictor
+  predict::PredictorStats predictor;   ///< predictor ledger (all-zero when off)
   std::vector<NegotiationRecord> log;  ///< per-re-plan telemetry, in time order
 };
 
@@ -140,10 +149,19 @@ class OnlineSession {
  private:
   const NegotiationRecord* replan(model::SlotIndex event_slot, ReplanTrigger trigger);
   void check_event(model::SlotIndex slot) const;
+  void flush_pending();  ///< folds the deferred arrivals into known_
+  /// Speculatively prices plan columns on the persistent fleet for the
+  /// deferred batch plus every unknown task in a predicted-hot cell.
+  void prewarm(const std::vector<model::TaskIndex>& batch);
 
   const model::Network& net_;
   OnlineConfig config_;
   std::vector<model::TaskIndex> known_;
+  /// Arrivals the predictor deferred; negotiated at the next re-plan.
+  std::vector<model::TaskIndex> pending_;
+  /// Live only when config_.predictor.enabled — the reactive path never
+  /// touches it (bit-identity with predictor-free builds).
+  std::unique_ptr<predict::Predictor> predictor_;
   std::vector<bool> alive_;
   /// Per-charger negotiation state under reuse_nodes (lazily constructed on
   /// the first re-plan a charger is alive for); unused otherwise.

@@ -1,0 +1,109 @@
+#include "predict/arrival.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace haste::predict {
+
+ArrivalModel::ArrivalModel(const model::Network& net, int grid, double discount)
+    : grid_(std::max(1, grid)), discount_(discount) {
+  if (!(discount_ > 0.0) || discount_ > 1.0) {
+    throw std::invalid_argument("ArrivalModel: discount must be in (0, 1]");
+  }
+  counts_.assign(static_cast<std::size_t>(grid_) * static_cast<std::size_t>(grid_), 0.0);
+
+  // Grid over the bounding box of everything placed in the field. Chargers
+  // are included so the lattice covers the coverage geometry even when the
+  // observed tasks cluster in a corner.
+  double min_x = 0.0, min_y = 0.0, max_x = 0.0, max_y = 0.0;
+  bool first = true;
+  const auto fold = [&](const geom::Vec2& p) {
+    if (first) {
+      min_x = max_x = p.x;
+      min_y = max_y = p.y;
+      first = false;
+      return;
+    }
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  };
+  for (const model::Charger& charger : net.chargers()) fold(charger.position);
+  for (const model::Task& task : net.tasks()) fold(task.position);
+
+  const double width = std::max(max_x - min_x, 1e-9);
+  const double height = std::max(max_y - min_y, 1e-9);
+  task_cell_.reserve(net.tasks().size());
+  for (const model::Task& task : net.tasks()) {
+    const int cx = std::clamp(
+        static_cast<int>((task.position.x - min_x) / width * grid_), 0, grid_ - 1);
+    const int cy = std::clamp(
+        static_cast<int>((task.position.y - min_y) / height * grid_), 0, grid_ - 1);
+    task_cell_.push_back(cy * grid_ + cx);
+  }
+}
+
+void ArrivalModel::decay_to(model::SlotIndex slot) {
+  if (!primed_) {
+    last_slot_ = slot;
+    primed_ = true;
+    return;
+  }
+  const auto elapsed = static_cast<double>(std::max<model::SlotIndex>(0, slot - last_slot_));
+  last_slot_ = std::max(last_slot_, slot);
+  if (elapsed <= 0.0) return;
+  const double f = std::pow(discount_, elapsed);
+  for (double& c : counts_) c *= f;
+  // The window mass gains one (discounted) unit per elapsed slot:
+  // W' = W * d^e + sum_{k=1..e} d^(e-k), the geometric series below.
+  if (discount_ < 1.0) {
+    window_slots_ = window_slots_ * f + (1.0 - f) / (1.0 - discount_);
+  } else {
+    window_slots_ += elapsed;
+  }
+}
+
+ArrivalObservation ArrivalModel::observe(model::SlotIndex slot,
+                                         const std::vector<model::TaskIndex>& tasks,
+                                         double hot_rate, double min_confidence) {
+  const auto elapsed = static_cast<double>(
+      primed_ ? std::max<model::SlotIndex>(0, slot - last_slot_) : 0);
+  const double rate_before = total_rate();
+  decay_to(slot);
+
+  ArrivalObservation obs;
+  obs.expected = rate_before * elapsed;
+  obs.observed = static_cast<double>(tasks.size());
+  obs.confidence = window_slots_;
+  std::size_t hot = 0;
+  for (model::TaskIndex j : tasks) {
+    if (task_hot(j, hot_rate, min_confidence)) ++hot;
+  }
+  obs.hot_fraction =
+      tasks.empty() ? 0.0 : static_cast<double>(hot) / static_cast<double>(tasks.size());
+
+  for (model::TaskIndex j : tasks) {
+    counts_[static_cast<std::size_t>(cell_of_task(j))] += 1.0;
+  }
+  return obs;
+}
+
+double ArrivalModel::cell_rate(int cell) const {
+  if (window_slots_ <= 0.0) return 0.0;
+  return counts_[static_cast<std::size_t>(cell)] / window_slots_;
+}
+
+double ArrivalModel::total_rate() const {
+  if (window_slots_ <= 0.0) return 0.0;
+  double total = 0.0;
+  for (double c : counts_) total += c;
+  return total / window_slots_;
+}
+
+bool ArrivalModel::cell_hot(int cell, double hot_rate, double min_confidence) const {
+  return window_slots_ >= min_confidence && cell_rate(cell) >= hot_rate;
+}
+
+}  // namespace haste::predict

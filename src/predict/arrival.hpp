@@ -1,0 +1,84 @@
+// Online arrival-rate learning for the predictive scheduler.
+//
+// The model partitions the field into a coarse spatial grid aligned with the
+// coverage geometry (cells of a G x G lattice over the bounding box of every
+// charger and task position) and maintains a discounted-EWMA estimate of the
+// per-slot Poisson arrival rate of each cell. Observations are the arrival
+// batches the online session sees; between two observations the counts decay
+// geometrically per elapsed slot, so the estimate tracks non-stationary
+// traffic (bursts, drifting hotspots) with a tunable memory horizon.
+//
+// Confidence comes from the discounted observation mass: a cell is only
+// declared "hot" once the model has effectively watched enough slots
+// (min_confidence) — before that every prediction is a miss by definition,
+// which is exactly the behavior the cadence controller wants (stay reactive
+// until the model has earned trust).
+#pragma once
+
+#include <vector>
+
+#include "model/network.hpp"
+
+namespace haste::predict {
+
+/// What the model believed just before folding in one arrival batch —
+/// the inputs to the cadence controller's surprise test.
+struct ArrivalObservation {
+  double expected = 0.0;    ///< predicted arrivals since the last observation
+  double observed = 0.0;    ///< batch size actually seen
+  double hot_fraction = 0.0;  ///< fraction of the batch landing in hot cells
+  double confidence = 0.0;  ///< effective observed slots backing the prediction
+};
+
+/// Discounted per-cell Poisson rate estimator over a spatial grid.
+class ArrivalModel {
+ public:
+  /// `grid` is the lattice side (G x G cells, clamped to >= 1); `discount`
+  /// in (0, 1] is the per-slot retention factor (1 = infinite memory).
+  /// Task-to-cell assignment is precomputed from the network's (static)
+  /// task positions, so observing a batch is O(batch).
+  ArrivalModel(const model::Network& net, int grid, double discount);
+
+  /// Advances the clock to `slot` (decaying all counts), reports what the
+  /// model expected for the elapsed window vs what arrived, then folds the
+  /// batch into the per-cell counts. Slots must be non-decreasing.
+  ArrivalObservation observe(model::SlotIndex slot,
+                             const std::vector<model::TaskIndex>& tasks,
+                             double hot_rate, double min_confidence);
+
+  /// Estimated arrivals per slot in `cell` (discounted count / window mass).
+  double cell_rate(int cell) const;
+
+  /// Estimated total arrivals per slot over the whole field.
+  double total_rate() const;
+
+  /// Effective number of observed slots backing the current rates.
+  double confidence() const { return window_slots_; }
+
+  /// True when `cell`'s rate clears `hot_rate` with enough history behind it.
+  bool cell_hot(int cell, double hot_rate, double min_confidence) const;
+
+  /// Cell membership of a task (precomputed at construction).
+  int cell_of_task(model::TaskIndex j) const {
+    return task_cell_[static_cast<std::size_t>(j)];
+  }
+
+  bool task_hot(model::TaskIndex j, double hot_rate, double min_confidence) const {
+    return cell_hot(cell_of_task(j), hot_rate, min_confidence);
+  }
+
+  int cell_count() const { return grid_ * grid_; }
+
+ private:
+  void decay_to(model::SlotIndex slot);
+
+  int grid_ = 1;
+  double discount_ = 1.0;
+  std::vector<double> counts_;        ///< per cell, discounted arrival mass
+  std::vector<int> task_cell_;        ///< [task] -> cell
+  double window_slots_ = 0.0;         ///< discounted count of observed slots
+  model::SlotIndex last_slot_ = 0;
+  bool primed_ = false;               ///< first observation sets the clock
+};
+
+}  // namespace haste::predict

@@ -117,6 +117,19 @@ Json online_config_to_json(const dist::OnlineConfig& config) {
   json.set("seed", u64_json(config.seed));
   json.set("mode", tabular_mode_name(config.mode));
   json.set("reuse_nodes", config.reuse_nodes);
+  Json predictor = Json::object();
+  predictor.set("enabled", config.predictor.enabled);
+  predictor.set("grid", config.predictor.grid);
+  predictor.set("discount", config.predictor.discount);
+  predictor.set("hot_rate", config.predictor.hot_rate);
+  predictor.set("min_confidence", config.predictor.min_confidence);
+  predictor.set("surprise_factor", config.predictor.surprise_factor);
+  predictor.set("max_level", config.predictor.max_level);
+  predictor.set("batch_slots", config.predictor.batch_slots);
+  predictor.set("batch_tasks", config.predictor.batch_tasks);
+  predictor.set("shortfall_factor", config.predictor.shortfall_factor);
+  predictor.set("prewarm", config.predictor.prewarm);
+  json.set("predictor", std::move(predictor));
   return json;
 }
 
@@ -128,6 +141,21 @@ dist::OnlineConfig online_config_from_json(const Json& json) {
   if (json.contains("seed")) config.seed = u64_from(json.at("seed"));
   config.mode = parse_tabular_mode(json.string_or("mode", "incremental"));
   config.reuse_nodes = json.bool_or("reuse_nodes", config.reuse_nodes);
+  if (json.contains("predictor")) {
+    const Json& predictor = json.at("predictor");
+    predict::PredictorConfig& p = config.predictor;
+    p.enabled = predictor.bool_or("enabled", p.enabled);
+    p.grid = static_cast<int>(predictor.number_or("grid", p.grid));
+    p.discount = predictor.number_or("discount", p.discount);
+    p.hot_rate = predictor.number_or("hot_rate", p.hot_rate);
+    p.min_confidence = predictor.number_or("min_confidence", p.min_confidence);
+    p.surprise_factor = predictor.number_or("surprise_factor", p.surprise_factor);
+    p.max_level = static_cast<int>(predictor.number_or("max_level", p.max_level));
+    p.batch_slots = static_cast<int>(predictor.number_or("batch_slots", p.batch_slots));
+    p.batch_tasks = static_cast<int>(predictor.number_or("batch_tasks", p.batch_tasks));
+    p.shortfall_factor = predictor.number_or("shortfall_factor", p.shortfall_factor);
+    p.prewarm = predictor.bool_or("prewarm", p.prewarm);
+  }
   return config;
 }
 
@@ -159,6 +187,7 @@ Reply Session::handle_request(const Json& request) {
     }
     online_ = std::make_unique<dist::OnlineSession>(*net, config);
     net_ = std::move(net);
+    predictor_enabled_ = config.predictor.enabled;
     static obs::Counter& opened_sessions = lifecycle_counter("serve.sessions.opened");
     opened_sessions.add(1);
     Json reply = Json::object();
@@ -246,6 +275,17 @@ Reply Session::finish_reply() {
   reply.set("rounds", u64_json(result.rounds));
   reply.set("negotiations", u64_json(result.negotiations));
   reply.set("row_evals", u64_json(result.row_evaluations));
+  if (predictor_enabled_) {
+    // Predictor ledger, only for sessions that opted in: the reply bytes of
+    // a reactive session stay exactly what they were before the predictor
+    // subsystem existed.
+    Json predictor = Json::object();
+    predictor.set("replans_skipped", u64_json(result.replans_skipped));
+    predictor.set("hits", u64_json(result.predictor.hits));
+    predictor.set("misses", u64_json(result.predictor.misses));
+    predictor.set("batched", u64_json(result.predictor.batched));
+    reply.set("predictor", std::move(predictor));
+  }
   static obs::Counter& finished_sessions = lifecycle_counter("serve.sessions.finished");
   finished_sessions.add(1);
   // The result is the session's terminal reply: one run per connection keeps

@@ -23,6 +23,12 @@
 //         "switches":N, "messages":"u64", "deliveries":"u64",
 //         "message_bytes":"u64", "rounds":"u64", "negotiations":"u64",
 //         "row_evals":"u64"}  -- and the connection closes
+//     Sessions whose config enables the predictor ("config":{"predictor":
+//     {"enabled":true, ...}} — every src/predict/ knob is accepted) get an
+//     extra "predictor":{"replans_skipped","hits","misses","batched"}
+//     ledger object (u64 strings); reactive sessions keep the historical
+//     reply bytes. A deferred arrive line replies "replanned":false, same
+//     as a pre-horizon no-op re-plan.
 //
 // Any malformed or out-of-order request yields
 //   {"ok":false, "op":"error", "message":"..."}
@@ -85,6 +91,10 @@ class Session {
 
   std::unique_ptr<model::Network> net_;
   std::unique_ptr<dist::OnlineSession> online_;
+  /// Whether this session opted into predictive cadence: gates the
+  /// predictor ledger in the result reply, so reactive sessions keep their
+  /// historical reply bytes.
+  bool predictor_enabled_ = false;
 };
 
 }  // namespace haste::serve

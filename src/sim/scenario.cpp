@@ -45,6 +45,18 @@ void ScenarioConfig::validate() const {
   if (arrivals == ArrivalProcess::kPoisson && !(poisson_rate_per_slot > 0.0)) {
     throw std::invalid_argument("ScenarioConfig: poisson rate must be positive");
   }
+  if (!(burst_factor >= 1.0)) {
+    throw std::invalid_argument("ScenarioConfig: burst_factor must be >= 1");
+  }
+  if (burst_period_slots < 1) {
+    throw std::invalid_argument("ScenarioConfig: burst_period_slots must be >= 1");
+  }
+  if (hotspot_fraction < 0.0 || hotspot_fraction > 1.0) {
+    throw std::invalid_argument("ScenarioConfig: hotspot_fraction must be in [0, 1]");
+  }
+  if (!(hotspot_sigma > 0.0)) {
+    throw std::invalid_argument("ScenarioConfig: hotspot_sigma must be positive");
+  }
   model::DeadlinePolicy::parse_decay(deadline_decay);  // throws on unknown name
   if (deadline_fraction < 0.0 || deadline_fraction > 1.0) {
     throw std::invalid_argument("ScenarioConfig: deadline_fraction must be in [0, 1]");
@@ -129,6 +141,45 @@ model::Network generate_scenario(const ScenarioConfig& config, util::Rng& rng) {
             std::ceil(slack * static_cast<double>(duration)));
         task.deadline_slot = task.release_slot + std::max<model::SlotIndex>(1, grace);
       }
+    }
+  }
+
+  // Non-stationary traffic shaping, each knob its own pass over the task
+  // population (same discipline as the deadline pass above: with a knob off
+  // its pass draws nothing, so the streams of every earlier pass are
+  // untouched; with it on, one fixed draw set per task keeps the pass
+  // bit-stable across knob-value sweeps).
+  if (config.burst_factor > 1.0) {
+    const auto period = static_cast<model::SlotIndex>(config.burst_period_slots);
+    for (model::Task& task : tasks) {
+      const bool snap = rng.uniform() < 1.0 - 1.0 / config.burst_factor;
+      if (!snap) continue;
+      const model::SlotIndex duration = task.end_slot - task.release_slot;
+      const model::SlotIndex snapped =
+          (task.release_slot + period / 2) / period * period;  // nearest epoch
+      const model::SlotIndex shift = snapped - task.release_slot;
+      task.release_slot = snapped;
+      task.end_slot = snapped + duration;
+      if (task.has_deadline()) task.deadline_slot += shift;
+    }
+  }
+  if (config.hotspot_fraction > 0.0) {
+    const double drift_horizon =
+        static_cast<double>(std::max(1, config.release_window_slots));
+    for (model::Task& task : tasks) {
+      const bool hot = rng.uniform() < config.hotspot_fraction;
+      const double gx = rng.normal(0.0, 1.0);
+      const double gy = rng.normal(0.0, 1.0);
+      if (!hot) continue;
+      // The hotspot center drifts across the field as releases progress:
+      // quarter point at slot 0, three-quarter point at the window's end.
+      const double t = std::clamp(
+          static_cast<double>(task.release_slot) / drift_horizon, 0.0, 1.0);
+      const double cx = config.field_width * (0.25 + 0.5 * t);
+      const double cy = config.field_height * (0.25 + 0.5 * t);
+      task.position = {
+          std::clamp(cx + config.hotspot_sigma * gx, 0.0, config.field_width),
+          std::clamp(cy + config.hotspot_sigma * gy, 0.0, config.field_height)};
     }
   }
 

@@ -71,6 +71,25 @@ struct ScenarioConfig {
   double deadline_slack_min = 0.25;     ///< slack lower bound (x duration)
   double deadline_slack_max = 0.75;     ///< slack upper bound (x duration)
 
+  /// Non-stationary traffic family (the predictive scheduler's workload).
+  /// Both knobs are inert at their defaults and are applied in extra RNG
+  /// passes *after* the base draws, so the base geometry (and the deadline
+  /// pass) stays bit-identical with the knobs off.
+  ///
+  /// burst_factor > 1 concentrates arrivals into periodic bursts: each task
+  /// snaps its release to the nearest multiple of `burst_period_slots` with
+  /// probability 1 - 1/burst_factor (duration preserved; a deadline moves
+  /// with its release). burst_factor = 4 leaves ~25% of the background
+  /// traffic diffuse and piles the rest onto the burst epochs.
+  double burst_factor = 1.0;   ///< >= 1; 1 = stationary arrivals (off)
+  int burst_period_slots = 8;  ///< burst epoch spacing (slots)
+  /// hotspot_fraction > 0 re-draws that fraction of task positions around a
+  /// hotspot center that drifts across the field as releases progress
+  /// (early releases cluster near one corner quarter, late ones near the
+  /// opposite), giving the arrival model spatial structure that moves.
+  double hotspot_fraction = 0.0;  ///< P(task is drawn from the hotspot)
+  double hotspot_sigma = 5.0;     ///< hotspot spread (m)
+
   /// The paper's large-scale default (Section 7.1).
   static ScenarioConfig paper_default() { return ScenarioConfig{}; }
 

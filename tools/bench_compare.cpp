@@ -261,6 +261,43 @@ int check_invariants(const std::string& path) {
     ++failures;
   }
 
+  // Predictive cadence pin: every BM_OnlinePredict row carries the
+  // reactive-vs-predictor trade its setup measured over the bursty instance
+  // family. The predictor must actually skip negotiations (strictly fewer
+  // than reactive, with a nonzero skip ledger) and may give up at most 2% of
+  // the reactive mean normalized utility — the subsystem's acceptance
+  // criterion, re-checked on every committed capture.
+  bool predict_pinned = false;
+  for (const auto& [name, entry] : entries) {
+    if (name.rfind("BM_OnlinePredict", 0) != 0) continue;
+    const double reactive_n = entry->number_or("negotiations_reactive", -1.0);
+    const double predict_n = entry->number_or("negotiations_predict", -1.0);
+    const double skipped = entry->number_or("replans_skipped", -1.0);
+    const double ratio = entry->number_or("utility_ratio", -1.0);
+    if (reactive_n < 0.0 || predict_n < 0.0 || skipped < 0.0 || ratio < 0.0) {
+      std::cerr << "FAIL " << name << ": missing predictor counters\n";
+      ++failures;
+      continue;
+    }
+    predict_pinned = true;
+    if (!(predict_n < reactive_n) || skipped <= 0.0) {
+      std::cerr << "FAIL " << name << ": predictor negotiations " << predict_n
+                << " not strictly below reactive " << reactive_n << " (skipped "
+                << skipped << ")\n";
+      ++failures;
+    }
+    if (ratio < 0.98) {
+      std::cerr << "FAIL " << name << ": utility ratio " << ratio
+                << " below the 2% loss budget\n";
+      ++failures;
+    }
+  }
+  if (!predict_pinned) {
+    std::cerr << "FAIL: no BM_OnlinePredict entries in " << path
+              << " — re-capture with the predictor family\n";
+    ++failures;
+  }
+
   if (failures == 0) {
     std::cout << "ok: " << entries.size() << " benchmark entries, all invariants hold\n";
     return 0;

@@ -5,8 +5,13 @@
 //             [--seed S] [--gaussian SIGMA] [--utility linear|sqrt|log]
 //             [--deadline-decay none|linear|exp|hard] [--deadline-beta B]
 //             [--deadline-fraction F] [--deadline-slack-min S]
-//             [--deadline-slack-max S]
-//       Draws a random scenario and writes it as JSON.
+//             [--deadline-slack-max S] [--window W]
+//             [--burst-factor F] [--burst-period P]
+//             [--hotspot-fraction F] [--hotspot-sigma S]
+//       Draws a random scenario and writes it as JSON. The burst/hotspot
+//       knobs shape non-stationary traffic (periodic arrival bursts, a
+//       hotspot drifting across the field) for the predictive scheduler;
+//       at their defaults the base geometry is untouched bit for bit.
 //   solve     --in FILE [--algorithm NAME] [--colors C] [--samples S]
 //             [--seed S] [--mode incremental|rebuild] [--out SCHEDULE]
 //             [--improve]
@@ -32,6 +37,17 @@
 //       random deadline-driven instances for each decay scale beta and
 //       reports mean normalized utility with 95% CI half-widths (the
 //       utility-vs-tightness figure; --csv dumps the series for plotting).
+//   predict-sweep  [--preset paper|small] [--chargers N] [--tasks M]
+//             [--window W] [--trials T] [--seed S] [--levels "0,1,2,4"]
+//             [--burst-factor F] [--burst-period P] [--hotspot-fraction F]
+//             [--hotspot-sigma S] [--grid G] [--discount D] [--hot-rate R]
+//             [--min-confidence C] [--csv FILE]
+//       Predictive cadence Pareto sweep: runs the online scheduler over
+//       random bursty-hotspot instances once per cadence trust ceiling
+//       (level 0 = the paper's reactive baseline) and reports mean
+//       normalized utility (95% CI), negotiations, messages, skipped
+//       re-plans, and mean re-plan latency — the utility-vs-message-count
+//       and utility-vs-latency Pareto curves (--csv dumps the series).
 //
 // Every subcommand additionally accepts:
 //   --trace FILE        write a Chrome trace-event JSON of the run (load in
@@ -43,16 +59,19 @@
 // Algorithms for --algorithm: offline-haste (default), offline-greedy-utility,
 // offline-greedy-cover, offline-random, offline-optimal, online-haste,
 // online-greedy-utility, online-greedy-cover, global-greedy.
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/evaluate.hpp"
 #include "core/global_greedy.hpp"
 #include "core/local_search.hpp"
 #include "core/offline.hpp"
+#include "dist/online.hpp"
 #include "io/scenario_io.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -64,6 +83,7 @@
 #include "sim/sweep.hpp"
 #include "testbed/topologies.hpp"
 #include "util/cli.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -72,8 +92,8 @@ using namespace haste;
 
 int usage() {
   std::cerr << "usage: haste_cli "
-               "<generate|solve|eval|testbed|render|heatmap|info|deadline-sweep>"
-               " [flags]\n"
+               "<generate|solve|eval|testbed|render|heatmap|info|deadline-sweep"
+               "|predict-sweep> [flags]\n"
                "       see the header of tools/haste_cli.cpp for details\n";
   return 2;
 }
@@ -116,6 +136,14 @@ int cmd_generate(const util::Flags& flags) {
       flags.get_double("deadline-slack-min", config.deadline_slack_min);
   config.deadline_slack_max =
       flags.get_double("deadline-slack-max", config.deadline_slack_max);
+  config.release_window_slots =
+      static_cast<int>(flags.get_int("window", config.release_window_slots));
+  config.burst_factor = flags.get_double("burst-factor", config.burst_factor);
+  config.burst_period_slots =
+      static_cast<int>(flags.get_int("burst-period", config.burst_period_slots));
+  config.hotspot_fraction =
+      flags.get_double("hotspot-fraction", config.hotspot_fraction);
+  config.hotspot_sigma = flags.get_double("hotspot-sigma", config.hotspot_sigma);
   util::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
   const model::Network net = sim::generate_scenario(config, rng);
   io::save_network(out, net);
@@ -326,6 +354,41 @@ int cmd_info(const util::Flags& flags) {
               << " (beta " << util::format_fixed(net.deadline_policy().beta, 1)
               << "), " << with_deadline << " tasks with deadlines\n";
   }
+  if (net.task_count() > 0) {
+    // Arrival-process shape over the release window: the dispersion index
+    // (variance/mean of per-slot arrival counts) is 1 for Poisson traffic
+    // and grows with burstiness — the signal the predictive scheduler's
+    // arrival model feeds on.
+    model::SlotIndex last_release = 0;
+    for (const model::Task& task : net.tasks()) {
+      last_release = std::max(last_release, task.release_slot);
+    }
+    std::vector<std::size_t> per_slot(static_cast<std::size_t>(last_release) + 1, 0);
+    for (const model::Task& task : net.tasks()) {
+      ++per_slot[static_cast<std::size_t>(task.release_slot)];
+    }
+    std::size_t peak = 0;
+    model::SlotIndex peak_slot = 0;
+    double mean = 0.0;
+    for (std::size_t k = 0; k < per_slot.size(); ++k) {
+      if (per_slot[k] > peak) {
+        peak = per_slot[k];
+        peak_slot = static_cast<model::SlotIndex>(k);
+      }
+      mean += static_cast<double>(per_slot[k]);
+    }
+    mean /= static_cast<double>(per_slot.size());
+    double variance = 0.0;
+    for (std::size_t count : per_slot) {
+      const double d = static_cast<double>(count) - mean;
+      variance += d * d;
+    }
+    variance /= static_cast<double>(per_slot.size());
+    std::cout << "arrivals: window [0, " << last_release << "], peak " << peak
+              << " tasks at slot " << peak_slot << ", dispersion index "
+              << util::format_fixed(mean > 0.0 ? variance / mean : 0.0, 2)
+              << " (1 = Poisson)\n";
+  }
   return 0;
 }
 
@@ -403,6 +466,130 @@ int cmd_deadline_sweep(const util::Flags& flags) {
   return 0;
 }
 
+int cmd_predict_sweep(const util::Flags& flags) {
+  sim::ScenarioConfig base = flags.get("preset", "paper") == "small"
+                                 ? sim::ScenarioConfig::small_scale()
+                                 : sim::ScenarioConfig::paper_default();
+  base.chargers = static_cast<int>(flags.get_int("chargers", base.chargers));
+  base.tasks = static_cast<int>(flags.get_int("tasks", base.tasks));
+  base.release_window_slots =
+      static_cast<int>(flags.get_int("window", base.release_window_slots));
+  // Bursty, drifting traffic by default — stationary arrivals leave the
+  // predictor nothing to learn and the Pareto curve collapses to a point.
+  base.burst_factor = flags.get_double("burst-factor", 4.0);
+  base.burst_period_slots =
+      static_cast<int>(flags.get_int("burst-period", base.burst_period_slots));
+  base.hotspot_fraction = flags.get_double("hotspot-fraction", 0.6);
+  base.hotspot_sigma = flags.get_double("hotspot-sigma", base.hotspot_sigma);
+  const int trials = static_cast<int>(flags.get_int("trials", 5));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+
+  predict::PredictorConfig tuned;  // shared knobs; enabled/max_level per point
+  tuned.grid = static_cast<int>(flags.get_int("grid", tuned.grid));
+  tuned.discount = flags.get_double("discount", tuned.discount);
+  tuned.hot_rate = flags.get_double("hot-rate", tuned.hot_rate);
+  tuned.min_confidence = flags.get_double("min-confidence", tuned.min_confidence);
+
+  std::vector<int> levels;
+  std::stringstream spec(flags.get("levels", "0,1,2,4"));
+  for (std::string item; std::getline(spec, item, ',');) {
+    if (!item.empty()) levels.push_back(std::stoi(item));
+  }
+  if (levels.empty()) {
+    std::cerr << "predict-sweep: --levels must list at least one trust ceiling\n";
+    return 2;
+  }
+
+  struct Point {
+    int level = 0;
+    double utility_mean = 0.0;
+    double utility_ci95 = 0.0;
+    double negotiations = 0.0;
+    double messages = 0.0;
+    double deliveries = 0.0;
+    double skipped = 0.0;
+    double latency_us = 0.0;  ///< mean re-plan latency over the point's runs
+  };
+  std::vector<Point> points;
+  // Flushes windowed counter deltas into the trace as counter tracks (one
+  // sample per sweep point), so a traced run carries the predict.* series
+  // the trace_check validation chain requires.
+  obs::MetricsFlusher flusher(/*period_ms=*/60'000);
+
+  for (int level : levels) {
+    dist::OnlineConfig config;
+    config.predictor = tuned;
+    config.predictor.enabled = level > 0;
+    config.predictor.max_level = level;
+
+    Point point;
+    point.level = level;
+    std::vector<double> utilities;
+    const obs::MetricsSnapshot before = obs::MetricsRegistry::instance().snapshot();
+    for (int t = 0; t < trials; ++t) {
+      util::Rng rng(util::Rng::stream_seed(seed, static_cast<std::uint64_t>(t)));
+      const model::Network net = sim::generate_scenario(base, rng);
+      const dist::OnlineResult result = dist::run_online(net, config);
+      const double upper = net.utility_upper_bound();
+      utilities.push_back(upper > 0.0 ? result.evaluation.weighted_utility / upper
+                                      : 0.0);
+      point.negotiations += static_cast<double>(result.negotiations);
+      point.messages += static_cast<double>(result.messages);
+      point.deliveries += static_cast<double>(result.deliveries);
+      point.skipped += static_cast<double>(result.replans_skipped);
+    }
+    const obs::MetricsSnapshot window =
+        obs::MetricsRegistry::instance().snapshot().delta(before);
+    const auto latency = window.histograms.find("online.replan.latency_us");
+    if (latency != window.histograms.end() && latency->second.stats.count() > 0) {
+      point.latency_us = latency->second.stats.mean();
+    }
+    const double n = static_cast<double>(trials);
+    for (double u : utilities) point.utility_mean += u;
+    point.utility_mean /= n;
+    point.utility_ci95 = util::mean_confidence95(utilities);
+    point.negotiations /= n;
+    point.messages /= n;
+    point.deliveries /= n;
+    point.skipped /= n;
+    points.push_back(point);
+    flusher.flush_now();
+  }
+  flusher.stop();
+
+  util::Table table({"level", "utility", "negotiations", "messages", "skipped",
+                     "replan_us"});
+  for (const Point& point : points) {
+    table.add_row({point.level == 0 ? "0 (reactive)" : std::to_string(point.level),
+                   util::format_fixed(point.utility_mean, 4) + " +/- " +
+                       util::format_fixed(point.utility_ci95, 4),
+                   util::format_fixed(point.negotiations, 1),
+                   util::format_fixed(point.messages, 1),
+                   util::format_fixed(point.skipped, 1),
+                   util::format_fixed(point.latency_us, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "normalized utility, mean over " << trials
+            << " trials per cadence level (95% CI half-width); burst factor "
+            << util::format_fixed(base.burst_factor, 1) << ", hotspot fraction "
+            << util::format_fixed(base.hotspot_fraction, 2) << "\n";
+
+  const std::string csv_path = flags.get("csv");
+  if (!csv_path.empty()) {
+    std::ofstream csv(csv_path);
+    csv << "level,utility_mean,utility_ci95,negotiations,messages,deliveries,"
+           "replans_skipped,replan_latency_us\n";
+    for (const Point& point : points) {
+      csv << point.level << "," << point.utility_mean << "," << point.utility_ci95
+          << "," << point.negotiations << "," << point.messages << ","
+          << point.deliveries << "," << point.skipped << "," << point.latency_us
+          << "\n";
+    }
+    std::cout << "csv written to " << csv_path << "\n";
+  }
+  return 0;
+}
+
 int run_command(const std::string& command, const util::Flags& flags) {
   obs::Span span("cli." + command);
   if (command == "generate") return cmd_generate(flags);
@@ -413,6 +600,7 @@ int run_command(const std::string& command, const util::Flags& flags) {
   if (command == "heatmap") return cmd_heatmap(flags);
   if (command == "info") return cmd_info(flags);
   if (command == "deadline-sweep") return cmd_deadline_sweep(flags);
+  if (command == "predict-sweep") return cmd_predict_sweep(flags);
   return usage();
 }
 
